@@ -1,0 +1,553 @@
+(* Regenerates every table and figure of the paper's evaluation:
+     fig2   locking micro-benchmark, persistent requests only
+     fig3   locking micro-benchmark, transient + persistent
+     tab4   barrier micro-benchmark
+     fig6   commercial-workload runtime
+     fig7   inter- and intra-CMP traffic breakdowns
+     sec5   model-checking study
+     tab1   the TokenCMP variant table
+     ablate design-choice ablations (not in the paper's figures)
+     micro  Bechamel micro-benchmarks of the simulator substrate
+
+   Run with no arguments for everything, or name the sections:
+     dune exec bench/main.exe -- fig2 fig6
+   Add "quick" to shrink run lengths. *)
+
+module E = Tokencmp.Experiments
+module P = Tokencmp.Protocols
+
+let quick = ref false
+let seeds () = if !quick then [ 1 ] else [ 1; 2 ]
+let acquires () = if !quick then 25 else 50
+let episodes () = if !quick then 10 else 25
+let ops () = if !quick then 1200 else 2200
+let locks () = if !quick then [ 2; 8; 32; 128; 512 ] else [ 2; 4; 8; 16; 32; 64; 128; 256; 512 ]
+
+let progress fmt = Printf.eprintf fmt
+
+let hr title = Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+let mean (r : E.run) = r.E.runtime_ns.Sim.Stat.Summary.mean
+
+(* ------------------------------------------------------------------ *)
+(* Figures 2 and 3: locking micro-benchmark                            *)
+
+let print_locking_table ~title ~note sweep protocols =
+  hr title;
+  print_endline note;
+  (* normalized to DirectoryCMP at the highest lock count *)
+  let _, low_contention = List.hd (List.rev sweep) in
+  let baseline = E.find low_contention "DirectoryCMP" in
+  Printf.printf "%8s" "locks";
+  List.iter (fun p -> Printf.printf "  %18s" p.P.name) protocols;
+  print_newline ();
+  List.iter
+    (fun (nlocks, runs) ->
+      Printf.printf "%8d" nlocks;
+      List.iter
+        (fun p ->
+          let r = E.find runs p.P.name in
+          Printf.printf "  %10.2f (%4.0fus)" (E.normalize ~baseline r) (mean r /. 1000.))
+        protocols;
+      print_newline ())
+    sweep;
+  print_endline "(normalized runtime; smaller is better; baseline = DirectoryCMP at max locks)"
+
+let fig2 () =
+  progress "[fig2] locking sweep, persistent requests only...\n%!";
+  let sweep =
+    E.locking_sweep ~seeds:(seeds ()) ~acquires:(acquires ()) ~locks:(locks ())
+      ~protocols:E.fig2_protocols ()
+  in
+  print_locking_table
+    ~title:"Figure 2: locking micro-benchmark, persistent requests only"
+    ~note:
+      "Paper shape: TokenCMP-arb0 far worse than DirectoryCMP under contention\n\
+       (~3.7x at 2 locks); TokenCMP-dst0 comparable or better than the directory\n\
+       across the sweep."
+    sweep E.fig2_protocols
+
+let fig3 () =
+  progress "[fig3] locking sweep, transient + persistent...\n%!";
+  let sweep =
+    E.locking_sweep ~seeds:(seeds ()) ~acquires:(acquires ()) ~locks:(locks ())
+      ~protocols:E.fig3_protocols ()
+  in
+  print_locking_table
+    ~title:"Figure 3: locking micro-benchmark, transient + persistent requests"
+    ~note:
+      "Paper shape: token variants ~2x faster than DirectoryCMP at 512 locks\n\
+       (many lock handoffs are remote sharing misses that the directory\n\
+       indirects); contention degrades the token variants, with dst1-pred most\n\
+       robust and retry-happy policies worst."
+    sweep E.fig3_protocols
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: barrier micro-benchmark                                    *)
+
+let tab4 () =
+  progress "[tab4] barrier micro-benchmark...\n%!";
+  hr "Table 4: barrier micro-benchmark runtime (normalized to DirectoryCMP)";
+  let paper = function
+    | "TokenCMP-arb0" -> (1.40, 1.29)
+    | "TokenCMP-dst0" -> (0.94, 0.91)
+    | "DirectoryCMP" -> (1.00, 1.00)
+    | "DirectoryCMP-zero" -> (0.95, 0.93)
+    | "TokenCMP-dst4" -> (1.15, 1.01)
+    | "TokenCMP-dst1" -> (0.99, 0.95)
+    | "TokenCMP-dst1-pred" -> (0.96, 0.93)
+    | "TokenCMP-dst1-filt" -> (0.99, 0.95)
+    | _ -> (nan, nan)
+  in
+  let fixed =
+    E.barrier ~seeds:(seeds ()) ~episodes:(episodes ()) ~variability:Sim.Time.zero
+      ~protocols:E.tab4_protocols ()
+  in
+  let vary =
+    E.barrier ~seeds:(seeds ()) ~episodes:(episodes ()) ~variability:(Sim.Time.ns 1000)
+      ~protocols:E.tab4_protocols ()
+  in
+  let base_fixed = E.find fixed "DirectoryCMP" in
+  let base_vary = E.find vary "DirectoryCMP" in
+  Printf.printf "%-22s %14s %14s %22s\n" "Protocol" "3000ns fixed" "3000ns+U(1000)"
+    "(paper: fixed, vary)";
+  List.iter
+    (fun p ->
+      let name = p.P.name in
+      let pf, pv = paper name in
+      Printf.printf "%-22s %14.2f %14.2f %15.2f, %4.2f\n" name
+        (E.normalize ~baseline:base_fixed (E.find fixed name))
+        (E.normalize ~baseline:base_vary (E.find vary name))
+        pf pv)
+    E.tab4_protocols
+
+(* ------------------------------------------------------------------ *)
+(* Figures 6 and 7: commercial workloads                               *)
+
+let fig6_cache : (string * E.run list) list ref = ref []
+
+let runs_for profile =
+  let name = profile.Workload.Commercial.name in
+  match List.assoc_opt name !fig6_cache with
+  | Some runs -> runs
+  | None ->
+    progress "[fig6/fig7] %s...\n%!" name;
+    let runs =
+      E.commercial ~seeds:(seeds ()) ~ops:(ops ()) ~profile ~protocols:E.fig6_protocols ()
+    in
+    fig6_cache := (name, runs) :: !fig6_cache;
+    runs
+
+let fig6 () =
+  let table = List.map (fun p -> (p, runs_for p)) Workload.Commercial.all in
+  hr "Figure 6: commercial workload runtime (normalized to DirectoryCMP)";
+  let paper_dst1 = function
+    | "OLTP" -> 1. /. 1.50
+    | "Apache" -> 1. /. 1.29
+    | "SpecJBB" -> 1. /. 1.10
+    | _ -> nan
+  in
+  Printf.printf "%-22s" "Protocol";
+  List.iter (fun (p, _) -> Printf.printf " %10s" p.Workload.Commercial.name) table;
+  print_newline ();
+  List.iter
+    (fun proto ->
+      Printf.printf "%-22s" proto.P.name;
+      List.iter
+        (fun (_, runs) ->
+          let baseline = E.find runs "DirectoryCMP" in
+          Printf.printf " %10.2f" (E.normalize ~baseline (E.find runs proto.P.name)))
+        table;
+      print_newline ())
+    E.fig6_protocols;
+  Printf.printf "%-22s" "(paper TokenCMP-dst1)";
+  List.iter
+    (fun (profile, _) -> Printf.printf " %10.2f" (paper_dst1 profile.Workload.Commercial.name))
+    table;
+  print_newline ();
+  List.iter
+    (fun (profile, runs) ->
+      let dst1 = E.find runs "TokenCMP-dst1" in
+      Printf.printf "%s: TokenCMP-dst1 persistent requests = %.3f%% of misses (paper: <0.3%%)\n"
+        profile.Workload.Commercial.name
+        (100. *. dst1.E.persistent_fraction))
+    table
+
+let print_traffic ~title ~select runs_by_workload =
+  hr title;
+  List.iter
+    (fun (workload, runs) ->
+      let baseline = E.find runs "DirectoryCMP" in
+      let total r = List.fold_left (fun a (_, b) -> a +. b) 0. (select r) in
+      Printf.printf "\n%s (fractions of DirectoryCMP total = %.3g bytes/run)\n" workload
+        (total baseline);
+      Printf.printf "  %-22s" "message class";
+      List.iter
+        (fun p ->
+          let n = p.P.name in
+          let n = if String.length n > 11 then String.sub n (String.length n - 11) 11 else n in
+          Printf.printf " %11s" n)
+        E.fig6_protocols;
+      print_newline ();
+      List.iter
+        (fun cls ->
+          Printf.printf "  %-22s" (Interconnect.Msg_class.to_string cls);
+          List.iter
+            (fun p ->
+              let r = E.find runs p.P.name in
+              Printf.printf " %11.3f" (List.assoc cls (select r) /. total baseline))
+            E.fig6_protocols;
+          print_newline ())
+        Interconnect.Msg_class.all;
+      Printf.printf "  %-22s" "TOTAL";
+      List.iter
+        (fun p ->
+          let r = E.find runs p.P.name in
+          Printf.printf " %11.3f" (total r /. total baseline))
+        E.fig6_protocols;
+      print_newline ())
+    runs_by_workload
+
+let fig7 () =
+  let table =
+    List.map (fun p -> (p.Workload.Commercial.name, runs_for p)) Workload.Commercial.all
+  in
+  print_traffic
+    ~title:
+      "Figure 7a: inter-CMP traffic by message type (normalized to DirectoryCMP)\n\
+       Paper shape: TokenCMP totals slightly BELOW DirectoryCMP (the directory\n\
+       spends extra control messages per transaction)."
+    ~select:(fun r -> r.E.inter_bytes)
+    table;
+  print_traffic
+    ~title:
+      "Figure 7b: intra-CMP traffic by message type (normalized to DirectoryCMP)\n\
+       Paper shape: similar totals; token spends more on (broadcast) requests,\n\
+       the directory more on response data (L1 data routes through the L2)."
+    ~select:(fun r -> r.E.intra_bytes)
+    table
+
+(* ------------------------------------------------------------------ *)
+(* Section 5: model checking                                           *)
+
+let sec5 () =
+  progress "[sec5] model checking (this explores a few million states)...\n%!";
+  hr "Section 5: model-checking the correctness substrate";
+  print_endline
+    "All variants must satisfy: token conservation, single owner,\n\
+     owner-implies-data, serial view of memory; plus the liveness proxy\n\
+     (no reachable state is doomed). Policy actions are nondeterministic, so\n\
+     the result covers every performance policy. Model LoC is the analogue of\n\
+     the paper's non-comment TLA+ line counts (383/396 token vs 1025 flat\n\
+     directory).";
+  let max_states = if !quick then 300_000 else 4_000_000 in
+  let rows = E.model_checking ~max_states () in
+  Printf.printf "%-20s %10s %12s %9s %8s %7s %6s %s\n" "Model" "states" "transitions"
+    "diameter" "goals" "doomed" "LoC" "verdict";
+  List.iter
+    (fun (name, s, loc) ->
+      Printf.printf "%-20s %10d %12d %9d %8d %7s %6d %s\n" name s.Mc.Explore.states
+        s.Mc.Explore.transitions s.Mc.Explore.diameter s.Mc.Explore.goals
+        (if s.Mc.Explore.truncated then "-" else string_of_int s.Mc.Explore.doomed)
+        loc
+        (match s.Mc.Explore.violation with
+        | None ->
+          if s.Mc.Explore.truncated then "exceeds state budget (intractable)" else "verified"
+        | Some (r, _) -> "VIOLATION: " ^ r))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: variants                                                   *)
+
+let tab1 () =
+  hr "Table 1: TokenCMP variants";
+  List.iter (fun p -> Format.printf "%a@." Token.Policy.pp p) Token.Policy.all
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+
+let ablate () =
+  progress "[ablate] design-choice ablations...\n%!";
+  hr "Ablations (DESIGN.md section 4; not figures of the paper)";
+  let nlocks = 16 in
+  let run protocols =
+    E.locking ~seeds:(seeds ()) ~acquires:(acquires ()) ~protocols ~nlocks ()
+  in
+  (* 1. hierarchical vs flat broadcast *)
+  let r = run [ P.token Token.Policy.dst1; P.token Token.Policy.dst1_flat ] in
+  let d = E.find r "TokenCMP-dst1" and f = E.find r "TokenCMP-dst1-flat" in
+  Printf.printf "hierarchical vs flat (TokenB-style) broadcast, locking with %d locks:\n" nlocks;
+  Printf.printf "  runtime: dst1 %.0fns vs flat %.0fns\n" (mean d) (mean f);
+  let inter r = List.fold_left (fun a (_, b) -> a +. b) 0. r.E.inter_bytes in
+  Printf.printf "  inter-CMP bytes: dst1 %.0f vs flat %.0f (flat broadcasts everything)\n"
+    (inter d) (inter f);
+  (* 2. migratory sharing *)
+  let mig_off = { Mcmp.Config.default with Mcmp.Config.migratory = false } in
+  let r_on = run [ P.token Token.Policy.dst1; P.directory ] in
+  let r_off =
+    E.locking ~config:mig_off ~seeds:(seeds ()) ~acquires:(acquires ())
+      ~protocols:[ P.token Token.Policy.dst1; P.directory ] ~nlocks ()
+  in
+  Printf.printf "migratory-sharing optimization, locking with %d locks:\n" nlocks;
+  List.iter
+    (fun name ->
+      Printf.printf "  %s: on %.0fns, off %.0fns\n" name
+        (mean (E.find r_on name))
+        (mean (E.find r_off name)))
+    [ "TokenCMP-dst1"; "DirectoryCMP" ];
+  (* 3. response-delay window *)
+  let no_delay = { Mcmp.Config.default with Mcmp.Config.response_delay = Sim.Time.zero } in
+  let r_nd =
+    E.locking ~config:no_delay ~seeds:(seeds ()) ~acquires:(acquires ())
+      ~protocols:[ P.token Token.Policy.dst1 ] ~nlocks:4 ()
+  in
+  let r_d =
+    E.locking ~seeds:(seeds ()) ~acquires:(acquires ())
+      ~protocols:[ P.token Token.Policy.dst1 ] ~nlocks:4 ()
+  in
+  Printf.printf "response-delay window, locking with 4 locks: with %.0fns, without %.0fns\n"
+    (mean (E.find r_d "TokenCMP-dst1"))
+    (mean (E.find r_nd "TokenCMP-dst1"));
+  (* 4. timeout estimation: memory responses vs all responses *)
+  let all_resp =
+    { Token.Policy.dst1 with Token.Policy.name = "dst1-timeout-all"; timeout_all_responses = true }
+  in
+  let r_t = run [ P.token Token.Policy.dst1; P.token all_resp ] in
+  Printf.printf
+    "timeout from memory responses %.0fns vs from all responses %.0fns (TokenB-style\n\
+     averaging admits fast on-chip hits and fires premature retries)\n"
+    (mean (E.find r_t "TokenCMP-dst1"))
+    (mean (E.find r_t "dst1-timeout-all"));
+  (* 5. Arbiter colocation (Section 7: "TokenCMP-arb0 performs even
+     worse when highly-contended locks map to the same arbiter"). *)
+  let spread =
+    E.locking ~seeds:(seeds ()) ~acquires:(acquires ())
+      ~protocols:[ P.token Token.Policy.arb0 ] ~nlocks:4 ()
+  in
+  let colocated =
+    E.locking ~seeds:(seeds ()) ~acquires:(acquires ()) ~lock_stride:4
+      ~protocols:[ P.token Token.Policy.arb0 ] ~nlocks:4 ()
+  in
+  Printf.printf
+    "arbiter colocation (4 contended locks): homes spread %.0fns vs all at one\n\
+     arbiter %.0fns (paper: colocation is even worse; distributed activation is\n\
+     immune to where locks map)\n"
+    (mean (E.find spread "TokenCMP-arb0"))
+    (mean (E.find colocated "TokenCMP-arb0"));
+  (* 6. Inter-CMP bandwidth sensitivity: the paper notes its traffic
+     plots matter "for other assumptions"; squeeze the global links and
+     watch broadcast overhead bite. *)
+  let squeeze bw =
+    let fabric = { Interconnect.Fabric.default_params with inter_bytes_per_ns = bw } in
+    let cfg = { Mcmp.Config.default with Mcmp.Config.fabric } in
+    let profile = { Workload.Commercial.oltp with Workload.Commercial.ops = ops () } in
+    let runs =
+      E.commercial ~config:cfg ~seeds:(seeds ()) ~profile
+        ~protocols:[ P.directory; P.token Token.Policy.dst1 ] ()
+    in
+    E.normalize ~baseline:(E.find runs "DirectoryCMP") (E.find runs "TokenCMP-dst1")
+  in
+  Printf.printf
+    "inter-CMP bandwidth sensitivity (OLTP, dst1/directory runtime ratio):\n\
+    \  16 GB/s %.2f   8 GB/s %.2f   4 GB/s %.2f\n\
+     (token's broadcasts consume more link bandwidth, so its advantage narrows\n\
+     as the global links tighten)\n"
+    (squeeze 16.) (squeeze 8.) (squeeze 4.);
+  (* 7. L2 capacity pressure: the paper's billion-instruction commercial
+     runs keep the 8MB L2 churning, producing the writeback traffic of
+     Fig. 7a; our short runs cannot fill it, so emulate the steady state
+     with a 1MB L2. *)
+  let small_l2 = { Mcmp.Config.default with Mcmp.Config.l2_sets = 1024 } in
+  let profile = { Workload.Commercial.oltp with Workload.Commercial.ops = ops () } in
+  let r_small =
+    E.commercial ~config:small_l2 ~seeds:(seeds ()) ~profile
+      ~protocols:[ P.directory; P.token Token.Policy.dst1 ] ()
+  in
+  let dir = E.find r_small "DirectoryCMP" and tok = E.find r_small "TokenCMP-dst1" in
+  let total r = List.fold_left (fun a (_, b) -> a +. b) 0. r.E.inter_bytes in
+  Printf.printf
+    "L2 capacity pressure (OLTP, 1MB L2): inter-CMP traffic DirectoryCMP %.3g B\n\
+     vs TokenCMP-dst1 %.3g B (%.2fx); writeback-data share %.3f vs %.3f;\n\
+     runtime ratio dst1/dir = %.2f\n"
+    (total dir) (total tok)
+    (total tok /. total dir)
+    (List.assoc Interconnect.Msg_class.Writeback_data dir.E.inter_bytes /. total dir)
+    (List.assoc Interconnect.Msg_class.Writeback_data tok.E.inter_bytes /. total tok)
+    (E.normalize ~baseline:dir tok)
+
+(* ------------------------------------------------------------------ *)
+(* Scaling: 8 CMPs and destination-set-prediction multicast            *)
+
+let scale () =
+  progress "[scale] 8-CMP system, multicast extension...\n%!";
+  hr "Scaling to 8 CMPs (Section 8's outlook + the multicast extension)";
+  print_endline
+    "The paper predicts TokenCMP's inter-CMP traffic grows with the CMP count\n\
+     unless destination-set prediction multicast is employed. This runs the\n\
+     OLTP stand-in on an 8-CMP (32-processor) machine.";
+  let config8 =
+    { Mcmp.Config.default with Mcmp.Config.ncmp = 8; tokens = 128 }
+  in
+  let profile = { Workload.Commercial.oltp with Workload.Commercial.ops = ops () } in
+  let protocols =
+    [ P.directory; P.token Token.Policy.dst1; P.token Token.Policy.dst1_mcast ]
+  in
+  let runs = E.commercial ~config:config8 ~seeds:(seeds ()) ~profile ~protocols () in
+  let baseline = E.find runs "DirectoryCMP" in
+  let inter r = List.fold_left (fun a (_, b) -> a +. b) 0. r.E.inter_bytes in
+  Printf.printf "%-22s %12s %16s %14s\n" "Protocol" "runtime" "inter-CMP bytes" "persistent%";
+  List.iter
+    (fun p ->
+      let r = E.find runs p.P.name in
+      Printf.printf "%-22s %12.2f %16.3g %13.2f%%\n" p.P.name (E.normalize ~baseline r)
+        (inter r)
+        (100. *. r.E.persistent_fraction))
+    protocols;
+  Printf.printf
+    "(multicast escalates to the predicted holder chip + home instead of all %d chips;\n\
+     mispredictions cost one retry and the substrate keeps them safe)\n"
+    8;
+  (* Stable point-to-point sharing is where destination-set prediction
+     pays off on both latency and traffic. *)
+  progress "[scale] producer-consumer with multicast...\n%!";
+  let pc = { Workload.Producer_consumer.default with Workload.Producer_consumer.rounds = 40 } in
+  let nprocs = Mcmp.Config.nprocs Mcmp.Config.default in
+  let pc_protocols =
+    [ P.directory; P.token Token.Policy.dst1; P.token Token.Policy.dst1_mcast ]
+  in
+  Printf.printf "\nproducer-consumer pairs (%d rounds, cross-chip):\n"
+    pc.Workload.Producer_consumer.rounds;
+  Printf.printf "%-22s %12s %16s %14s\n" "Protocol" "runtime(us)" "inter-CMP bytes"
+    "persistent%";
+  List.iter
+    (fun proto ->
+      let results =
+        List.map
+          (fun seed ->
+            Mcmp.Runner.run ~config:Mcmp.Config.default proto.P.builder
+              ~programs:(fun ~proc ->
+                Workload.Producer_consumer.programs pc ~seed ~nprocs ~proc)
+              ~seed)
+          (seeds ())
+      in
+      let n = float_of_int (List.length results) in
+      let favg f = List.fold_left (fun a r -> a +. f r) 0. results /. n in
+      Printf.printf "%-22s %12.1f %16.3g %13.2f%%\n" proto.P.name
+        (favg (fun r -> Sim.Time.to_ns r.Mcmp.Runner.runtime) /. 1000.)
+        (favg (fun r -> float_of_int (Interconnect.Traffic.inter_total r.Mcmp.Runner.traffic)))
+        (favg (fun r -> 100. *. Mcmp.Counters.persistent_fraction r.Mcmp.Runner.counters)))
+    pc_protocols
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the substrate                          *)
+
+let micro () =
+  progress "[micro] bechamel micro-benchmarks...\n%!";
+  hr "Substrate micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let heap_bench () =
+    let h = Sim.Heap.create () in
+    for i = 0 to 255 do
+      Sim.Heap.push h ~key:((i * 7919) land 1023) ~seq:i i
+    done;
+    while not (Sim.Heap.is_empty h) do
+      ignore (Sim.Heap.pop h)
+    done
+  in
+  let sarray_bench () =
+    let s = Cache.Sarray.create ~sets:64 ~ways:4 in
+    for i = 0 to 511 do
+      let a = (i * 37) land 255 in
+      match Cache.Sarray.find s a with
+      | Some _ -> Cache.Sarray.touch s a
+      | None -> (
+        match Cache.Sarray.victim_for s a with
+        | Some (v, _) ->
+          Cache.Sarray.remove s v;
+          Cache.Sarray.insert s a i
+        | None -> Cache.Sarray.insert s a i)
+    done
+  in
+  let rng_bench () =
+    let rng = Sim.Rng.create 1 in
+    let acc = ref 0 in
+    for _ = 0 to 999 do
+      acc := !acc + Sim.Rng.int rng 1024
+    done;
+    ignore !acc
+  in
+  let engine_bench () =
+    let e = Sim.Engine.create () in
+    for i = 1 to 512 do
+      Sim.Engine.schedule_in e (Sim.Time.ns (i land 31)) (fun () -> ())
+    done;
+    Sim.Engine.run e
+  in
+  let sim_bench () =
+    let cfg = { (Workload.Locking.default ~nlocks:4) with Workload.Locking.acquires = 5 } in
+    let programs = Workload.Locking.programs cfg ~seed:1 ~nprocs:4 in
+    ignore
+      (Mcmp.Runner.run ~config:Mcmp.Config.tiny (Token.Protocol.builder Token.Policy.dst1)
+         ~programs ~seed:1)
+  in
+  let tests =
+    [
+      Test.make ~name:"heap push/pop x256" (Staged.stage heap_bench);
+      Test.make ~name:"sarray access x512" (Staged.stage sarray_bench);
+      Test.make ~name:"splitmix64 x1000" (Staged.stage rng_bench);
+      Test.make ~name:"engine 512 events" (Staged.stage engine_bench);
+      Test.make ~name:"tiny TokenCMP simulation" (Staged.stage sim_bench);
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) () in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ instance ] elt in
+          let result = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates result with
+          | Some [ ns ] -> Printf.printf "  %-28s %12.0f ns/iter\n" (Test.Elt.name elt) ns
+          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n" (Test.Elt.name elt))
+        (Test.elements test))
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("tab1", tab1);
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("tab4", tab4);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("sec5", sec5);
+    ("ablate", ablate);
+    ("scale", scale);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "quick" || a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let chosen = if args = [] then List.map fst sections else args in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown section %s (have: %s)\n" name
+          (String.concat ", " (List.map fst sections));
+        exit 1)
+    chosen

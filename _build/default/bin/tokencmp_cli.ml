@@ -1,0 +1,195 @@
+(* Command-line driver for the TokenCMP simulator.
+
+   Subcommands:
+     list            protocols, policies, workload profiles
+     run             one simulation (protocol x workload), full statistics
+     sweep           locking contention sweep across protocols
+     check           model-check the substrate and the flat directory *)
+
+open Cmdliner
+
+let protocol_conv =
+  let parse s =
+    match Tokencmp.Protocols.by_name s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown protocol %S (try: %s)" s
+             (String.concat ", " (Tokencmp.Protocols.names ()))))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt p.Tokencmp.Protocols.name)
+
+let protocol_arg =
+  let doc = "Coherence protocol (see `tokencmp list`)." in
+  Arg.(
+    value
+    & opt protocol_conv (Tokencmp.Protocols.token Token.Policy.dst1)
+    & info [ "p"; "protocol" ] ~docv:"PROTOCOL" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let seeds_arg =
+  Arg.(
+    value & opt (list int) [ 1; 2; 3 ]
+    & info [ "seeds" ] ~docv:"SEEDS" ~doc:"Seeds for mean +/- CI runs.")
+
+let tiny_arg =
+  Arg.(
+    value & flag
+    & info [ "tiny" ] ~doc:"Use a 2-CMP x 2-processor machine instead of the paper's 4x4.")
+
+let config_of_tiny tiny = if tiny then Mcmp.Config.tiny else Mcmp.Config.default
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    print_endline "Protocols:";
+    List.iter (fun n -> Printf.printf "  %s\n" n) (Tokencmp.Protocols.names ());
+    print_endline "TokenCMP variants (Table 1):";
+    List.iter (fun p -> Format.printf "  %a@." Token.Policy.pp p) Token.Policy.all;
+    print_endline "Workloads:";
+    Printf.printf "  locking:N      test-and-test-and-set over N locks\n";
+    Printf.printf "  barrier        sense-reversing barrier\n";
+    Printf.printf "  prodcons       cross-chip producer-consumer pairs\n";
+    List.iter
+      (fun p -> Printf.printf "  %-14s synthetic commercial stream\n"
+          (String.lowercase_ascii p.Workload.Commercial.name))
+      Workload.Commercial.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List protocols, policies and workloads.")
+    Term.(const run $ const ())
+
+(* ---- run ---- *)
+
+let workload_programs ~config ~seed spec =
+  let nprocs = Mcmp.Config.nprocs config in
+  match String.split_on_char ':' spec with
+  | [ "locking"; n ] | [ "lock"; n ] ->
+    let nlocks = int_of_string n in
+    Ok (Workload.Locking.programs (Workload.Locking.default ~nlocks) ~seed ~nprocs)
+  | [ "barrier" ] ->
+    let cfg = Workload.Barrier.default ~nprocs in
+    Ok (fun ~proc -> Workload.Barrier.program cfg ~seed ~proc)
+  | [ "prodcons" ] | [ "producer-consumer" ] ->
+    let cfg = Workload.Producer_consumer.default in
+    Ok (fun ~proc -> Workload.Producer_consumer.programs cfg ~seed ~nprocs ~proc)
+  | [ name ] -> (
+    match Workload.Commercial.by_name name with
+    | Some profile -> Ok (fun ~proc -> Workload.Commercial.program profile ~seed ~proc)
+    | None -> Error (Printf.sprintf "unknown workload %S" spec))
+  | _ -> Error (Printf.sprintf "unknown workload %S" spec)
+
+let run_cmd =
+  let workload_arg =
+    Arg.(
+      value & opt string "oltp"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:"Workload: locking:N, barrier, prodcons, oltp, apache, specjbb.")
+  in
+  let run protocol workload seed tiny =
+    let config = config_of_tiny tiny in
+    match workload_programs ~config ~seed workload with
+    | Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok programs ->
+      let r = Mcmp.Runner.run ~config protocol.Tokencmp.Protocols.builder ~programs ~seed in
+      Format.printf "protocol: %s@." protocol.Tokencmp.Protocols.name;
+      Format.printf "workload: %s, seed %d@." workload seed;
+      Format.printf "measured runtime: %a (total %a)@." Sim.Time.pp r.Mcmp.Runner.runtime
+        Sim.Time.pp r.Mcmp.Runner.total_runtime;
+      Format.printf "completed: %b, events: %d, ops: %d@." r.Mcmp.Runner.completed
+        r.Mcmp.Runner.events r.Mcmp.Runner.ops;
+      Format.printf "%a@." Mcmp.Counters.pp r.Mcmp.Runner.counters;
+      let pr_traffic label breakdown total =
+        Format.printf "%s traffic: %d bytes (%s)@." label total
+          (String.concat ", "
+             (List.filter_map
+                (fun (c, b) ->
+                  if b = 0 then None
+                  else Some (Printf.sprintf "%s %d" (Interconnect.Msg_class.to_string c) b))
+                breakdown))
+      in
+      pr_traffic "intra-CMP"
+        (Interconnect.Traffic.intra_breakdown r.Mcmp.Runner.traffic)
+        (Interconnect.Traffic.intra_total r.Mcmp.Runner.traffic);
+      pr_traffic "inter-CMP"
+        (Interconnect.Traffic.inter_breakdown r.Mcmp.Runner.traffic)
+        (Interconnect.Traffic.inter_total r.Mcmp.Runner.traffic);
+      if not r.Mcmp.Runner.completed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one simulation and print its statistics.")
+    Term.(const run $ protocol_arg $ workload_arg $ seed_arg $ tiny_arg)
+
+(* ---- sweep ---- *)
+
+let sweep_cmd =
+  let locks_arg =
+    Arg.(
+      value & opt (list int) [ 2; 8; 32; 128; 512 ]
+      & info [ "locks" ] ~docv:"LOCKS" ~doc:"Lock counts to sweep.")
+  in
+  let protocols_arg =
+    Arg.(
+      value
+      & opt (list protocol_conv)
+          [ Tokencmp.Protocols.directory; Tokencmp.Protocols.token Token.Policy.dst1 ]
+      & info [ "protocols" ] ~docv:"P1,P2" ~doc:"Protocols to compare.")
+  in
+  let run protocols locks seeds tiny =
+    let config = config_of_tiny tiny in
+    let sweep =
+      Tokencmp.Experiments.locking_sweep ~config ~seeds ~locks ~protocols ()
+    in
+    Printf.printf "%8s" "locks";
+    List.iter (fun p -> Printf.printf " %22s" p.Tokencmp.Protocols.name) protocols;
+    print_newline ();
+    List.iter
+      (fun (nlocks, runs) ->
+        Printf.printf "%8d" nlocks;
+        List.iter
+          (fun p ->
+            let r = Tokencmp.Experiments.find runs p.Tokencmp.Protocols.name in
+            Printf.printf " %14.0f +/-%5.0f"
+              r.Tokencmp.Experiments.runtime_ns.Sim.Stat.Summary.mean
+              r.Tokencmp.Experiments.runtime_ns.Sim.Stat.Summary.ci95)
+          protocols;
+        print_newline ())
+      sweep
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Locking contention sweep (Figures 2 and 3).")
+    Term.(const run $ protocols_arg $ locks_arg $ seeds_arg $ tiny_arg)
+
+(* ---- check ---- *)
+
+let check_cmd =
+  let max_states_arg =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "max-states" ] ~docv:"N" ~doc:"State-count safety limit.")
+  in
+  let run max_states =
+    let rows = Tokencmp.Experiments.model_checking ~max_states () in
+    let failed = ref false in
+    List.iter
+      (fun (name, s, loc) ->
+        Format.printf "%-20s (%4d LoC) %a@." name loc Mc.Explore.pp_stats s;
+        if
+          s.Mc.Explore.violation <> None
+          || (s.Mc.Explore.doomed > 0 && not s.Mc.Explore.truncated)
+        then failed := true)
+      rows;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Model-check the substrate variants and the flat directory.")
+    Term.(const run $ max_states_arg)
+
+let () =
+  let doc = "TokenCMP: M-CMP cache coherence with flat correctness (HPCA 2005 reproduction)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "tokencmp" ~doc) [ list_cmd; run_cmd; sweep_cmd; check_cmd ]))

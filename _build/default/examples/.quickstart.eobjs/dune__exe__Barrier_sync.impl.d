@@ -1,0 +1,1 @@
+examples/barrier_sync.ml: List Printf Sim Token Tokencmp

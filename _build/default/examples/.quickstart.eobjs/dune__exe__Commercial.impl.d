@@ -1,0 +1,1 @@
+examples/commercial.ml: Interconnect List Printf Token Tokencmp Workload

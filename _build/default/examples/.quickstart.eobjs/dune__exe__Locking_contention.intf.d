@@ -1,0 +1,1 @@
+examples/locking_contention.mli:

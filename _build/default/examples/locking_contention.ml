@@ -1,0 +1,42 @@
+(* The paper's Section 7 robustness story in one program: sweep lock
+   contention and watch the persistent-request machinery take over.
+
+   Run with: dune exec examples/locking_contention.exe *)
+
+module E = Tokencmp.Experiments
+module P = Tokencmp.Protocols
+
+let () =
+  let protocols =
+    [
+      P.directory;
+      P.token Token.Policy.arb0;  (* persistent-only, arbiter activation *)
+      P.token Token.Policy.dst0;  (* persistent-only, distributed activation *)
+      P.token Token.Policy.dst1;  (* 1 transient, then persistent *)
+    ]
+  in
+  let sweep =
+    E.locking_sweep ~seeds:[ 7 ] ~acquires:40 ~locks:[ 2; 16; 128 ] ~protocols ()
+  in
+  Printf.printf "%8s %-18s %12s %12s %10s\n" "locks" "protocol" "runtime(us)"
+    "persistent%" "retries/miss";
+  List.iter
+    (fun (nlocks, runs) ->
+      List.iter
+        (fun p ->
+          let r = E.find runs p.P.name in
+          Printf.printf "%8d %-18s %12.1f %11.1f%% %12.3f\n" nlocks p.P.name
+            (r.E.runtime_ns.Sim.Stat.Summary.mean /. 1000.)
+            (100. *. r.E.persistent_fraction)
+            r.E.retries_per_miss)
+        protocols;
+      print_newline ())
+    sweep;
+  print_endline
+    "Things to notice (Section 7 of the paper):\n\
+     - arb0's centralized arbiter is a bottleneck under contention: every\n\
+       lock handoff pays a deactivate/activate round trip through the home;\n\
+     - dst0's distributed activation hands contended blocks straight to the\n\
+       next waiting processor and stays competitive with the directory;\n\
+     - dst1 rarely needs persistent requests at low contention and degrades\n\
+       gracefully as contention rises."

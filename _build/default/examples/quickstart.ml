@@ -1,0 +1,36 @@
+(* Quickstart: simulate one workload on two protocols and compare.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* The target machine: the paper's 4 CMPs x 4 processors (Table 3).
+     Use [Mcmp.Config.tiny] for a faster 2x2 machine. *)
+  let config = Mcmp.Config.default in
+  let nprocs = Mcmp.Config.nprocs config in
+
+  (* A workload: every processor performs 100 test-and-test-and-set
+     acquisitions over 32 locks. [programs] shares a warm-up counter
+     across the processors; the runner measures post-warm-up runtime. *)
+  let workload = Workload.Locking.default ~nlocks:32 in
+  let programs = Workload.Locking.programs workload ~seed:42 ~nprocs in
+
+  (* Protocols are values; see Tokencmp.Protocols for the whole zoo. *)
+  let contenders =
+    [ Tokencmp.Protocols.directory; Tokencmp.Protocols.token Token.Policy.dst1 ]
+  in
+
+  List.iter
+    (fun protocol ->
+      let result =
+        Mcmp.Runner.run ~config protocol.Tokencmp.Protocols.builder ~programs ~seed:42
+      in
+      Format.printf "%-16s runtime %a, %d L1 misses, avg miss %.0f ns@."
+        protocol.Tokencmp.Protocols.name Sim.Time.pp result.Mcmp.Runner.runtime
+        result.Mcmp.Runner.counters.Mcmp.Counters.l1_misses
+        (Sim.Stat.Welford.mean result.Mcmp.Runner.counters.Mcmp.Counters.miss_latency))
+    contenders;
+
+  print_endline
+    "TokenCMP wins because contended lock handoffs are sharing misses: the\n\
+     directory indirects each one through the home node, while token\n\
+     coherence sends data directly between the caches."

@@ -1,0 +1,40 @@
+(* The Section 5 story: exhaustively verify the token-coherence
+   correctness substrate on a tiny configuration, covering EVERY
+   performance policy at once, and compare against a flat MOESI
+   directory model.
+
+   Run with: dune exec examples/verify_protocol.exe *)
+
+let check name m =
+  let module M = (val m : Mc.Explore.MODEL) in
+  let module R = Mc.Explore.Make (M) in
+  let s = R.run ~max_states:2_000_000 () in
+  Format.printf "%-18s %a@." name Mc.Explore.pp_stats s;
+  s
+
+let () =
+  print_endline
+    "Verifying: token conservation, single owner token, owner-implies-data,\n\
+     serial view of memory (no stale readable copy, cached or in flight),\n\
+     and a liveness proxy (a state where both a persistent write and a\n\
+     persistent read have completed stays reachable from every state).\n";
+  let p = { Mc.Token_model.caches = 2; tokens = 3; max_writes = 2; net_cap = 4 } in
+  let _ = check "safety-only" (Mc.Token_model.safety p) in
+  let _ = check "distributed" (Mc.Token_model.distributed p) in
+  let _ = check "arbiter" (Mc.Token_model.arbiter p) in
+  let d = { Mc.Dir_model.caches = 2; max_writes = 2; net_cap = 4 } in
+  let _ = check "flat directory" (Mc.Dir_model.flat d) in
+  Printf.printf
+    "\nmodel sizes: token substrate %d LoC vs flat directory %d LoC\n"
+    (Mc.Dir_model.model_loc `Token)
+    (Mc.Dir_model.model_loc `Directory);
+  print_endline
+    "The token models cover every performance policy because policy actions\n\
+     (which tokens to move where) are nondeterministic; the directory model\n\
+     verifies only the one protocol it encodes - and a hierarchical\n\
+     composition of two such levels would be intractable, which is the\n\
+     paper's argument for flat correctness.\n\n\
+     A cautionary tale from this reproduction: a bounded model with two\n\
+     requesters missed a reordering race between persistent-request\n\
+     activations and deactivations that our full simulator then hit; the\n\
+     substrate now sequence-numbers activations (see DESIGN.md)."

@@ -1,0 +1,1 @@
+lib/cache/addr.ml: Format

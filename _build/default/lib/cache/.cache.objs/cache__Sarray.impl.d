@@ -1,0 +1,1 @@
+lib/cache/sarray.ml: Addr Array

@@ -1,0 +1,12 @@
+type t = int
+
+let block_bytes = 64
+let of_byte_address b = b / block_bytes
+let to_byte_address a = a * block_bytes
+let home_cmp ~ncmp a = a mod ncmp
+
+(* Use bits above the CMP-interleave bits so that bank choice is not
+   correlated with the home CMP. *)
+let l2_bank ~nbanks a = (a lsr 2) mod nbanks
+let set_index ~sets a = a mod sets
+let pp fmt a = Format.fprintf fmt "0x%x" (to_byte_address a)

@@ -1,0 +1,83 @@
+type 'a line = { mutable addr : Addr.t; mutable state : 'a option; mutable used : int }
+
+type 'a t = {
+  nsets : int;
+  nways : int;
+  lines : 'a line array; (* nsets * nways, row-major *)
+  mutable tick : int;
+  mutable population : int;
+}
+
+let create ~sets ~ways =
+  assert (sets > 0 && ways > 0);
+  let lines =
+    Array.init (sets * ways) (fun _ -> { addr = -1; state = None; used = 0 })
+  in
+  { nsets = sets; nways = ways; lines; tick = 0; population = 0 }
+
+let population t = t.population
+let sets t = t.nsets
+let ways t = t.nways
+
+let base t a = Addr.set_index ~sets:t.nsets a * t.nways
+
+let find_line t a =
+  let b = base t a in
+  let rec scan i =
+    if i >= t.nways then None
+    else
+      let line = t.lines.(b + i) in
+      if line.state <> None && line.addr = a then Some line else scan (i + 1)
+  in
+  scan 0
+
+let find t a = match find_line t a with None -> None | Some l -> l.state
+let mem t a = find_line t a <> None
+
+let touch t a =
+  match find_line t a with
+  | None -> ()
+  | Some line ->
+    t.tick <- t.tick + 1;
+    line.used <- t.tick
+
+let lru_line t a =
+  let b = base t a in
+  let best = ref t.lines.(b) in
+  for i = 1 to t.nways - 1 do
+    let line = t.lines.(b + i) in
+    if line.state = None then begin
+      if !best.state <> None then best := line
+    end
+    else if !best.state <> None && line.used < !best.used then best := line
+  done;
+  !best
+
+let victim_for t a =
+  if mem t a then None
+  else
+    let line = lru_line t a in
+    match line.state with None -> None | Some st -> Some (line.addr, st)
+
+let insert t a st =
+  if mem t a then invalid_arg "Sarray.insert: block already resident";
+  let line = lru_line t a in
+  if line.state <> None then invalid_arg "Sarray.insert: set full";
+  line.addr <- a;
+  line.state <- Some st;
+  t.tick <- t.tick + 1;
+  line.used <- t.tick;
+  t.population <- t.population + 1
+
+let remove t a =
+  match find_line t a with
+  | None -> ()
+  | Some line ->
+    line.state <- None;
+    line.addr <- -1;
+    t.population <- t.population - 1
+
+let iter f t =
+  Array.iter
+    (fun line -> match line.state with None -> () | Some st -> f line.addr st)
+    t.lines

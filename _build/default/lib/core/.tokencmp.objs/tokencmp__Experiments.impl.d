@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Interconnect List Mc Mcmp Protocols Sim Token Workload

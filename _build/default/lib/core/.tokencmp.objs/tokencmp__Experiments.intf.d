@@ -1,0 +1,1 @@
+lib/core/experiments.mli: Interconnect Mc Mcmp Protocols Sim Workload

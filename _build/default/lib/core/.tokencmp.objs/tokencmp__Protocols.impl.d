@@ -1,0 +1,1 @@
+lib/core/protocols.ml: Directory List Mcmp Perfect String Token

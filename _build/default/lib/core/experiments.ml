@@ -1,0 +1,154 @@
+type run = {
+  protocol : string;
+  runtime_ns : Sim.Stat.Summary.t;
+  persistent_fraction : float;
+  retries_per_miss : float;
+  miss_latency_ns : float;
+  inter_bytes : (Interconnect.Msg_class.t * float) list;
+  intra_bytes : (Interconnect.Msg_class.t * float) list;
+  completed : bool;
+}
+
+let default_seeds = [ 1; 2; 3 ]
+
+let mean_breakdown per_seed =
+  let n = float_of_int (List.length per_seed) in
+  List.map
+    (fun cls ->
+      let total =
+        List.fold_left
+          (fun acc breakdown -> acc + List.assoc cls breakdown)
+          0 per_seed
+      in
+      (cls, float_of_int total /. n))
+    Interconnect.Msg_class.all
+
+let summarize protocol results =
+  let runtimes = List.map (fun r -> Sim.Time.to_ns r.Mcmp.Runner.runtime) results in
+  let n = float_of_int (List.length results) in
+  let favg f = List.fold_left (fun acc r -> acc +. f r) 0. results /. n in
+  {
+    protocol;
+    runtime_ns = Sim.Stat.Summary.of_list runtimes;
+    persistent_fraction =
+      favg (fun r -> Mcmp.Counters.persistent_fraction r.Mcmp.Runner.counters);
+    retries_per_miss =
+      favg (fun r ->
+          let c = r.Mcmp.Runner.counters in
+          if c.Mcmp.Counters.l1_misses = 0 then 0.
+          else
+            float_of_int c.Mcmp.Counters.transient_retries
+            /. float_of_int c.Mcmp.Counters.l1_misses);
+    miss_latency_ns =
+      favg (fun r -> Sim.Stat.Welford.mean r.Mcmp.Runner.counters.Mcmp.Counters.miss_latency);
+    inter_bytes =
+      mean_breakdown
+        (List.map (fun r -> Interconnect.Traffic.inter_breakdown r.Mcmp.Runner.traffic) results);
+    intra_bytes =
+      mean_breakdown
+        (List.map (fun r -> Interconnect.Traffic.intra_breakdown r.Mcmp.Runner.traffic) results);
+    completed = List.for_all (fun r -> r.Mcmp.Runner.completed) results;
+  }
+
+let run_protocols ~config ~seeds ~protocols ~programs =
+  List.map
+    (fun p ->
+      let results =
+        List.map
+          (fun seed ->
+            Mcmp.Runner.run ~config p.Protocols.builder ~programs:(programs ~seed) ~seed)
+          seeds
+      in
+      summarize p.Protocols.name results)
+    protocols
+
+let locking ?(config = Mcmp.Config.default) ?(seeds = default_seeds) ?(acquires = 60)
+    ?(lock_stride = 1) ~protocols ~nlocks () =
+  let wl =
+    { (Workload.Locking.default ~nlocks) with Workload.Locking.acquires; lock_stride }
+  in
+  let nprocs = Mcmp.Config.nprocs config in
+  let programs ~seed = Workload.Locking.programs wl ~seed ~nprocs in
+  run_protocols ~config ~seeds ~protocols ~programs
+
+let locking_sweep ?(config = Mcmp.Config.default) ?(seeds = default_seeds) ?(acquires = 60)
+    ?(locks = [ 2; 4; 8; 16; 32; 64; 128; 256; 512 ]) ~protocols () =
+  List.map (fun nlocks -> (nlocks, locking ~config ~seeds ~acquires ~protocols ~nlocks ())) locks
+
+let barrier ?(config = Mcmp.Config.default) ?(seeds = default_seeds) ?(episodes = 30)
+    ~variability ~protocols () =
+  let nprocs = Mcmp.Config.nprocs config in
+  let wl =
+    { (Workload.Barrier.default ~nprocs) with
+      Workload.Barrier.episodes;
+      work_variability = variability }
+  in
+  let programs ~seed ~proc = Workload.Barrier.program wl ~seed ~proc in
+  run_protocols ~config ~seeds ~protocols ~programs:(fun ~seed -> programs ~seed)
+
+let commercial ?(config = Mcmp.Config.default) ?(seeds = default_seeds) ?ops ~profile
+    ~protocols () =
+  let profile =
+    match ops with Some ops -> { profile with Workload.Commercial.ops } | None -> profile
+  in
+  let programs ~seed ~proc = Workload.Commercial.program profile ~seed ~proc in
+  run_protocols ~config ~seeds ~protocols ~programs:(fun ~seed -> programs ~seed)
+
+let model_checking ?(max_states = 4_000_000) () =
+  let check name m loc =
+    let module M = (val m : Mc.Explore.MODEL) in
+    let module R = Mc.Explore.Make (M) in
+    (name, R.run ~max_states (), loc)
+  in
+  let tp = Mc.Token_model.default_params in
+  let dp = Mc.Dir_model.default_params in
+  let dp3 = { dp with Mc.Dir_model.caches = 3 } in
+  let token_loc = Mc.Dir_model.model_loc `Token in
+  let dir_loc = Mc.Dir_model.model_loc `Directory in
+  [
+    check "TokenCMP-safety" (Mc.Token_model.safety tp) token_loc;
+    check "TokenCMP-dst" (Mc.Token_model.distributed tp) token_loc;
+    check "TokenCMP-arb" (Mc.Token_model.arbiter tp) token_loc;
+    check "Flat Directory (2c)" (Mc.Dir_model.flat dp) dir_loc;
+    (* one more cache makes the directory's coupled transient states
+       blow past the state budget -- the scaling wall of Section 5 *)
+    check "Flat Directory (3c)" (Mc.Dir_model.flat dp3) dir_loc;
+  ]
+
+let fig2_protocols =
+  [
+    Protocols.token Token.Policy.arb0;
+    Protocols.directory;
+    Protocols.directory_zero;
+    Protocols.token Token.Policy.dst0;
+  ]
+
+let fig3_protocols =
+  [
+    Protocols.directory;
+    Protocols.directory_zero;
+    Protocols.token Token.Policy.dst4;
+    Protocols.token Token.Policy.dst1;
+    Protocols.token Token.Policy.dst1_pred;
+  ]
+
+let tab4_protocols =
+  [
+    Protocols.token Token.Policy.arb0;
+    Protocols.token Token.Policy.dst0;
+    Protocols.directory;
+    Protocols.directory_zero;
+    Protocols.token Token.Policy.dst4;
+    Protocols.token Token.Policy.dst1;
+    Protocols.token Token.Policy.dst1_pred;
+    Protocols.token Token.Policy.dst1_filt;
+  ]
+
+let fig6_protocols = Protocols.macro
+
+let find runs name =
+  match List.find_opt (fun r -> r.protocol = name) runs with
+  | Some r -> r
+  | None -> invalid_arg ("Experiments.find: no run for " ^ name)
+
+let normalize ~baseline run = run.runtime_ns.Sim.Stat.Summary.mean /. baseline.runtime_ns.Sim.Stat.Summary.mean

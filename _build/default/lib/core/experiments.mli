@@ -1,0 +1,80 @@
+(** Experiment harness for the paper's evaluation (Sections 5, 7, 8).
+
+    Each function reproduces the measurement behind one table or
+    figure; the bench executable formats the results, and EXPERIMENTS.md
+    records paper-vs-measured. Runs are repeated over [seeds] with
+    randomly perturbed message latencies and reported as mean ± 95% CI
+    (Alameldeen & Wood's methodology). *)
+
+type run = {
+  protocol : string;
+  runtime_ns : Sim.Stat.Summary.t;  (** measured (post-warmup) runtime *)
+  persistent_fraction : float;  (** persistent requests / L1 misses *)
+  retries_per_miss : float;
+  miss_latency_ns : float;
+  inter_bytes : (Interconnect.Msg_class.t * float) list;  (** mean per seed *)
+  intra_bytes : (Interconnect.Msg_class.t * float) list;
+  completed : bool;  (** every seed ran to completion *)
+}
+
+val default_seeds : int list
+
+(** The locking micro-benchmark at one contention level. *)
+val locking :
+  ?config:Mcmp.Config.t ->
+  ?seeds:int list ->
+  ?acquires:int ->
+  ?lock_stride:int ->
+  protocols:Protocols.t list ->
+  nlocks:int ->
+  unit ->
+  run list
+
+(** Figures 2 and 3: sweep lock counts (2..512 by default). *)
+val locking_sweep :
+  ?config:Mcmp.Config.t ->
+  ?seeds:int list ->
+  ?acquires:int ->
+  ?locks:int list ->
+  protocols:Protocols.t list ->
+  unit ->
+  (int * run list) list
+
+(** Table 4: the barrier micro-benchmark.
+    [variability] is the half-width of the uniform work perturbation
+    (0 or 1000 ns in the paper). *)
+val barrier :
+  ?config:Mcmp.Config.t ->
+  ?seeds:int list ->
+  ?episodes:int ->
+  variability:Sim.Time.t ->
+  protocols:Protocols.t list ->
+  unit ->
+  run list
+
+(** Figures 6 and 7: a commercial-workload stand-in. *)
+val commercial :
+  ?config:Mcmp.Config.t ->
+  ?seeds:int list ->
+  ?ops:int ->
+  profile:Workload.Commercial.profile ->
+  protocols:Protocols.t list ->
+  unit ->
+  run list
+
+(** Section 5: model-check every substrate variant and the flat
+    directory; returns (model name, exploration stats, model source
+    lines). *)
+val model_checking :
+  ?max_states:int -> unit -> (string * Mc.Explore.stats * int) list
+
+(* Protocol sets used by each figure, in the paper's order. *)
+val fig2_protocols : Protocols.t list
+val fig3_protocols : Protocols.t list
+val tab4_protocols : Protocols.t list
+val fig6_protocols : Protocols.t list
+
+(** Normalized runtime helper: [runtime p / runtime baseline]. *)
+val normalize : baseline:run -> run -> float
+
+val find : run list -> string -> run

@@ -1,0 +1,27 @@
+type t = { name : string; builder : Mcmp.Protocol.builder }
+
+let directory =
+  { name = Directory.Protocol.name ~dram_directory:true;
+    builder = Directory.Protocol.builder ~dram_directory:true () }
+
+let directory_zero =
+  { name = Directory.Protocol.name ~dram_directory:false;
+    builder = Directory.Protocol.builder ~dram_directory:false () }
+
+let token policy = { name = policy.Token.Policy.name; builder = Token.Protocol.builder policy }
+
+let perfect = { name = "PerfectL2"; builder = Perfect.Protocol.builder }
+
+let all = (directory :: directory_zero :: List.map token Token.Policy.all) @ [ perfect ]
+
+let macro =
+  [ directory; directory_zero;
+    token Token.Policy.dst4; token Token.Policy.dst1;
+    token Token.Policy.dst1_pred; token Token.Policy.dst1_filt;
+    perfect ]
+
+let by_name name =
+  let canon = String.lowercase_ascii name in
+  List.find_opt (fun p -> String.lowercase_ascii p.name = canon) all
+
+let names () = List.map (fun p -> p.name) all

@@ -1,0 +1,20 @@
+(** The protocol zoo evaluated by the paper, under one roof. *)
+
+type t = { name : string; builder : Mcmp.Protocol.builder }
+
+val directory : t  (** DirectoryCMP with a DRAM directory *)
+
+val directory_zero : t  (** unrealizable zero-cycle directory *)
+
+val token : Token.Policy.t -> t
+val perfect : t  (** PerfectL2 lower bound *)
+
+(** Every protocol of the evaluation: DirectoryCMP (both variants), the
+    six Table 1 TokenCMP variants, and PerfectL2. *)
+val all : t list
+
+(** The protocols of Figure 6 / Figure 7, in the paper's order. *)
+val macro : t list
+
+val by_name : string -> t option
+val names : unit -> string list

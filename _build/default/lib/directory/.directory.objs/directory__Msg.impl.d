@@ -1,0 +1,1 @@
+lib/directory/msg.ml: Cache

@@ -1,0 +1,1 @@
+lib/directory/protocol.ml: Array Cache Format Hashtbl Interconnect List Mcmp Msg Printf Queue Sim

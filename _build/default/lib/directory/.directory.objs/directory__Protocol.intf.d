@@ -1,0 +1,1 @@
+lib/directory/protocol.mli: Cache Format Interconnect Mcmp Sim

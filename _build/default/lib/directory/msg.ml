@@ -1,0 +1,30 @@
+(** Where a data grant was satisfied, for fill statistics. *)
+type origin = Chip | Remote | Memdram
+
+type t =
+  | L1_gets of { addr : Cache.Addr.t; l1 : int }
+  | L1_getm of { addr : Cache.Addr.t; l1 : int }
+  | L1_data of { addr : Cache.Addr.t; excl : bool; dirty : bool; origin : origin; unblock : bool }
+  | L1_fwd_gets of { addr : Cache.Addr.t }
+  | L1_fwd_getm of { addr : Cache.Addr.t }
+  | L1_inv of { addr : Cache.Addr.t }
+  | L1_inv_ack of { addr : Cache.Addr.t; l1 : int }
+  | L1_owner_data of { addr : Cache.Addr.t; l1 : int; dirty : bool; migrated : bool }
+  | L1_unblock of { addr : Cache.Addr.t; l1 : int }
+  | L1_wb_req of { addr : Cache.Addr.t; l1 : int; dirty : bool; serial : int }
+  | L1_wb_grant of { addr : Cache.Addr.t; serial : int }
+  | L1_wb_cancel of { addr : Cache.Addr.t; serial : int }
+  | L1_wb_data of { addr : Cache.Addr.t; l1 : int; dirty : bool; valid : bool }
+  | C_gets of { addr : Cache.Addr.t; l2 : int }
+  | C_getm of { addr : Cache.Addr.t; l2 : int }
+  | C_data of { addr : Cache.Addr.t; excl : bool; dirty : bool; from_home : bool; acks : int }
+  | C_fwd_gets of { addr : Cache.Addr.t; requester_l2 : int }
+  | C_fwd_getm of { addr : Cache.Addr.t; requester_l2 : int; acks : int }
+  | C_inv of { addr : Cache.Addr.t; requester_l2 : int }
+  | C_inv_ack of { addr : Cache.Addr.t }
+  | C_acks_expected of { addr : Cache.Addr.t; acks : int }
+  | C_unblock of { addr : Cache.Addr.t; cmp : int; excl : bool; shared : bool }
+  | C_wb_req of { addr : Cache.Addr.t; cmp : int; l2 : int; dirty : bool; still_shared : bool }
+  | C_wb_grant of { addr : Cache.Addr.t }
+  | C_wb_cancel of { addr : Cache.Addr.t }
+  | C_wb_data of { addr : Cache.Addr.t; cmp : int; dirty : bool; still_shared : bool; cancelled : bool }

@@ -1,0 +1,1130 @@
+module E = Sim.Engine
+module L = Interconnect.Layout
+module F = Interconnect.Fabric
+module MC = Interconnect.Msg_class
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+
+type l1_state = M | O | Es | S
+
+type l1_line = { mutable st : l1_state; mutable hold_until : Sim.Time.t }
+
+(* Chip-level view kept by the home L2 bank, mirroring (with bounded
+   staleness) the inter-CMP directory's opinion of this chip. *)
+type chip_state =
+  | CInv  (* chip holds nothing *)
+  | CSh  (* chip holds read-only copies *)
+  | COwn  (* chip owns the (possibly dirty) block, other chips share *)
+  | CEx  (* chip is the exclusive holder *)
+
+(* Local (intra-CMP) transaction at the home L2 bank. *)
+type ltrans = {
+  lt_kind : [ `S | `M ];
+  lt_l1 : int;
+  lt_home_bound : bool;  (* involves the inter-CMP directory *)
+  mutable lt_await_data : bool;
+  mutable lt_acks_expected : int;  (* chip-level inv acks *)
+  mutable lt_acks_known : bool;
+  mutable lt_acks_got : int;
+  mutable lt_dirty : bool;
+  mutable lt_excl : bool;
+  mutable lt_origin : Msg.origin;
+  mutable lt_done : bool;  (* data grant sent; awaiting only the unblock *)
+}
+
+(* External transaction (home forwarded another chip's request here). *)
+type etrans = {
+  et_kind : [ `S | `M ];
+  et_requester_l2 : int;
+  et_acks : int;  (* sharer-chip inv acks the requester must collect *)
+}
+
+type ldir = {
+  mutable owner_l1 : int option;
+  mutable sharers : int;  (* bitmask over local L1 index *)
+  mutable chip : chip_state;
+  mutable busy : bool;
+  defer : (unit -> unit) Queue.t;  (* local requests *)
+  defer_ext : (unit -> unit) Queue.t;  (* forwards from the home *)
+  mutable tr : ltrans option;
+  mutable ext : etrans option;
+  mutable wb_from : int option;  (* L1 writeback being granted *)
+}
+
+type l2_line = { mutable l2_dirty : bool }
+
+type l2_wb = { mutable wb_dirty : bool; mutable wb_stale : bool }
+
+type mshr = {
+  m_addr : Cache.Addr.t;
+  m_rw : [ `R | `W ];
+  m_commit : unit -> unit;
+  m_issued : Sim.Time.t;
+}
+
+(* Inter-CMP directory entry at the home memory controller. *)
+type cdir = {
+  mutable owner : int option;  (* cmp *)
+  mutable csharers : int;  (* cmp bitmask *)
+  mutable cbusy : bool;
+  cdefer : (unit -> unit) Queue.t;
+}
+
+type node = {
+  id : int;
+  kind : L.kind;
+  (* L1 *)
+  l1_lines : l1_line Cache.Sarray.t;
+  l1_wb : (Cache.Addr.t, l1_state * int) Hashtbl.t;  (* buffered state, serial *)
+  mutable wb_serial : int;
+  mutable mshr : mshr option;
+  (* L2 *)
+  l2_data : l2_line Cache.Sarray.t;
+  ldir : (Cache.Addr.t, ldir) Hashtbl.t;
+  l2_wb : (Cache.Addr.t, l2_wb) Hashtbl.t;
+  (* Mem *)
+  cdir : (Cache.Addr.t, cdir) Hashtbl.t;
+}
+
+type t = {
+  engine : E.t;
+  cfg : Mcmp.Config.t;
+  layout : L.t;
+  fabric : Msg.t F.t;
+  counters : Mcmp.Counters.t;
+  nodes : node array;
+  migratory : bool;
+  dram_directory : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+
+let now t = E.now t.engine
+
+let node_cmp n =
+  match n.kind with
+  | L.L1d { cmp; _ } | L.L1i { cmp; _ } | L.L2 { cmp; _ } | L.Mem { cmp } -> cmp
+
+let home_mem t addr = L.mem t.layout ~cmp:(Cache.Addr.home_cmp ~ncmp:t.cfg.Mcmp.Config.ncmp addr)
+
+let home_l2 t ~cmp addr =
+  L.l2 t.layout ~cmp ~bank:(Cache.Addr.l2_bank ~nbanks:t.cfg.Mcmp.Config.l2_banks addr)
+
+let local_l1_bit t id =
+  match L.kind t.layout id with
+  | L.L1d { proc; _ } -> 1 lsl proc
+  | L.L1i { proc; _ } -> 1 lsl (t.layout.L.procs_per_cmp + proc)
+  | L.L2 _ | L.Mem _ -> 0
+
+let l1s_of_bits t cmp bits =
+  let l1s = L.l1s_of_cmp t.layout cmp in
+  List.filteri (fun i _ -> bits land (1 lsl i) <> 0) l1s
+
+let get_ldir node addr =
+  match Hashtbl.find_opt node.ldir addr with
+  | Some d -> d
+  | None ->
+    let d =
+      {
+        owner_l1 = None;
+        sharers = 0;
+        chip = CInv;
+        busy = false;
+        defer = Queue.create ();
+        defer_ext = Queue.create ();
+        tr = None;
+        ext = None;
+        wb_from = None;
+      }
+    in
+    Hashtbl.add node.ldir addr d;
+    d
+
+let get_cdir node addr =
+  match Hashtbl.find_opt node.cdir addr with
+  | Some d -> d
+  | None ->
+    let d = { owner = None; csharers = 0; cbusy = false; cdefer = Queue.create () } in
+    Hashtbl.add node.cdir addr d;
+    d
+
+(* The chip's current data copy for [addr], if any: the L2 array or a
+   pending chip-level writeback buffer. *)
+let l2_chip_data node addr =
+  match Cache.Sarray.find node.l2_data addr with
+  | Some line -> Some line.l2_dirty
+  | None -> (
+    match Hashtbl.find_opt node.l2_wb addr with
+    | Some wb when not wb.wb_stale -> Some wb.wb_dirty
+    | Some _ | None -> None)
+
+let ctrl t = t.cfg.Mcmp.Config.ctrl_bytes
+let datab t = t.cfg.Mcmp.Config.data_bytes
+
+let send1 t ~src ~dst ~cls ~bytes msg = F.send_one t.fabric ~src ~dst ~cls ~bytes msg
+
+(* Directory state lives in DRAM alongside the data: a transaction that
+   fetches data pays one DRAM access for both; state-only decisions
+   (forwards, grants) pay the DRAM lookup only in the dram-directory
+   configuration. *)
+let dir_lookup t k =
+  let d = if t.dram_directory then t.cfg.Mcmp.Config.dram_latency else 0 in
+  E.schedule_in t.engine d k
+
+(* ------------------------------------------------------------------ *)
+(* Forward declarations via mutual recursion                           *)
+
+(* Gating discipline for one block at an L2 bank.
+
+   Local requests run only when no local transaction is busy and no
+   external (home-forwarded) transaction is in flight. External
+   forwards additionally may run while a HOME-BOUND local transaction
+   waits: that transaction is deferred at the home behind the very
+   transaction that produced the forward, so blocking the forward on it
+   would deadlock the hierarchy -- the classic coupled-protocol race of
+   Section 1. Chip-internal local transactions (which may have a
+   forward of their own outstanding to a local L1) do block externals.
+   Deferred work re-checks its gate when popped, and every release
+   drains until something claims the block again. *)
+let rec release_ldir t node addr =
+  ignore t;
+  let d = get_ldir node addr in
+  d.busy <- false;
+  drain_ldir t node addr
+
+and can_run_ext d =
+  d.ext = None && d.wb_from = None
+  && (match d.tr with Some tr -> tr.lt_home_bound | None -> not d.busy)
+
+and drain_ldir t node addr =
+  let d = get_ldir node addr in
+  if can_run_ext d && not (Queue.is_empty d.defer_ext) then begin
+    (match Queue.take_opt d.defer_ext with Some k -> k () | None -> ());
+    drain_ldir t node addr
+  end
+  else if (not d.busy) && d.ext = None && not (Queue.is_empty d.defer) then begin
+    (match Queue.take_opt d.defer with Some k -> k () | None -> ());
+    drain_ldir t node addr
+  end
+
+and gate_local t node addr start =
+  let d = get_ldir node addr in
+  let rec k () =
+    let d = get_ldir node addr in
+    if d.busy || d.ext <> None then Queue.push k d.defer else start ()
+  in
+  if d.busy || d.ext <> None then Queue.push k d.defer
+  else begin
+    start ();
+    (* the transaction just started may be home-bound, unblocking
+       queued external forwards *)
+    drain_ldir t node addr
+  end
+
+and release_cdir t node addr =
+  ignore t;
+  let d = get_cdir node addr in
+  d.cbusy <- false;
+  match Queue.take_opt d.cdefer with Some k -> k () | None -> ()
+
+(* ---- L2 data array management ---- *)
+
+(* Evict the LRU L2 data line to make room; dirty chip-owned data (and
+   clean exclusively-held data) relinquishes chip ownership with a
+   three-phase writeback to home. *)
+and evict_l2_data t node vaddr (vline : l2_line) =
+  Cache.Sarray.remove node.l2_data vaddr;
+  let d = get_ldir node vaddr in
+  let chip_responsible = d.owner_l1 = None && (d.chip = CEx || d.chip = COwn) in
+  if chip_responsible then begin
+    t.counters.Mcmp.Counters.writebacks <- t.counters.Mcmp.Counters.writebacks + 1;
+    let still_shared = d.sharers <> 0 in
+    Hashtbl.replace node.l2_wb vaddr { wb_dirty = vline.l2_dirty; wb_stale = false };
+    send1 t ~src:node.id ~dst:(home_mem t vaddr) ~cls:MC.Writeback_control ~bytes:(ctrl t)
+      (Msg.C_wb_req
+         { addr = vaddr; cmp = node_cmp node; l2 = node.id; dirty = vline.l2_dirty; still_shared })
+  end
+
+and install_l2_data t node addr ~dirty =
+  match Cache.Sarray.find node.l2_data addr with
+  | Some line -> line.l2_dirty <- line.l2_dirty || dirty
+  | None ->
+    (match Cache.Sarray.victim_for node.l2_data addr with
+    | Some (vaddr, vline) -> evict_l2_data t node vaddr vline
+    | None -> ());
+    Cache.Sarray.insert node.l2_data addr { l2_dirty = dirty }
+
+and drop_l2_data node addr =
+  Cache.Sarray.remove node.l2_data addr;
+  match Hashtbl.find_opt node.l2_wb addr with
+  | Some wb -> wb.wb_stale <- true
+  | None -> ()
+
+(* ---- Local invalidations (fire-and-forget; acks are traffic-only) ---- *)
+
+and invalidate_local_sharers t node addr ~except =
+  let d = get_ldir node addr in
+  let bits = d.sharers land lnot except in
+  d.sharers <- d.sharers land except;
+  let dsts = l1s_of_bits t (node_cmp node) bits in
+  if dsts <> [] then
+    F.send t.fabric ~src:node.id ~dsts ~cls:MC.Inv_fwd_ack_tokens ~bytes:(ctrl t)
+      (Msg.L1_inv { addr })
+
+(* ------------------------------------------------------------------ *)
+(* L1 side                                                             *)
+
+and l1_line node addr = Cache.Sarray.find node.l1_lines addr
+
+(* Install a granted block at the requesting L1, evicting if needed. *)
+and l1_install t node addr st =
+  (match Cache.Sarray.find node.l1_lines addr with
+  | Some line ->
+    line.st <- st;
+    Cache.Sarray.touch node.l1_lines addr
+  | None ->
+    (match Cache.Sarray.victim_for node.l1_lines addr with
+    | Some (vaddr, vline) -> l1_evict t node vaddr vline
+    | None -> ());
+    Cache.Sarray.insert node.l1_lines addr { st; hold_until = 0 });
+  match Cache.Sarray.find node.l1_lines addr with Some l -> l | None -> assert false
+
+and l1_evict t node vaddr (vline : l1_line) =
+  Cache.Sarray.remove node.l1_lines vaddr;
+  match vline.st with
+  | S -> ()  (* silent drop; stale sharer bits are tolerated *)
+  | M | O | Es ->
+    t.counters.Mcmp.Counters.writebacks <- t.counters.Mcmp.Counters.writebacks + 1;
+    node.wb_serial <- node.wb_serial + 1;
+    Hashtbl.replace node.l1_wb vaddr (vline.st, node.wb_serial);
+    let dirty = vline.st <> Es in
+    send1 t ~src:node.id ~dst:(home_l2 t ~cmp:(node_cmp node) vaddr) ~cls:MC.Writeback_control
+      ~bytes:(ctrl t)
+      (Msg.L1_wb_req { addr = vaddr; l1 = node.id; dirty; serial = node.wb_serial })
+
+(* Owner L1 answers a forward from its L2 bank, possibly from the
+   writeback buffer. Deferred by the response-delay window. *)
+and l1_handle_fwd t node addr ~getm =
+  let rec attempt () =
+    let buffered = Hashtbl.find_opt node.l1_wb addr in
+    let line = l1_line node addr in
+    let st =
+      match (line, buffered) with
+      | Some l, _ -> Some l.st
+      | None, Some (st, _) -> Some st
+      | None, None -> None
+    in
+    match st with
+    | None ->
+      (* Serialization should make this unreachable; answer clean so the
+         L2 falls back to its own copy. *)
+      send1 t ~src:node.id ~dst:(home_l2 t ~cmp:(node_cmp node) addr) ~cls:MC.Response_data
+        ~bytes:(datab t)
+        (Msg.L1_owner_data { addr; l1 = node.id; dirty = false; migrated = false })
+    | Some st ->
+      let hold = match line with Some l -> l.hold_until | None -> 0 in
+      if now t < hold then E.schedule_at t.engine hold attempt
+      else begin
+        let dirty = st = M || st = O in
+        let migrated = getm || (t.migratory && st = M) in
+        (* State update: GETM or migratory GETS invalidates; GETS
+           downgrades M/Es to O/S. *)
+        (if migrated then begin
+           (match line with Some _ -> Cache.Sarray.remove node.l1_lines addr | None -> ());
+           Hashtbl.remove node.l1_wb addr
+         end
+         else begin
+           (match line with
+           | Some l -> l.st <- (match l.st with M -> O | Es -> S | O -> O | S -> S)
+           | None -> ());
+           match Hashtbl.find_opt node.l1_wb addr with
+           | Some (st, serial) ->
+             Hashtbl.replace node.l1_wb addr
+               ((match st with M -> O | Es -> S | other -> other), serial)
+           | None -> ()
+         end);
+        send1 t ~src:node.id ~dst:(home_l2 t ~cmp:(node_cmp node) addr) ~cls:MC.Response_data
+          ~bytes:(datab t)
+          (Msg.L1_owner_data { addr; l1 = node.id; dirty; migrated })
+      end
+  in
+  E.schedule_in t.engine t.cfg.Mcmp.Config.l1_latency attempt
+
+and l1_handle_inv t node addr =
+  E.schedule_in t.engine t.cfg.Mcmp.Config.l1_latency (fun () ->
+      (match l1_line node addr with
+      | Some _ -> Cache.Sarray.remove node.l1_lines addr
+      | None -> ());
+      (* Ack is traffic-only: local invalidations are serialized at the
+         L2 bank, so nothing waits on it. *)
+      send1 t ~src:node.id ~dst:(home_l2 t ~cmp:(node_cmp node) addr) ~cls:MC.Inv_fwd_ack_tokens
+        ~bytes:(ctrl t)
+        (Msg.L1_inv_ack { addr; l1 = node.id }))
+
+and l1_handle_data t node addr ~excl ~dirty ~origin ~unblock =
+  let m =
+    match node.mshr with
+    | Some m when m.m_addr = addr -> m
+    | Some _ | None -> assert false
+  in
+  node.mshr <- None;
+  let st =
+    if excl then if m.m_rw = `W || dirty then M else Es
+    else S
+  in
+  let line = l1_install t node addr st in
+  if m.m_rw = `W then begin
+    line.st <- M;
+    line.hold_until <- now t + t.cfg.Mcmp.Config.response_delay
+  end;
+  let c = t.counters in
+  let lat_ns = Sim.Time.to_ns (now t - m.m_issued) in
+  Sim.Stat.Welford.add c.Mcmp.Counters.miss_latency lat_ns;
+  Sim.Stat.Histogram.add c.Mcmp.Counters.miss_histogram (int_of_float lat_ns);
+  (match origin with
+  | Msg.Chip -> c.Mcmp.Counters.l2_local_fills <- c.Mcmp.Counters.l2_local_fills + 1
+  | Msg.Remote -> c.Mcmp.Counters.remote_fills <- c.Mcmp.Counters.remote_fills + 1
+  | Msg.Memdram -> c.Mcmp.Counters.mem_fills <- c.Mcmp.Counters.mem_fills + 1);
+  (* Only transaction grants hold the block busy at the L2; a direct
+     response must not emit an unblock that could clear an unrelated
+     in-flight transaction. *)
+  if unblock then
+    send1 t ~src:node.id ~dst:(home_l2 t ~cmp:(node_cmp node) addr) ~cls:MC.Unblock
+      ~bytes:(ctrl t)
+      (Msg.L1_unblock { addr; l1 = node.id });
+  m.m_commit ()
+
+(* ------------------------------------------------------------------ *)
+(* L2 bank: local transactions                                         *)
+
+and maybe_complete_local t node addr =
+  let d = get_ldir node addr in
+  match d.tr with
+  | None -> ()
+  | Some tr ->
+    if
+      (not tr.lt_done) && (not tr.lt_await_data) && tr.lt_acks_known
+      && tr.lt_acks_got >= tr.lt_acks_expected
+    then begin
+      tr.lt_done <- true;
+      let excl = tr.lt_excl in
+      send1 t ~src:node.id ~dst:tr.lt_l1 ~cls:MC.Response_data ~bytes:(datab t)
+        (Msg.L1_data
+           { addr; excl; dirty = tr.lt_dirty; origin = tr.lt_origin; unblock = true });
+      if excl then begin
+        d.owner_l1 <- Some tr.lt_l1;
+        d.sharers <- 0;
+        d.chip <- CEx;
+        drop_l2_data node addr
+      end
+      else begin
+        d.sharers <- d.sharers lor local_l1_bit t tr.lt_l1;
+        if d.chip = CInv then d.chip <- CSh
+      end;
+      if tr.lt_home_bound then
+        send1 t ~src:node.id ~dst:(home_mem t addr) ~cls:MC.Unblock ~bytes:(ctrl t)
+          (Msg.C_unblock { addr; cmp = node_cmp node; excl; shared = not excl })
+      (* busy stays set until the L1's unblock *)
+    end
+
+and l2_handle_local_gets t node addr ~l1 =
+  let d = get_ldir node addr in
+  let start () =
+    match d.owner_l1 with
+    | Some o when o <> l1 ->
+      (* Data lives in a local L1: forward; completes on owner data. *)
+      d.busy <- true;
+      d.tr <-
+        Some
+          {
+            lt_kind = `S;
+            lt_l1 = l1;
+            lt_home_bound = false;
+            lt_await_data = true;
+            lt_acks_expected = 0;
+            lt_acks_known = true;
+            lt_acks_got = 0;
+            lt_dirty = false;
+            lt_excl = false;
+            lt_origin = Msg.Chip;
+            lt_done = false;
+          };
+      send1 t ~src:node.id ~dst:o ~cls:MC.Inv_fwd_ack_tokens ~bytes:(ctrl t)
+        (Msg.L1_fwd_gets { addr })
+    | Some _ | None -> (
+      match l2_chip_data node addr with
+      | Some dirty ->
+        (* Direct response, no busy state needed. *)
+        d.sharers <- d.sharers lor local_l1_bit t l1;
+        if d.chip = CInv then d.chip <- CSh;
+        Cache.Sarray.touch node.l2_data addr;
+        send1 t ~src:node.id ~dst:l1 ~cls:MC.Response_data ~bytes:(datab t)
+          (Msg.L1_data { addr; excl = false; dirty; origin = Msg.Chip; unblock = false })
+      | None ->
+        (* Chip has nothing usable: ask the inter-CMP directory. *)
+        d.busy <- true;
+        d.tr <-
+          Some
+            {
+              lt_kind = `S;
+              lt_l1 = l1;
+              lt_home_bound = true;
+              lt_await_data = true;
+              lt_acks_expected = 0;
+              lt_acks_known = false;
+              lt_acks_got = 0;
+              lt_dirty = false;
+              lt_excl = false;
+              lt_origin = Msg.Memdram;
+              lt_done = false;
+            };
+        send1 t ~src:node.id ~dst:(home_mem t addr) ~cls:MC.Request ~bytes:(ctrl t)
+          (Msg.C_gets { addr; l2 = node.id }))
+  in
+  gate_local t node addr start
+
+and l2_handle_local_getm t node addr ~l1 =
+  let d = get_ldir node addr in
+  let start () =
+    d.busy <- true;
+    let chip_satisfiable = d.chip = CEx in
+    let requester_has_data =
+      match d.owner_l1 with Some o -> o = l1 | None -> false
+    in
+    let tr =
+      {
+        lt_kind = `M;
+        lt_l1 = l1;
+        lt_home_bound = not chip_satisfiable;
+        lt_await_data = false;
+        lt_acks_expected = 0;
+        lt_acks_known = chip_satisfiable;
+        lt_acks_got = 0;
+        lt_dirty = false;
+        lt_excl = true;
+        lt_origin = Msg.Chip;
+        lt_done = false;
+      }
+    in
+    d.tr <- Some tr;
+    invalidate_local_sharers t node addr ~except:(local_l1_bit t l1);
+    if chip_satisfiable then begin
+      (match d.owner_l1 with
+      | Some o when o <> l1 ->
+        tr.lt_await_data <- true;
+        send1 t ~src:node.id ~dst:o ~cls:MC.Inv_fwd_ack_tokens ~bytes:(ctrl t)
+          (Msg.L1_fwd_getm { addr })
+      | Some _ -> ()  (* upgrading owner keeps its data *)
+      | None -> (
+        match l2_chip_data node addr with
+        | Some dirty -> tr.lt_dirty <- dirty
+        | None -> assert false (* CEx chips hold data somewhere *)));
+      maybe_complete_local t node addr
+    end
+    else begin
+      (* Need the inter-CMP directory: permissions, remote invs, and
+         possibly data. Data may be local (L2 copy or an owning L1) but
+         is only trusted once the home confirms this chip still owns
+         the block (C_acks_expected); otherwise the forwarded owner's
+         C_data supplies it. lt_acks_known stays false until then, so
+         no early grant can race with a concurrent remote writer. *)
+      if not requester_has_data then
+        tr.lt_await_data <- (match l2_chip_data node addr with
+          | Some dirty ->
+            tr.lt_dirty <- dirty;
+            false
+          | None -> true);
+      send1 t ~src:node.id ~dst:(home_mem t addr) ~cls:MC.Request ~bytes:(ctrl t)
+        (Msg.C_getm { addr; l2 = node.id });
+      maybe_complete_local t node addr
+    end
+  in
+  gate_local t node addr start
+
+and l2_handle_owner_data t node addr ~dirty ~migrated =
+  let d = get_ldir node addr in
+  match (d.ext, d.tr) with
+  | Some ext, _ -> l2_ext_owner_data t node addr ext ~dirty ~migrated
+  | None, Some tr when tr.lt_await_data ->
+    tr.lt_await_data <- false;
+    tr.lt_dirty <- dirty;
+    (match tr.lt_kind with
+    | `M ->
+      d.owner_l1 <- None  (* invalidated by the fwd *)
+    | `S ->
+      if migrated then begin
+        tr.lt_excl <- true;
+        d.owner_l1 <- None
+      end
+      else
+        (* Owner downgraded to O and keeps supplying data; cache a copy
+           at the L2 as well. *)
+        install_l2_data t node addr ~dirty);
+    maybe_complete_local t node addr
+  | None, (Some _ | None) -> ()
+
+and l2_handle_unblock t node addr =
+  let d = get_ldir node addr in
+  match d.tr with
+  | Some _ ->
+    d.tr <- None;
+    release_ldir t node addr
+  | None -> ()  (* unblock of a direct response: nothing was held *)
+
+(* ---- L1 writebacks at the L2 ---- *)
+
+and l2_handle_wb_req t node addr ~l1 ~dirty ~serial =
+  ignore dirty;
+  let d = get_ldir node addr in
+  let start () =
+    if d.owner_l1 = Some l1 then begin
+      d.busy <- true;
+      d.wb_from <- Some l1;
+      send1 t ~src:node.id ~dst:l1 ~cls:MC.Writeback_control ~bytes:(ctrl t)
+        (Msg.L1_wb_grant { addr; serial })
+    end
+    else
+      send1 t ~src:node.id ~dst:l1 ~cls:MC.Writeback_control ~bytes:(ctrl t)
+        (Msg.L1_wb_cancel { addr; serial })
+  in
+  gate_local t node addr start
+
+and l2_handle_wb_data t node addr ~dirty ~valid =
+  let d = get_ldir node addr in
+  (* an invalid reply answers a stale grant: nothing was written back,
+     so neither data nor ownership state may change *)
+  if valid then begin
+    install_l2_data t node addr ~dirty;
+    d.owner_l1 <- None
+  end;
+  d.wb_from <- None;
+  release_ldir t node addr
+
+(* ------------------------------------------------------------------ *)
+(* L2 bank: external (inter-CMP) traffic                               *)
+
+and l2_defer_ext_if_internal t node addr k =
+  ignore t;
+  let d = get_ldir node addr in
+  if can_run_ext d then k () else Queue.push k d.defer_ext
+
+and l2_handle_c_fwd t node addr ~requester_l2 ~getm ~acks =
+  l2_defer_ext_if_internal t node addr (fun () ->
+      let d = get_ldir node addr in
+      d.ext <-
+        Some { et_kind = (if getm then `M else `S); et_requester_l2 = requester_l2; et_acks = acks };
+      if getm then invalidate_local_sharers t node addr ~except:0;
+      match d.owner_l1 with
+      | Some o -> l1_send_fwd_for_ext t node addr o ~getm
+      | None -> (
+        match l2_chip_data node addr with
+        | Some dirty -> l2_ext_owner_data t node addr
+                          (match d.ext with Some e -> e | None -> assert false)
+                          ~dirty ~migrated:false
+        | None ->
+          (* Lost data (should not happen): fall back to a clean reply. *)
+          l2_ext_owner_data t node addr
+            (match d.ext with Some e -> e | None -> assert false)
+            ~dirty:false ~migrated:false))
+
+and l1_send_fwd_for_ext t node addr o ~getm =
+  send1 t ~src:node.id ~dst:o ~cls:MC.Inv_fwd_ack_tokens ~bytes:(ctrl t)
+    (if getm then Msg.L1_fwd_getm { addr } else Msg.L1_fwd_gets { addr })
+
+(* The chip's data (from an L1 or the L2 itself) is ready to ship to the
+   external requester. *)
+and l2_ext_owner_data t node addr ext ~dirty ~migrated =
+  let d = get_ldir node addr in
+  let getm = ext.et_kind = `M in
+  let migrate_chip =
+    getm || migrated || (t.migratory && dirty && d.sharers = 0 && d.owner_l1 <> None)
+  in
+  let migrate_chip =
+    (* L2-held dirty data migrates on GETS too when nothing local shares. *)
+    migrate_chip || (t.migratory && dirty && d.sharers = 0 && d.owner_l1 = None && getm = false)
+  in
+  let excl = getm || migrate_chip in
+  (match ext.et_kind with
+  | `M ->
+    d.owner_l1 <- None;
+    d.sharers <- 0;
+    d.chip <- CInv;
+    drop_l2_data node addr
+  | `S ->
+    if migrate_chip then begin
+      (match d.owner_l1 with
+      | Some o -> l1_send_fwd_for_ext t node addr o ~getm:true
+      | None -> ());
+      d.owner_l1 <- None;
+      d.sharers <- 0;
+      d.chip <- CInv;
+      drop_l2_data node addr
+    end
+    else begin
+      if not migrated then install_l2_data t node addr ~dirty;
+      d.chip <- COwn
+    end);
+  d.ext <- None;
+  send1 t ~src:node.id ~dst:ext.et_requester_l2 ~cls:MC.Response_data ~bytes:(datab t)
+    (Msg.C_data { addr; excl; dirty; from_home = false; acks = ext.et_acks });
+  drain_ldir t node addr
+
+and l2_handle_c_inv t node addr ~requester_l2 =
+  let d = get_ldir node addr in
+  invalidate_local_sharers t node addr ~except:0;
+  drop_l2_data node addr;
+  d.chip <- CInv;
+  send1 t ~src:node.id ~dst:requester_l2 ~cls:MC.Inv_fwd_ack_tokens ~bytes:(ctrl t)
+    (Msg.C_inv_ack { addr })
+
+and l2_handle_c_data t node addr ~excl ~dirty ~from_home ~acks =
+  let d = get_ldir node addr in
+  match d.tr with
+  | Some tr ->
+    tr.lt_await_data <- false;
+    tr.lt_dirty <- tr.lt_dirty || dirty;
+    if excl then tr.lt_excl <- true;
+    tr.lt_acks_expected <- tr.lt_acks_expected + acks;
+    tr.lt_acks_known <- true;
+    tr.lt_origin <- (if from_home then Msg.Memdram else Msg.Remote);
+    if not tr.lt_excl then install_l2_data t node addr ~dirty;
+    maybe_complete_local t node addr
+  | None -> ()
+
+and l2_handle_c_acks_expected t node addr ~acks =
+  let d = get_ldir node addr in
+  match d.tr with
+  | Some tr ->
+    tr.lt_acks_expected <- tr.lt_acks_expected + acks;
+    tr.lt_acks_known <- true;
+    (* The home replied instead of forwarding: this chip holds the
+       data. The home stays busy until our unblock, so no external
+       transaction can interfere with a local fetch. *)
+    if tr.lt_await_data then begin
+      match d.owner_l1 with
+      | Some o when o <> tr.lt_l1 ->
+        send1 t ~src:node.id ~dst:o ~cls:MC.Inv_fwd_ack_tokens ~bytes:(ctrl t)
+          (Msg.L1_fwd_getm { addr })
+      | Some _ | None -> (
+        match l2_chip_data node addr with
+        | Some dirty ->
+          tr.lt_await_data <- false;
+          tr.lt_dirty <- tr.lt_dirty || dirty
+        | None -> ())
+    end;
+    maybe_complete_local t node addr
+  | None -> ()
+
+and l2_handle_c_inv_ack t node addr =
+  let d = get_ldir node addr in
+  match d.tr with
+  | Some tr ->
+    tr.lt_acks_got <- tr.lt_acks_got + 1;
+    maybe_complete_local t node addr
+  | None -> ()
+
+and l2_handle_c_wb_grant t node addr =
+  match Hashtbl.find_opt node.l2_wb addr with
+  | Some wb ->
+    Hashtbl.remove node.l2_wb addr;
+    let d = get_ldir node addr in
+    let cancelled = wb.wb_stale in
+    let still_shared = d.sharers <> 0 in
+    if not cancelled then d.chip <- (if still_shared then CSh else CInv);
+    send1 t ~src:node.id ~dst:(home_mem t addr)
+      ~cls:(if cancelled then MC.Writeback_control else MC.Writeback_data)
+      ~bytes:(if cancelled then ctrl t else datab t)
+      (Msg.C_wb_data { addr; cmp = node_cmp node; dirty = wb.wb_dirty; still_shared; cancelled })
+  | None ->
+    send1 t ~src:node.id ~dst:(home_mem t addr) ~cls:MC.Writeback_control ~bytes:(ctrl t)
+      (Msg.C_wb_data
+         { addr; cmp = node_cmp node; dirty = false; still_shared = false; cancelled = true })
+
+and l2_handle_c_wb_cancel _t node addr = Hashtbl.remove node.l2_wb addr
+
+(* ------------------------------------------------------------------ *)
+(* Home memory controller (inter-CMP directory)                        *)
+
+and cmp_bits_to_l2s t addr bits ~except =
+  List.concat_map
+    (fun cmp ->
+      if cmp = except || bits land (1 lsl cmp) = 0 then [] else [ home_l2 t ~cmp addr ])
+    (List.init t.cfg.Mcmp.Config.ncmp (fun c -> c))
+
+and mem_handle_gets t node addr ~l2 =
+  let d = get_cdir node addr in
+  let cmp = L.cmp_of t.layout l2 in
+  let start () =
+    d.cbusy <- true;
+    match d.owner with
+    | Some oc when oc <> cmp ->
+      t.counters.Mcmp.Counters.dir_indirections <-
+        t.counters.Mcmp.Counters.dir_indirections + 1;
+      dir_lookup t (fun () ->
+          send1 t ~src:node.id ~dst:(home_l2 t ~cmp:oc addr) ~cls:MC.Inv_fwd_ack_tokens
+            ~bytes:(ctrl t)
+            (Msg.C_fwd_gets { addr; requester_l2 = l2 }))
+    | Some _ ->
+      (* Requester owns it at chip level; grant from memory data. *)
+      E.schedule_in t.engine t.cfg.Mcmp.Config.dram_latency (fun () ->
+          send1 t ~src:node.id ~dst:l2 ~cls:MC.Response_data ~bytes:(datab t)
+            (Msg.C_data { addr; excl = false; dirty = false; from_home = true; acks = 0 }))
+    | None ->
+      let excl = d.csharers = 0 in
+      E.schedule_in t.engine t.cfg.Mcmp.Config.dram_latency (fun () ->
+          send1 t ~src:node.id ~dst:l2 ~cls:MC.Response_data ~bytes:(datab t)
+            (Msg.C_data { addr; excl; dirty = false; from_home = true; acks = 0 }))
+  in
+  if d.cbusy then Queue.push start d.cdefer else start ()
+
+and mem_handle_getm t node addr ~l2 =
+  let d = get_cdir node addr in
+  let cmp = L.cmp_of t.layout l2 in
+  let start () =
+    d.cbusy <- true;
+    let others = d.csharers land lnot (1 lsl cmp) in
+    let inv_targets = cmp_bits_to_l2s t addr others ~except:cmp in
+    List.iter
+      (fun dst ->
+        send1 t ~src:node.id ~dst ~cls:MC.Inv_fwd_ack_tokens ~bytes:(ctrl t)
+          (Msg.C_inv { addr; requester_l2 = l2 }))
+      inv_targets;
+    let nacks = List.length inv_targets in
+    match d.owner with
+    | Some oc when oc <> cmp ->
+      t.counters.Mcmp.Counters.dir_indirections <-
+        t.counters.Mcmp.Counters.dir_indirections + 1;
+      send1 t ~src:node.id ~dst:(home_l2 t ~cmp:oc addr) ~cls:MC.Inv_fwd_ack_tokens
+        ~bytes:(ctrl t)
+        (Msg.C_fwd_getm { addr; requester_l2 = l2; acks = nacks })
+    | Some _ ->
+      (* Upgrade by the owning chip: permissions + acks only. *)
+      send1 t ~src:node.id ~dst:l2 ~cls:MC.Inv_fwd_ack_tokens ~bytes:(ctrl t)
+        (Msg.C_acks_expected { addr; acks = nacks })
+    | None ->
+      E.schedule_in t.engine t.cfg.Mcmp.Config.dram_latency (fun () ->
+          send1 t ~src:node.id ~dst:l2 ~cls:MC.Response_data ~bytes:(datab t)
+            (Msg.C_data { addr; excl = true; dirty = false; from_home = true; acks = nacks }))
+  in
+  if d.cbusy then Queue.push start d.cdefer else start ()
+
+and mem_handle_unblock t node addr ~cmp ~excl ~shared =
+  let d = get_cdir node addr in
+  if excl then begin
+    d.owner <- Some cmp;
+    d.csharers <- 0
+  end
+  else if shared then d.csharers <- d.csharers lor (1 lsl cmp);
+  release_cdir t node addr
+
+and mem_handle_wb_req t node addr ~cmp ~l2 ~dirty:_ ~still_shared:_ =
+  let d = get_cdir node addr in
+  let start () =
+    if d.owner = Some cmp then begin
+      d.cbusy <- true;
+      dir_lookup t (fun () ->
+          send1 t ~src:node.id ~dst:l2 ~cls:MC.Writeback_control ~bytes:(ctrl t)
+            (Msg.C_wb_grant { addr }))
+    end
+    else
+      dir_lookup t (fun () ->
+          send1 t ~src:node.id ~dst:l2 ~cls:MC.Writeback_control ~bytes:(ctrl t)
+            (Msg.C_wb_cancel { addr }))
+  in
+  if d.cbusy then Queue.push start d.cdefer else start ()
+
+and mem_handle_wb_data t node addr ~cmp ~still_shared ~cancelled =
+  let d = get_cdir node addr in
+  if not cancelled then begin
+    d.owner <- None;
+    if still_shared then d.csharers <- d.csharers lor (1 lsl cmp)
+    else d.csharers <- d.csharers land lnot (1 lsl cmp)
+  end;
+  release_cdir t node addr
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+
+let l2_delay t k = E.schedule_in t.engine t.cfg.Mcmp.Config.l2_latency k
+
+let mem_delay t k = E.schedule_in t.engine t.cfg.Mcmp.Config.mem_ctrl_latency k
+
+let handle t ~dst msg =
+  let node = t.nodes.(dst) in
+  match msg with
+  (* L1-side *)
+  | Msg.L1_fwd_gets { addr } -> l1_handle_fwd t node addr ~getm:false
+  | Msg.L1_fwd_getm { addr } -> l1_handle_fwd t node addr ~getm:true
+  | Msg.L1_inv { addr } -> l1_handle_inv t node addr
+  | Msg.L1_data { addr; excl; dirty; origin; unblock } ->
+    l1_handle_data t node addr ~excl ~dirty ~origin ~unblock
+  | Msg.L1_wb_grant { addr; serial } -> (
+    match Hashtbl.find_opt node.l1_wb addr with
+    | Some (st, s') when s' = serial ->
+      Hashtbl.remove node.l1_wb addr;
+      let dirty = st = M || st = O in
+      send1 t ~src:node.id ~dst:(home_l2 t ~cmp:(node_cmp node) addr) ~cls:MC.Writeback_data
+        ~bytes:(datab t)
+        (Msg.L1_wb_data { addr; l1 = node.id; dirty; valid = true })
+    | Some _ | None ->
+      (* stale grant: the buffer instance it answers is gone *)
+      send1 t ~src:node.id ~dst:(home_l2 t ~cmp:(node_cmp node) addr) ~cls:MC.Writeback_control
+        ~bytes:(ctrl t)
+        (Msg.L1_wb_data { addr; l1 = node.id; dirty = false; valid = false }))
+  | Msg.L1_wb_cancel { addr; serial } -> (
+    (* a cancel may only kill the buffer instance it answers *)
+    match Hashtbl.find_opt node.l1_wb addr with
+    | Some (_, s') when s' = serial -> Hashtbl.remove node.l1_wb addr
+    | Some _ | None -> ())
+  (* L2-side, intra *)
+  | Msg.L1_gets { addr; l1 } -> l2_delay t (fun () -> l2_handle_local_gets t node addr ~l1)
+  | Msg.L1_getm { addr; l1 } -> l2_delay t (fun () -> l2_handle_local_getm t node addr ~l1)
+  | Msg.L1_owner_data { addr; dirty; migrated; _ } ->
+    l2_delay t (fun () -> l2_handle_owner_data t node addr ~dirty ~migrated)
+  | Msg.L1_unblock { addr; _ } -> l2_handle_unblock t node addr
+  | Msg.L1_inv_ack _ -> ()  (* traffic only; serialization makes acks redundant *)
+  | Msg.L1_wb_req { addr; l1; dirty; serial } ->
+    l2_delay t (fun () -> l2_handle_wb_req t node addr ~l1 ~dirty ~serial)
+  | Msg.L1_wb_data { addr; dirty; valid; _ } ->
+    l2_delay t (fun () -> l2_handle_wb_data t node addr ~dirty ~valid)
+  (* L2-side, inter *)
+  | Msg.C_fwd_gets { addr; requester_l2 } ->
+    l2_delay t (fun () -> l2_handle_c_fwd t node addr ~requester_l2 ~getm:false ~acks:0)
+  | Msg.C_fwd_getm { addr; requester_l2; acks } ->
+    l2_delay t (fun () -> l2_handle_c_fwd t node addr ~requester_l2 ~getm:true ~acks)
+  | Msg.C_inv { addr; requester_l2 } ->
+    l2_delay t (fun () -> l2_handle_c_inv t node addr ~requester_l2)
+  | Msg.C_data { addr; excl; dirty; from_home; acks } ->
+    l2_delay t (fun () -> l2_handle_c_data t node addr ~excl ~dirty ~from_home ~acks)
+  | Msg.C_acks_expected { addr; acks } ->
+    l2_delay t (fun () -> l2_handle_c_acks_expected t node addr ~acks)
+  | Msg.C_inv_ack { addr } -> l2_delay t (fun () -> l2_handle_c_inv_ack t node addr)
+  | Msg.C_wb_grant { addr } -> l2_delay t (fun () -> l2_handle_c_wb_grant t node addr)
+  | Msg.C_wb_cancel { addr } -> l2_handle_c_wb_cancel t node addr
+  (* Memory-side *)
+  | Msg.C_gets { addr; l2 } -> mem_delay t (fun () -> mem_handle_gets t node addr ~l2)
+  | Msg.C_getm { addr; l2 } -> mem_delay t (fun () -> mem_handle_getm t node addr ~l2)
+  | Msg.C_unblock { addr; cmp; excl; shared } ->
+    E.schedule_in t.engine t.cfg.Mcmp.Config.mem_ctrl_latency (fun () ->
+        mem_handle_unblock t node addr ~cmp ~excl ~shared)
+  | Msg.C_wb_req { addr; cmp; l2; dirty; still_shared } ->
+    mem_delay t (fun () -> mem_handle_wb_req t node addr ~cmp ~l2 ~dirty ~still_shared)
+  | Msg.C_wb_data { addr; cmp; still_shared; cancelled; _ } ->
+    E.schedule_in t.engine t.cfg.Mcmp.Config.mem_ctrl_latency (fun () ->
+        mem_handle_wb_data t node addr ~cmp ~still_shared ~cancelled)
+
+(* ------------------------------------------------------------------ *)
+(* Processor-side entry point                                          *)
+
+let access t ~proc ~kind addr ~commit =
+  let cmp = proc / t.layout.L.procs_per_cmp and p = proc mod t.layout.L.procs_per_cmp in
+  let l1id =
+    match kind with
+    | Mcmp.Protocol.Ifetch -> L.l1i t.layout ~cmp ~proc:p
+    | Mcmp.Protocol.Read | Mcmp.Protocol.Write | Mcmp.Protocol.Atomic ->
+      L.l1d t.layout ~cmp ~proc:p
+  in
+  let node = t.nodes.(l1id) in
+  let write = Mcmp.Protocol.is_write kind in
+  E.schedule_in t.engine t.cfg.Mcmp.Config.l1_latency (fun () ->
+      let line = l1_line node addr in
+      let hit =
+        match line with
+        | Some l -> ( match l.st with M | Es -> true | O | S -> not write)
+        | None -> false
+      in
+      if hit then begin
+        t.counters.Mcmp.Counters.l1_hits <- t.counters.Mcmp.Counters.l1_hits + 1;
+        Cache.Sarray.touch node.l1_lines addr;
+        (match line with
+        | Some l when write ->
+          l.st <- M;
+          l.hold_until <- now t + t.cfg.Mcmp.Config.response_delay
+        | _ -> ());
+        commit ()
+      end
+      else begin
+        t.counters.Mcmp.Counters.l1_misses <- t.counters.Mcmp.Counters.l1_misses + 1;
+        assert (node.mshr = None);
+        node.mshr <-
+          Some { m_addr = addr; m_rw = (if write then `W else `R); m_commit = commit; m_issued = now t };
+        let msg =
+          if write then Msg.L1_getm { addr; l1 = node.id } else Msg.L1_gets { addr; l1 = node.id }
+        in
+        send1 t ~src:node.id ~dst:(home_l2 t ~cmp:(node_cmp node) addr) ~cls:MC.Request
+          ~bytes:(ctrl t) msg
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let make_node layout cfg id =
+  let kind = L.kind layout id in
+  let l1_geom, l2_geom =
+    match kind with
+    | L.L1d _ | L.L1i _ -> ((cfg.Mcmp.Config.l1_sets, cfg.Mcmp.Config.l1_ways), (1, 1))
+    | L.L2 _ -> ((1, 1), (cfg.Mcmp.Config.l2_sets, cfg.Mcmp.Config.l2_ways))
+    | L.Mem _ -> ((1, 1), (1, 1))
+  in
+  {
+    id;
+    kind;
+    l1_lines = Cache.Sarray.create ~sets:(fst l1_geom) ~ways:(snd l1_geom);
+    l1_wb = Hashtbl.create 8;
+    wb_serial = 0;
+    mshr = None;
+    l2_data = Cache.Sarray.create ~sets:(fst l2_geom) ~ways:(snd l2_geom);
+    ldir = Hashtbl.create 1024;
+    l2_wb = Hashtbl.create 8;
+    cdir = Hashtbl.create 1024;
+  }
+
+let name ~dram_directory = if dram_directory then "DirectoryCMP" else "DirectoryCMP-zero"
+
+let builder ?migratory ~dram_directory () : Mcmp.Protocol.builder =
+ fun engine cfg traffic rng counters ->
+  let layout = Mcmp.Config.layout cfg in
+  let fabric = F.create engine layout cfg.Mcmp.Config.fabric traffic (Sim.Rng.split rng) in
+  let nodes = Array.init (L.node_count layout) (fun id -> make_node layout cfg id) in
+  let t =
+    {
+      engine;
+      cfg;
+      layout;
+      fabric;
+      counters;
+      nodes;
+      migratory = (match migratory with Some m -> m | None -> cfg.Mcmp.Config.migratory);
+      dram_directory;
+    }
+  in
+  F.set_handler fabric (fun ~dst msg -> handle t ~dst msg);
+  {
+    Mcmp.Protocol.name = name ~dram_directory;
+    access = (fun ~proc ~kind addr ~commit -> access t ~proc ~kind addr ~commit);
+  }
+
+(* Diagnostic dump of all in-flight protocol state (tests/debugging). *)
+let dump t fmt () =
+  let lay = t.layout in
+  Array.iter
+    (fun node ->
+      (match node.mshr with
+      | Some m ->
+        Format.fprintf fmt "%a: MSHR %a %s issued@%a@." (L.pp_node lay) node.id Cache.Addr.pp
+          m.m_addr
+          (match m.m_rw with `R -> "R" | `W -> "W")
+          Sim.Time.pp m.m_issued
+      | None -> ());
+      Hashtbl.iter
+        (fun addr (st, serial) ->
+          Format.fprintf fmt "%a: wb buffer %a (%s #%d)@." (L.pp_node lay) node.id Cache.Addr.pp
+            addr
+            (match st with M -> "M" | O -> "O" | Es -> "E" | S -> "S")
+            serial)
+        node.l1_wb;
+      Hashtbl.iter
+        (fun addr (d : ldir) ->
+          if
+            d.busy || d.ext <> None
+            || not (Queue.is_empty d.defer)
+            || not (Queue.is_empty d.defer_ext)
+          then
+            Format.fprintf fmt "%a: ldir %a busy=%b tr=%s ext=%b wb_from=%s defer=%d@."
+              (L.pp_node lay) node.id Cache.Addr.pp addr d.busy
+              (match d.tr with
+              | None -> "-"
+              | Some tr ->
+                Printf.sprintf "%s l1=%d home=%b await=%b acks=%d/%s done=%b"
+                  (match tr.lt_kind with `S -> "S" | `M -> "M")
+                  tr.lt_l1 tr.lt_home_bound tr.lt_await_data tr.lt_acks_got
+                  (if tr.lt_acks_known then string_of_int tr.lt_acks_expected else "?")
+                  tr.lt_done)
+              (d.ext <> None)
+              (match d.wb_from with Some i -> string_of_int i | None -> "-")
+              (Queue.length d.defer + Queue.length d.defer_ext))
+        node.ldir;
+      Hashtbl.iter
+        (fun addr (d : cdir) ->
+          if d.cbusy || not (Queue.is_empty d.cdefer) then
+            Format.fprintf fmt "%a: cdir %a busy=%b owner=%s sharers=%x defer=%d@."
+              (L.pp_node lay) node.id Cache.Addr.pp addr d.cbusy
+              (match d.owner with Some c -> string_of_int c | None -> "-")
+              d.csharers (Queue.length d.cdefer))
+        node.cdir)
+    t.nodes
+
+let pp_msg fmt (m : Msg.t) =
+  let p = Format.fprintf in
+  match m with
+  | Msg.L1_gets { l1; _ } -> p fmt "L1_gets(from %d)" l1
+  | Msg.L1_getm { l1; _ } -> p fmt "L1_getm(from %d)" l1
+  | Msg.L1_data { excl; dirty; unblock; _ } ->
+    p fmt "L1_data(excl=%b,dirty=%b,ub=%b)" excl dirty unblock
+  | Msg.L1_fwd_gets _ -> p fmt "L1_fwd_gets"
+  | Msg.L1_fwd_getm _ -> p fmt "L1_fwd_getm"
+  | Msg.L1_inv _ -> p fmt "L1_inv"
+  | Msg.L1_inv_ack _ -> p fmt "L1_inv_ack"
+  | Msg.L1_owner_data { dirty; migrated; _ } -> p fmt "L1_owner_data(dirty=%b,mig=%b)" dirty migrated
+  | Msg.L1_unblock _ -> p fmt "L1_unblock"
+  | Msg.L1_wb_req _ -> p fmt "L1_wb_req"
+  | Msg.L1_wb_grant _ -> p fmt "L1_wb_grant"
+  | Msg.L1_wb_cancel _ -> p fmt "L1_wb_cancel"
+  | Msg.L1_wb_data { dirty; valid; _ } -> p fmt "L1_wb_data(dirty=%b,valid=%b)" dirty valid
+  | Msg.C_gets { l2; _ } -> p fmt "C_gets(from l2 %d)" l2
+  | Msg.C_getm { l2; _ } -> p fmt "C_getm(from l2 %d)" l2
+  | Msg.C_data { excl; dirty; from_home; acks; _ } ->
+    p fmt "C_data(excl=%b,dirty=%b,home=%b,acks=%d)" excl dirty from_home acks
+  | Msg.C_fwd_gets { requester_l2; _ } -> p fmt "C_fwd_gets(req l2 %d)" requester_l2
+  | Msg.C_fwd_getm { requester_l2; acks; _ } -> p fmt "C_fwd_getm(req l2 %d,acks=%d)" requester_l2 acks
+  | Msg.C_inv { requester_l2; _ } -> p fmt "C_inv(req l2 %d)" requester_l2
+  | Msg.C_inv_ack _ -> p fmt "C_inv_ack"
+  | Msg.C_acks_expected { acks; _ } -> p fmt "C_acks_expected(%d)" acks
+  | Msg.C_unblock { cmp; excl; shared; _ } -> p fmt "C_unblock(cmp %d,excl=%b,sh=%b)" cmp excl shared
+  | Msg.C_wb_req { cmp; _ } -> p fmt "C_wb_req(cmp %d)" cmp
+  | Msg.C_wb_grant _ -> p fmt "C_wb_grant"
+  | Msg.C_wb_cancel _ -> p fmt "C_wb_cancel"
+  | Msg.C_wb_data { cancelled; _ } -> p fmt "C_wb_data(cancelled=%b)" cancelled
+
+let msg_addr : Msg.t -> Cache.Addr.t = function
+  | Msg.L1_gets { addr; _ } | Msg.L1_getm { addr; _ } | Msg.L1_data { addr; _ }
+  | Msg.L1_fwd_gets { addr } | Msg.L1_fwd_getm { addr } | Msg.L1_inv { addr }
+  | Msg.L1_inv_ack { addr; _ } | Msg.L1_owner_data { addr; _ } | Msg.L1_unblock { addr; _ }
+  | Msg.L1_wb_req { addr; _ } | Msg.L1_wb_grant { addr; _ } | Msg.L1_wb_cancel { addr; _ }
+  | Msg.L1_wb_data { addr; _ } | Msg.C_gets { addr; _ } | Msg.C_getm { addr; _ }
+  | Msg.C_data { addr; _ } | Msg.C_fwd_gets { addr; _ } | Msg.C_fwd_getm { addr; _ }
+  | Msg.C_inv { addr; _ } | Msg.C_inv_ack { addr } | Msg.C_acks_expected { addr; _ }
+  | Msg.C_unblock { addr; _ } | Msg.C_wb_req { addr; _ } | Msg.C_wb_grant { addr }
+  | Msg.C_wb_cancel { addr } | Msg.C_wb_data { addr; _ } ->
+    addr
+
+let builder_debug ?migratory ?trace ~dram_directory () engine cfg traffic rng counters =
+  let layout = Mcmp.Config.layout cfg in
+  let fabric = F.create engine layout cfg.Mcmp.Config.fabric traffic (Sim.Rng.split rng) in
+  let nodes = Array.init (L.node_count layout) (fun id -> make_node layout cfg id) in
+  let t =
+    {
+      engine;
+      cfg;
+      layout;
+      fabric;
+      counters;
+      nodes;
+      migratory = (match migratory with Some m -> m | None -> cfg.Mcmp.Config.migratory);
+      dram_directory;
+    }
+  in
+  F.set_handler fabric (fun ~dst msg ->
+      (match trace with
+      | Some a when msg_addr msg = a ->
+        Format.eprintf "%a %a <- %a@." Sim.Time.pp (E.now engine) (L.pp_node layout) dst pp_msg
+          msg
+      | Some _ | None -> ());
+      handle t ~dst msg);
+  ( {
+      Mcmp.Protocol.name = name ~dram_directory;
+      access = (fun ~proc ~kind addr ~commit -> access t ~proc ~kind addr ~commit);
+    },
+    dump t )

@@ -1,0 +1,32 @@
+(** DirectoryCMP: the baseline two-level MOESI hierarchical directory
+    protocol (Section 2 of the paper).
+
+    Each L2 bank keeps an intra-CMP directory of local L1 copies; each
+    home memory controller keeps an inter-CMP directory of which chips
+    hold a block. Both levels serialize per-block transactions with
+    busy states and deferral queues, use unblock messages to close
+    transactions, perform three-phase writebacks, and implement the
+    migratory-sharing optimization.
+
+    [dram_directory] selects whether inter-CMP directory lookups pay
+    DRAM latency (the realistic configuration) or are free (the paper's
+    unrealizable "DirectoryCMP-zero" bound). *)
+
+val builder : ?migratory:bool -> dram_directory:bool -> unit -> Mcmp.Protocol.builder
+
+val name : dram_directory:bool -> string
+
+(** Like {!builder}, but also returns a diagnostic dump of all in-flight
+    protocol state (pending MSHRs, busy directory entries, writeback
+    buffers, deferral queues). *)
+val builder_debug :
+  ?migratory:bool ->
+  ?trace:Cache.Addr.t ->
+  dram_directory:bool ->
+  unit ->
+  Sim.Engine.t ->
+  Mcmp.Config.t ->
+  Interconnect.Traffic.t ->
+  Sim.Rng.t ->
+  Mcmp.Counters.t ->
+  Mcmp.Protocol.handle * (Format.formatter -> unit -> unit)

@@ -1,0 +1,1 @@
+lib/interconnect/fabric.ml: Array Float Hashtbl Layout List Sim Traffic

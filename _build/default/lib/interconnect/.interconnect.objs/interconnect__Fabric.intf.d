@@ -1,0 +1,1 @@
+lib/interconnect/fabric.mli: Layout Msg_class Sim Traffic

@@ -1,0 +1,1 @@
+lib/interconnect/layout.ml: Format List

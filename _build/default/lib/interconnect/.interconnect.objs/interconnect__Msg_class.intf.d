@@ -1,0 +1,1 @@
+lib/interconnect/msg_class.mli:

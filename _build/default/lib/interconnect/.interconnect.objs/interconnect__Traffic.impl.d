@@ -1,0 +1,1 @@
+lib/interconnect/traffic.ml: Array List Msg_class

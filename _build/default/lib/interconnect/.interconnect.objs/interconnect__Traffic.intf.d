@@ -1,0 +1,1 @@
+lib/interconnect/traffic.mli: Msg_class

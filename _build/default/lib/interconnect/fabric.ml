@@ -1,0 +1,145 @@
+type params = {
+  intra_latency : Sim.Time.t;
+  inter_latency : Sim.Time.t;
+  mem_link_latency : Sim.Time.t;
+  intra_bytes_per_ns : float;
+  inter_bytes_per_ns : float;
+  jitter : Sim.Time.t;
+}
+
+let default_params =
+  {
+    intra_latency = Sim.Time.ns 2;
+    inter_latency = Sim.Time.ns 20;
+    mem_link_latency = Sim.Time.ns 20;
+    intra_bytes_per_ns = 64.;
+    inter_bytes_per_ns = 16.;
+    jitter = Sim.Time.ps 500;
+  }
+
+type 'msg t = {
+  engine : Sim.Engine.t;
+  layout : Layout.t;
+  params : params;
+  traffic : Traffic.t;
+  rng : Sim.Rng.t;
+  mutable handler : dst:int -> 'msg -> unit;
+  port_busy : Sim.Time.t array; (* per node, on-chip egress port *)
+  link_busy : Sim.Time.t array; (* per ordered site pair *)
+  mutable delivered : int;
+}
+
+let create engine layout params traffic rng =
+  {
+    engine;
+    layout;
+    params;
+    traffic;
+    rng;
+    handler = (fun ~dst:_ _ -> failwith "Fabric: handler not set");
+    port_busy = Array.make (Layout.node_count layout) Sim.Time.zero;
+    link_busy = Array.make (layout.Layout.ncmp * layout.Layout.ncmp) Sim.Time.zero;
+    delivered = 0;
+  }
+
+let set_handler t h = t.handler <- h
+let layout t = t.layout
+let engine t = t.engine
+let delivered t = t.delivered
+
+let serialization bytes_per_ns bytes =
+  Sim.Time.ps (int_of_float (Float.round (float_of_int bytes /. bytes_per_ns *. 1000.)))
+
+let jitter t = if t.params.jitter = 0 then 0 else Sim.Rng.int t.rng (t.params.jitter + 1)
+
+(* Claim the on-chip egress port of [node]: returns departure time. *)
+let claim_port t node ser =
+  let now = Sim.Engine.now t.engine in
+  let start = max now t.port_busy.(node) in
+  t.port_busy.(node) <- start + ser;
+  start + ser
+
+(* Claim the global link between two sites: [ready] is when the message
+   reaches the link; returns when the last byte is on the wire. *)
+let claim_link t ~src_site ~dst_site ready ser =
+  let i = (src_site * t.layout.Layout.ncmp) + dst_site in
+  let start = max ready t.link_busy.(i) in
+  t.link_busy.(i) <- start + ser;
+  start + ser
+
+let deliver_at t time dst msg =
+  Sim.Engine.schedule_at t.engine time (fun () ->
+      t.delivered <- t.delivered + 1;
+      t.handler ~dst msg)
+
+let send t ~src ~dsts ~cls ~bytes msg =
+  let p = t.params in
+  let lay = t.layout in
+  let now = Sim.Engine.now t.engine in
+  let src_site = Layout.cmp_of lay src in
+  let src_onchip = Layout.is_cache lay src in
+  let dsts = List.sort_uniq compare (List.filter (fun d -> d <> src) dsts) in
+  let local, remote = List.partition (fun d -> Layout.cmp_of lay d = src_site) dsts in
+  (* Local deliveries: one on-chip (or off-chip memory) hop each; a
+     broadcast is charged per copy, reflecting the per-cache lookup
+     bandwidth the paper highlights for broadcast protocols. *)
+  List.iter
+    (fun d ->
+      let d_onchip = Layout.is_cache lay d in
+      if src_onchip && d_onchip then begin
+        Traffic.add_intra t.traffic cls bytes;
+        let dep = claim_port t src (serialization p.intra_bytes_per_ns bytes) in
+        deliver_at t (dep + p.intra_latency + jitter t) d msg
+      end
+      else if d_onchip then
+        (* memory controller fanning back on-chip *)
+        begin
+          Traffic.add_intra t.traffic cls bytes;
+          deliver_at t (now + p.mem_link_latency + jitter t) d msg
+        end
+      else begin
+        (* cache -> local memory controller: off-chip pin traffic. *)
+        Traffic.add_inter t.traffic cls bytes;
+        let dep =
+          if src_onchip then claim_port t src (serialization p.inter_bytes_per_ns bytes)
+          else now
+        in
+        deliver_at t (dep + p.mem_link_latency + jitter t) d msg
+      end)
+    local;
+  (* Remote deliveries: exit hop once, then one global-link crossing per
+     destination site, then fan-out on the destination chip. *)
+  if remote <> [] then begin
+    let exit_ready =
+      if src_onchip then begin
+        Traffic.add_intra t.traffic cls bytes;
+        claim_port t src (serialization p.intra_bytes_per_ns bytes) + p.intra_latency
+      end
+      else now + p.mem_link_latency
+    in
+    let by_site = Hashtbl.create 8 in
+    List.iter
+      (fun d ->
+        let site = Layout.cmp_of lay d in
+        Hashtbl.replace by_site site (d :: (try Hashtbl.find by_site site with Not_found -> [])))
+      remote;
+    Hashtbl.iter
+      (fun site site_dsts ->
+        Traffic.add_inter t.traffic cls bytes;
+        let ser = serialization p.inter_bytes_per_ns bytes in
+        let arrive = claim_link t ~src_site ~dst_site:site exit_ready ser + p.inter_latency in
+        List.iter
+          (fun d ->
+            let entry =
+              if Layout.is_cache lay d then begin
+                Traffic.add_intra t.traffic cls bytes;
+                p.intra_latency
+              end
+              else p.mem_link_latency
+            in
+            deliver_at t (arrive + entry + jitter t) d msg)
+          site_dsts)
+      by_site
+  end
+
+let send_one t ~src ~dst ~cls ~bytes msg = send t ~src ~dsts:[ dst ] ~cls ~bytes msg

@@ -1,0 +1,55 @@
+(** Message fabric for an M-CMP system.
+
+    Models the two-level physical interconnect of the paper's Table 3:
+
+    - on-chip: directly-connected crossbar, [intra_latency] (2 ns) per
+      hop, [intra_bytes_per_ns] (64 GB/s) serialization at the sender's
+      port;
+    - between chips: directly-connected point-to-point links,
+      [inter_latency] (20 ns, including interface/wire/sync) and
+      [inter_bytes_per_ns] (16 GB/s) per ordered site pair;
+    - chip to its off-chip memory controller: [mem_link_latency] (20 ns).
+
+    [send] is multicast-aware: a message leaving a chip crosses the
+    global link {e once per destination site} and then fans out on the
+    destination chip, which is what the paper's traffic accounting
+    (Fig. 7) assumes. Intra-CMP byte counters are charged per on-chip
+    hop; inter-CMP counters once per site copy.
+
+    Delivery order between two nodes is not guaranteed (unordered
+    network), exactly as both protocols assume. An optional per-hop
+    random jitter perturbs latencies to create run-to-run variability
+    for confidence intervals (Alameldeen & Wood). *)
+
+type params = {
+  intra_latency : Sim.Time.t;
+  inter_latency : Sim.Time.t;
+  mem_link_latency : Sim.Time.t;
+  intra_bytes_per_ns : float;
+  inter_bytes_per_ns : float;
+  jitter : Sim.Time.t;  (** max uniform extra latency per message *)
+}
+
+val default_params : params
+
+type 'msg t
+
+val create :
+  Sim.Engine.t -> Layout.t -> params -> Traffic.t -> Sim.Rng.t -> 'msg t
+
+(** Must be called before any [send]; [dst] is the destination node. *)
+val set_handler : 'msg t -> (dst:int -> 'msg -> unit) -> unit
+
+val layout : 'msg t -> Layout.t
+val engine : 'msg t -> Sim.Engine.t
+
+(** [send t ~src ~dsts ~cls ~bytes msg] delivers a copy of [msg] to
+    every distinct node in [dsts] (excluding [src] if present). *)
+val send :
+  'msg t -> src:int -> dsts:int list -> cls:Msg_class.t -> bytes:int -> 'msg -> unit
+
+val send_one :
+  'msg t -> src:int -> dst:int -> cls:Msg_class.t -> bytes:int -> 'msg -> unit
+
+(** Messages delivered so far. *)
+val delivered : 'msg t -> int

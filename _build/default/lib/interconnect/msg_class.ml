@@ -1,0 +1,32 @@
+type t =
+  | Response_data
+  | Writeback_data
+  | Writeback_control
+  | Request
+  | Inv_fwd_ack_tokens
+  | Unblock
+  | Persistent
+
+let all =
+  [ Response_data; Writeback_data; Writeback_control; Request;
+    Inv_fwd_ack_tokens; Unblock; Persistent ]
+
+let to_string = function
+  | Response_data -> "Response Data"
+  | Writeback_data -> "Writeback Data"
+  | Writeback_control -> "Writeback Control"
+  | Request -> "Request"
+  | Inv_fwd_ack_tokens -> "Inv/Fwd/Acks/Tokens"
+  | Unblock -> "Unblock"
+  | Persistent -> "Persistent"
+
+let index = function
+  | Response_data -> 0
+  | Writeback_data -> 1
+  | Writeback_control -> 2
+  | Request -> 3
+  | Inv_fwd_ack_tokens -> 4
+  | Unblock -> 5
+  | Persistent -> 6
+
+let count = 7

@@ -1,0 +1,19 @@
+(** Message classes for traffic accounting.
+
+    These are the categories of Figure 7 of the paper; every message the
+    protocols send is tagged with one so traffic breakdowns can be
+    regenerated. *)
+
+type t =
+  | Response_data       (** data replies (72 B) *)
+  | Writeback_data      (** dirty/owner writeback data (72 B) *)
+  | Writeback_control   (** writeback requests/grants/token-only writebacks *)
+  | Request             (** transient / GETS / GETM requests *)
+  | Inv_fwd_ack_tokens  (** invalidations, forwards, acks, token-only msgs *)
+  | Unblock             (** directory unblock messages *)
+  | Persistent          (** persistent request activate/deactivate *)
+
+val all : t list
+val to_string : t -> string
+val index : t -> int
+val count : int

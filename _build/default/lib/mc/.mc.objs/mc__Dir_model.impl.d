@@ -1,0 +1,1 @@
+lib/mc/dir_model.ml: Array Explore Filename Format List Option Printf String Sys

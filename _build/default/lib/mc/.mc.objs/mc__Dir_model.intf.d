@@ -1,0 +1,1 @@
+lib/mc/dir_model.mli: Explore

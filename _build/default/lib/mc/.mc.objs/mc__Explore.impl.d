@@ -1,0 +1,1 @@
+lib/mc/explore.ml: Array Format Hashtbl List Printf Queue Stack String

@@ -1,0 +1,1 @@
+lib/mc/token_model.ml: Explore Format List Printf String

@@ -1,0 +1,186 @@
+module type MODEL = sig
+  type state
+
+  val name : string
+  val initial : state list
+  val next : state -> (string * state) list
+  val invariant : state -> (unit, string) result
+  val goal : state -> bool
+  val pp : Format.formatter -> state -> unit
+end
+
+type stats = {
+  states : int;
+  transitions : int;
+  diameter : int;
+  violation : (string * string list) option;
+  violation_state : string option;
+  violation_path : string list;  (** rendered states along the violating path *)
+  doomed : int;
+  doomed_example : string list option;
+  goals : int;
+  truncated : bool;
+}
+
+module Make (M : MODEL) = struct
+  (* The default polymorphic hash samples only ~10 nodes of a value,
+     which collides catastrophically on deep protocol states. *)
+  module H = Hashtbl.Make (struct
+    type t = M.state
+
+    let equal = ( = )
+    let hash s = Hashtbl.hash_param 512 512 s
+  end)
+
+  let run ?(max_states = 2_000_000) () =
+    let ids : int H.t = H.create 65_536 in
+    let preds : (int * string) option array ref = ref (Array.make 1024 None) in
+    let depth = ref (Array.make 1024 0) in
+    let is_goal = ref (Array.make 1024 false) in
+    let rev : int list array ref = ref (Array.make 1024 []) in
+    let count = ref 0 in
+    let transitions = ref 0 in
+    let diameter = ref 0 in
+    let violation = ref None in
+    let violation_state = ref None in
+    let violation_path = ref [] in
+    let truncated = ref false in
+    let grow () =
+      let n = Array.length !preds in
+      if !count >= n then begin
+        let extend arr default =
+          let bigger = Array.make (2 * n) default in
+          Array.blit arr 0 bigger 0 n;
+          bigger
+        in
+        preds := extend !preds None;
+        depth := extend !depth 0;
+        is_goal := extend !is_goal false;
+        rev := extend !rev []
+      end
+    in
+    let queue = Queue.create () in
+    let intern ~pred state =
+      match H.find_opt ids state with
+      | Some id -> Some id
+      | None ->
+        if !count >= max_states then begin
+          truncated := true;
+          None
+        end
+        else begin
+          let id = !count in
+          incr count;
+          grow ();
+          H.add ids state id;
+          !preds.(id) <- pred;
+          (!depth).(id) <- (match pred with Some (p, _) -> (!depth).(p) + 1 | None -> 0);
+          if (!depth).(id) > !diameter then diameter := (!depth).(id);
+          (!is_goal).(id) <- M.goal state;
+          Queue.push (id, state) queue;
+          Some id
+        end
+    in
+    let trace_to id =
+      let rec climb id acc =
+        match !preds.(id) with
+        | None -> acc
+        | Some (p, label) -> climb p (label :: acc)
+      in
+      climb id []
+    in
+    List.iter (fun s -> ignore (intern ~pred:None s)) M.initial;
+    let rec loop () =
+      if !violation = None then
+        match Queue.take_opt queue with
+        | None -> ()
+        | Some (id, state) ->
+          (match M.invariant state with
+          | Ok () ->
+            List.iter
+              (fun (label, succ) ->
+                incr transitions;
+                match intern ~pred:(Some (id, label)) succ with
+                | Some sid -> (!rev).(sid) <- id :: (!rev).(sid)
+                | None -> ())
+              (M.next state)
+          | Error reason ->
+            violation := Some (reason, trace_to id);
+            violation_state := Some (Format.asprintf "%a" M.pp state);
+            (* recover the states along the path for diagnosis *)
+            let path_ids =
+              let rec climb i acc =
+                match !preds.(i) with None -> i :: acc | Some (p, _) -> climb p (i :: acc)
+              in
+              climb id []
+            in
+            let by_id = Hashtbl.create (List.length path_ids) in
+            List.iter (fun i -> Hashtbl.replace by_id i None) path_ids;
+            H.iter
+              (fun st i -> if Hashtbl.mem by_id i then Hashtbl.replace by_id i (Some st))
+              ids;
+            violation_path :=
+              List.map
+                (fun i ->
+                  match Hashtbl.find by_id i with
+                  | Some st -> Format.asprintf "%a" M.pp st
+                  | None -> "<state missing>")
+                path_ids);
+          loop ()
+    in
+    loop ();
+    (* Liveness proxy: backward reachability from goal states. *)
+    let n = !count in
+    let can_reach = Array.make n false in
+    let goals = ref 0 in
+    let stack = Stack.create () in
+    for id = 0 to n - 1 do
+      if (!is_goal).(id) then begin
+        incr goals;
+        if not can_reach.(id) then begin
+          can_reach.(id) <- true;
+          Stack.push id stack
+        end
+      end
+    done;
+    while not (Stack.is_empty stack) do
+      let id = Stack.pop stack in
+      List.iter
+        (fun p ->
+          if not can_reach.(p) then begin
+            can_reach.(p) <- true;
+            Stack.push p stack
+          end)
+        (!rev).(id)
+    done;
+    let doomed = ref 0 in
+    let doomed_example = ref None in
+    if !goals > 0 then
+      for id = 0 to n - 1 do
+        if not can_reach.(id) then begin
+          incr doomed;
+          if !doomed_example = None then doomed_example := Some (trace_to id)
+        end
+      done;
+    {
+      states = n;
+      transitions = !transitions;
+      diameter = !diameter;
+      violation = !violation;
+      violation_state = !violation_state;
+      violation_path = !violation_path;
+      doomed = !doomed;
+      doomed_example = !doomed_example;
+      goals = !goals;
+      truncated = !truncated;
+    }
+end
+
+let pp_stats fmt s =
+  Format.fprintf fmt "states=%d transitions=%d diameter=%d goals=%d doomed=%d%s%s" s.states
+    s.transitions s.diameter s.goals s.doomed
+    (if s.truncated then " TRUNCATED" else "")
+    (match s.violation with
+    | None -> " (invariants hold)"
+    | Some (reason, trace) ->
+      Printf.sprintf " VIOLATION: %s after [%s]" reason (String.concat "; " trace))

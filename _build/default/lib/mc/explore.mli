@@ -1,0 +1,52 @@
+(** Generic explicit-state model checker (breadth-first reachability).
+
+    Plays the role TLA+/TLC plays in Section 5 of the paper: exhaustive
+    exploration of small protocol configurations, checking safety
+    invariants on every reachable state and a liveness proxy — that
+    from every reachable state some goal ("all requests satisfied")
+    state remains reachable, i.e. the protocol has no doomed states.
+    Under weak fairness of message delivery this implies the paper's
+    "eventually all requests are satisfied" property on these finite
+    graphs. *)
+
+module type MODEL = sig
+  type state
+
+  val name : string
+  val initial : state list
+
+  (** All successor states with transition labels. *)
+  val next : state -> (string * state) list
+
+  (** Safety check; [Error reason] reports a violation. *)
+  val invariant : state -> (unit, string) result
+
+  (** Goal states for the liveness proxy; return [false] everywhere to
+      skip the check. *)
+  val goal : state -> bool
+
+  (** Render a state (used in violation reports). *)
+  val pp : Format.formatter -> state -> unit
+end
+
+type stats = {
+  states : int;
+  transitions : int;
+  diameter : int;  (** BFS depth of the deepest state *)
+  violation : (string * string list) option;
+      (** invariant failure and the transition-label trace reaching it *)
+  violation_state : string option;  (** rendering of the violating state *)
+  violation_path : string list;
+      (** renderings of every state along the violating path *)
+  doomed : int;  (** states from which no goal state is reachable *)
+  doomed_example : string list option;
+      (** transition trace to the first doomed state found *)
+  goals : int;  (** reachable goal states *)
+  truncated : bool;  (** hit [max_states] before closing the graph *)
+}
+
+module Make (M : MODEL) : sig
+  val run : ?max_states:int -> unit -> stats
+end
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/mcmp/config.ml: Interconnect Printf Sim

@@ -1,0 +1,1 @@
+lib/mcmp/config.mli: Interconnect Sim

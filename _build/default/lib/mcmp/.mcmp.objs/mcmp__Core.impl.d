@@ -1,0 +1,1 @@
+lib/mcmp/core.ml: Counters Protocol Sim Values Workload

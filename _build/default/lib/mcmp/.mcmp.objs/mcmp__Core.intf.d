@@ -1,0 +1,1 @@
+lib/mcmp/core.mli: Counters Protocol Sim Values Workload

@@ -1,0 +1,1 @@
+lib/mcmp/counters.ml: Format Sim

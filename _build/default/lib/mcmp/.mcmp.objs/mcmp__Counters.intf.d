@@ -1,0 +1,1 @@
+lib/mcmp/counters.mli: Format Sim

@@ -1,0 +1,1 @@
+lib/mcmp/protocol.ml: Cache Config Counters Interconnect Sim

@@ -1,0 +1,1 @@
+lib/mcmp/protocol.mli: Cache Config Counters Interconnect Sim

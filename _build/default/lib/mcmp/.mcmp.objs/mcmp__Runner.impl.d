@@ -1,0 +1,1 @@
+lib/mcmp/runner.ml: Config Core Counters Interconnect List Sim Values

@@ -1,0 +1,1 @@
+lib/mcmp/runner.mli: Config Counters Interconnect Protocol Sim Workload

@@ -1,0 +1,1 @@
+lib/mcmp/values.ml: Hashtbl

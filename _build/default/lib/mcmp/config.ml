@@ -1,0 +1,72 @@
+type t = {
+  ncmp : int;
+  procs_per_cmp : int;
+  l2_banks : int;
+  l1_sets : int;
+  l1_ways : int;
+  l2_sets : int;
+  l2_ways : int;
+  l1_latency : Sim.Time.t;
+  l2_latency : Sim.Time.t;
+  mem_ctrl_latency : Sim.Time.t;
+  dram_latency : Sim.Time.t;
+  fabric : Interconnect.Fabric.params;
+  tokens : int;
+  response_delay : Sim.Time.t;
+  data_bytes : int;
+  ctrl_bytes : int;
+  migratory : bool;
+  max_events : int;
+}
+
+let default =
+  {
+    ncmp = 4;
+    procs_per_cmp = 4;
+    l2_banks = 4;
+    l1_sets = 512;
+    l1_ways = 4;
+    l2_sets = 8192;
+    l2_ways = 4;
+    l1_latency = Sim.Time.ns 2;
+    l2_latency = Sim.Time.ns 7;
+    mem_ctrl_latency = Sim.Time.ns 6;
+    dram_latency = Sim.Time.ns 80;
+    fabric = Interconnect.Fabric.default_params;
+    tokens = 64;
+    response_delay = Sim.Time.ns 15;
+    data_bytes = 72;
+    ctrl_bytes = 8;
+    migratory = true;
+    max_events = 400_000_000;
+  }
+
+let tiny =
+  {
+    default with
+    ncmp = 2;
+    procs_per_cmp = 2;
+    l2_banks = 2;
+    l1_sets = 16;
+    l1_ways = 2;
+    l2_sets = 64;
+    l2_ways = 2;
+    tokens = 16;
+  }
+
+let layout t =
+  Interconnect.Layout.create ~ncmp:t.ncmp ~procs_per_cmp:t.procs_per_cmp
+    ~banks_per_cmp:t.l2_banks
+
+let nprocs t = t.ncmp * t.procs_per_cmp
+
+let validate t =
+  let caches = Interconnect.Layout.ncaches (layout t) in
+  if t.tokens <= caches then
+    Error
+      (Printf.sprintf
+         "tokens (%d) must exceed the cache count (%d) so persistent reads always succeed"
+         t.tokens caches)
+  else if t.l1_sets <= 0 || t.l1_ways <= 0 || t.l2_sets <= 0 || t.l2_ways <= 0 then
+    Error "cache geometry must be positive"
+  else Ok ()

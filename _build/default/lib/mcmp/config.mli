@@ -1,0 +1,32 @@
+(** Target-system parameters (the paper's Table 3). *)
+
+type t = {
+  ncmp : int;  (** 4 CMPs *)
+  procs_per_cmp : int;  (** 4 processors per CMP *)
+  l2_banks : int;  (** 4 shared L2 banks per CMP *)
+  l1_sets : int;
+  l1_ways : int;  (** 128 kB 4-way, 64 B blocks: 512 sets *)
+  l2_sets : int;
+  l2_ways : int;  (** 2 MB bank, 4-way: 8192 sets *)
+  l1_latency : Sim.Time.t;  (** 2 ns *)
+  l2_latency : Sim.Time.t;  (** 7 ns *)
+  mem_ctrl_latency : Sim.Time.t;  (** 6 ns *)
+  dram_latency : Sim.Time.t;  (** 80 ns *)
+  fabric : Interconnect.Fabric.params;
+  tokens : int;  (** tokens per block, > total cache count *)
+  response_delay : Sim.Time.t;
+      (** critical-section hold window (Rajwar-style delay) *)
+  data_bytes : int;  (** 72 B data messages *)
+  ctrl_bytes : int;  (** 8 B control messages *)
+  migratory : bool;  (** migratory-sharing optimization on *)
+  max_events : int;  (** runaway-simulation safety valve *)
+}
+
+val default : t
+
+(** A 2-CMP x 2-proc x 2-bank shrunk machine for tests. *)
+val tiny : t
+
+val layout : t -> Interconnect.Layout.t
+val nprocs : t -> int
+val validate : t -> (unit, string) result

@@ -1,0 +1,58 @@
+type t = {
+  engine : Sim.Engine.t;
+  values : Values.t;
+  protocol : Protocol.handle;
+  counters : Counters.t;
+  proc : int;
+  program : Workload.Program.t;
+  on_done : proc:int -> unit;
+  mutable finished : bool;
+  mutable ops : int;
+  mutable mark : Sim.Time.t option;
+}
+
+let create engine values protocol counters ~proc ~program ~on_done =
+  { engine; values; protocol; counters; proc; program; on_done; finished = false; ops = 0;
+    mark = None }
+
+let finished t = t.finished
+let mark_time t = t.mark
+let ops_committed t = t.ops
+
+let rec step t last =
+  match t.program.Workload.Program.next ~last with
+  | Workload.Program.Think d -> Sim.Engine.schedule_in t.engine d (fun () -> step t last)
+  | Workload.Program.Load loc ->
+    t.protocol.Protocol.access ~proc:t.proc ~kind:Protocol.Read loc.Workload.Program.block
+      ~commit:(fun () ->
+        t.counters.Counters.loads <- t.counters.Counters.loads + 1;
+        t.ops <- t.ops + 1;
+        step t (Values.get t.values loc.Workload.Program.var))
+  | Workload.Program.Store (loc, v) ->
+    t.protocol.Protocol.access ~proc:t.proc ~kind:Protocol.Write loc.Workload.Program.block
+      ~commit:(fun () ->
+        t.counters.Counters.stores <- t.counters.Counters.stores + 1;
+        t.ops <- t.ops + 1;
+        Values.set t.values loc.Workload.Program.var v;
+        step t last)
+  | Workload.Program.Rmw (loc, f) ->
+    t.protocol.Protocol.access ~proc:t.proc ~kind:Protocol.Atomic loc.Workload.Program.block
+      ~commit:(fun () ->
+        t.counters.Counters.atomics <- t.counters.Counters.atomics + 1;
+        t.ops <- t.ops + 1;
+        let old = Values.get t.values loc.Workload.Program.var in
+        Values.set t.values loc.Workload.Program.var (f old);
+        step t old)
+  | Workload.Program.Ifetch addr ->
+    t.protocol.Protocol.access ~proc:t.proc ~kind:Protocol.Ifetch addr ~commit:(fun () ->
+        t.counters.Counters.ifetches <- t.counters.Counters.ifetches + 1;
+        t.ops <- t.ops + 1;
+        step t last)
+  | Workload.Program.Mark ->
+    t.mark <- Some (Sim.Engine.now t.engine);
+    step t last
+  | Workload.Program.Done ->
+    t.finished <- true;
+    t.on_done ~proc:t.proc
+
+let start t = Sim.Engine.schedule_in t.engine Sim.Time.zero (fun () -> step t 0)

@@ -1,0 +1,29 @@
+(** Processor core: executes a workload program against a protocol.
+
+    The core is in-order and blocking: one memory operation at a time,
+    which makes the micro-benchmarks deterministic and keeps the
+    protocol comparison focused on memory-system latency (the paper's
+    results are driven by miss latency differences, not ILP). *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  Values.t ->
+  Protocol.handle ->
+  Counters.t ->
+  proc:int ->
+  program:Workload.Program.t ->
+  on_done:(proc:int -> unit) ->
+  t
+
+(** Schedule the first operation at the current time. *)
+val start : t -> unit
+
+val finished : t -> bool
+
+(** Committed operations (loads + stores + atomics + ifetches). *)
+val ops_committed : t -> int
+
+(** Instant the program passed its warmup [Mark], if it has one. *)
+val mark_time : t -> Sim.Time.t option

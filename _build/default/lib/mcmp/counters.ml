@@ -1,0 +1,65 @@
+type t = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable atomics : int;
+  mutable ifetches : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_local_fills : int;
+  mutable remote_fills : int;
+  mutable mem_fills : int;
+  mutable transient_retries : int;
+  mutable persistent_requests : int;
+  mutable persistent_reads : int;
+  mutable writebacks : int;
+  mutable dir_indirections : int;
+  miss_latency : Sim.Stat.Welford.t;
+  miss_histogram : Sim.Stat.Histogram.t;
+}
+
+let create () =
+  {
+    loads = 0;
+    stores = 0;
+    atomics = 0;
+    ifetches = 0;
+    l1_hits = 0;
+    l1_misses = 0;
+    l2_local_fills = 0;
+    remote_fills = 0;
+    mem_fills = 0;
+    transient_retries = 0;
+    persistent_requests = 0;
+    persistent_reads = 0;
+    writebacks = 0;
+    dir_indirections = 0;
+    miss_latency = Sim.Stat.Welford.create ();
+    miss_histogram = Sim.Stat.Histogram.create ~bucket:10 ~buckets:200;
+  }
+
+let data_ops t = t.loads + t.stores + t.atomics
+
+let persistent_fraction t =
+  if t.l1_misses = 0 then 0.
+  else float_of_int t.persistent_requests /. float_of_int t.l1_misses
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>ops: %d loads, %d stores, %d atomics, %d ifetches@,\
+     L1: %d hits, %d misses (%.1f%% miss)@,\
+     fills: %d local-L2, %d remote, %d memory@,\
+     retries: %d, persistent: %d (%d reads, %.3f%% of misses)@,\
+     writebacks: %d, indirections: %d, avg miss latency: %.1f ns@]"
+    t.loads t.stores t.atomics t.ifetches t.l1_hits t.l1_misses
+    (if t.l1_hits + t.l1_misses = 0 then 0.
+     else 100. *. float_of_int t.l1_misses /. float_of_int (t.l1_hits + t.l1_misses))
+    t.l2_local_fills t.remote_fills t.mem_fills t.transient_retries
+    t.persistent_requests t.persistent_reads
+    (100. *. persistent_fraction t)
+    t.writebacks t.dir_indirections
+    (Sim.Stat.Welford.mean t.miss_latency);
+  if Sim.Stat.Histogram.count t.miss_histogram > 0 then
+    Format.fprintf fmt "@,miss latency p50/p90/p99: %d/%d/%d ns"
+      (Sim.Stat.Histogram.percentile t.miss_histogram 50.)
+      (Sim.Stat.Histogram.percentile t.miss_histogram 90.)
+      (Sim.Stat.Histogram.percentile t.miss_histogram 99.)

@@ -1,0 +1,29 @@
+(** Per-run event counters and latency statistics. *)
+
+type t = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable atomics : int;
+  mutable ifetches : int;
+  mutable l1_hits : int;
+  mutable l1_misses : int;
+  mutable l2_local_fills : int;  (** misses satisfied within the CMP *)
+  mutable remote_fills : int;  (** misses satisfied by another CMP *)
+  mutable mem_fills : int;  (** misses satisfied by DRAM *)
+  mutable transient_retries : int;
+  mutable persistent_requests : int;
+  mutable persistent_reads : int;
+  mutable writebacks : int;
+  mutable dir_indirections : int;  (** 3-hop directory transactions *)
+  miss_latency : Sim.Stat.Welford.t;  (** ns *)
+  miss_histogram : Sim.Stat.Histogram.t;  (** 10 ns buckets, for percentiles *)
+}
+
+val create : unit -> t
+
+val data_ops : t -> int
+
+(** Fraction of L1 misses that escalated to a persistent request. *)
+val persistent_fraction : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+type access_kind = Read | Write | Atomic | Ifetch
+
+let is_write = function Write | Atomic -> true | Read | Ifetch -> false
+
+type handle = {
+  name : string;
+  access :
+    proc:int -> kind:access_kind -> Cache.Addr.t -> commit:(unit -> unit) -> unit;
+}
+
+type builder =
+  Sim.Engine.t ->
+  Config.t ->
+  Interconnect.Traffic.t ->
+  Sim.Rng.t ->
+  Counters.t ->
+  handle

@@ -1,0 +1,27 @@
+(** The interface a coherence protocol exposes to processor cores.
+
+    A protocol handle hides everything about caches, controllers and
+    the interconnect; a core only asks for an access and is called back
+    at the commit instant, when the protocol has obtained the required
+    permission (read: valid readable copy; write/atomic: exclusive
+    write permission) in the issuing processor's L1. *)
+
+type access_kind = Read | Write | Atomic | Ifetch
+
+val is_write : access_kind -> bool
+
+type handle = {
+  name : string;
+  access :
+    proc:int -> kind:access_kind -> Cache.Addr.t -> commit:(unit -> unit) -> unit;
+      (** Exactly one [commit] callback per call, possibly much later. *)
+}
+
+(** Builder signature shared by all protocol implementations. *)
+type builder =
+  Sim.Engine.t ->
+  Config.t ->
+  Interconnect.Traffic.t ->
+  Sim.Rng.t ->
+  Counters.t ->
+  handle

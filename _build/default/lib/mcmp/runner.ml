@@ -1,0 +1,62 @@
+type result = {
+  runtime : Sim.Time.t;
+  total_runtime : Sim.Time.t;
+  completed : bool;
+  traffic : Interconnect.Traffic.t;
+  counters : Counters.t;
+  events : int;
+  ops : int;
+}
+
+let run ?(config = Config.default) builder ~programs ~seed =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Runner.run: " ^ msg));
+  let engine = Sim.Engine.create () in
+  let traffic = Interconnect.Traffic.create () in
+  let rng = Sim.Rng.create (seed + 7_919) in
+  let counters = Counters.create () in
+  let protocol = builder engine config traffic rng counters in
+  let values = Values.create () in
+  let nprocs = Config.nprocs config in
+  let remaining = ref nprocs in
+  let finish_time = ref Sim.Time.zero in
+  let on_done ~proc:_ =
+    remaining := !remaining - 1;
+    if !remaining = 0 then begin
+      finish_time := Sim.Engine.now engine;
+      Sim.Engine.stop engine
+    end
+  in
+  let cores =
+    List.init nprocs (fun proc ->
+        Core.create engine values protocol counters ~proc ~program:(programs ~proc) ~on_done)
+  in
+  List.iter Core.start cores;
+  Sim.Engine.run ~max_events:config.Config.max_events engine;
+  let ops = List.fold_left (fun acc c -> acc + Core.ops_committed c) 0 cores in
+  let finish = if !remaining = 0 then !finish_time else Sim.Engine.now engine in
+  (* Measured runtime starts once every processor passed its warmup
+     mark (if all programs emit one). *)
+  let marks = List.map Core.mark_time cores in
+  let measured_start =
+    if List.for_all (fun m -> m <> None) marks then
+      List.fold_left (fun acc m -> match m with Some v -> max acc v | None -> acc) 0 marks
+    else 0
+  in
+  {
+    runtime = max 0 (finish - measured_start);
+    total_runtime = finish;
+    completed = !remaining = 0;
+    traffic;
+    counters;
+    events = Sim.Engine.events_processed engine;
+    ops;
+  }
+
+let run_seeds ?(config = Config.default) builder ~programs ~seeds =
+  let results =
+    List.map (fun seed -> run ~config builder ~programs:(programs ~seed) ~seed) seeds
+  in
+  let runtimes = List.map (fun r -> Sim.Time.to_ns r.runtime) results in
+  (Sim.Stat.Summary.of_list runtimes, results)

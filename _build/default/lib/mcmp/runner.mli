@@ -1,0 +1,32 @@
+(** Single-simulation harness: build a machine, run programs on every
+    processor, collect runtime, traffic and counters. *)
+
+type result = {
+  runtime : Sim.Time.t;
+      (** measured runtime: last finish minus the instant every
+          processor had passed its warmup {!Workload.Program.Mark}
+          (equals [total_runtime] when programs have no mark) *)
+  total_runtime : Sim.Time.t;  (** instant the last processor finished *)
+  completed : bool;  (** false if the event queue drained early (protocol deadlock) *)
+  traffic : Interconnect.Traffic.t;
+  counters : Counters.t;
+  events : int;
+  ops : int;
+}
+
+val run :
+  ?config:Config.t ->
+  Protocol.builder ->
+  programs:(proc:int -> Workload.Program.t) ->
+  seed:int ->
+  result
+
+(** [run_seeds] repeats [run] over several seeds and summarizes the
+    runtimes in ns (mean and 95% CI), as in Alameldeen & Wood's
+    perturbation methodology. Returns the per-seed results too. *)
+val run_seeds :
+  ?config:Config.t ->
+  Protocol.builder ->
+  programs:(seed:int -> proc:int -> Workload.Program.t) ->
+  seeds:int list ->
+  Sim.Stat.Summary.t * result list

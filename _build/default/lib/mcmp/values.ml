@@ -1,0 +1,5 @@
+type t = (int, int) Hashtbl.t
+
+let create () = Hashtbl.create 1024
+let get t var = try Hashtbl.find t var with Not_found -> 0
+let set t var v = Hashtbl.replace t var v

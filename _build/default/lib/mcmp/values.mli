@@ -1,0 +1,19 @@
+(** Authoritative memory values.
+
+    The timing protocols do not thread data values through messages;
+    instead each store/atomic updates this table at its commit instant
+    (when the protocol has granted write permission) and each load reads
+    it at its commit instant. Because the protocols enforce the
+    single-writer/multiple-reader invariant at commit time, the value
+    sequences observed equal those of a data-carrying implementation;
+    see DESIGN.md. Keys are the workload-level variable ids, so several
+    variables can share one coherence block. *)
+
+type t
+
+val create : unit -> t
+
+(** Unset variables read as 0. *)
+val get : t -> int -> int
+
+val set : t -> int -> int -> unit

@@ -1,0 +1,1 @@
+lib/perfect/protocol.ml: Array Cache Hashtbl Interconnect List Mcmp Sim

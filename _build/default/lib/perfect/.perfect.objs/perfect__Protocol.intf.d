@@ -1,0 +1,1 @@
+lib/perfect/protocol.mli: Mcmp

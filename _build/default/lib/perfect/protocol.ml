@@ -1,0 +1,102 @@
+module E = Sim.Engine
+module L = Interconnect.Layout
+
+type line = { mutable writable : bool }
+
+type l1 = { lines : line Cache.Sarray.t }
+
+type t = {
+  engine : E.t;
+  cfg : Mcmp.Config.t;
+  layout : L.t;
+  counters : Mcmp.Counters.t;
+  l1s : l1 array;  (* indexed by node id; only L1 slots used *)
+  holders : (Cache.Addr.t, int list) Hashtbl.t;  (* L1 node ids caching the block *)
+}
+
+let holders t addr = try Hashtbl.find t.holders addr with Not_found -> []
+
+let invalidate_others t addr keep =
+  List.iter
+    (fun id -> if id <> keep then Cache.Sarray.remove t.l1s.(id).lines addr)
+    (holders t addr);
+  Hashtbl.replace t.holders addr [ keep ]
+
+let install t node_id addr ~writable =
+  let l1 = t.l1s.(node_id) in
+  (match Cache.Sarray.find l1.lines addr with
+  | Some line ->
+    line.writable <- line.writable || writable;
+    Cache.Sarray.touch l1.lines addr
+  | None ->
+    (match Cache.Sarray.victim_for l1.lines addr with
+    | Some (vaddr, _) ->
+      Cache.Sarray.remove l1.lines vaddr;
+      Hashtbl.replace t.holders vaddr
+        (List.filter (fun id -> id <> node_id) (holders t vaddr))
+    | None -> ());
+    Cache.Sarray.insert l1.lines addr { writable };
+    if not (List.mem node_id (holders t addr)) then
+      Hashtbl.replace t.holders addr (node_id :: holders t addr));
+  if writable then invalidate_others t addr node_id
+
+let access t ~proc ~kind addr ~commit =
+  let cmp = proc / t.layout.L.procs_per_cmp and p = proc mod t.layout.L.procs_per_cmp in
+  let l1id =
+    match kind with
+    | Mcmp.Protocol.Ifetch -> L.l1i t.layout ~cmp ~proc:p
+    | Mcmp.Protocol.Read | Mcmp.Protocol.Write | Mcmp.Protocol.Atomic ->
+      L.l1d t.layout ~cmp ~proc:p
+  in
+  let write = Mcmp.Protocol.is_write kind in
+  E.schedule_in t.engine t.cfg.Mcmp.Config.l1_latency (fun () ->
+      let l1 = t.l1s.(l1id) in
+      let hit =
+        match Cache.Sarray.find l1.lines addr with
+        | Some line -> line.writable || not write
+        | None -> false
+      in
+      if hit then begin
+        t.counters.Mcmp.Counters.l1_hits <- t.counters.Mcmp.Counters.l1_hits + 1;
+        Cache.Sarray.touch l1.lines addr;
+        if write then install t l1id addr ~writable:true;
+        commit ()
+      end
+      else begin
+        t.counters.Mcmp.Counters.l1_misses <- t.counters.Mcmp.Counters.l1_misses + 1;
+        (* On-chip round trip to an infinite, always-hitting L2. *)
+        let fabric = t.cfg.Mcmp.Config.fabric in
+        let miss_latency =
+          (2 * fabric.Interconnect.Fabric.intra_latency) + t.cfg.Mcmp.Config.l2_latency
+        in
+        E.schedule_in t.engine miss_latency (fun () ->
+            t.counters.Mcmp.Counters.l2_local_fills <-
+              t.counters.Mcmp.Counters.l2_local_fills + 1;
+            Sim.Stat.Welford.add t.counters.Mcmp.Counters.miss_latency
+              (Sim.Time.to_ns miss_latency);
+            install t l1id addr ~writable:write;
+            commit ())
+      end)
+
+let builder : Mcmp.Protocol.builder =
+ fun engine cfg _traffic _rng counters ->
+  let layout = Mcmp.Config.layout cfg in
+  let t =
+    {
+      engine;
+      cfg;
+      layout;
+      counters;
+      l1s =
+        Array.init (L.node_count layout) (fun _ ->
+            {
+              lines =
+                Cache.Sarray.create ~sets:cfg.Mcmp.Config.l1_sets ~ways:cfg.Mcmp.Config.l1_ways;
+            });
+      holders = Hashtbl.create 4096;
+    }
+  in
+  {
+    Mcmp.Protocol.name = "PerfectL2";
+    access = (fun ~proc ~kind addr ~commit -> access t ~proc ~kind addr ~commit);
+  }

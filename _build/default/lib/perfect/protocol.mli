@@ -1,0 +1,9 @@
+(** PerfectL2: the paper's unimplementable lower bound.
+
+    Every L1 miss hits in an infinite L2 cache shared (magically, with
+    on-chip latency) across all CMPs; writes invalidate all other L1
+    copies instantly and for free. Coherence is maintained by fiat, so
+    the only costs are L1 access, one on-chip round trip and the L2
+    access. *)
+
+val builder : Mcmp.Protocol.builder

@@ -1,0 +1,51 @@
+type t = {
+  mutable now : Time.t;
+  mutable seq : int;
+  mutable processed : int;
+  mutable stopped : bool;
+  queue : (unit -> unit) Heap.t;
+}
+
+type timer = { mutable cancelled : bool }
+
+let create () =
+  { now = Time.zero; seq = 0; processed = 0; stopped = false; queue = Heap.create () }
+
+let now t = t.now
+let events_processed t = t.processed
+
+let schedule_at t time f =
+  assert (time >= t.now);
+  t.seq <- t.seq + 1;
+  Heap.push t.queue ~key:time ~seq:t.seq f
+
+let schedule_in t delay f =
+  assert (delay >= 0);
+  schedule_at t (t.now + delay) f
+
+let timer_in t delay f =
+  let timer = { cancelled = false } in
+  schedule_in t delay (fun () -> if not timer.cancelled then f ());
+  timer
+
+let cancel timer = timer.cancelled <- true
+
+let stop t = t.stopped <- true
+
+let run ?until ?(max_events = max_int) t =
+  t.stopped <- false;
+  let continue () =
+    (not t.stopped)
+    &&
+    match Heap.peek_key t.queue with
+    | None -> false
+    | Some key -> ( match until with None -> true | Some bound -> key <= bound)
+  in
+  while continue () do
+    let time, _, f = Heap.pop t.queue in
+    t.now <- time;
+    t.processed <- t.processed + 1;
+    if t.processed > max_events then
+      failwith (Printf.sprintf "Engine.run: exceeded %d events" max_events);
+    f ()
+  done

@@ -1,0 +1,41 @@
+(** Discrete-event simulation engine.
+
+    The engine maintains a priority queue of timestamped events (unit
+    closures). Events scheduled at the same instant fire in scheduling
+    order, so the simulation is fully deterministic. *)
+
+type t
+
+val create : unit -> t
+
+(** Current simulated time. *)
+val now : t -> Time.t
+
+(** Number of events executed so far. *)
+val events_processed : t -> int
+
+(** [schedule_in t delay f] runs [f] at [now t + delay].
+    [delay] must be non-negative. *)
+val schedule_in : t -> Time.t -> (unit -> unit) -> unit
+
+(** [schedule_at t time f] runs [f] at absolute [time >= now t]. *)
+val schedule_at : t -> Time.t -> (unit -> unit) -> unit
+
+(** Cancellable timer handle. *)
+type timer
+
+(** [timer_in t delay f] schedules [f] like {!schedule_in} but returns a
+    handle that can cancel the callback before it fires. *)
+val timer_in : t -> Time.t -> (unit -> unit) -> timer
+
+val cancel : timer -> unit
+
+(** [run t] processes events until the queue drains.
+    @param until stop (leaving the queue intact) once simulated time
+    would exceed this bound.
+    @param max_events safety valve against runaway simulations; raises
+    [Failure] when exceeded. *)
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+
+(** [stop t] makes {!run} return after the current event. *)
+val stop : t -> unit

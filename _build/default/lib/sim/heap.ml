@@ -1,0 +1,62 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let length h = h.size
+let is_empty h = h.size = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow h entry =
+  let capacity = max 64 (2 * Array.length h.data) in
+  let data = Array.make capacity entry in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let push h ~key ~seq value =
+  let entry = { key; seq; value } in
+  if h.size >= Array.length h.data then grow h entry;
+  (* Sift the new entry up from the last slot. *)
+  let rec up i =
+    if i = 0 then h.data.(0) <- entry
+    else
+      let parent = (i - 1) / 2 in
+      if less entry h.data.(parent) then begin
+        h.data.(i) <- h.data.(parent);
+        up parent
+      end
+      else h.data.(i) <- entry
+  in
+  up h.size;
+  h.size <- h.size + 1
+
+let pop h =
+  if h.size = 0 then raise Not_found;
+  let top = h.data.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    let last = h.data.(h.size) in
+    (* Sift the former last element down from the root. *)
+    let rec down i =
+      let left = (2 * i) + 1 in
+      if left >= h.size then h.data.(i) <- last
+      else
+        let right = left + 1 in
+        let child =
+          if right < h.size && less h.data.(right) h.data.(left) then right
+          else left
+        in
+        if less h.data.(child) last then begin
+          h.data.(i) <- h.data.(child);
+          down child
+        end
+        else h.data.(i) <- last
+    in
+    down 0
+  end;
+  (top.key, top.seq, top.value)
+
+let peek_key h = if h.size = 0 then None else Some h.data.(0).key
+
+let clear h = h.size <- 0

@@ -1,0 +1,22 @@
+(** Array-based binary min-heap keyed by [(key, seq)] pairs.
+
+    [seq] breaks ties so that elements with equal keys pop in insertion
+    order, which keeps event processing deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push h ~key ~seq v] inserts [v] with priority [(key, seq)]. *)
+val push : 'a t -> key:int -> seq:int -> 'a -> unit
+
+(** [pop h] removes and returns the minimum element.
+    @raise Not_found if the heap is empty. *)
+val pop : 'a t -> int * int * 'a
+
+(** [peek_key h] returns the minimum key without removing it. *)
+val peek_key : 'a t -> int option
+
+val clear : 'a t -> unit

@@ -1,0 +1,47 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int (seed * 2 + 1)) }
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let bits62 t = Int64.to_int (Int64.shift_right_logical (next t) 2)
+
+let int t n =
+  assert (n > 0);
+  (* Rejection sampling avoids modulo bias. *)
+  let bound = 0x3FFF_FFFF_FFFF_FFFF in
+  let limit = bound - (bound mod n) in
+  let rec draw () =
+    let v = bits62 t in
+    if v >= limit then draw () else v mod n
+  in
+  draw ()
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let float t x =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  x *. (v /. 9007199254740992.0)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let split t = { state = next t }
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every stochastic choice in the simulator draws from an explicit
+    generator so that runs are reproducible from a single integer seed,
+    and independent streams can be split off for perturbation studies
+    (Alameldeen & Wood, HPCA 2003). *)
+
+type t
+
+val create : int -> t
+
+(** [int t n] returns a uniform integer in [0, n). [n] must be positive. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] returns a uniform integer in [lo, hi] inclusive. *)
+val int_in : t -> int -> int -> int
+
+(** [float t x] returns a uniform float in [0, x). *)
+val float : t -> float -> float
+
+val bool : t -> bool
+
+(** [split t] derives an independent generator stream. *)
+val split : t -> t
+
+(** [shuffle t a] permutes [a] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit

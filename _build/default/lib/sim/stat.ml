@@ -1,0 +1,77 @@
+module Welford = struct
+  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.; m2 = 0. }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.n
+  let mean t = t.mean
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let ci95 t = if t.n < 2 then 0. else 1.96 *. stddev t /. sqrt (float_of_int t.n)
+end
+
+module Summary = struct
+  type t = { n : int; mean : float; stddev : float; ci95 : float }
+
+  let of_list xs =
+    let w = Welford.create () in
+    List.iter (Welford.add w) xs;
+    { n = Welford.count w;
+      mean = Welford.mean w;
+      stddev = Welford.stddev w;
+      ci95 = Welford.ci95 w }
+
+  let pp fmt t = Format.fprintf fmt "%.4g +/- %.2g (n=%d)" t.mean t.ci95 t.n
+end
+
+module Ema = struct
+  type t = { alpha : float; mutable value : float; mutable n : int }
+
+  let create ~alpha ~init = { alpha; value = init; n = 0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    t.value <- t.value +. (t.alpha *. (x -. t.value))
+
+  let value t = t.value
+  let count t = t.n
+end
+
+module Histogram = struct
+  type t = { bucket : int; counts : int array; mutable n : int; mutable total : int }
+
+  let create ~bucket ~buckets =
+    assert (bucket > 0 && buckets > 0);
+    { bucket; counts = Array.make buckets 0; n = 0; total = 0 }
+
+  let add t v =
+    let v = max 0 v in
+    let i = min (v / t.bucket) (Array.length t.counts - 1) in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.n <- t.n + 1;
+    t.total <- t.total + v
+
+  let count t = t.n
+  let total t = t.total
+  let bucket_counts t = Array.copy t.counts
+  let mean t = if t.n = 0 then 0. else float_of_int t.total /. float_of_int t.n
+
+  let percentile t p =
+    if t.n = 0 then 0
+    else begin
+      let target = p /. 100. *. float_of_int t.n in
+      let rec scan i acc =
+        if i >= Array.length t.counts then Array.length t.counts * t.bucket
+        else
+          let acc = acc + t.counts.(i) in
+          if float_of_int acc >= target then (i + 1) * t.bucket else scan (i + 1) acc
+      in
+      scan 0 0
+    end
+end

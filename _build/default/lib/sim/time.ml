@@ -1,0 +1,13 @@
+type t = int
+
+let zero = 0
+let ps x = x
+let ns x = x * 1_000
+let us x = x * 1_000_000
+let to_ns t = float_of_int t /. 1_000.
+let to_us t = float_of_int t /. 1_000_000.
+let mul_f t x = int_of_float (Float.round (float_of_int t *. x))
+
+let pp fmt t =
+  if t >= us 1 then Format.fprintf fmt "%.2fus" (to_us t)
+  else Format.fprintf fmt "%.2fns" (to_ns t)

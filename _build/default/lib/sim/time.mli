@@ -1,0 +1,21 @@
+(** Simulated time.
+
+    Time is an integer count of picoseconds. Using integers keeps the
+    simulation deterministic and comparison exact; 63-bit ints give
+    ~100 days of simulated time, far beyond any experiment here. *)
+
+type t = int
+
+val zero : t
+val ps : int -> t
+val ns : int -> t
+val us : int -> t
+
+val to_ns : t -> float
+val to_us : t -> float
+
+(** [mul_f t x] scales a duration by a float factor, rounding to the
+    nearest picosecond. *)
+val mul_f : t -> float -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/token/msg.ml: Cache Format

@@ -1,0 +1,1 @@
+lib/token/msg.mli: Cache Format

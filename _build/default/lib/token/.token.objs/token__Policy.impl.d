@@ -1,0 +1,1 @@
+lib/token/policy.ml: Format List String

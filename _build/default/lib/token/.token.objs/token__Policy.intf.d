@@ -1,0 +1,1 @@
+lib/token/policy.mli: Format

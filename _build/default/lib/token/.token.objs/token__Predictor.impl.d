@@ -1,0 +1,1 @@
+lib/token/predictor.ml: Array Cache Sim

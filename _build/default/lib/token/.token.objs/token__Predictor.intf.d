@@ -1,0 +1,1 @@
+lib/token/predictor.mli: Cache Sim

@@ -1,0 +1,1 @@
+lib/token/protocol.ml: Array Cache Float Format Hashtbl Interconnect List Mcmp Msg Policy Predictor Queue Sim

@@ -1,0 +1,1 @@
+lib/token/protocol.mli: Cache Format Interconnect Mcmp Policy Sim

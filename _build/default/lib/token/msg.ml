@@ -1,0 +1,44 @@
+type rw = R | W
+
+type scope = [ `Local | `External ]
+
+type t =
+  | Transient of {
+      addr : Cache.Addr.t;
+      requester : int;
+      rw : rw;
+      scope : scope;
+      force_external : bool;
+      hint : int option;  (* requester-predicted holder chip *)
+    }
+  | Tokens of {
+      addr : Cache.Addr.t;
+      src : int;
+      count : int;
+      owner : bool;
+      data : bool;
+      dirty : bool;
+      writeback : bool;
+    }
+  | P_activate of { addr : Cache.Addr.t; proc : int; l1 : int; rw : rw; seq : int }
+  | P_deactivate of { addr : Cache.Addr.t; proc : int; seq : int }
+  | P_arb_request of { addr : Cache.Addr.t; proc : int; l1 : int; rw : rw }
+  | P_arb_done of { addr : Cache.Addr.t; proc : int }
+
+let pp_rw fmt = function R -> Format.pp_print_string fmt "R" | W -> Format.pp_print_string fmt "W"
+
+let pp fmt = function
+  | Transient { addr; requester; rw; scope; _ } ->
+    Format.fprintf fmt "Transient(%a,%a,req=%d,%s)" Cache.Addr.pp addr pp_rw rw requester
+      (match scope with `Local -> "local" | `External -> "external")
+  | Tokens { addr; count; owner; data; _ } ->
+    Format.fprintf fmt "Tokens(%a,%d%s%s)" Cache.Addr.pp addr count
+      (if owner then ",owner" else "")
+      (if data then ",data" else "")
+  | P_activate { addr; proc; seq; _ } ->
+    Format.fprintf fmt "P_activate(%a,p%d,#%d)" Cache.Addr.pp addr proc seq
+  | P_deactivate { addr; proc; seq } ->
+    Format.fprintf fmt "P_deactivate(%a,p%d,#%d)" Cache.Addr.pp addr proc seq
+  | P_arb_request { addr; proc; _ } ->
+    Format.fprintf fmt "P_arb_request(%a,p%d)" Cache.Addr.pp addr proc
+  | P_arb_done { addr; proc } -> Format.fprintf fmt "P_arb_done(%a,p%d)" Cache.Addr.pp addr proc

@@ -1,0 +1,41 @@
+(** TokenCMP message vocabulary.
+
+    Token-carrying messages are self-describing: safety follows from
+    token counting alone, so no message ever needs an acknowledgment,
+    and any message can be processed in any order. *)
+
+type rw = R | W
+
+(** Scope of a transient request: [`Local] is the intra-CMP broadcast,
+    [`External] the inter-CMP broadcast (or a flat-policy global one). *)
+type scope = [ `Local | `External ]
+
+type t =
+  | Transient of {
+      addr : Cache.Addr.t;
+      requester : int;  (** L1 node to send tokens/data to *)
+      rw : rw;
+      scope : scope;
+      force_external : bool;
+          (** retries force the home L2 bank to escalate off-chip *)
+      hint : int option;
+          (** destination-set prediction: the chip the requester last saw
+              tokens for this block come from *)
+    }
+  | Tokens of {
+      addr : Cache.Addr.t;
+      src : int;
+      count : int;  (** >= 1 *)
+      owner : bool;
+      data : bool;  (** message carries the 64 B block *)
+      dirty : bool;
+      writeback : bool;  (** traffic-accounting only *)
+    }
+  | P_activate of { addr : Cache.Addr.t; proc : int; l1 : int; rw : rw; seq : int }
+  | P_deactivate of { addr : Cache.Addr.t; proc : int; seq : int }
+  | P_arb_request of { addr : Cache.Addr.t; proc : int; l1 : int; rw : rw }
+      (** starving L1 -> home arbiter *)
+  | P_arb_done of { addr : Cache.Addr.t; proc : int }
+      (** satisfied requester -> home arbiter *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+type activation = Arbiter | Distributed
+
+type t = {
+  name : string;
+  transient_requests : int;
+  activation : activation;
+  predictor : bool;
+  filter : bool;
+  hierarchical : bool;
+  timeout_all_responses : bool;
+  multicast : bool;
+}
+
+let base =
+  {
+    name = "";
+    transient_requests = 1;
+    activation = Distributed;
+    predictor = false;
+    filter = false;
+    hierarchical = true;
+    timeout_all_responses = false;
+    multicast = false;
+  }
+
+let arb0 = { base with name = "TokenCMP-arb0"; transient_requests = 0; activation = Arbiter }
+let dst0 = { base with name = "TokenCMP-dst0"; transient_requests = 0 }
+let dst4 = { base with name = "TokenCMP-dst4"; transient_requests = 4 }
+let dst1 = { base with name = "TokenCMP-dst1" }
+let dst1_pred = { base with name = "TokenCMP-dst1-pred"; predictor = true }
+let dst1_filt = { base with name = "TokenCMP-dst1-filt"; filter = true }
+let dst1_flat = { base with name = "TokenCMP-dst1-flat"; hierarchical = false }
+
+(* One extra transient attempt: a misprediction retries with the full
+   broadcast before falling back to a persistent request. *)
+let dst1_mcast = { base with name = "TokenCMP-dst1-mcast"; multicast = true; transient_requests = 2 }
+
+let all = [ arb0; dst0; dst4; dst1; dst1_pred; dst1_filt ]
+
+let by_name name =
+  List.find_opt
+    (fun p -> String.lowercase_ascii p.name = String.lowercase_ascii name)
+    (dst1_flat :: dst1_mcast :: all)
+
+let pp fmt t =
+  Format.fprintf fmt "%s (transient=%d, %s%s%s%s)" t.name t.transient_requests
+    (match t.activation with Arbiter -> "arbiter" | Distributed -> "distributed")
+    (if t.predictor then ", predictor" else "")
+    (if t.filter then ", filter" else "")
+    (if t.multicast then ", multicast" else "")

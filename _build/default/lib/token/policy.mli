@@ -1,0 +1,49 @@
+(** TokenCMP performance-policy variants (the paper's Table 1).
+
+    The correctness substrate (token counting + persistent requests) is
+    identical across variants; a policy only decides how transient
+    requests are issued, retried, filtered and escalated. *)
+
+type activation = Arbiter | Distributed
+
+type t = {
+  name : string;
+  transient_requests : int;
+      (** total transient attempts before a persistent request:
+          0 (immediately persistent), 1, or 4 (1 + 3 retries) *)
+  activation : activation;
+  predictor : bool;  (** contended-block predictor (dst1-pred) *)
+  filter : bool;  (** approximate L1-sharer filter (dst1-filt) *)
+  hierarchical : bool;
+      (** intra-CMP broadcast first with L2-mediated escalation; false
+          reverts to flat TokenB-style global broadcast (ablation) *)
+  timeout_all_responses : bool;
+      (** ablation: estimate the timeout from all responses (TokenB)
+          instead of memory responses only *)
+  multicast : bool;
+      (** extension (Section 4's destination-set prediction pointer):
+          escalate to a predicted holder chip instead of broadcasting;
+          retries fall back to the full broadcast *)
+}
+
+val arb0 : t
+val dst0 : t
+val dst4 : t
+val dst1 : t
+val dst1_pred : t
+val dst1_filt : t
+
+(** The six variants of Table 1, in the paper's order. *)
+val all : t list
+
+val by_name : string -> t option
+
+(** TokenB-like flat-broadcast ablation of dst1. *)
+val dst1_flat : t
+
+(** Destination-set-prediction extension of dst1: external escalation
+    multicasts to the block's last observed requester chip plus home,
+    with full broadcast as the retry fallback. *)
+val dst1_mcast : t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+type entry = { mutable addr : Cache.Addr.t; mutable counter : int; mutable used : int }
+
+type t = {
+  sets : int;
+  ways : int;
+  entries : entry array;
+  rng : Sim.Rng.t;
+  mutable tick : int;
+}
+
+let create ?(sets = 64) ?(ways = 4) rng =
+  {
+    sets;
+    ways;
+    entries = Array.init (sets * ways) (fun _ -> { addr = -1; counter = 0; used = 0 });
+    rng;
+    tick = 0;
+  }
+
+let find t addr =
+  let base = addr mod t.sets * t.ways in
+  let rec scan i =
+    if i >= t.ways then None
+    else
+      let e = t.entries.(base + i) in
+      if e.addr = addr then Some e else scan (i + 1)
+  in
+  scan 0
+
+let record_retry t addr =
+  t.tick <- t.tick + 1;
+  (* Pseudo-random reset of a victim entry keeps the table adaptive. *)
+  if Sim.Rng.int t.rng 64 = 0 then begin
+    let e = t.entries.(Sim.Rng.int t.rng (Array.length t.entries)) in
+    e.counter <- 0
+  end;
+  match find t addr with
+  | Some e ->
+    e.counter <- min 3 (e.counter + 1);
+    e.used <- t.tick
+  | None ->
+    let base = addr mod t.sets * t.ways in
+    let victim = ref t.entries.(base) in
+    for i = 1 to t.ways - 1 do
+      let e = t.entries.(base + i) in
+      if e.used < !victim.used then victim := e
+    done;
+    !victim.addr <- addr;
+    !victim.counter <- 1;
+    !victim.used <- t.tick
+
+let predicts_contended t addr =
+  match find t addr with None -> false | Some e -> e.counter >= 2

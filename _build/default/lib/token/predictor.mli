@@ -1,0 +1,18 @@
+(** Contended-block predictor for TokenCMP-dst1-pred.
+
+    A 4-way set-associative, 256-entry table of 2-bit saturating
+    counters per L1 cache. A counter is allocated and incremented when
+    a transient request is retried; a miss that looks up a saturated
+    counter skips transient requests and goes straight to a persistent
+    request. Counters are reset pseudo-randomly so the predictor adapts
+    to phase changes. *)
+
+type t
+
+val create : ?sets:int -> ?ways:int -> Sim.Rng.t -> t
+
+(** Record a retry (allocate / bump the counter). *)
+val record_retry : t -> Cache.Addr.t -> unit
+
+(** Should the next miss on this block go straight persistent? *)
+val predicts_contended : t -> Cache.Addr.t -> bool

@@ -1,0 +1,984 @@
+module E = Sim.Engine
+module L = Interconnect.Layout
+module F = Interconnect.Fabric
+module MC = Interconnect.Msg_class
+
+(* Per-block token state of one cache line (or of memory's home entry).
+   Invariant: resident cache lines have tokens >= 1; owner => valid. *)
+type line = {
+  mutable tokens : int;
+  mutable owner : bool;
+  mutable dirty : bool;
+  mutable valid : bool;  (* holds usable data *)
+  mutable hold_until : Sim.Time.t;  (* response-delay window *)
+}
+
+let fresh_line () = { tokens = 0; owner = false; dirty = false; valid = false; hold_until = 0 }
+
+(* L2-bank approximate knowledge of its chip: which local L1s probably
+   hold the block (the dst1-filt filter) and roughly how many tokens
+   live in local L1s (drives write-escalation). Being wrong only costs
+   a retry; the substrate guarantees safety regardless. *)
+type l2meta = {
+  mutable sharers : int;  (* conservative, for escalation decisions *)
+  mutable filter_sharers : int;  (* optimistic, for the dst1-filt filter *)
+  mutable l1_tokens : int;
+  mutable owner_hint : int option;  (* chip last seen requesting the block *)
+}
+
+type mshr = {
+  m_addr : Cache.Addr.t;
+  m_rw : Msg.rw;
+  m_commit : unit -> unit;
+  m_issued : Sim.Time.t;
+  mutable m_retries : int;
+  mutable m_timer : E.timer option;
+  mutable m_persistent : bool;
+  mutable m_counted : bool;
+  mutable m_pending_persistent : bool;  (* blocked by marked entries *)
+  mutable m_saw_mem : bool;
+  mutable m_saw_remote : bool;
+}
+
+(* Distributed-activation table entry (one slot per processor). *)
+type pentry = {
+  pe_addr : Cache.Addr.t;
+  pe_rw : Msg.rw;
+  pe_l1 : int;
+  mutable pe_marked : bool;
+}
+
+type node = {
+  id : int;
+  kind : L.kind;
+  lines : line Cache.Sarray.t;  (* caches; unused singleton for mem *)
+  mem_lines : (Cache.Addr.t, line) Hashtbl.t;  (* mem only *)
+  meta : (Cache.Addr.t, l2meta) Hashtbl.t;  (* L2 only *)
+  mutable mshr : mshr option;  (* L1 only *)
+  ptable : pentry option array;  (* distributed activation *)
+  peer_seq : int array;  (* distributed: last activation seq applied, per proc *)
+  parb_active : (Cache.Addr.t, int * int * Msg.rw) Hashtbl.t;  (* arbiter activation *)
+  parb_epoch : (Cache.Addr.t, int) Hashtbl.t;  (* last arbiter epoch applied *)
+  (* mem arbiter: per-block activation queues plus a single arbitration
+     server (fair queuing): every request/done decision occupies the
+     arbiter for a service time, so blocks colocated on one controller
+     contend for its arbitration bandwidth *)
+  arb_queue : (Cache.Addr.t, (int * int * Msg.rw) Queue.t) Hashtbl.t;
+  mutable arb_busy_until : Sim.Time.t;
+  arb_epoch_ctr : (Cache.Addr.t, int) Hashtbl.t;  (* mem arbiter: activation epochs *)
+  predictor : Predictor.t option;  (* L1, dst1-pred *)
+  dsp : (Cache.Addr.t, int) Hashtbl.t;  (* L1, dst1-mcast: last remote source chip *)
+}
+
+type t = {
+  engine : E.t;
+  cfg : Mcmp.Config.t;
+  policy : Policy.t;
+  layout : L.t;
+  fabric : Msg.t F.t;
+  counters : Mcmp.Counters.t;
+  rng : Sim.Rng.t;
+  nodes : node array;
+  inflight : (Cache.Addr.t, int) Hashtbl.t;
+  pseq : int array;  (* next activation sequence number, per proc *)
+  ema_mem : Sim.Stat.Ema.t;
+  ema_all : Sim.Stat.Ema.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+
+let now t = E.now t.engine
+let is_mem_node n = match n.kind with L.Mem _ -> true | _ -> false
+let is_l1_node n = match n.kind with L.L1d _ | L.L1i _ -> true | _ -> false
+
+let node_cmp n =
+  match n.kind with
+  | L.L1d { cmp; _ } | L.L1i { cmp; _ } | L.L2 { cmp; _ } | L.Mem { cmp } -> cmp
+
+(* Index of an L1 node within its chip, for the sharers bitmask. *)
+let local_l1_bit t id =
+  match L.kind t.layout id with
+  | L.L1d { proc; _ } -> 1 lsl proc
+  | L.L1i { proc; _ } -> 1 lsl (t.layout.L.procs_per_cmp + proc)
+  | L.L2 _ | L.Mem _ -> 0
+
+let l1s_of_bits t cmp bits =
+  let l1s = L.l1s_of_cmp t.layout cmp in
+  List.filteri (fun i _ -> bits land (1 lsl i) <> 0) l1s
+
+let home_mem t addr = L.mem t.layout ~cmp:(Cache.Addr.home_cmp ~ncmp:t.cfg.Mcmp.Config.ncmp addr)
+
+let home_l2 t ~cmp addr =
+  L.l2 t.layout ~cmp ~bank:(Cache.Addr.l2_bank ~nbanks:t.cfg.Mcmp.Config.l2_banks addr)
+
+let inflight_count t addr = try Hashtbl.find t.inflight addr with Not_found -> 0
+
+let add_inflight t addr d =
+  let v = inflight_count t addr + d in
+  assert (v >= 0);
+  if v = 0 then Hashtbl.remove t.inflight addr else Hashtbl.replace t.inflight addr v
+
+(* Memory starts with all T tokens of every block at the block's home
+   controller; non-home controllers never hold tokens. *)
+let is_home_mem t node addr =
+  match node.kind with
+  | L.Mem { cmp } -> cmp = Cache.Addr.home_cmp ~ncmp:t.cfg.Mcmp.Config.ncmp addr
+  | L.L1d _ | L.L1i _ | L.L2 _ -> false
+
+let mem_line t node addr =
+  match Hashtbl.find_opt node.mem_lines addr with
+  | Some l -> l
+  | None ->
+    let home = is_home_mem t node addr in
+    let l =
+      {
+        tokens = (if home then t.cfg.tokens else 0);
+        owner = home;
+        dirty = false;
+        valid = home;
+        hold_until = 0;
+      }
+    in
+    Hashtbl.add node.mem_lines addr l;
+    l
+
+let cache_line node addr = Cache.Sarray.find node.lines addr
+
+let get_meta node addr =
+  match Hashtbl.find_opt node.meta addr with
+  | Some m -> m
+  | None ->
+    let m = { sharers = 0; filter_sharers = 0; l1_tokens = 0; owner_hint = None } in
+    Hashtbl.add node.meta addr m;
+    m
+
+(* Drop a cache line whose tokens reached zero. *)
+let strip node addr line =
+  if line.tokens = 0 then begin
+    line.valid <- false;
+    line.dirty <- false;
+    line.owner <- false;
+    if not (is_mem_node node) then Cache.Sarray.remove node.lines addr
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Token transfer                                                      *)
+
+let send_tokens t ~src ~dst ~addr ~count ~owner ~data ~dirty ~writeback =
+  assert (count >= 1);
+  assert ((not owner) || data);
+  add_inflight t addr count;
+  let cls =
+    if writeback then if data then MC.Writeback_data else MC.Writeback_control
+    else if data then MC.Response_data
+    else MC.Inv_fwd_ack_tokens
+  in
+  let bytes = if data then t.cfg.data_bytes else t.cfg.ctrl_bytes in
+  F.send_one t.fabric ~src ~dst ~cls ~bytes
+    (Msg.Tokens { addr; src; count; owner; data; dirty; writeback })
+
+(* Take [count] tokens out of [line] for a message; sending the owner
+   token requires sending data too. *)
+let take node addr line ~count ~with_owner =
+  assert (count <= line.tokens);
+  line.tokens <- line.tokens - count;
+  if with_owner then line.owner <- false;
+  strip node addr line
+
+(* ------------------------------------------------------------------ *)
+(* Persistent-request machinery (the correctness substrate)            *)
+
+(* The request currently activated at [node] for [addr], if any. *)
+let active_persistent t node addr =
+  match t.policy.Policy.activation with
+  | Policy.Arbiter -> Hashtbl.find_opt node.parb_active addr
+  | Policy.Distributed ->
+    let best = ref None in
+    Array.iteri
+      (fun proc entry ->
+        match entry with
+        | Some e when e.pe_addr = addr -> if !best = None then best := Some (proc, e.pe_l1, e.pe_rw)
+        | Some _ | None -> ())
+      node.ptable;
+    !best
+
+(* Forward tokens held at [node] to the active persistent requester.
+   Write requests take everything; read requests leave one token behind
+   at caches (the paper's persistent read), with the owner supplying
+   data. Deferred by the response-delay window. *)
+let rec persistent_check t node addr =
+  match active_persistent t node addr with
+  | None -> ()
+  | Some (_, l1, rw) when l1 <> node.id ->
+    let line =
+      if is_mem_node node then
+        if is_home_mem t node addr then Some (mem_line t node addr) else None
+      else cache_line node addr
+    in
+    let line = match line with Some l when l.tokens > 0 -> Some l | Some _ | None -> None in
+    (match line with
+    | None -> ()
+    | Some line ->
+      if now t < line.hold_until then
+        E.schedule_at t.engine line.hold_until (fun () -> persistent_check t node addr)
+      else begin
+        let send ~count ~owner ~data =
+          let dirty = line.dirty && owner in
+          take node addr line ~count ~with_owner:owner;
+          send_tokens t ~src:node.id ~dst:l1 ~addr ~count ~owner ~data ~dirty ~writeback:false
+        in
+        match rw with
+        | Msg.W -> send ~count:line.tokens ~owner:line.owner ~data:line.owner
+        | Msg.R ->
+          if is_mem_node node then send ~count:line.tokens ~owner:line.owner ~data:line.owner
+          else if line.owner then
+            if line.tokens = 1 then send ~count:1 ~owner:true ~data:true
+            else send ~count:(line.tokens - 1) ~owner:false ~data:true
+          else if line.tokens > 1 then send ~count:(line.tokens - 1) ~owner:false ~data:false
+      end)
+  | Some _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Transient-request responses (performance policy)                    *)
+
+let caches_per_cmp t = L.caches_per_cmp t.layout
+
+(* Response of one cache line to a transient request (Section 4 rules).
+   Returns tokens sent, for the L2's chip-token estimate. *)
+let respond_from_line t node line ~addr ~requester ~rw ~same_cmp =
+  if line.tokens = 0 then 0
+  else begin
+    let reply ~count ~owner ~data =
+      let dirty = line.dirty && owner in
+      take node addr line ~count ~with_owner:owner;
+      send_tokens t ~src:node.id ~dst:requester ~addr ~count ~owner ~data ~dirty ~writeback:false;
+      count
+    in
+    let all = line.tokens in
+    let migrate =
+      t.cfg.migratory && line.tokens = t.cfg.tokens && line.dirty && line.valid
+    in
+    match rw with
+    | Msg.W -> reply ~count:all ~owner:line.owner ~data:line.owner
+    | Msg.R ->
+      if same_cmp then begin
+        if migrate then reply ~count:all ~owner:true ~data:true
+        else if line.tokens > 1 && line.valid then reply ~count:1 ~owner:false ~data:true
+        else 0
+      end
+      else if not line.owner then 0
+      else if migrate then reply ~count:all ~owner:true ~data:true
+      else begin
+        (* External read: owner replies with C tokens if possible so
+           future requests on the asking chip hit locally. *)
+        let k = min (caches_per_cmp t) (line.tokens - 1) in
+        if k >= 1 then reply ~count:k ~owner:false ~data:true
+        else reply ~count:1 ~owner:true ~data:true
+      end
+  end
+
+(* Memory's response to a transient request, after controller (and, if
+   data will move, DRAM) latency. State is re-examined at fire time
+   because requests can race during the DRAM access. *)
+let mem_respond t node ~addr ~requester ~rw =
+  let line = mem_line t node addr in
+  let data_expected = line.owner in
+  let delay =
+    t.cfg.mem_ctrl_latency + if data_expected then t.cfg.dram_latency else Sim.Time.zero
+  in
+  E.schedule_in t.engine delay (fun () ->
+      let line = mem_line t node addr in
+      if line.tokens > 0 then begin
+        let reply ~count ~owner ~data =
+          take node addr line ~count ~with_owner:owner;
+          send_tokens t ~src:node.id ~dst:requester ~addr ~count ~owner ~data ~dirty:false
+            ~writeback:false
+        in
+        match rw with
+        | Msg.W -> reply ~count:line.tokens ~owner:line.owner ~data:line.owner
+        | Msg.R ->
+          if line.owner then
+            if line.tokens = t.cfg.tokens then
+              (* Block uncached anywhere: grant everything, the token
+                 analogue of a directory's E grant on an uncached read. *)
+              reply ~count:line.tokens ~owner:true ~data:true
+            else begin
+              let k = min (caches_per_cmp t) line.tokens in
+              reply ~count:k ~owner:(k = line.tokens) ~data:true
+            end
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Evictions / writebacks                                              *)
+
+let rec evict t node vaddr vline =
+  t.counters.Mcmp.Counters.writebacks <- t.counters.Mcmp.Counters.writebacks + 1;
+  let dst =
+    if is_l1_node node then home_l2 t ~cmp:(node_cmp node) vaddr else home_mem t vaddr
+  in
+  if vline.tokens > 0 then
+    send_tokens t ~src:node.id ~dst ~addr:vaddr ~count:vline.tokens ~owner:vline.owner
+      ~data:vline.owner ~dirty:(vline.dirty && vline.owner) ~writeback:true;
+  vline.tokens <- 0;
+  vline.owner <- false;
+  Cache.Sarray.remove node.lines vaddr
+
+(* Find-or-allocate a cache line, evicting the LRU victim if needed. *)
+and alloc_line t node addr =
+  match cache_line node addr with
+  | Some l -> l
+  | None ->
+    (match Cache.Sarray.victim_for node.lines addr with
+    | Some (vaddr, vline) -> evict t node vaddr vline
+    | None -> ());
+    let l = fresh_line () in
+    Cache.Sarray.insert node.lines addr l;
+    l
+
+(* ------------------------------------------------------------------ *)
+(* MSHR lifecycle                                                      *)
+
+let satisfied t node m =
+  match cache_line node m.m_addr with
+  | None -> false
+  | Some l -> (
+    match m.m_rw with
+    | Msg.R -> l.tokens >= 1 && l.valid
+    | Msg.W -> l.tokens = t.cfg.tokens && l.valid)
+
+let timeout_threshold t m =
+  let ema = if t.policy.Policy.timeout_all_responses then t.ema_all else t.ema_mem in
+  let base_ns = 2.0 *. Sim.Stat.Ema.value ema in
+  let base_ns = Float.max 120. base_ns in
+  (* Exponential backoff across retries plus pseudo-random skew to
+     avoid lock-step retry storms. *)
+  let scaled = base_ns *. Float.min 2.25 (1.5 ** float_of_int m.m_retries) in
+  let jittered = scaled *. (0.75 +. Sim.Rng.float t.rng 0.5) in
+  Sim.Time.ns (int_of_float jittered)
+
+let proc_of_node t node =
+  match node.kind with
+  | L.L1d { cmp; proc } | L.L1i { cmp; proc } -> (cmp * t.layout.L.procs_per_cmp) + proc
+  | L.L2 _ | L.Mem _ -> invalid_arg "proc_of_node"
+
+let has_marked_for node addr =
+  Array.exists
+    (function Some e -> e.pe_addr = addr && e.pe_marked | None -> false)
+    node.ptable
+
+let persistent_targets t node =
+  List.filter (fun id -> id <> node.id) (L.all_caches t.layout @ L.all_mems t.layout)
+
+let rec broadcast_transient t node m ~force_external =
+  let addr = m.m_addr in
+  let rw = m.m_rw in
+  let hint = if t.policy.Policy.multicast then Hashtbl.find_opt node.dsp addr else None in
+  let msg scope = Msg.Transient { addr; requester = node.id; rw; scope; force_external; hint } in
+  if t.policy.Policy.hierarchical then begin
+    let cmp = node_cmp node in
+    let dsts =
+      List.filter (fun id -> id <> node.id) (L.l1s_of_cmp t.layout cmp)
+      @ [ home_l2 t ~cmp addr ]
+    in
+    F.send t.fabric ~src:node.id ~dsts ~cls:MC.Request ~bytes:t.cfg.ctrl_bytes (msg `Local)
+  end
+  else begin
+    (* Flat TokenB-style global broadcast (ablation). *)
+    let dsts =
+      List.filter (fun id -> id <> node.id) (L.all_caches t.layout) @ [ home_mem t addr ]
+    in
+    F.send t.fabric ~src:node.id ~dsts ~cls:MC.Request ~bytes:t.cfg.ctrl_bytes (msg `External)
+  end
+
+and arm_timer t node m =
+  let th = timeout_threshold t m in
+  m.m_timer <- Some (E.timer_in t.engine th (fun () -> on_timeout t node m))
+
+and on_timeout t node m =
+  match node.mshr with
+  | Some m' when m' == m ->
+    if satisfied t node m then complete t node m
+    else begin
+      (match node.predictor with Some p -> Predictor.record_retry p m.m_addr | None -> ());
+      if m.m_retries + 1 < t.policy.Policy.transient_requests then begin
+        m.m_retries <- m.m_retries + 1;
+        t.counters.Mcmp.Counters.transient_retries <-
+          t.counters.Mcmp.Counters.transient_retries + 1;
+        broadcast_transient t node m ~force_external:true;
+        arm_timer t node m
+      end
+      else start_persistent t node m
+    end
+  | Some _ | None -> ()
+
+and start_persistent t node m =
+  if not m.m_counted then begin
+    m.m_counted <- true;
+    t.counters.Mcmp.Counters.persistent_requests <-
+      t.counters.Mcmp.Counters.persistent_requests + 1;
+    if m.m_rw = Msg.R then
+      t.counters.Mcmp.Counters.persistent_reads <- t.counters.Mcmp.Counters.persistent_reads + 1
+  end;
+  match t.policy.Policy.activation with
+  | Policy.Arbiter ->
+    m.m_persistent <- true;
+    let proc = proc_of_node t node in
+    F.send_one t.fabric ~src:node.id ~dst:(home_mem t m.m_addr) ~cls:MC.Persistent
+      ~bytes:t.cfg.ctrl_bytes
+      (Msg.P_arb_request { addr = m.m_addr; proc; l1 = node.id; rw = m.m_rw })
+  | Policy.Distributed ->
+    if has_marked_for node m.m_addr then m.m_pending_persistent <- true
+    else begin
+      m.m_persistent <- true;
+      m.m_pending_persistent <- false;
+      let proc = proc_of_node t node in
+      let seq = t.pseq.(proc) in
+      t.pseq.(proc) <- seq + 1;
+      node.peer_seq.(proc) <- seq;
+      node.ptable.(proc) <-
+        Some { pe_addr = m.m_addr; pe_rw = m.m_rw; pe_l1 = node.id; pe_marked = false };
+      F.send t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
+        ~bytes:t.cfg.ctrl_bytes
+        (Msg.P_activate { addr = m.m_addr; proc; l1 = node.id; rw = m.m_rw; seq })
+    end
+
+and complete t node m =
+  (match m.m_timer with Some timer -> E.cancel timer | None -> ());
+  m.m_timer <- None;
+  node.mshr <- None;
+  let line =
+    match cache_line node m.m_addr with
+    | Some l -> l
+    | None -> assert false
+  in
+  let lat_ns = Sim.Time.to_ns (now t - m.m_issued) in
+  Sim.Stat.Ema.add t.ema_all lat_ns;
+  if m.m_saw_mem then Sim.Stat.Ema.add t.ema_mem lat_ns;
+  let c = t.counters in
+  Sim.Stat.Welford.add c.Mcmp.Counters.miss_latency lat_ns;
+  Sim.Stat.Histogram.add c.Mcmp.Counters.miss_histogram (int_of_float lat_ns);
+  if m.m_saw_mem then c.Mcmp.Counters.mem_fills <- c.Mcmp.Counters.mem_fills + 1
+  else if m.m_saw_remote then c.Mcmp.Counters.remote_fills <- c.Mcmp.Counters.remote_fills + 1
+  else c.Mcmp.Counters.l2_local_fills <- c.Mcmp.Counters.l2_local_fills + 1;
+  Cache.Sarray.touch node.lines m.m_addr;
+  (match m.m_rw with
+  | Msg.W ->
+    line.dirty <- true;
+    line.hold_until <- now t + t.cfg.response_delay
+  | Msg.R ->
+    (* A migratory grab of all tokens is about to be written; keep the
+       window so the upcoming test-and-set hits. *)
+    if line.tokens = t.cfg.tokens then line.hold_until <- now t + t.cfg.response_delay);
+  if m.m_persistent then deactivate t node m;
+  m.m_commit ()
+
+and deactivate t node m =
+  let proc = proc_of_node t node in
+  match t.policy.Policy.activation with
+  | Policy.Arbiter ->
+    F.send_one t.fabric ~src:node.id ~dst:(home_mem t m.m_addr) ~cls:MC.Persistent
+      ~bytes:t.cfg.ctrl_bytes
+      (Msg.P_arb_done { addr = m.m_addr; proc })
+  | Policy.Distributed ->
+    let seq = t.pseq.(proc) - 1 in
+    node.ptable.(proc) <- None;
+    (* FutureBus-style wave marking: outstanding requests for this block
+       must drain before this processor may re-request it. *)
+    Array.iter
+      (function Some e when e.pe_addr = m.m_addr -> e.pe_marked <- true | Some _ | None -> ())
+      node.ptable;
+    F.send t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
+      ~bytes:t.cfg.ctrl_bytes
+      (Msg.P_deactivate { addr = m.m_addr; proc; seq });
+    persistent_check t node m.m_addr
+
+(* ------------------------------------------------------------------ *)
+(* Message handlers                                                    *)
+
+let check_mshr t node addr ~from =
+  match node.mshr with
+  | Some m when m.m_addr = addr ->
+    if L.is_mem t.layout from then m.m_saw_mem <- true
+    else if L.cmp_of t.layout from <> node_cmp node then m.m_saw_remote <- true;
+    if satisfied t node m then complete t node m
+  | Some _ | None -> ()
+
+let receive_tokens t node ~addr ~src ~count ~owner ~data ~dirty ~writeback =
+  add_inflight t addr (-count);
+  let line = if is_mem_node node then mem_line t node addr else alloc_line t node addr in
+  line.tokens <- line.tokens + count;
+  if owner then line.owner <- true;
+  if data then line.valid <- true;
+  if dirty then line.dirty <- true;
+  if not (is_mem_node node) then Cache.Sarray.touch node.lines addr;
+  if
+    is_l1_node node && t.policy.Policy.multicast
+    && L.is_cache t.layout src
+    && L.cmp_of t.layout src <> node_cmp node
+  then Hashtbl.replace node.dsp addr (L.cmp_of t.layout src);
+  (match node.kind with
+  | L.L2 _ when writeback && L.cmp_of t.layout src = node_cmp node && L.is_l1 t.layout src ->
+    (* A local L1 wrote back everything it had: update chip estimates. *)
+    let meta = get_meta node addr in
+    meta.l1_tokens <- max 0 (meta.l1_tokens - count);
+    meta.sharers <- meta.sharers land lnot (local_l1_bit t src);
+    meta.filter_sharers <- meta.filter_sharers land lnot (local_l1_bit t src)
+  | _ -> ());
+  persistent_check t node addr;
+  if is_l1_node node then check_mshr t node addr ~from:src
+
+(* External-request fan-out used by the L2 escalation path. With the
+   destination-set-prediction extension, the first escalation multicasts
+   to the chip last seen requesting the block (plus the home); a retry
+   ([full]) falls back to the complete broadcast, and the substrate
+   guarantees mispredictions only cost that retry. *)
+let escalate_external t node ~addr ~requester ~rw ~hint ~full =
+  let my_cmp = node_cmp node in
+  let meta = get_meta node addr in
+  let prediction = match hint with Some _ -> hint | None -> meta.owner_hint in
+  let chips =
+    match prediction with
+    | Some c when t.policy.Policy.multicast && (not full) && c <> my_cmp -> [ c ]
+    | Some _ | None -> List.init t.cfg.ncmp (fun c -> c)
+  in
+  let remote_dsts =
+    List.concat_map
+      (fun cmp ->
+        if cmp = my_cmp then []
+        else if t.policy.Policy.filter then [ home_l2 t ~cmp addr ]
+        else home_l2 t ~cmp addr :: L.l1s_of_cmp t.layout cmp)
+      chips
+  in
+  let dsts = home_mem t addr :: remote_dsts in
+  F.send t.fabric ~src:node.id ~dsts ~cls:MC.Request ~bytes:t.cfg.ctrl_bytes
+    (Msg.Transient { addr; requester; rw; scope = `External; force_external = false; hint = None })
+
+let handle_transient_l1 t node ~addr ~requester ~rw =
+  E.schedule_in t.engine t.cfg.l1_latency (fun () ->
+      match cache_line node addr with
+      | None -> ()
+      | Some line ->
+        (* Transient requests are stateless at responders: inside the
+           response-delay window the cache simply does not respond and
+           the requester must retry or escalate to a persistent request
+           (which, unlike transients, is remembered and served when the
+           window closes). *)
+        if now t >= line.hold_until then begin
+          let same_cmp = L.cmp_of t.layout requester = node_cmp node in
+          ignore (respond_from_line t node line ~addr ~requester ~rw ~same_cmp)
+        end)
+
+let handle_transient_l2 t node ~addr ~requester ~rw ~scope ~force_external ~hint =
+  (* dst1-filt: the sharer filter is a fast directly-addressed lookup
+     consulted as the request enters the chip, off the L2 tag-access
+     path; only probable sharers see the forwarded request. Persistent
+     requests are never filtered, so imprecision is harmless. *)
+  if
+    t.policy.Policy.filter && scope = `External
+    && L.cmp_of t.layout requester <> node_cmp node
+  then begin
+    let meta = get_meta node addr in
+    let dsts = l1s_of_bits t (node_cmp node) meta.filter_sharers in
+    if dsts <> [] then
+      F.send t.fabric ~src:node.id ~dsts ~cls:MC.Request ~bytes:t.cfg.ctrl_bytes
+        (Msg.Transient { addr; requester; rw; scope = `External; force_external; hint = None })
+  end;
+  E.schedule_in t.engine t.cfg.l2_latency (fun () ->
+      let meta = get_meta node addr in
+      let same_cmp = L.cmp_of t.layout requester = node_cmp node in
+      if same_cmp && scope = `Local then begin
+        (* Chip-token estimate before this response moves tokens. *)
+        let l2_tokens = match cache_line node addr with Some l -> l.tokens | None -> 0 in
+        let estimate = l2_tokens + meta.l1_tokens in
+        let other_sharers = meta.sharers land lnot (local_l1_bit t requester) in
+        meta.sharers <- meta.sharers lor local_l1_bit t requester;
+        meta.filter_sharers <- meta.filter_sharers lor local_l1_bit t requester;
+        let sent =
+          match cache_line node addr with
+          | Some line -> respond_from_line t node line ~addr ~requester ~rw ~same_cmp:true
+          | None -> 0
+        in
+        meta.l1_tokens <- meta.l1_tokens + sent;
+        let escalate =
+          force_external
+          ||
+          match rw with
+          | Msg.W -> estimate < t.cfg.tokens
+          | Msg.R -> sent = 0 && other_sharers = 0
+        in
+        if escalate then
+          escalate_external t node ~addr ~requester ~rw ~hint ~full:force_external
+      end
+      else begin
+        (* External request reaching this chip's home bank: the
+           requester's chip probably holds the block soon (destination-
+           set prediction hint). *)
+        meta.owner_hint <- Some (L.cmp_of t.layout requester);
+        (match cache_line node addr with
+        | Some line ->
+          ignore (respond_from_line t node line ~addr ~requester ~rw ~same_cmp:false)
+        | None -> ());
+        (* Conservatively assume local tokens leave with the external
+           request (writes take everything; reads may migrate the whole
+           block). Underestimating only costs an extra escalation. The
+           filter's optimistic set is cleared only by writes, which
+           certainly strip every local token. *)
+        meta.l1_tokens <- 0;
+        meta.sharers <- 0;
+        if rw = Msg.W then meta.filter_sharers <- 0
+      end)
+
+(* Arbiter logic at the home memory controller. The substrate activates
+   at most one persistent request per block; the arbiter itself is a
+   fair-queued server whose arbitration decisions take [arb_service]
+   each, so hot blocks colocated on one controller contend for its
+   arbitration bandwidth (the paper's colocation remark). *)
+let arb_service = Sim.Time.ns 15
+
+let arb_queue node addr =
+  match Hashtbl.find_opt node.arb_queue addr with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add node.arb_queue addr q;
+    q
+
+(* Serialize a decision through the arbiter server. *)
+let arb_schedule t node k =
+  let ready = max (now t + t.cfg.mem_ctrl_latency) node.arb_busy_until in
+  let start = ready + arb_service in
+  node.arb_busy_until <- start;
+  E.schedule_at t.engine start k
+
+let arb_activate t node addr (proc, l1, rw) =
+  let epoch = 1 + (try Hashtbl.find node.arb_epoch_ctr addr with Not_found -> 0) in
+  Hashtbl.replace node.arb_epoch_ctr addr epoch;
+  Hashtbl.replace node.parb_epoch addr epoch;
+  Hashtbl.replace node.parb_active addr (proc, l1, rw);
+  F.send t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
+    ~bytes:t.cfg.ctrl_bytes
+    (Msg.P_activate { addr; proc; l1; rw; seq = epoch });
+  persistent_check t node addr
+
+let handle_arb_request t node ~addr ~proc ~l1 ~rw =
+  arb_schedule t node (fun () ->
+      if Hashtbl.mem node.parb_active addr then Queue.push (proc, l1, rw) (arb_queue node addr)
+      else arb_activate t node addr (proc, l1, rw))
+
+let handle_arb_done t node ~addr ~proc =
+  arb_schedule t node (fun () ->
+      match Hashtbl.find_opt node.parb_active addr with
+      | Some (p, _, _) when p = proc ->
+        Hashtbl.remove node.parb_active addr;
+        let epoch = try Hashtbl.find node.arb_epoch_ctr addr with Not_found -> 0 in
+        F.send t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
+          ~bytes:t.cfg.ctrl_bytes
+          (Msg.P_deactivate { addr; proc; seq = epoch });
+        (match Queue.take_opt (arb_queue node addr) with
+        | Some next -> arb_activate t node addr next
+        | None -> ())
+      | Some _ | None ->
+        (* The requester was satisfied while still queued: retract its
+           queue entry so it is never activated posthumously. *)
+        let q = arb_queue node addr in
+        let keep = Queue.create () in
+        Queue.iter (fun (p, l, r) -> if p <> proc then Queue.push (p, l, r) keep) q;
+        Queue.clear q;
+        Queue.transfer keep q)
+
+let handle_p_activate t node ~addr ~proc ~l1 ~rw ~seq =
+  match t.policy.Policy.activation with
+  | Policy.Distributed ->
+    if seq > node.peer_seq.(proc) then begin
+      node.peer_seq.(proc) <- seq;
+      node.ptable.(proc) <- Some { pe_addr = addr; pe_rw = rw; pe_l1 = l1; pe_marked = false };
+      persistent_check t node addr
+    end
+  | Policy.Arbiter ->
+    let cur = try Hashtbl.find node.parb_epoch addr with Not_found -> 0 in
+    if seq > cur then begin
+      Hashtbl.replace node.parb_epoch addr seq;
+      Hashtbl.replace node.parb_active addr (proc, l1, rw);
+      (* Recovery: an activation can reach its own requester after the
+         request was satisfied by other means; answer for it so the
+         arbiter moves on. *)
+      let stale_self =
+        l1 = node.id
+        &&
+        match node.mshr with
+        | Some m -> not (m.m_addr = addr && m.m_persistent)
+        | None -> true
+      in
+      if stale_self then
+        F.send_one t.fabric ~src:node.id ~dst:(home_mem t addr) ~cls:MC.Persistent
+          ~bytes:t.cfg.ctrl_bytes
+          (Msg.P_arb_done { addr; proc })
+      else persistent_check t node addr
+    end
+
+let handle_p_deactivate t node ~addr ~proc ~seq =
+  (match t.policy.Policy.activation with
+  | Policy.Distributed ->
+    if seq >= node.peer_seq.(proc) then begin
+      node.peer_seq.(proc) <- seq;
+      match node.ptable.(proc) with
+      | Some e when e.pe_addr = addr -> node.ptable.(proc) <- None
+      | Some _ | None -> ()
+    end
+  | Policy.Arbiter ->
+    let cur = try Hashtbl.find node.parb_epoch addr with Not_found -> 0 in
+    if seq >= cur then begin
+      Hashtbl.replace node.parb_epoch addr seq;
+      match Hashtbl.find_opt node.parb_active addr with
+      | Some (p, _, _) when p = proc -> Hashtbl.remove node.parb_active addr
+      | Some _ | None -> ()
+    end);
+  persistent_check t node addr;
+  (* A cleared wave may unblock a deferred persistent issue. *)
+  match node.mshr with
+  | Some m when m.m_pending_persistent && not (has_marked_for node m.m_addr) ->
+    start_persistent t node m
+  | Some _ | None -> ()
+
+let handle t ~dst msg =
+  let node = t.nodes.(dst) in
+  match msg with
+  | Msg.Transient { addr; requester; rw; scope; force_external; hint } ->
+    if requester = node.id then ()
+    else begin
+      match node.kind with
+      | L.L1d _ | L.L1i _ -> handle_transient_l1 t node ~addr ~requester ~rw
+      | L.L2 _ -> handle_transient_l2 t node ~addr ~requester ~rw ~scope ~force_external ~hint
+      | L.Mem _ -> mem_respond t node ~addr ~requester ~rw
+    end
+  | Msg.Tokens { addr; src; count; owner; data; dirty; writeback } ->
+    receive_tokens t node ~addr ~src ~count ~owner ~data ~dirty ~writeback
+  | Msg.P_activate { addr; proc; l1; rw; seq } ->
+    handle_p_activate t node ~addr ~proc ~l1 ~rw ~seq
+  | Msg.P_deactivate { addr; proc; seq } -> handle_p_deactivate t node ~addr ~proc ~seq
+  | Msg.P_arb_request { addr; proc; l1; rw } -> handle_arb_request t node ~addr ~proc ~l1 ~rw
+  | Msg.P_arb_done { addr; proc } -> handle_arb_done t node ~addr ~proc
+
+(* ------------------------------------------------------------------ *)
+(* Processor-side entry point                                          *)
+
+let issue t node m =
+  let straight_persistent =
+    t.policy.Policy.transient_requests = 0
+    ||
+    match node.predictor with
+    | Some p -> Predictor.predicts_contended p m.m_addr
+    | None -> false
+  in
+  if straight_persistent then start_persistent t node m
+  else begin
+    broadcast_transient t node m ~force_external:false;
+    arm_timer t node m
+  end
+
+let access t ~proc ~kind addr ~commit =
+  let l1id =
+    let cmp = proc / t.layout.L.procs_per_cmp and p = proc mod t.layout.L.procs_per_cmp in
+    match kind with
+    | Mcmp.Protocol.Ifetch -> L.l1i t.layout ~cmp ~proc:p
+    | Mcmp.Protocol.Read | Mcmp.Protocol.Write | Mcmp.Protocol.Atomic ->
+      L.l1d t.layout ~cmp ~proc:p
+  in
+  let node = t.nodes.(l1id) in
+  let rw = if Mcmp.Protocol.is_write kind then Msg.W else Msg.R in
+  E.schedule_in t.engine t.cfg.l1_latency (fun () ->
+      let line = cache_line node addr in
+      let hit =
+        match (line, rw) with
+        | Some l, Msg.R -> l.tokens >= 1 && l.valid
+        | Some l, Msg.W -> l.tokens = t.cfg.tokens && l.valid
+        | None, _ -> false
+      in
+      if hit then begin
+        t.counters.Mcmp.Counters.l1_hits <- t.counters.Mcmp.Counters.l1_hits + 1;
+        Cache.Sarray.touch node.lines addr;
+        (match (line, rw) with
+        | Some l, Msg.W ->
+          l.dirty <- true;
+          l.hold_until <- max l.hold_until (now t + t.cfg.response_delay)
+        | _ -> ());
+        commit ()
+      end
+      else begin
+        t.counters.Mcmp.Counters.l1_misses <- t.counters.Mcmp.Counters.l1_misses + 1;
+        assert (node.mshr = None);
+        let m =
+          {
+            m_addr = addr;
+            m_rw = rw;
+            m_commit = commit;
+            m_issued = now t;
+            m_retries = 0;
+            m_timer = None;
+            m_persistent = false;
+            m_counted = false;
+            m_pending_persistent = false;
+            m_saw_mem = false;
+            m_saw_remote = false;
+          }
+        in
+        node.mshr <- Some m;
+        issue t node m
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+type debug = {
+  token_count : Cache.Addr.t -> int;
+  inflight_count : Cache.Addr.t -> int;
+  total_tokens : int;
+  node_tokens : int -> Cache.Addr.t -> int;
+  node_owner : int -> Cache.Addr.t -> bool;
+  persistent_entries : unit -> int;
+}
+
+let make_node t_layout cfg policy rng id =
+  let kind = L.kind t_layout id in
+  let sets, ways =
+    match kind with
+    | L.L1d _ | L.L1i _ -> (cfg.Mcmp.Config.l1_sets, cfg.Mcmp.Config.l1_ways)
+    | L.L2 _ -> (cfg.Mcmp.Config.l2_sets, cfg.Mcmp.Config.l2_ways)
+    | L.Mem _ -> (1, 1)
+  in
+  let is_l1 = match kind with L.L1d _ | L.L1i _ -> true | _ -> false in
+  {
+    id;
+    kind;
+    lines = Cache.Sarray.create ~sets ~ways;
+    mem_lines = Hashtbl.create (match kind with L.Mem _ -> 4096 | _ -> 1);
+    meta = Hashtbl.create (match kind with L.L2 _ -> 1024 | _ -> 1);
+    mshr = None;
+    ptable = Array.make (L.nprocs t_layout) None;
+    peer_seq = Array.make (L.nprocs t_layout) (-1);
+    parb_active = Hashtbl.create 16;
+    parb_epoch = Hashtbl.create 16;
+    arb_queue = Hashtbl.create (match kind with L.Mem _ -> 64 | _ -> 1);
+    arb_busy_until = 0;
+    arb_epoch_ctr = Hashtbl.create (match kind with L.Mem _ -> 64 | _ -> 1);
+    predictor =
+      (if is_l1 && policy.Policy.predictor then Some (Predictor.create (Sim.Rng.split rng))
+       else None);
+    dsp = Hashtbl.create (if is_l1 && policy.Policy.multicast then 256 else 1);
+  }
+
+let create policy engine cfg traffic rng counters =
+  let layout = Mcmp.Config.layout cfg in
+  let fabric = F.create engine layout cfg.Mcmp.Config.fabric traffic (Sim.Rng.split rng) in
+  let nodes =
+    Array.init (L.node_count layout) (fun id -> make_node layout cfg policy rng id)
+  in
+  let t =
+    {
+      engine;
+      cfg;
+      policy;
+      layout;
+      fabric;
+      counters;
+      rng;
+      nodes;
+      inflight = Hashtbl.create 1024;
+      pseq = Array.make (L.nprocs layout) 0;
+      ema_mem = Sim.Stat.Ema.create ~alpha:0.2 ~init:200.;
+      ema_all = Sim.Stat.Ema.create ~alpha:0.2 ~init:200.;
+    }
+  in
+  F.set_handler fabric (fun ~dst msg -> handle t ~dst msg);
+  t
+
+let handle_of t =
+  {
+    Mcmp.Protocol.name = t.policy.Policy.name;
+    access = (fun ~proc ~kind addr ~commit -> access t ~proc ~kind addr ~commit);
+  }
+
+let builder policy : Mcmp.Protocol.builder =
+ fun engine cfg traffic rng counters -> handle_of (create policy engine cfg traffic rng counters)
+
+let debug_of t =
+  let node_line node addr =
+    if is_mem_node node then Hashtbl.find_opt node.mem_lines addr else cache_line node addr
+  in
+  {
+    token_count =
+      (fun addr ->
+        Array.fold_left
+          (fun acc node ->
+            acc
+            +
+            match node.kind with
+            | L.Mem _ -> (
+              match Hashtbl.find_opt node.mem_lines addr with
+              | Some l -> l.tokens
+              | None -> if node.id = home_mem t addr then t.cfg.tokens else 0)
+            | _ -> ( match cache_line node addr with Some l -> l.tokens | None -> 0))
+          0 t.nodes);
+    inflight_count = (fun addr -> inflight_count t addr);
+    total_tokens = t.cfg.tokens;
+    node_tokens =
+      (fun id addr ->
+        match node_line t.nodes.(id) addr with Some l -> l.tokens | None -> 0);
+    node_owner =
+      (fun id addr ->
+        match node_line t.nodes.(id) addr with Some l -> l.owner | None -> false);
+    persistent_entries =
+      (fun () ->
+        Array.fold_left
+          (fun acc node ->
+            let dist =
+              Array.fold_left (fun a e -> if e = None then a else a + 1) 0 node.ptable
+            in
+            acc + dist + Hashtbl.length node.parb_active)
+          0 t.nodes);
+  }
+
+(* Diagnostic dump of all in-flight protocol state. *)
+let dump t fmt () =
+  let lay = t.layout in
+  Array.iter
+    (fun node ->
+      (match node.mshr with
+      | Some m ->
+        Format.fprintf fmt "%a: MSHR %a %s%s%s retries=%d issued@%a@." (L.pp_node lay) node.id
+          Cache.Addr.pp m.m_addr
+          (match m.m_rw with Msg.R -> "R" | Msg.W -> "W")
+          (if m.m_persistent then " persistent" else "")
+          (if m.m_pending_persistent then " pending-persistent" else "")
+          m.m_retries Sim.Time.pp m.m_issued
+      | None -> ());
+      Array.iteri
+        (fun proc entry ->
+          match entry with
+          | Some e ->
+            Format.fprintf fmt "%a: ptable p%d -> %a %s l1=%d%s@." (L.pp_node lay) node.id proc
+              Cache.Addr.pp e.pe_addr
+              (match e.pe_rw with Msg.R -> "R" | Msg.W -> "W")
+              e.pe_l1
+              (if e.pe_marked then " (marked)" else "")
+          | None -> ())
+        node.ptable;
+      Hashtbl.iter
+        (fun addr (proc, l1, _) ->
+          Format.fprintf fmt "%a: arb-active %a p%d l1=%d@." (L.pp_node lay) node.id
+            Cache.Addr.pp addr proc l1)
+        node.parb_active)
+    t.nodes;
+  Hashtbl.iter
+    (fun addr n ->
+      if n > 0 then Format.fprintf fmt "in flight: %a x%d tokens@." Cache.Addr.pp addr n)
+    t.inflight
+
+let create_debug policy engine cfg traffic rng counters =
+  let t = create policy engine cfg traffic rng counters in
+  (handle_of t, debug_of t)
+
+let create_debug_dump policy engine cfg traffic rng counters =
+  let t = create policy engine cfg traffic rng counters in
+  (handle_of t, debug_of t, dump t)

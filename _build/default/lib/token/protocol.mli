@@ -1,0 +1,45 @@
+(** TokenCMP: flat-for-correctness, hierarchical-for-performance M-CMP
+    coherence.
+
+    Every cache in the machine (L1d, L1i, L2 banks) is a token-coherence
+    node; memory controllers hold home tokens. The correctness
+    substrate — token counting plus persistent requests — never inspects
+    the CMP hierarchy; the chosen {!Policy.t} decides how transient
+    requests are broadcast, escalated off-chip, retried, predicted and
+    filtered (Sections 3-4 of the paper). *)
+
+(** [builder policy] — plug into {!Mcmp.Runner.run}. *)
+val builder : Policy.t -> Mcmp.Protocol.builder
+
+(** Introspection hooks for tests (token-conservation and related
+    invariants). *)
+type debug = {
+  token_count : Cache.Addr.t -> int;
+      (** tokens currently held at caches + home memory (not in flight) *)
+  inflight_count : Cache.Addr.t -> int;  (** tokens inside messages *)
+  total_tokens : int;  (** T *)
+  node_tokens : int -> Cache.Addr.t -> int;
+  node_owner : int -> Cache.Addr.t -> bool;
+  persistent_entries : unit -> int;  (** live table entries, all nodes *)
+}
+
+val create_debug :
+  Policy.t ->
+  Sim.Engine.t ->
+  Mcmp.Config.t ->
+  Interconnect.Traffic.t ->
+  Sim.Rng.t ->
+  Mcmp.Counters.t ->
+  Mcmp.Protocol.handle * debug
+
+(** Like {!create_debug}, plus a diagnostic dump of all in-flight
+    protocol state (pending MSHRs, persistent-request tables, tokens in
+    flight). *)
+val create_debug_dump :
+  Policy.t ->
+  Sim.Engine.t ->
+  Mcmp.Config.t ->
+  Interconnect.Traffic.t ->
+  Sim.Rng.t ->
+  Mcmp.Counters.t ->
+  Mcmp.Protocol.handle * debug * (Format.formatter -> unit -> unit)

@@ -1,0 +1,1 @@
+lib/workload/barrier.mli: Program Sim

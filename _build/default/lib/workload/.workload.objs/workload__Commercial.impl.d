@@ -1,0 +1,1 @@
+lib/workload/commercial.ml: List Program Sim String

@@ -1,0 +1,1 @@
+lib/workload/commercial.mli: Program Sim

@@ -1,0 +1,1 @@
+lib/workload/locking.ml: Program Sim

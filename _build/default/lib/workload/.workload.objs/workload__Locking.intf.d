@@ -1,0 +1,1 @@
+lib/workload/locking.mli: Cache Program Sim

@@ -1,0 +1,1 @@
+lib/workload/producer_consumer.ml: Program Sim

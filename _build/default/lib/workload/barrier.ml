@@ -1,0 +1,117 @@
+type config = {
+  nprocs : int;
+  warmup_episodes : int;
+  episodes : int;
+  work : Sim.Time.t;
+  work_variability : Sim.Time.t;
+  spin_gap : Sim.Time.t;
+}
+
+let default ~nprocs =
+  {
+    nprocs;
+    warmup_episodes = 3;
+    episodes = 100;
+    work = Sim.Time.ns 3000;
+    work_variability = Sim.Time.zero;
+    spin_gap = Sim.Time.ns 3;
+  }
+
+(* The lock and counter share a block; the flag lives in another. *)
+let lock_block = 1 lsl 15
+let flag_block = (1 lsl 15) + 64
+let lock_loc = Program.{ block = lock_block; var = 0 }
+let count_loc = Program.{ block = lock_block; var = 1 }
+let flag_loc = Program.{ block = flag_block; var = 2 }
+
+type phase =
+  | Working
+  | Acquiring of Program.Tts.phase
+  | Load_count
+  | Store_count  (* [last] holds the loaded counter *)
+  | Release_not_last
+  | Spin_flag
+  | Check_flag
+  | Zero_count
+  | Set_flag
+  | Release_last
+  | Passed
+
+let program config ~seed ~proc =
+  let rng = Sim.Rng.create ((seed * 92_821) + proc) in
+  let phase = ref Working in
+  let episode = ref 0 in
+  let sense = ref 1 in
+  let marked = ref false in
+  let work_time () =
+    if config.work_variability = 0 then config.work
+    else begin
+      let v = Sim.Rng.int_in rng (-config.work_variability) config.work_variability in
+      max Sim.Time.zero (config.work + v)
+    end
+  in
+  let next ~last =
+    match !phase with
+    | Working ->
+      if (not !marked) && !episode >= config.warmup_episodes then begin
+        marked := true;
+        Program.Mark
+      end
+      else if !episode >= config.warmup_episodes + config.episodes then Program.Done
+      else begin
+        phase := Acquiring (Program.Tts.start_acquire lock_loc);
+        Program.Think (work_time ())
+      end
+    | Acquiring tts -> (
+      match Program.Tts.step ~spin_gap:config.spin_gap tts ~last with
+      | Ok (op, tts') ->
+        phase := Acquiring tts';
+        op
+      | Error () ->
+        phase := Load_count;
+        Program.Load count_loc)
+    | Load_count ->
+      phase := Store_count;
+      Program.Store (count_loc, last + 1)
+    | Store_count ->
+      (* [last] still holds the loaded counter value. *)
+      if last + 1 >= config.nprocs then begin
+        phase := Zero_count;
+        Program.Store (count_loc, 0)
+      end
+      else begin
+        phase := Release_not_last;
+        Program.Tts.release lock_loc
+      end
+    | Release_not_last ->
+      phase := Check_flag;
+      Program.Load flag_loc
+    | Spin_flag ->
+      phase := Check_flag;
+      Program.Load flag_loc
+    | Check_flag ->
+      if last = !sense then begin
+        phase := Passed;
+        Program.Think Sim.Time.zero
+      end
+      else begin
+        phase := Spin_flag;
+        Program.Think config.spin_gap
+      end
+    | Zero_count ->
+      phase := Set_flag;
+      Program.Store (flag_loc, !sense)
+    | Set_flag ->
+      phase := Release_last;
+      Program.Tts.release lock_loc
+    | Release_last ->
+      phase := Passed;
+      Program.Think Sim.Time.zero
+    | Passed ->
+      episode := !episode + 1;
+      sense := 1 - !sense;
+      phase := Working;
+      Program.Think Sim.Time.zero
+  in
+  ignore proc;
+  Program.of_fun next

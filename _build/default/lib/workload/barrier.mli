@@ -1,0 +1,21 @@
+(** The paper's barrier micro-benchmark (Table 2).
+
+    Processors perform local work, then enter a centralized
+    sense-reversing barrier: acquire a lock, increment a counter in the
+    same cache block; the last arriver zeros the counter and reverses a
+    flag in another block, while earlier arrivers release the lock and
+    spin on the flag. Repeats for [episodes] barrier episodes. *)
+
+type config = {
+  nprocs : int;
+  warmup_episodes : int;  (** cache-warming episodes before the mark *)
+  episodes : int;  (** measured episodes; 100 in the paper *)
+  work : Sim.Time.t;  (** 3000 ns in the paper *)
+  work_variability : Sim.Time.t;
+      (** uniform in [-v, +v] added to [work]; 0 or 1000 ns in Table 4 *)
+  spin_gap : Sim.Time.t;
+}
+
+val default : nprocs:int -> config
+
+val program : config -> seed:int -> proc:int -> Program.t

@@ -1,0 +1,182 @@
+type profile = {
+  name : string;
+  shared_blocks : int;
+  hot_blocks : int;
+  p_hot : float;
+  migratory_blocks : int;
+  private_blocks : int;
+  code_blocks : int;
+  p_shared : float;
+  p_migratory : float;
+  p_write : float;
+  p_ifetch : float;
+  p_lock : float;
+  nlocks : int;
+  crit_accesses : int;
+  think : Sim.Time.t;
+  warmup_ops : int;
+  ops : int;
+}
+
+(* OLTP: dominated by migratory read-modify-write sharing of database
+   metadata and row locks; highest sharing-miss fraction of the three. *)
+let oltp =
+  {
+    name = "OLTP";
+    shared_blocks = 8192;
+    hot_blocks = 512;
+    p_hot = 0.6;
+    migratory_blocks = 1024;
+    private_blocks = 40960;
+    code_blocks = 1024;
+    p_shared = 0.50;
+    p_migratory = 0.55;
+    p_write = 0.30;
+    p_ifetch = 0.15;
+    p_lock = 0.06;
+    nlocks = 64;
+    crit_accesses = 2;
+    think = Sim.Time.ns 4;
+    warmup_ops = 1500;
+    ops = 2500;
+  }
+
+(* Apache: static web serving; substantial shared metadata and network
+   buffers, but more private per-worker state than OLTP. *)
+let apache =
+  {
+    name = "Apache";
+    shared_blocks = 16384;
+    hot_blocks = 1024;
+    p_hot = 0.5;
+    migratory_blocks = 768;
+    private_blocks = 49152;
+    code_blocks = 1536;
+    p_shared = 0.35;
+    p_migratory = 0.35;
+    p_write = 0.25;
+    p_ifetch = 0.18;
+    p_lock = 0.04;
+    nlocks = 128;
+    crit_accesses = 2;
+    think = Sim.Time.ns 4;
+    warmup_ops = 1500;
+    ops = 2500;
+  }
+
+(* SPECjbb: middleware business logic; mostly thread-private warehouse
+   data, modest sharing. *)
+let jbb =
+  {
+    name = "SpecJBB";
+    shared_blocks = 16384;
+    hot_blocks = 1024;
+    p_hot = 0.4;
+    migratory_blocks = 512;
+    private_blocks = 65536;
+    code_blocks = 1024;
+    p_shared = 0.12;
+    p_migratory = 0.25;
+    p_write = 0.30;
+    p_ifetch = 0.12;
+    p_lock = 0.02;
+    nlocks = 256;
+    crit_accesses = 2;
+    think = Sim.Time.ns 4;
+    warmup_ops = 1500;
+    ops = 2500;
+  }
+
+let all = [ oltp; apache; jbb ]
+
+let by_name name =
+  List.find_opt (fun p -> String.lowercase_ascii p.name = String.lowercase_ascii name) all
+
+(* Address-space regions (block numbers). *)
+let code_base = 0x40_000
+let lock_base = 0x50_000
+let shared_base = 0x100_000
+let migratory_base = 0x300_000
+let private_base = 0x800_000
+
+type phase =
+  | Start
+  | Mig_store of Program.loc
+  | Acquiring of Program.loc * Program.Tts.phase * int
+  | Critical of Program.loc * int
+  | Releasing
+
+let program p ~seed ~proc =
+  let rng = Sim.Rng.create ((seed * 48_271) + (proc * 7) + 13) in
+  let phase = ref Start in
+  let done_ops = ref 0 in
+  let marked = ref false in
+  let pc = ref (code_base + Sim.Rng.int rng p.code_blocks) in
+  let think () = Sim.Time.ps (Sim.Rng.int rng ((2 * p.think) + 1)) in
+  let shared_addr () =
+    if Sim.Rng.float rng 1.0 < p.p_hot then shared_base + Sim.Rng.int rng p.hot_blocks
+    else shared_base + Sim.Rng.int rng p.shared_blocks
+  in
+  let private_addr () = private_base + (proc * p.private_blocks) + Sim.Rng.int rng p.private_blocks in
+  let load_or_store addr =
+    if Sim.Rng.float rng 1.0 < p.p_write then Program.Store (Program.block_loc addr, 1)
+    else Program.Load (Program.block_loc addr)
+  in
+  let next ~last =
+    match !phase with
+    | Start ->
+      if (not !marked) && !done_ops >= p.warmup_ops then begin
+        marked := true;
+        Program.Mark
+      end
+      else if !done_ops >= p.warmup_ops + p.ops then Program.Done
+      else begin
+        done_ops := !done_ops + 1;
+        let r = Sim.Rng.float rng 1.0 in
+        if r < p.p_ifetch then begin
+          (* Mostly-sequential instruction stream with occasional jumps. *)
+          if Sim.Rng.float rng 1.0 < 0.1 then pc := code_base + Sim.Rng.int rng p.code_blocks
+          else pc := code_base + (((!pc - code_base) + 1) mod p.code_blocks);
+          Program.Ifetch !pc
+        end
+        else if r < p.p_ifetch +. p.p_lock then begin
+          let lock = Program.block_loc (lock_base + Sim.Rng.int rng p.nlocks) in
+          phase := Acquiring (lock, Program.Tts.start_acquire lock, p.crit_accesses);
+          Program.Think (think ())
+        end
+        else if Sim.Rng.float rng 1.0 < p.p_shared then begin
+          if Sim.Rng.float rng 1.0 < p.p_migratory then begin
+            (* Migratory pattern: read then update the same block. *)
+            let loc = Program.block_loc (migratory_base + Sim.Rng.int rng p.migratory_blocks) in
+            phase := Mig_store loc;
+            Program.Load loc
+          end
+          else load_or_store (shared_addr ())
+        end
+        else load_or_store (private_addr ())
+      end
+    | Mig_store loc ->
+      phase := Start;
+      Program.Store (loc, last + 1)
+    | Acquiring (lock, tts, k) -> (
+      match Program.Tts.step ~spin_gap:(Sim.Time.ns 3) tts ~last with
+      | Ok (op, tts') ->
+        phase := Acquiring (lock, tts', k);
+        op
+      | Error () ->
+        phase := Critical (lock, k);
+        Program.Think (think ()))
+    | Critical (lock, k) ->
+      if k <= 0 then begin
+        phase := Releasing;
+        Program.Tts.release lock
+      end
+      else begin
+        phase := Critical (lock, k - 1);
+        load_or_store (shared_addr ())
+      end
+    | Releasing ->
+      phase := Start;
+      Program.Think (think ())
+  in
+  Program.of_fun next

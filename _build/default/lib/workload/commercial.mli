@@ -1,0 +1,42 @@
+(** Synthetic commercial-workload address streams.
+
+    Stand-ins for the Wisconsin Commercial Workload Suite macro-
+    benchmarks (OLTP/DB2, Apache, SPECjbb), which require a licensed
+    full-system SPARC/Solaris stack we cannot run. Each profile is a
+    stochastic generator calibrated to the published memory-system
+    behaviour of its workload — the fraction of accesses to shared
+    (and migratory, read-modify-write) data, lock activity, write
+    ratio, instruction-fetch footprint and working-set size — because
+    those are the parameters that determine how often each protocol
+    pays a sharing-miss indirection (cf. Barroso et al., ISCA 1998,
+    and Section 6 of the paper). See DESIGN.md for the substitution
+    argument. *)
+
+type profile = {
+  name : string;
+  shared_blocks : int;  (** shared read/write heap size *)
+  hot_blocks : int;  (** heavily-shared subset *)
+  p_hot : float;  (** P(shared access targets the hot set) *)
+  migratory_blocks : int;  (** blocks accessed read-modify-write *)
+  private_blocks : int;  (** per-processor private region *)
+  code_blocks : int;  (** shared read-only instruction footprint *)
+  p_shared : float;  (** P(data access targets shared heap) *)
+  p_migratory : float;  (** P(shared access is migratory RMW) *)
+  p_write : float;  (** P(non-migratory access is a store) *)
+  p_ifetch : float;  (** P(step is an instruction fetch) *)
+  p_lock : float;  (** P(step starts a lock-protected episode) *)
+  nlocks : int;
+  crit_accesses : int;  (** shared accesses inside a critical section *)
+  think : Sim.Time.t;  (** mean gap between operations *)
+  warmup_ops : int;  (** cache-warming operations before the mark *)
+  ops : int;  (** measured logical operations per processor *)
+}
+
+val oltp : profile
+val apache : profile
+val jbb : profile
+val all : profile list
+
+val by_name : string -> profile option
+
+val program : profile -> seed:int -> proc:int -> Program.t

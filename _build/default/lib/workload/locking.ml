@@ -1,0 +1,90 @@
+type config = {
+  nlocks : int;
+  warmup_acquires : int;
+  acquires : int;
+  think : Sim.Time.t;
+  hold : Sim.Time.t;
+  spin_gap : Sim.Time.t;
+  lock_stride : int;
+}
+
+let default ~nlocks =
+  {
+    nlocks;
+    warmup_acquires = max 20 (nlocks / 4);
+    acquires = 100;
+    think = Sim.Time.ns 10;
+    hold = Sim.Time.ns 10;
+    spin_gap = Sim.Time.ns 3;
+    lock_stride = 1;
+  }
+
+let lock_base = 1 lsl 14
+
+let lock_block config i = lock_base + (i * config.lock_stride)
+
+type phase =
+  | Thinking
+  | Acquiring of int * Program.Tts.phase
+  | Holding of int
+  | Releasing of int
+
+let program_shared config ~seed ~global ~warm_total ~proc =
+  let rng = Sim.Rng.create ((seed * 65_537) + proc) in
+  let phase = ref Thinking in
+  let last_lock = ref (-1) in
+  let acquired = ref 0 in
+  let marked = ref false in
+  let quota () = config.warmup_acquires + config.acquires in
+  let pick_lock () =
+    if config.nlocks = 1 then 0
+    else begin
+      (* Random lock different from the last one acquired. *)
+      let l = Sim.Rng.int rng (config.nlocks - 1) in
+      if l >= !last_lock then l + 1 else l
+    end
+  in
+  let next ~last =
+    match !phase with
+    | Thinking ->
+      (* Warm-up ends globally: caches are warm once the whole system
+         has performed enough acquisitions, so a starved processor
+         cannot shrink the measured window by marking late. *)
+      if (not !marked) && !global >= warm_total then begin
+        marked := true;
+        Program.Mark
+      end
+      else if !acquired >= quota () then Program.Done
+      else begin
+        let l = pick_lock () in
+        last_lock := l;
+        phase := Acquiring (l, Program.Tts.start_acquire (Program.block_loc (lock_block config l)));
+        Program.Think config.think
+      end
+    | Acquiring (l, tts) -> (
+      match Program.Tts.step ~spin_gap:config.spin_gap tts ~last with
+      | Ok (op, tts') ->
+        phase := Acquiring (l, tts');
+        op
+      | Error () ->
+        acquired := !acquired + 1;
+        global := !global + 1;
+        phase := Holding l;
+        Program.Think config.hold)
+    | Holding l ->
+      phase := Releasing l;
+      Program.Tts.release (Program.block_loc (lock_block config l))
+    | Releasing _ ->
+      phase := Thinking;
+      (* Re-enter Thinking immediately; the think delay is issued there. *)
+      Program.Think Sim.Time.zero
+  in
+  Program.of_fun next
+
+let programs config ~seed ~nprocs =
+  let global = ref 0 in
+  let warm_total = config.warmup_acquires * nprocs in
+  fun ~proc -> program_shared config ~seed ~global ~warm_total ~proc
+
+let program config ~seed ~proc =
+  program_shared config ~seed ~global:(ref 0) ~warm_total:config.warmup_acquires ~proc

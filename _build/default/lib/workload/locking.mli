@@ -1,0 +1,33 @@
+(** The paper's locking micro-benchmark (Table 2).
+
+    Each processor thinks for 10 ns, acquires a random lock (different
+    from the last lock it acquired) with test-and-test-and-set, holds it
+    for 10 ns, releases it, and repeats until it has performed
+    [acquires] acquisitions. Contention is varied through [nlocks]. *)
+
+type config = {
+  nlocks : int;
+  warmup_acquires : int;  (** cache-warming acquisitions before the mark *)
+  acquires : int;  (** measured acquisitions per processor *)
+  think : Sim.Time.t;  (** 10 ns in the paper *)
+  hold : Sim.Time.t;  (** 10 ns in the paper *)
+  spin_gap : Sim.Time.t;
+  lock_stride : int;
+      (** block distance between consecutive locks; 1 spreads locks
+          round-robin over home CMPs, [ncmp] maps them all to one home
+          (the arbiter-colocation stress of Section 7) *)
+}
+
+val default : nlocks:int -> config
+
+(** [programs config ~seed ~nprocs] builds the per-processor streams.
+    Each processor gets an independent RNG stream derived from [seed];
+    all streams share a global acquisition counter so the warm-up mark
+    fires system-wide. *)
+val programs : config -> seed:int -> nprocs:int -> proc:int -> Program.t
+
+(** Single-processor variant (its warm-up mark is local). *)
+val program : config -> seed:int -> proc:int -> Program.t
+
+(** Block address of lock [i] under [config]. *)
+val lock_block : config -> int -> Cache.Addr.t

@@ -1,0 +1,129 @@
+type config = {
+  rounds : int;
+  warmup_rounds : int;
+  batch_blocks : int;
+  think : Sim.Time.t;
+  spin_gap : Sim.Time.t;
+}
+
+let default =
+  {
+    rounds = 50;
+    warmup_rounds = 5;
+    batch_blocks = 4;
+    think = Sim.Time.ns 50;
+    spin_gap = Sim.Time.ns 3;
+  }
+
+let base = 0x60_000
+let pair_stride = 64
+
+(* Per-pair locations: a flag block plus payload blocks. *)
+let flag_loc pair = Program.block_loc (base + (pair * pair_stride))
+let payload_loc pair i = Program.block_loc (base + (pair * pair_stride) + 1 + i)
+
+type role = Producer | Consumer | Idle
+
+type phase =
+  | Work
+  | Write_batch of int
+  | Raise_flag of int  (* the round number just produced *)
+  | Await_ack of int
+  | Spin of int  (* consumer: wait for flag = round *)
+  | Read_batch of int * int
+  | Ack of int
+  | Check_flag of int
+
+let programs config ~seed ~nprocs ~proc =
+  ignore seed;
+  let npairs = nprocs / 2 in
+  (* partner producers and consumers across chips: producer k -> proc k,
+     consumer k -> proc npairs + k (different half of the machine) *)
+  let role, pair =
+    if proc < npairs then (Producer, proc)
+    else if proc < 2 * npairs then (Consumer, proc - npairs)
+    else (Idle, 0)
+  in
+  let phase = ref Work in
+  let round = ref 0 in
+  let marked = ref false in
+  let total = config.warmup_rounds + config.rounds in
+  let next ~last =
+    match role with
+    | Idle -> Program.Done
+    | Producer -> (
+      match !phase with
+      | Work ->
+        if (not !marked) && !round >= config.warmup_rounds then begin
+          marked := true;
+          Program.Mark
+        end
+        else if !round >= total then Program.Done
+        else begin
+          phase := Write_batch 0;
+          Program.Think config.think
+        end
+      | Write_batch i ->
+        if i < config.batch_blocks then begin
+          phase := Write_batch (i + 1);
+          Program.Store (payload_loc pair i, !round + 1)
+        end
+        else begin
+          phase := Raise_flag (!round + 1);
+          Program.Store (flag_loc pair, !round + 1)
+        end
+      | Raise_flag _ ->
+        phase := Await_ack (!round + 1);
+        Program.Load (flag_loc pair)
+      | Await_ack r ->
+        (* consumer acknowledges by negating the flag *)
+        if last = -r then begin
+          round := r;
+          phase := Work;
+          Program.Think Sim.Time.zero
+        end
+        else begin
+          phase := Raise_flag r;
+          Program.Think config.spin_gap
+        end
+      | Spin _ | Read_batch _ | Ack _ | Check_flag _ -> assert false)
+    | Consumer -> (
+      match !phase with
+      | Work ->
+        if (not !marked) && !round >= config.warmup_rounds then begin
+          marked := true;
+          Program.Mark
+        end
+        else if !round >= total then Program.Done
+        else begin
+          phase := Check_flag (!round + 1);
+          Program.Load (flag_loc pair)
+        end
+      | Check_flag r ->
+        if last = r then begin
+          phase := Read_batch (r, 0);
+          Program.Think Sim.Time.zero
+        end
+        else begin
+          phase := Spin r;
+          Program.Think config.spin_gap
+        end
+      | Spin r ->
+        phase := Check_flag r;
+        Program.Load (flag_loc pair)
+      | Read_batch (r, i) ->
+        if i < config.batch_blocks then begin
+          phase := Read_batch (r, i + 1);
+          Program.Load (payload_loc pair i)
+        end
+        else begin
+          phase := Ack r;
+          Program.Store (flag_loc pair, -r)
+        end
+      | Ack r ->
+        round := r;
+        phase := Work;
+        Program.Think Sim.Time.zero
+      | Write_batch _ | Raise_flag _ | Await_ack _ -> assert false)
+  in
+  Program.of_fun next

@@ -1,0 +1,25 @@
+(** Producer-consumer micro-benchmark.
+
+    Processors are paired across chips: each producer repeatedly writes
+    a batch of payload blocks and raises a flag; its consumer spins on
+    the flag, reads the batch, and acknowledges. This is the stable
+    point-to-point sharing pattern for which destination-set prediction
+    (the TokenCMP-dst1-mcast extension) is designed: after the first
+    round, the holder of every block is perfectly predictable. *)
+
+type config = {
+  rounds : int;  (** batches per pair *)
+  warmup_rounds : int;
+  batch_blocks : int;  (** payload blocks per batch *)
+  think : Sim.Time.t;  (** producer work time between batches *)
+  spin_gap : Sim.Time.t;
+}
+
+val default : config
+
+(** [programs config ~seed ~nprocs] makes processors [0 .. n/2-1]
+    producers and [n/2 .. n-1] their consumers (producer [k] feeds
+    consumer [n/2 + k]), so partners sit in different halves of the
+    machine and the traffic crosses chips. With an odd processor count
+    the last processor idles. *)
+val programs : config -> seed:int -> nprocs:int -> proc:int -> Program.t

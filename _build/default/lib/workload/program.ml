@@ -1,0 +1,35 @@
+type loc = { block : Cache.Addr.t; var : int }
+
+let block_loc block = { block; var = block }
+
+type op =
+  | Think of Sim.Time.t
+  | Load of loc
+  | Store of loc * int
+  | Rmw of loc * (int -> int)
+  | Ifetch of Cache.Addr.t
+  | Mark
+  | Done
+
+type t = { next : last:int -> op }
+
+let of_fun next = { next }
+
+module Tts = struct
+  type phase =
+    | Test of loc  (* issue the spin load *)
+    | Check of loc  (* inspect the loaded value *)
+    | Try of loc  (* test-and-set issued; inspect old value *)
+
+  let start_acquire lock = Test lock
+
+  let step ~spin_gap phase ~last =
+    match phase with
+    | Test lock -> Ok (Load lock, Check lock)
+    | Check lock ->
+      if last = 0 then Ok (Rmw (lock, fun _ -> 1), Try lock)
+      else Ok (Think spin_gap, Test lock)
+    | Try lock -> if last = 0 then Error () else Ok (Think spin_gap, Test lock)
+
+  let release lock = Store (lock, 0)
+end

@@ -1,0 +1,52 @@
+(** Workload programs.
+
+    A program is a lazy stream of operations driving one processor. The
+    core executes each operation against the simulated memory system
+    and feeds the observed value back into [next], so synchronization
+    algorithms (test-and-test-and-set locks, sense-reversing barriers)
+    really run on top of the coherence protocol under study.
+
+    Values live at [loc]s: [block] is the coherence unit, [var]
+    distinguishes variables packed into the same block (e.g. the
+    barrier's lock and counter words). *)
+
+type loc = { block : Cache.Addr.t; var : int }
+
+(** A location whose variable is the whole block. *)
+val block_loc : Cache.Addr.t -> loc
+
+type op =
+  | Think of Sim.Time.t  (** compute locally for a duration *)
+  | Load of loc
+  | Store of loc * int
+  | Rmw of loc * (int -> int)
+      (** atomic read-modify-write; the old value is fed back *)
+  | Ifetch of Cache.Addr.t  (** instruction fetch (L1I read) *)
+  | Mark
+      (** end-of-warmup marker: the runner measures runtime from the
+          instant every processor has passed its mark *)
+  | Done
+
+type t = { next : last:int -> op }
+
+(** [of_fun f] wraps a stateful closure. *)
+val of_fun : (last:int -> op) -> t
+
+(** Test-and-test-and-set lock acquire/release building blocks, shared
+    by the micro-benchmarks and the commercial streams.
+
+    [acquire] spins: load until the lock reads 0, then attempt an
+    atomic test-and-set; on failure, resume spinning. [spin_gap] paces
+    successive spin loads. *)
+module Tts : sig
+  type phase
+
+  val start_acquire : loc -> phase
+
+  (** [step phase ~last] returns either the next op and phase, or
+      [Error ()] when the lock has been acquired. *)
+  val step :
+    spin_gap:Sim.Time.t -> phase -> last:int -> (op * phase, unit) result
+
+  val release : loc -> op
+end

@@ -1,0 +1,1 @@
+test/test_directory.ml: Alcotest Directory Interconnect List Mcmp Sim Workload

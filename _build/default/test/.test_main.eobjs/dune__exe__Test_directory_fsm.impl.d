@@ -1,0 +1,1 @@
+test/test_directory_fsm.ml: Alcotest Directory Format Interconnect Mcmp Sim

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Interconnect List Mcmp Sim Token Tokencmp Workload

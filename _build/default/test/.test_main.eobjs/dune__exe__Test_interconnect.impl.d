@@ -1,0 +1,1 @@
+test/test_interconnect.ml: Alcotest Gen Hashtbl Interconnect List QCheck QCheck_alcotest Sim

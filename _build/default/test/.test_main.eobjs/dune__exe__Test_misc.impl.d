@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Format Interconnect List Mcmp Sim String Token

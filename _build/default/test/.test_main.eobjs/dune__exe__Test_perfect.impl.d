@@ -1,0 +1,1 @@
+test/test_perfect.ml: Alcotest Interconnect List Mcmp Perfect Sim Workload

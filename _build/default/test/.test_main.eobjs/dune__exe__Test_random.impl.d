@@ -1,0 +1,1 @@
+test/test_random.ml: Directory Interconnect List Mcmp QCheck QCheck_alcotest Sim Token Workload

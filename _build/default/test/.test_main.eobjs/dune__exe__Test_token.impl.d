@@ -1,0 +1,1 @@
+test/test_token.ml: Alcotest Interconnect List Mcmp Sim Token Workload

@@ -1,0 +1,1 @@
+test/test_token_fsm.ml: Alcotest Interconnect Mcmp Sim Token

@@ -1,0 +1,151 @@
+(* Transaction-level tests of DirectoryCMP: drive individual accesses
+   through the protocol and check the observable outcomes (hit/miss
+   counts, fill origins, indirections) for the canonical MOESI flows. *)
+
+let tiny = Mcmp.Config.tiny
+
+type rig = {
+  engine : Sim.Engine.t;
+  counters : Mcmp.Counters.t;
+  handle : Mcmp.Protocol.handle;
+  dump : Format.formatter -> unit -> unit;
+}
+
+let make_rig ?(migratory = true) () =
+  let engine = Sim.Engine.create () in
+  let counters = Mcmp.Counters.create () in
+  let handle, dump =
+    Directory.Protocol.builder_debug ~migratory ~dram_directory:true () engine tiny
+      (Interconnect.Traffic.create ())
+      (Sim.Rng.create 99) counters
+  in
+  { engine; counters; handle; dump }
+
+(* Run one access to completion; returns simulated latency in ns. *)
+let access rig ~proc ~kind addr =
+  let t0 = Sim.Engine.now rig.engine in
+  let done_ = ref false in
+  rig.handle.Mcmp.Protocol.access ~proc ~kind addr ~commit:(fun () -> done_ := true);
+  Sim.Engine.run ~max_events:1_000_000 rig.engine;
+  if not !done_ then begin
+    rig.dump Format.str_formatter ();
+    Alcotest.failf "access did not complete; state:\n%s" (Format.flush_str_formatter ())
+  end;
+  Sim.Time.to_ns (Sim.Engine.now rig.engine - t0)
+
+(* In the tiny config: procs 0,1 on chip 0; procs 2,3 on chip 1. *)
+let block = 5000
+
+let test_cold_read_from_memory () =
+  let rig = make_rig () in
+  let lat = access rig ~proc:0 ~kind:Mcmp.Protocol.Read block in
+  Alcotest.(check int) "one miss" 1 rig.counters.Mcmp.Counters.l1_misses;
+  Alcotest.(check int) "filled from memory" 1 rig.counters.Mcmp.Counters.mem_fills;
+  (* request rides to the home and back with a DRAM access in between *)
+  Alcotest.(check bool) "cold latency >= DRAM" true (lat >= 80.)
+
+let test_read_then_read_hits () =
+  let rig = make_rig () in
+  let _ = access rig ~proc:0 ~kind:Mcmp.Protocol.Read block in
+  let lat = access rig ~proc:0 ~kind:Mcmp.Protocol.Read block in
+  Alcotest.(check int) "second read hits" 1 rig.counters.Mcmp.Counters.l1_hits;
+  Alcotest.(check (float 0.01)) "L1 hit latency" 2. lat
+
+let test_cold_read_grants_exclusive () =
+  (* E grant on an uncached read: the following write hits silently *)
+  let rig = make_rig () in
+  let _ = access rig ~proc:0 ~kind:Mcmp.Protocol.Read block in
+  let _ = access rig ~proc:0 ~kind:Mcmp.Protocol.Write block in
+  Alcotest.(check int) "write hit after E grant" 1 rig.counters.Mcmp.Counters.l1_hits;
+  Alcotest.(check int) "single miss total" 1 rig.counters.Mcmp.Counters.l1_misses
+
+let test_remote_dirty_read_indirects () =
+  let rig = make_rig () in
+  let _ = access rig ~proc:0 ~kind:Mcmp.Protocol.Write block in
+  let before = rig.counters.Mcmp.Counters.dir_indirections in
+  let _ = access rig ~proc:2 ~kind:Mcmp.Protocol.Read block in
+  Alcotest.(check int) "3-hop through the owner chip" (before + 1)
+    rig.counters.Mcmp.Counters.dir_indirections;
+  Alcotest.(check int) "filled from the remote chip" 1
+    rig.counters.Mcmp.Counters.remote_fills
+
+let test_migratory_read_takes_ownership () =
+  (* with migratory sharing, the reader of modified data gets M and can
+     write without another miss *)
+  let rig = make_rig ~migratory:true () in
+  let _ = access rig ~proc:0 ~kind:Mcmp.Protocol.Write block in
+  let _ = access rig ~proc:2 ~kind:Mcmp.Protocol.Read block in
+  let misses = rig.counters.Mcmp.Counters.l1_misses in
+  let _ = access rig ~proc:2 ~kind:Mcmp.Protocol.Write block in
+  Alcotest.(check int) "migratory write hits" misses rig.counters.Mcmp.Counters.l1_misses
+
+let test_nonmigratory_read_shares () =
+  let rig = make_rig ~migratory:false () in
+  let _ = access rig ~proc:0 ~kind:Mcmp.Protocol.Write block in
+  let _ = access rig ~proc:2 ~kind:Mcmp.Protocol.Read block in
+  let misses = rig.counters.Mcmp.Counters.l1_misses in
+  (* the writer kept ownership (O); the reader's upgrade must miss *)
+  let _ = access rig ~proc:2 ~kind:Mcmp.Protocol.Write block in
+  Alcotest.(check int) "upgrade misses without migratory" (misses + 1)
+    rig.counters.Mcmp.Counters.l1_misses
+
+let test_write_invalidates_sharers () =
+  let rig = make_rig ~migratory:false () in
+  let _ = access rig ~proc:0 ~kind:Mcmp.Protocol.Read block in
+  let _ = access rig ~proc:1 ~kind:Mcmp.Protocol.Read block in
+  let _ = access rig ~proc:2 ~kind:Mcmp.Protocol.Read block in
+  let _ = access rig ~proc:3 ~kind:Mcmp.Protocol.Write block in
+  let misses = rig.counters.Mcmp.Counters.l1_misses in
+  (* all readers lost their copies *)
+  let _ = access rig ~proc:0 ~kind:Mcmp.Protocol.Read block in
+  let _ = access rig ~proc:1 ~kind:Mcmp.Protocol.Read block in
+  Alcotest.(check int) "both re-miss" (misses + 2) rig.counters.Mcmp.Counters.l1_misses
+
+let test_sibling_read_through_l2 () =
+  (* chip-internal sharing never leaves the chip *)
+  let rig = make_rig ~migratory:false () in
+  let _ = access rig ~proc:0 ~kind:Mcmp.Protocol.Write block in
+  let indirections = rig.counters.Mcmp.Counters.dir_indirections in
+  let _ = access rig ~proc:1 ~kind:Mcmp.Protocol.Read block in
+  Alcotest.(check int) "no home involvement" indirections
+    rig.counters.Mcmp.Counters.dir_indirections;
+  Alcotest.(check int) "local fill" 1 rig.counters.Mcmp.Counters.l2_local_fills
+
+let test_capacity_eviction_roundtrip () =
+  (* write a block, push it out of the 16-set x 2-way tiny L1 with
+     conflicting blocks, then read it back: the dirty data must survive
+     the three-phase writeback through the L2 *)
+  let rig = make_rig () in
+  let conflict i = block + (i * 16) (* same set *) in
+  let _ = access rig ~proc:0 ~kind:Mcmp.Protocol.Write block in
+  let _ = access rig ~proc:0 ~kind:Mcmp.Protocol.Write (conflict 1) in
+  let _ = access rig ~proc:0 ~kind:Mcmp.Protocol.Write (conflict 2) in
+  Alcotest.(check bool) "writeback happened" true
+    (rig.counters.Mcmp.Counters.writebacks >= 1);
+  let _ = access rig ~proc:0 ~kind:Mcmp.Protocol.Read block in
+  Alcotest.(check bool) "refilled locally (L2 has the dirty data)" true
+    (rig.counters.Mcmp.Counters.l2_local_fills >= 1)
+
+let test_ifetch_shares_code () =
+  let rig = make_rig () in
+  let _ = access rig ~proc:0 ~kind:Mcmp.Protocol.Ifetch block in
+  let _ = access rig ~proc:2 ~kind:Mcmp.Protocol.Ifetch block in
+  let _ = access rig ~proc:0 ~kind:Mcmp.Protocol.Ifetch block in
+  Alcotest.(check int) "instruction block shared read-only" 1
+    rig.counters.Mcmp.Counters.l1_hits
+
+let tests =
+  [
+    Alcotest.test_case "cold read fills from memory" `Quick test_cold_read_from_memory;
+    Alcotest.test_case "read-after-read hits" `Quick test_read_then_read_hits;
+    Alcotest.test_case "uncached read grants E" `Quick test_cold_read_grants_exclusive;
+    Alcotest.test_case "remote dirty read is 3-hop" `Quick test_remote_dirty_read_indirects;
+    Alcotest.test_case "migratory read takes ownership" `Quick
+      test_migratory_read_takes_ownership;
+    Alcotest.test_case "non-migratory read shares (O state)" `Quick
+      test_nonmigratory_read_shares;
+    Alcotest.test_case "write invalidates all sharers" `Quick test_write_invalidates_sharers;
+    Alcotest.test_case "sibling read stays on chip" `Quick test_sibling_read_through_l2;
+    Alcotest.test_case "dirty data survives eviction" `Quick test_capacity_eviction_roundtrip;
+    Alcotest.test_case "instruction fetches share" `Quick test_ifetch_shares_code;
+  ]

@@ -1,0 +1,83 @@
+let test_schedule_order () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule_in e (Sim.Time.ns 5) (fun () -> log := 5 :: !log);
+  Sim.Engine.schedule_in e (Sim.Time.ns 1) (fun () -> log := 1 :: !log);
+  Sim.Engine.schedule_in e (Sim.Time.ns 3) (fun () -> log := 3 :: !log);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 3; 5 ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" (Sim.Time.ns 5) (Sim.Engine.now e)
+
+let test_same_time_fifo () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.Engine.schedule_in e (Sim.Time.ns 7) (fun () -> log := i :: !log)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "scheduling order" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_nested_scheduling () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule_in e (Sim.Time.ns 1) (fun () ->
+      log := "outer" :: !log;
+      Sim.Engine.schedule_in e (Sim.Time.ns 1) (fun () -> log := "inner" :: !log));
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check int) "events" 2 (Sim.Engine.events_processed e)
+
+let test_until () =
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  List.iter
+    (fun t -> Sim.Engine.schedule_in e (Sim.Time.ns t) (fun () -> incr fired))
+    [ 1; 2; 10; 20 ];
+  Sim.Engine.run ~until:(Sim.Time.ns 5) e;
+  Alcotest.(check int) "only early events" 2 !fired;
+  Sim.Engine.run e;
+  Alcotest.(check int) "rest run later" 4 !fired
+
+let test_stop () =
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  Sim.Engine.schedule_in e (Sim.Time.ns 1) (fun () ->
+      incr fired;
+      Sim.Engine.stop e);
+  Sim.Engine.schedule_in e (Sim.Time.ns 2) (fun () -> incr fired);
+  Sim.Engine.run e;
+  Alcotest.(check int) "stopped after first" 1 !fired
+
+let test_timer_cancel () =
+  let e = Sim.Engine.create () in
+  let fired = ref false in
+  let timer = Sim.Engine.timer_in e (Sim.Time.ns 5) (fun () -> fired := true) in
+  Sim.Engine.schedule_in e (Sim.Time.ns 1) (fun () -> Sim.Engine.cancel timer);
+  Sim.Engine.run e;
+  Alcotest.(check bool) "cancelled timer silent" false !fired
+
+let test_max_events () =
+  let e = Sim.Engine.create () in
+  let rec forever () = Sim.Engine.schedule_in e (Sim.Time.ns 1) forever in
+  forever ();
+  Alcotest.check_raises "runaway guard"
+    (Failure "Engine.run: exceeded 100 events")
+    (fun () -> Sim.Engine.run ~max_events:100 e)
+
+let test_time_units () =
+  Alcotest.(check int) "us" (Sim.Time.ns 1000) (Sim.Time.us 1);
+  Alcotest.(check int) "ns" (Sim.Time.ps 1000) (Sim.Time.ns 1);
+  Alcotest.(check (float 0.001)) "to_ns" 2.5 (Sim.Time.to_ns (Sim.Time.ps 2500));
+  Alcotest.(check int) "mul_f" (Sim.Time.ns 15) (Sim.Time.mul_f (Sim.Time.ns 10) 1.5)
+
+let tests =
+  [
+    Alcotest.test_case "events fire in time order" `Quick test_schedule_order;
+    Alcotest.test_case "same-time events are FIFO" `Quick test_same_time_fifo;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "run ~until leaves the queue intact" `Quick test_until;
+    Alcotest.test_case "stop" `Quick test_stop;
+    Alcotest.test_case "timer cancellation" `Quick test_timer_cancel;
+    Alcotest.test_case "max_events guard" `Quick test_max_events;
+    Alcotest.test_case "time unit conversions" `Quick test_time_units;
+  ]

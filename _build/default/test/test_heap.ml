@@ -1,0 +1,77 @@
+let test_empty () =
+  let h = Sim.Heap.create () in
+  Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h);
+  Alcotest.(check (option int)) "peek" None (Sim.Heap.peek_key h);
+  Alcotest.check_raises "pop" Not_found (fun () -> ignore (Sim.Heap.pop h))
+
+let test_ordering () =
+  let h = Sim.Heap.create () in
+  List.iteri (fun i k -> Sim.Heap.push h ~key:k ~seq:i k) [ 5; 3; 9; 1; 7; 3; 0 ];
+  let rec drain acc = if Sim.Heap.is_empty h then List.rev acc
+    else let k, _, _ = Sim.Heap.pop h in drain (k :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 3; 3; 5; 7; 9 ] (drain [])
+
+let test_fifo_ties () =
+  let h = Sim.Heap.create () in
+  List.iteri (fun i v -> Sim.Heap.push h ~key:42 ~seq:i v) [ "a"; "b"; "c"; "d" ];
+  let rec drain acc = if Sim.Heap.is_empty h then List.rev acc
+    else let _, _, v = Sim.Heap.pop h in drain (v :: acc)
+  in
+  Alcotest.(check (list string)) "insertion order" [ "a"; "b"; "c"; "d" ] (drain [])
+
+let test_interleaved () =
+  let h = Sim.Heap.create () in
+  Sim.Heap.push h ~key:10 ~seq:0 10;
+  Sim.Heap.push h ~key:5 ~seq:1 5;
+  let k1, _, _ = Sim.Heap.pop h in
+  Sim.Heap.push h ~key:1 ~seq:2 1;
+  let k2, _, _ = Sim.Heap.pop h in
+  let k3, _, _ = Sim.Heap.pop h in
+  Alcotest.(check (list int)) "interleaved" [ 5; 1; 10 ] [ k1; k2; k3 ]
+
+let test_clear () =
+  let h = Sim.Heap.create () in
+  for i = 0 to 99 do Sim.Heap.push h ~key:i ~seq:i i done;
+  Alcotest.(check int) "length" 100 (Sim.Heap.length h);
+  Sim.Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Sim.Heap.is_empty h)
+
+let prop_heap_sort =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck.(list small_nat)
+    (fun keys ->
+      let h = Sim.Heap.create () in
+      List.iteri (fun i k -> Sim.Heap.push h ~key:k ~seq:i k) keys;
+      let rec drain acc = if Sim.Heap.is_empty h then List.rev acc
+        else let k, _, _ = Sim.Heap.pop h in drain (k :: acc)
+      in
+      drain [] = List.sort compare keys)
+
+let prop_heap_stable =
+  QCheck.Test.make ~name:"equal keys pop in insertion order" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 50) (int_range 0 3))
+    (fun keys ->
+      let h = Sim.Heap.create () in
+      List.iteri (fun i k -> Sim.Heap.push h ~key:k ~seq:i (k, i)) keys;
+      let rec drain acc = if Sim.Heap.is_empty h then List.rev acc
+        else let _, _, v = Sim.Heap.pop h in drain (v :: acc)
+      in
+      let popped = drain [] in
+      (* within each key class, seq must increase *)
+      List.for_all
+        (fun key ->
+          let seqs = List.filter_map (fun (k, i) -> if k = key then Some i else None) popped in
+          seqs = List.sort compare seqs)
+        [ 0; 1; 2; 3 ])
+
+let tests =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "pop ordering" `Quick test_ordering;
+    Alcotest.test_case "FIFO on equal keys" `Quick test_fifo_ties;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    Alcotest.test_case "length and clear" `Quick test_clear;
+    QCheck_alcotest.to_alcotest prop_heap_sort;
+    QCheck_alcotest.to_alcotest prop_heap_stable;
+  ]

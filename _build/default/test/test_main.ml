@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "tokencmp"
+    [
+      ("heap", Test_heap.tests);
+      ("rng", Test_rng.tests);
+      ("engine", Test_engine.tests);
+      ("stat", Test_stat.tests);
+      ("cache", Test_cache.tests);
+      ("interconnect", Test_interconnect.tests);
+      ("workload", Test_workload.tests);
+      ("token", Test_token.tests);
+      ("token-fsm", Test_token_fsm.tests);
+      ("perfect", Test_perfect.tests);
+      ("directory", Test_directory.tests);
+      ("directory-fsm", Test_directory_fsm.tests);
+      ("model-checking", Test_mc.tests);
+      ("random-programs", Test_random.tests);
+      ("integration", Test_integration.tests);
+      ("misc", Test_misc.tests);
+    ]

@@ -1,0 +1,128 @@
+(* The explicit-state model checker and the Section 5 protocol models. *)
+
+(* A toy counter model for the explorer itself. *)
+let counter_model ~bound ~bug : (module Mc.Explore.MODEL) =
+  (module struct
+    type state = int
+
+    let name = "counter"
+    let initial = [ 0 ]
+
+    let next s =
+      if s >= bound then [] else [ ("inc", s + 1) ] @ if s > 0 then [ ("dec", s - 1) ] else []
+
+    let invariant s = if bug && s = 3 then Error "hit three" else Ok ()
+    let goal s = s = bound
+    let pp = Format.pp_print_int
+  end)
+
+let run m ?(max_states = 1_000_000) () =
+  let module M = (val m : Mc.Explore.MODEL) in
+  let module R = Mc.Explore.Make (M) in
+  R.run ~max_states ()
+
+let test_explorer_counts () =
+  let s = run (counter_model ~bound:10 ~bug:false) () in
+  Alcotest.(check int) "states" 11 s.Mc.Explore.states;
+  Alcotest.(check int) "diameter" 10 s.Mc.Explore.diameter;
+  Alcotest.(check int) "goal reachable from everywhere" 0 s.Mc.Explore.doomed;
+  Alcotest.(check bool) "no violation" true (s.Mc.Explore.violation = None)
+
+let test_explorer_finds_violation () =
+  let s = run (counter_model ~bound:10 ~bug:true) () in
+  match s.Mc.Explore.violation with
+  | Some (reason, trace) ->
+    Alcotest.(check string) "reason" "hit three" reason;
+    Alcotest.(check (list string)) "shortest trace" [ "inc"; "inc"; "inc" ] trace
+  | None -> Alcotest.fail "violation not found"
+
+let test_explorer_truncation () =
+  let s = run (counter_model ~bound:1000 ~bug:false) ~max_states:10 () in
+  Alcotest.(check bool) "truncated" true s.Mc.Explore.truncated;
+  Alcotest.(check int) "states capped" 10 s.Mc.Explore.states
+
+let test_doomed_detection () =
+  (* A model with an absorbing non-goal state must report doomed states. *)
+  let m : (module Mc.Explore.MODEL) =
+    (module struct
+      type state = int
+
+      let name = "trap"
+      let initial = [ 0 ]
+
+      let next = function
+        | 0 -> [ ("to-goal", 1); ("to-trap", 2) ]
+        | _ -> []
+
+      let invariant _ = Ok ()
+      let goal s = s = 1
+      let pp = Format.pp_print_int
+    end)
+  in
+  let s = run m () in
+  Alcotest.(check int) "trap state is doomed" 1 s.Mc.Explore.doomed
+
+let micro = { Mc.Token_model.caches = 2; tokens = 3; max_writes = 1; net_cap = 3 }
+
+let test_token_safety_model () =
+  let s = run (Mc.Token_model.safety micro) () in
+  Alcotest.(check bool) "states explored" true (s.Mc.Explore.states > 100);
+  Alcotest.(check bool) "invariants hold" true (s.Mc.Explore.violation = None);
+  Alcotest.(check bool) "not truncated" true (not s.Mc.Explore.truncated)
+
+let test_token_dst_model () =
+  let s = run (Mc.Token_model.distributed micro) () in
+  Alcotest.(check bool) "invariants hold" true (s.Mc.Explore.violation = None);
+  Alcotest.(check bool) "goals reached" true (s.Mc.Explore.goals > 0);
+  Alcotest.(check int) "no doomed states (liveness proxy)" 0 s.Mc.Explore.doomed
+
+let test_token_arb_model () =
+  (* the arbiter's activate/deactivate broadcasts need one more slot of
+     network headroom than the distributed scheme *)
+  let s = run (Mc.Token_model.arbiter { micro with Mc.Token_model.net_cap = 4 }) () in
+  Alcotest.(check bool) "invariants hold" true (s.Mc.Explore.violation = None);
+  Alcotest.(check bool) "goals reached" true (s.Mc.Explore.goals > 0);
+  Alcotest.(check int) "no doomed states" 0 s.Mc.Explore.doomed
+
+let test_dir_model () =
+  let p = { Mc.Dir_model.caches = 2; max_writes = 2; net_cap = 4 } in
+  let s = run (Mc.Dir_model.flat p) () in
+  Alcotest.(check bool) "invariants hold" true (s.Mc.Explore.violation = None);
+  Alcotest.(check bool) "goals reached" true (s.Mc.Explore.goals > 0);
+  Alcotest.(check int) "no doomed states" 0 s.Mc.Explore.doomed
+
+let test_dst_cheaper_than_arb () =
+  (* The paper found TokenCMP-dst somewhat more intensive than -arb in
+     TLC; in our encoding the arbiter's queue makes it the bigger one.
+     Either way both must close their graphs at this scale. *)
+  let d = run (Mc.Token_model.distributed micro) () in
+  let a = run (Mc.Token_model.arbiter micro) () in
+  Alcotest.(check bool) "both finite" true
+    ((not d.Mc.Explore.truncated) && not a.Mc.Explore.truncated)
+
+let test_safety_model_smallest () =
+  let s = run (Mc.Token_model.safety micro) () in
+  let d = run (Mc.Token_model.distributed micro) () in
+  Alcotest.(check bool) "safety-only model is the smallest" true
+    (s.Mc.Explore.states < d.Mc.Explore.states)
+
+let test_model_loc_metric () =
+  let t = Mc.Dir_model.model_loc `Token in
+  let d = Mc.Dir_model.model_loc `Directory in
+  Alcotest.(check bool) "positive" true (t > 0 && d > 0)
+
+let tests =
+  [
+    Alcotest.test_case "explorer counts a line graph" `Quick test_explorer_counts;
+    Alcotest.test_case "explorer reports shortest violating trace" `Quick
+      test_explorer_finds_violation;
+    Alcotest.test_case "explorer truncation guard" `Quick test_explorer_truncation;
+    Alcotest.test_case "doomed-state detection" `Quick test_doomed_detection;
+    Alcotest.test_case "token safety substrate verifies" `Quick test_token_safety_model;
+    Alcotest.test_case "token distributed activation verifies" `Slow test_token_dst_model;
+    Alcotest.test_case "token arbiter activation verifies" `Slow test_token_arb_model;
+    Alcotest.test_case "flat directory model verifies" `Quick test_dir_model;
+    Alcotest.test_case "activation variants both close" `Slow test_dst_cheaper_than_arb;
+    Alcotest.test_case "safety-only model is smallest" `Slow test_safety_model_smallest;
+    Alcotest.test_case "model LoC metric" `Quick test_model_loc_metric;
+  ]

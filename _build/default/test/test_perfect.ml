@@ -1,0 +1,68 @@
+(* The PerfectL2 lower bound. *)
+
+let tiny = Mcmp.Config.tiny
+
+let run_locking ~nlocks ~acquires ~seed =
+  let cfg =
+    { (Workload.Locking.default ~nlocks) with Workload.Locking.acquires; warmup_acquires = 5 }
+  in
+  let programs = Workload.Locking.programs cfg ~seed ~nprocs:(Mcmp.Config.nprocs tiny) in
+  Mcmp.Runner.run ~config:tiny Perfect.Protocol.builder ~programs ~seed
+
+let test_completes () =
+  let r = run_locking ~nlocks:4 ~acquires:20 ~seed:1 in
+  Alcotest.(check bool) "completes" true r.Mcmp.Runner.completed
+
+let test_constant_miss_latency () =
+  let r = run_locking ~nlocks:8 ~acquires:20 ~seed:2 in
+  let w = r.Mcmp.Runner.counters.Mcmp.Counters.miss_latency in
+  (* every miss costs exactly one on-chip round trip + L2 access *)
+  Alcotest.(check (float 0.01)) "constant miss latency" 11.
+    (Sim.Stat.Welford.mean w);
+  Alcotest.(check (float 0.01)) "no variance" 0. (Sim.Stat.Welford.stddev w)
+
+let test_no_interconnect_traffic () =
+  let r = run_locking ~nlocks:4 ~acquires:10 ~seed:3 in
+  Alcotest.(check int) "magic coherence sends nothing" 0
+    (Interconnect.Traffic.intra_total r.Mcmp.Runner.traffic
+    + Interconnect.Traffic.inter_total r.Mcmp.Runner.traffic)
+
+let test_write_invalidates_readers () =
+  (* after a writer commits, other L1 copies are gone: the next read by
+     another processor must be an L1 miss (an "L2 hit") *)
+  let engine = Sim.Engine.create () in
+  let counters = Mcmp.Counters.create () in
+  let handle =
+    Perfect.Protocol.builder engine tiny
+      (Interconnect.Traffic.create ())
+      (Sim.Rng.create 1) counters
+  in
+  let block = 777 in
+  let committed = ref [] in
+  let access ~proc ~kind () =
+    handle.Mcmp.Protocol.access ~proc ~kind block ~commit:(fun () ->
+        committed := (proc, kind) :: !committed)
+  in
+  access ~proc:0 ~kind:Mcmp.Protocol.Read ();
+  Sim.Engine.run engine;
+  access ~proc:1 ~kind:Mcmp.Protocol.Read ();
+  Sim.Engine.run engine;
+  let misses_before = counters.Mcmp.Counters.l1_misses in
+  access ~proc:0 ~kind:Mcmp.Protocol.Write ();
+  Sim.Engine.run engine;
+  (* proc 0 held a readable copy: the write upgrades it (hit or miss is
+     a modeling choice; what matters is proc 1's copy dies) *)
+  access ~proc:1 ~kind:Mcmp.Protocol.Read ();
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "reader re-misses after remote write" true
+    (counters.Mcmp.Counters.l1_misses > misses_before);
+  Alcotest.(check int) "all four ops committed" 4 (List.length !committed)
+
+let tests =
+  [
+    Alcotest.test_case "completes" `Quick test_completes;
+    Alcotest.test_case "constant miss latency" `Quick test_constant_miss_latency;
+    Alcotest.test_case "no interconnect traffic" `Quick test_no_interconnect_traffic;
+    Alcotest.test_case "writes invalidate remote readers" `Quick
+      test_write_invalidates_readers;
+  ]

@@ -1,0 +1,112 @@
+(* Property tests driving randomly generated programs through the full
+   protocols: every run must complete, and the token substrate must
+   conserve tokens at quiescence. *)
+
+let tiny = Mcmp.Config.tiny
+
+(* A random straight-line program over a small address space, ending
+   with Done. Values are ignored (no control dependence), so any
+   interleaving is fine. *)
+let random_program ops_list =
+  let remaining = ref ops_list in
+  Workload.Program.of_fun (fun ~last:_ ->
+      match !remaining with
+      | [] -> Workload.Program.Done
+      | op :: rest ->
+        remaining := rest;
+        op)
+
+let gen_ops =
+  let open QCheck.Gen in
+  let addr = map (fun a -> 9000 + a) (int_range 0 15) in
+  let op =
+    frequency
+      [
+        (4, map (fun a -> Workload.Program.Load (Workload.Program.block_loc a)) addr);
+        (3, map (fun a -> Workload.Program.Store (Workload.Program.block_loc a, 1)) addr);
+        (2, map (fun a -> Workload.Program.Rmw (Workload.Program.block_loc a, fun v -> v + 1)) addr);
+        (1, map (fun a -> Workload.Program.Ifetch a) addr);
+        (1, map (fun d -> Workload.Program.Think (Sim.Time.ns d)) (int_range 0 20));
+      ]
+  in
+  list_size (int_range 1 60) op
+
+let arb_ops = QCheck.make gen_ops
+
+let run_programs builder per_proc_ops ~seed =
+  let engine = Sim.Engine.create () in
+  let traffic = Interconnect.Traffic.create () in
+  let counters = Mcmp.Counters.create () in
+  let values = Mcmp.Values.create () in
+  let handle = builder engine tiny traffic (Sim.Rng.create seed) counters in
+  let nprocs = Mcmp.Config.nprocs tiny in
+  let remaining = ref nprocs in
+  let cores =
+    List.init nprocs (fun proc ->
+        Mcmp.Core.create engine values handle counters ~proc
+          ~program:(random_program per_proc_ops)
+          ~on_done:(fun ~proc:_ -> decr remaining))
+  in
+  List.iter Mcmp.Core.start cores;
+  Sim.Engine.run ~max_events:20_000_000 engine;
+  (!remaining, engine)
+
+let prop_token_random =
+  QCheck.Test.make ~name:"random programs complete on TokenCMP with conservation" ~count:25
+    arb_ops
+    (fun ops ->
+      let engine = Sim.Engine.create () in
+      let traffic = Interconnect.Traffic.create () in
+      let counters = Mcmp.Counters.create () in
+      let values = Mcmp.Values.create () in
+      let handle, debug =
+        Token.Protocol.create_debug Token.Policy.dst1 engine tiny traffic (Sim.Rng.create 17)
+          counters
+      in
+      let nprocs = Mcmp.Config.nprocs tiny in
+      let remaining = ref nprocs in
+      let cores =
+        List.init nprocs (fun proc ->
+            Mcmp.Core.create engine values handle counters ~proc
+              ~program:(random_program ops)
+              ~on_done:(fun ~proc:_ -> decr remaining))
+      in
+      List.iter Mcmp.Core.start cores;
+      Sim.Engine.run ~max_events:20_000_000 engine;
+      !remaining = 0
+      && List.for_all
+           (fun a ->
+             debug.Token.Protocol.token_count a + debug.Token.Protocol.inflight_count a
+             = debug.Token.Protocol.total_tokens
+             && debug.Token.Protocol.inflight_count a = 0)
+           (List.init 16 (fun i -> 9000 + i)))
+
+let prop_directory_random =
+  QCheck.Test.make ~name:"random programs complete on DirectoryCMP" ~count:25 arb_ops
+    (fun ops ->
+      let remaining, _ =
+        run_programs (Directory.Protocol.builder ~dram_directory:true ()) ops ~seed:23
+      in
+      remaining = 0)
+
+let prop_arb0_random =
+  QCheck.Test.make ~name:"random programs complete on TokenCMP-arb0" ~count:15 arb_ops
+    (fun ops ->
+      let remaining, _ = run_programs (Token.Protocol.builder Token.Policy.arb0) ops ~seed:29 in
+      remaining = 0)
+
+let prop_mcast_random =
+  QCheck.Test.make ~name:"random programs complete on TokenCMP-dst1-mcast" ~count:15 arb_ops
+    (fun ops ->
+      let remaining, _ =
+        run_programs (Token.Protocol.builder Token.Policy.dst1_mcast) ops ~seed:31
+      in
+      remaining = 0)
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_token_random;
+    QCheck_alcotest.to_alcotest prop_directory_random;
+    QCheck_alcotest.to_alcotest prop_arb0_random;
+    QCheck_alcotest.to_alcotest prop_mcast_random;
+  ]

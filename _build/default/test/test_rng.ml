@@ -1,0 +1,73 @@
+let test_determinism () =
+  let a = Sim.Rng.create 42 and b = Sim.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Sim.Rng.int a 1000) (Sim.Rng.int b 1000)
+  done
+
+let test_seeds_differ () =
+  let a = Sim.Rng.create 1 and b = Sim.Rng.create 2 in
+  let xs = List.init 20 (fun _ -> Sim.Rng.int a 1_000_000) in
+  let ys = List.init 20 (fun _ -> Sim.Rng.int b 1_000_000) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_split_independent () =
+  let a = Sim.Rng.create 7 in
+  let b = Sim.Rng.split a in
+  let xs = List.init 20 (fun _ -> Sim.Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Sim.Rng.int b 1000) in
+  Alcotest.(check bool) "split differs" true (xs <> ys)
+
+let test_shuffle_permutation () =
+  let rng = Sim.Rng.create 3 in
+  let a = Array.init 50 (fun i -> i) in
+  Sim.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let prop_int_range =
+  QCheck.Test.make ~name:"int in [0,n)" ~count:500
+    QCheck.(pair small_nat (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Sim.Rng.create seed in
+      let v = Sim.Rng.int rng n in
+      v >= 0 && v < n)
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"int_in inclusive bounds" ~count:500
+    QCheck.(triple small_nat (int_range (-100) 100) small_nat)
+    (fun (seed, lo, width) ->
+      let hi = lo + width in
+      let rng = Sim.Rng.create seed in
+      let v = Sim.Rng.int_in rng lo hi in
+      v >= lo && v <= hi)
+
+let prop_float_range =
+  QCheck.Test.make ~name:"float in [0,x)" ~count:500 QCheck.small_nat (fun seed ->
+      let rng = Sim.Rng.create seed in
+      let v = Sim.Rng.float rng 10. in
+      v >= 0. && v < 10.)
+
+let test_rough_uniformity () =
+  let rng = Sim.Rng.create 11 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun count ->
+      Alcotest.(check bool) "bucket near 1000" true (count > 800 && count < 1200))
+    buckets
+
+let tests =
+  [
+    Alcotest.test_case "deterministic from seed" `Quick test_determinism;
+    Alcotest.test_case "seeds give different streams" `Quick test_seeds_differ;
+    Alcotest.test_case "split gives independent stream" `Quick test_split_independent;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "rough uniformity" `Quick test_rough_uniformity;
+    QCheck_alcotest.to_alcotest prop_int_range;
+    QCheck_alcotest.to_alcotest prop_int_in_range;
+    QCheck_alcotest.to_alcotest prop_float_range;
+  ]

@@ -1,0 +1,63 @@
+let test_welford_basic () =
+  let w = Sim.Stat.Welford.create () in
+  List.iter (Sim.Stat.Welford.add w) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Sim.Stat.Welford.count w);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Sim.Stat.Welford.mean w);
+  Alcotest.(check (float 1e-9)) "sample variance" (32. /. 7.) (Sim.Stat.Welford.variance w)
+
+let test_welford_degenerate () =
+  let w = Sim.Stat.Welford.create () in
+  Alcotest.(check (float 0.)) "empty mean" 0. (Sim.Stat.Welford.mean w);
+  Sim.Stat.Welford.add w 3.;
+  Alcotest.(check (float 0.)) "single variance" 0. (Sim.Stat.Welford.variance w);
+  Alcotest.(check (float 0.)) "single ci" 0. (Sim.Stat.Welford.ci95 w)
+
+let test_summary () =
+  let s = Sim.Stat.Summary.of_list [ 10.; 12.; 14. ] in
+  Alcotest.(check int) "n" 3 s.Sim.Stat.Summary.n;
+  Alcotest.(check (float 1e-9)) "mean" 12. s.Sim.Stat.Summary.mean;
+  Alcotest.(check (float 1e-9)) "stddev" 2. s.Sim.Stat.Summary.stddev
+
+let test_ema () =
+  let e = Sim.Stat.Ema.create ~alpha:0.5 ~init:100. in
+  Alcotest.(check (float 1e-9)) "init" 100. (Sim.Stat.Ema.value e);
+  Sim.Stat.Ema.add e 200.;
+  Alcotest.(check (float 1e-9)) "after one" 150. (Sim.Stat.Ema.value e);
+  Sim.Stat.Ema.add e 150.;
+  Alcotest.(check (float 1e-9)) "after two" 150. (Sim.Stat.Ema.value e);
+  Alcotest.(check int) "count" 2 (Sim.Stat.Ema.count e)
+
+let test_histogram () =
+  let h = Sim.Stat.Histogram.create ~bucket:10 ~buckets:5 in
+  List.iter (Sim.Stat.Histogram.add h) [ 0; 5; 15; 25; 999 ];
+  Alcotest.(check int) "count" 5 (Sim.Stat.Histogram.count h);
+  Alcotest.(check (array int)) "buckets" [| 2; 1; 1; 0; 1 |] (Sim.Stat.Histogram.bucket_counts h);
+  Alcotest.(check int) "median bucket bound" 20 (Sim.Stat.Histogram.percentile h 50.)
+
+let prop_welford_mean =
+  QCheck.Test.make ~name:"welford mean equals arithmetic mean" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let w = Sim.Stat.Welford.create () in
+      List.iter (Sim.Stat.Welford.add w) xs;
+      let mean = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+      Float.abs (Sim.Stat.Welford.mean w -. mean) < 1e-6 *. (1. +. Float.abs mean))
+
+let prop_variance_nonneg =
+  QCheck.Test.make ~name:"variance non-negative" ~count:200
+    QCheck.(list (float_range (-100.) 100.))
+    (fun xs ->
+      let w = Sim.Stat.Welford.create () in
+      List.iter (Sim.Stat.Welford.add w) xs;
+      Sim.Stat.Welford.variance w >= 0.)
+
+let tests =
+  [
+    Alcotest.test_case "welford moments" `Quick test_welford_basic;
+    Alcotest.test_case "welford degenerate cases" `Quick test_welford_degenerate;
+    Alcotest.test_case "summary of list" `Quick test_summary;
+    Alcotest.test_case "exponential moving average" `Quick test_ema;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram;
+    QCheck_alcotest.to_alcotest prop_welford_mean;
+    QCheck_alcotest.to_alcotest prop_variance_nonneg;
+  ]

@@ -98,7 +98,8 @@ let run_cmd =
     | Ok programs ->
       let r = Mcmp.Runner.run ~config protocol.Tokencmp.Protocols.builder ~programs ~seed in
       Format.printf "protocol: %s@." protocol.Tokencmp.Protocols.name;
-      Format.printf "workload: %s, seed %d@." workload seed;
+      Format.printf "workload: %s, seed %d (reproduce with --seed %d)@." workload
+        r.Mcmp.Runner.seed r.Mcmp.Runner.seed;
       Format.printf "measured runtime: %a (total %a)@." Sim.Time.pp r.Mcmp.Runner.runtime
         Sim.Time.pp r.Mcmp.Runner.total_runtime;
       Format.printf "completed: %b, events: %d, ops: %d@." r.Mcmp.Runner.completed
@@ -165,6 +166,82 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Locking contention sweep (Figures 2 and 3).")
     Term.(const run $ protocols_arg $ locks_arg $ seeds_arg $ tiny_arg)
 
+(* ---- torture ---- *)
+
+let torture_cmd =
+  let runs_arg =
+    Arg.(value & opt int 50 & info [ "runs" ] ~docv:"N" ~doc:"Randomized runs per campaign.")
+  in
+  let drop_arg =
+    Arg.(
+      value & flag
+      & info [ "drop-mode" ]
+          ~doc:
+            "Also drop transient requests on token targets (survivable via \
+             timeout/reissue/persistent escalation).")
+  in
+  let drop_tokens_arg =
+    Arg.(
+      value & flag
+      & info [ "drop-tokens" ]
+          ~doc:
+            "Also drop token-carrying messages: unrecoverable by design, must be detected \
+             and reported. Implies --drop-mode.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every run, not only failures.")
+  in
+  let run runs seed tiny drop_mode drop_tokens verbose =
+    let config = if tiny then Mcmp.Config.tiny else Mcmp.Config.default in
+    let drop_mode = drop_mode || drop_tokens in
+    let failures = ref 0 in
+    let detected = ref 0 in
+    Printf.printf "torture: %d runs over %d targets, base seed %d%s\n%!" runs
+      (List.length Fault.Torture.default_targets)
+      seed
+      (if drop_tokens then ", drop-tokens" else if drop_mode then ", drop-mode" else "");
+    let on_outcome i o =
+      let v = Fault.Torture.verdict o in
+      (match v with
+      | Fault.Torture.Clean -> ()
+      | Fault.Torture.Detected -> incr detected
+      | Fault.Torture.Failed _ -> incr failures);
+      match v with
+      | Fault.Torture.Failed _ ->
+        Format.printf "run %3d: @[<v>%a@]@." i Fault.Torture.pp_outcome o;
+        List.iter (fun r -> Format.printf "  %a@." Fault.Report.pp r) o.Fault.Torture.reports;
+        if o.Fault.Torture.trace <> "" then
+          Format.printf "--- event trace (newest last) ---@.%s" o.Fault.Torture.trace;
+        if o.Fault.Torture.dump <> "" then
+          Format.printf "--- protocol state ---@.%s" o.Fault.Torture.dump;
+        Format.printf "reproduce: tokencmp torture --runs %d --seed %d%s%s%s@." runs seed
+          (if tiny then " --tiny" else "")
+          (if drop_tokens then " --drop-tokens" else if drop_mode then " --drop-mode" else "")
+          ""
+      | Fault.Torture.Detected when verbose ->
+        Format.printf "run %3d: @[<v>%a@]@." i Fault.Torture.pp_outcome o
+      | _ ->
+        if verbose then Format.printf "run %3d: @[<v>%a@]@." i Fault.Torture.pp_outcome o
+    in
+    let outcomes =
+      Fault.Torture.campaign ~config ~runs ~drop_mode ~drop_tokens
+        ~targets:Fault.Torture.default_targets ~seed ~on_outcome ()
+    in
+    Printf.printf "%d runs: %d clean, %d detected, %d failed\n"
+      (List.length outcomes)
+      (List.length outcomes - !detected - !failures)
+      !detected !failures;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:
+         "Randomized fault-injection campaign: delay spikes, reordering, duplication, node \
+          stalls (and optionally drops) against every protocol variant, with a runtime \
+          invariant monitor and liveness watchdog.")
+    Term.(
+      const run $ runs_arg $ seed_arg $ tiny_arg $ drop_arg $ drop_tokens_arg $ verbose_arg)
+
 (* ---- check ---- *)
 
 let check_cmd =
@@ -192,4 +269,7 @@ let check_cmd =
 
 let () =
   let doc = "TokenCMP: M-CMP cache coherence with flat correctness (HPCA 2005 reproduction)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "tokencmp" ~doc) [ list_cmd; run_cmd; sweep_cmd; check_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "tokencmp" ~doc)
+          [ list_cmd; run_cmd; sweep_cmd; torture_cmd; check_cmd ]))

@@ -196,7 +196,16 @@ let rec release_ldir t node addr =
 
 and can_run_ext d =
   d.ext = None && d.wb_from = None
-  && (match d.tr with Some tr -> tr.lt_home_bound | None -> not d.busy)
+  &&
+  (* Home-bound transactions must admit external forwards (the home may
+     be serving another chip and waiting on us), but not once the data
+     grant has been sent: until the grantee's unblock arrives the grant
+     is still in flight, and a forward or invalidation racing ahead of
+     it would reach an L1 that has not received its data yet. That
+     window is bounded by local latency, so deferring is deadlock-free. *)
+  match d.tr with
+  | Some tr -> tr.lt_home_bound && not tr.lt_done
+  | None -> not d.busy
 
 and drain_ldir t node addr =
   let d = get_ldir node addr in
@@ -318,8 +327,14 @@ and l1_handle_fwd t node addr ~getm =
     in
     match st with
     | None ->
-      (* Serialization should make this unreachable; answer clean so the
-         L2 falls back to its own copy. *)
+      (* Reachable only through the writeback race: our wb_grant
+         consumed the buffer and the wb_data carrying the block is in
+         flight to the L2, which still records us as owner. Answer
+         clean so the L2 falls back to the arriving writeback copy.
+         (Forwards deferred during grant-in-flight windows and
+         fire-and-forget migrate cleanups keep every other stale-owner
+         path closed; answering from one of those here is how stale
+         forwards used to steal live grants.) *)
       send1 t ~src:node.id ~dst:(home_l2 t ~cmp:(node_cmp node) addr) ~cls:MC.Response_data
         ~bytes:(datab t)
         (Msg.L1_owner_data { addr; l1 = node.id; dirty = false; migrated = false })
@@ -654,9 +669,16 @@ and l2_ext_owner_data t node addr ext ~dirty ~migrated =
     drop_l2_data node addr
   | `S ->
     if migrate_chip then begin
+      (* A mig=true responder already invalidated itself; an O-state
+         responder kept its line and must be told to drop it. Use a
+         fire-and-forget invalidation, not a forward: a forward elicits
+         an owner-data response, and that stray response could arrive
+         epochs later and be mistaken for a live transaction's data. *)
       (match d.owner_l1 with
-      | Some o -> l1_send_fwd_for_ext t node addr o ~getm:true
-      | None -> ());
+      | Some o when not migrated ->
+        send1 t ~src:node.id ~dst:o ~cls:MC.Inv_fwd_ack_tokens ~bytes:(ctrl t)
+          (Msg.L1_inv { addr })
+      | Some _ | None -> ());
       d.owner_l1 <- None;
       d.sharers <- 0;
       d.chip <- CInv;
@@ -1128,3 +1150,124 @@ let builder_debug ?migratory ?trace ~dram_directory () engine cfg traffic rng co
       access = (fun ~proc ~kind addr ~commit -> access t ~proc ~kind addr ~commit);
     },
     dump t )
+
+(* ------------------------------------------------------------------ *)
+(* Runtime invariant checking (the fault-injection monitor's probe)    *)
+
+(* Conservative snapshot checks. Directory invalidations of local
+   sharers are fire-and-forget (no wait for the ack before the grant in
+   some races), so sharer-list cross-checks would false-positive;
+   exclusivity of write permission is the safety property that must
+   hold at every event boundary regardless. *)
+let check_invariants t =
+  let time = now t in
+  let vs = ref [] in
+  let add v = vs := v :: !vs in
+  (* At most one L1 anywhere may hold write permission (M or Es). *)
+  let excl_l1 : (Cache.Addr.t, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun node ->
+      Cache.Sarray.iter
+        (fun addr (line : l1_line) ->
+          match line.st with
+          | M | Es -> (
+            match Hashtbl.find_opt excl_l1 addr with
+            | Some prev ->
+              add
+                (Mcmp.Violation.make ~kind:"double-exclusive-l1" ~addr ~node:node.id ~time
+                   (Printf.sprintf "L1 nodes %d and %d both hold M/E" prev node.id))
+            | None -> Hashtbl.replace excl_l1 addr node.id)
+          | O | S -> ())
+        node.l1_lines)
+    t.nodes;
+  (* At most one chip may be the exclusive holder. The chip-level view
+     lives at each chip's home L2 bank for the block. *)
+  let excl_chip : (Cache.Addr.t, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun node ->
+      match node.kind with
+      | L.L2 { cmp; _ } ->
+        Hashtbl.iter
+          (fun addr (d : ldir) ->
+            match d.chip with
+            | CEx -> (
+              match Hashtbl.find_opt excl_chip addr with
+              | Some prev ->
+                add
+                  (Mcmp.Violation.make ~kind:"double-exclusive-chip" ~addr ~node:node.id
+                     ~time (Printf.sprintf "chips %d and %d both believe they are CEx" prev cmp))
+              | None -> Hashtbl.replace excl_chip addr cmp)
+            | CInv | CSh | COwn -> ())
+          node.ldir
+      | L.L1d _ | L.L1i _ | L.Mem _ -> ())
+    t.nodes;
+  (* An L1 in M/E on a chip whose own view says the chip holds nothing
+     means a lost invalidation. *)
+  Hashtbl.iter
+    (fun addr l1 ->
+      let cmp = node_cmp t.nodes.(l1) in
+      let home_bank = home_l2 t ~cmp addr in
+      match Hashtbl.find_opt t.nodes.(home_bank).ldir addr with
+      | Some d when d.chip = CInv && not d.busy ->
+        add
+          (Mcmp.Violation.make ~kind:"exclusive-on-invalid-chip" ~addr ~node:l1 ~time
+             (Printf.sprintf "L1 %d holds M/E but its chip's directory entry is CInv" l1))
+      | Some _ | None -> ())
+    excl_l1;
+  List.rev !vs
+
+let outstanding_of t =
+  Array.fold_left
+    (fun acc node ->
+      match node.mshr with
+      | Some m ->
+        {
+          Mcmp.Probe.o_node = node.id;
+          o_addr = m.m_addr;
+          o_issued = m.m_issued;
+          o_retries = 0;
+          o_persistent = false;
+        }
+        :: acc
+      | None -> acc)
+    [] t.nodes
+
+type instrumented = {
+  i_handle : Mcmp.Protocol.handle;
+  i_probe : Mcmp.Probe.t;
+  i_dump : Format.formatter -> unit -> unit;
+  i_fabric : Msg.t F.t;
+}
+
+let create_instrumented ?migratory ~dram_directory () engine cfg traffic rng counters =
+  let layout = Mcmp.Config.layout cfg in
+  let fabric = F.create engine layout cfg.Mcmp.Config.fabric traffic (Sim.Rng.split rng) in
+  let nodes = Array.init (L.node_count layout) (fun id -> make_node layout cfg id) in
+  let t =
+    {
+      engine;
+      cfg;
+      layout;
+      fabric;
+      counters;
+      nodes;
+      migratory = (match migratory with Some m -> m | None -> cfg.Mcmp.Config.migratory);
+      dram_directory;
+    }
+  in
+  F.set_handler fabric (fun ~dst msg -> handle t ~dst msg);
+  F.set_msg_label fabric (fun msg -> Format.asprintf "%a %a" Cache.Addr.pp (msg_addr msg) pp_msg msg);
+  {
+    i_handle =
+      {
+        Mcmp.Protocol.name = name ~dram_directory;
+        access = (fun ~proc ~kind addr ~commit -> access t ~proc ~kind addr ~commit);
+      };
+    i_probe =
+      {
+        Mcmp.Probe.check = (fun () -> check_invariants t);
+        outstanding = (fun () -> outstanding_of t);
+      };
+    i_dump = dump t;
+    i_fabric = fabric;
+  }

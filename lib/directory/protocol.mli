@@ -30,3 +30,29 @@ val builder_debug :
   Sim.Rng.t ->
   Mcmp.Counters.t ->
   Mcmp.Protocol.handle * (Format.formatter -> unit -> unit)
+
+(** Instrumentation bundle for the fault-injection torture harness: the
+    protocol handle, an invariant probe (at most one L1 in M/E per
+    block, at most one chip believing itself exclusive, no M/E line on
+    a chip whose quiescent directory entry is invalid — conservative
+    checks only, since local invalidations are fire-and-forget), the
+    state dump, and the fabric for installing a fault plan. The
+    directory protocol has no timeouts, so [o_retries]/[o_persistent]
+    in the probe's outstanding list are always 0/false. *)
+type instrumented = {
+  i_handle : Mcmp.Protocol.handle;
+  i_probe : Mcmp.Probe.t;
+  i_dump : Format.formatter -> unit -> unit;
+  i_fabric : Msg.t Interconnect.Fabric.t;
+}
+
+val create_instrumented :
+  ?migratory:bool ->
+  dram_directory:bool ->
+  unit ->
+  Sim.Engine.t ->
+  Mcmp.Config.t ->
+  Interconnect.Traffic.t ->
+  Sim.Rng.t ->
+  Mcmp.Counters.t ->
+  instrumented

@@ -1,0 +1,48 @@
+type t = {
+  engine : Sim.Engine.t;
+  probe : Mcmp.Probe.t;
+  plan : Plan.t;
+  interval : Sim.Time.t;
+  running : unit -> bool;
+  report : Report.t -> unit;
+  mutable drops_seen : int;
+  mutable checks : int;
+}
+
+let emit_violations t vs =
+  List.iter
+    (fun v -> t.report { Report.at = Sim.Engine.now t.engine; kind = Report.Invariant v })
+    vs
+
+(* Unrecoverable injected drops surface as reports exactly once each. *)
+let emit_new_drops t =
+  let all = Plan.unrecoverable_drops t.plan in
+  let n = List.length all in
+  if n > t.drops_seen then begin
+    List.iteri
+      (fun i d ->
+        if i >= t.drops_seen then
+          t.report { Report.at = d.Plan.dr_time; kind = Report.Unrecoverable_drop d })
+      all;
+    t.drops_seen <- n
+  end
+
+let check t =
+  t.checks <- t.checks + 1;
+  emit_violations t (t.probe.Mcmp.Probe.check ());
+  emit_new_drops t
+
+let checks t = t.checks
+
+let rec tick t =
+  if t.running () then begin
+    check t;
+    Sim.Engine.schedule_in t.engine t.interval (fun () -> tick t)
+  end
+
+let attach engine ~probe ~plan ~interval ~running ~report =
+  let t =
+    { engine; probe; plan; interval; running; report; drops_seen = 0; checks = 0 }
+  in
+  Sim.Engine.schedule_in engine interval (fun () -> tick t);
+  t

@@ -1,0 +1,171 @@
+module MC = Interconnect.Msg_class
+
+type drop_record = {
+  dr_time : Sim.Time.t;
+  dr_src : int;
+  dr_dst : int;
+  dr_cls : MC.t;
+  dr_label : string;
+  dr_recoverable : bool;
+}
+
+type stats = {
+  mutable delays : int;
+  mutable reorders : int;
+  mutable dups : int;
+  mutable stall_holds : int;
+  mutable drops_recoverable : int;
+  mutable drops_unrecoverable : int;
+  mutable token_dups : int;
+}
+
+type t = {
+  spec : Spec.t;
+  seed : int;
+  rng : Sim.Rng.t;
+  nodes : int;
+  stalled : (int, Sim.Time.t) Hashtbl.t;  (* node -> stall end *)
+  mutable next_roll : Sim.Time.t;
+  stats : stats;
+  mutable drops : drop_record list;  (* newest first *)
+}
+
+let create ~seed ~nodes spec =
+  {
+    spec;
+    seed;
+    rng = Sim.Rng.create (seed * 2_654_435_761);
+    nodes;
+    stalled = Hashtbl.create 8;
+    next_roll = Sim.Time.zero;
+    stats =
+      {
+        delays = 0;
+        reorders = 0;
+        dups = 0;
+        stall_holds = 0;
+        drops_recoverable = 0;
+        drops_unrecoverable = 0;
+        token_dups = 0;
+      };
+    drops = [];
+  }
+
+let spec t = t.spec
+let seed t = t.seed
+let stats t = t.stats
+let drop_records t = List.rev t.drops
+
+let unrecoverable_drops t =
+  List.filter (fun r -> not r.dr_recoverable) (drop_records t)
+
+(* Re-roll the stalled-node set once per stall period (lazily, on the
+   first decision inside the new period). *)
+let roll_stalls t ~now =
+  if now >= t.next_roll && t.spec.Spec.stall_nodes > 0 then begin
+    Hashtbl.reset t.stalled;
+    for _ = 1 to t.spec.Spec.stall_nodes do
+      if Sim.Rng.float t.rng 1.0 < t.spec.Spec.stall_prob then
+        Hashtbl.replace t.stalled (Sim.Rng.int t.rng t.nodes) (now + t.spec.Spec.stall_len)
+    done;
+    t.next_roll <- now + t.spec.Spec.stall_period
+  end
+
+let stall_hold t ~now node =
+  match Hashtbl.find_opt t.stalled node with
+  | Some until when until > now -> Some (until - now)
+  | Some _ | None -> None
+
+let hit t p = p > 0. && Sim.Rng.float t.rng 1.0 < p
+
+let decide t ~now ~src ~dst ~cls ~tokens_carried ~label =
+  let s = t.spec in
+  roll_stalls t ~now;
+  (* A stalled endpoint holds its traffic until the stall window ends. *)
+  match
+    match stall_hold t ~now src with Some h -> Some h | None -> stall_hold t ~now dst
+  with
+  | Some hold ->
+    t.stats.stall_holds <- t.stats.stall_holds + 1;
+    Interconnect.Fabric.Delay hold
+  | None ->
+    let carries_tokens = tokens_carried > 0 in
+    let persistent = cls = MC.Persistent in
+    if (not persistent) && carries_tokens && s.Spec.duplicate_tokens && hit t s.Spec.dup_prob
+    then begin
+      (* Deliberate corruption: the duplicate mints tokens. *)
+      t.stats.token_dups <- t.stats.token_dups + 1;
+      Interconnect.Fabric.Duplicate (Sim.Time.ns (Sim.Rng.int_in t.rng 10 200))
+    end
+    else if (not persistent) && hit t s.Spec.drop_prob then
+      if carries_tokens then
+        if s.Spec.drop_tokens then begin
+          t.stats.drops_unrecoverable <- t.stats.drops_unrecoverable + 1;
+          t.drops <-
+            {
+              dr_time = now;
+              dr_src = src;
+              dr_dst = dst;
+              dr_cls = cls;
+              dr_label = label ();
+              dr_recoverable = false;
+            }
+            :: t.drops;
+          Interconnect.Fabric.Drop
+        end
+        else Interconnect.Fabric.Pass
+      else if cls = MC.Request then begin
+        t.stats.drops_recoverable <- t.stats.drops_recoverable + 1;
+        t.drops <-
+          {
+            dr_time = now;
+            dr_src = src;
+            dr_dst = dst;
+            dr_cls = cls;
+            dr_label = label ();
+            dr_recoverable = true;
+          }
+          :: t.drops;
+        Interconnect.Fabric.Drop
+      end
+      else Interconnect.Fabric.Pass
+    else if cls = MC.Request && hit t s.Spec.dup_prob then begin
+      t.stats.dups <- t.stats.dups + 1;
+      Interconnect.Fabric.Duplicate (Sim.Time.ns (Sim.Rng.int_in t.rng 10 200))
+    end
+    else if hit t s.Spec.delay_prob then begin
+      t.stats.delays <- t.stats.delays + 1;
+      Interconnect.Fabric.Delay
+        (Sim.Rng.int_in t.rng s.Spec.delay_min (max s.Spec.delay_min s.Spec.delay_max))
+    end
+    else if hit t s.Spec.reorder_prob then begin
+      t.stats.reorders <- t.stats.reorders + 1;
+      Interconnect.Fabric.Delay (Sim.Rng.int t.rng (max 1 s.Spec.reorder_max))
+    end
+    else Interconnect.Fabric.Pass
+
+let token_injector t : Token.Msg.t Interconnect.Fabric.injector =
+ fun ~now ~src ~dst ~cls msg ->
+  decide t ~now ~src ~dst ~cls
+    ~tokens_carried:(Token.Msg.tokens_carried msg)
+    ~label:(fun () -> Token.Msg.label msg)
+
+(* The directory protocol cannot survive loss or duplication of any
+   message (no timeouts, ack-counted transactions), so its plans must
+   be {!Spec.delay_only}; [tokens_carried = 0] here only means
+   "not a token message", never "safe to drop". *)
+let directory_injector t : Directory.Msg.t Interconnect.Fabric.injector =
+ fun ~now ~src ~dst ~cls msg ->
+  ignore msg;
+  decide t ~now ~src ~dst ~cls ~tokens_carried:0 ~label:(fun () -> MC.to_string cls)
+
+let pp_drop_record fmt r =
+  Format.fprintf fmt "%a %s %d->%d [%s] %s" Sim.Time.pp r.dr_time
+    (if r.dr_recoverable then "dropped" else "DROPPED-UNRECOVERABLE")
+    r.dr_src r.dr_dst (MC.to_string r.dr_cls) r.dr_label
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "delays=%d reorders=%d dups=%d stall-holds=%d drops=%d unrecoverable-drops=%d token-dups=%d"
+    s.delays s.reorders s.dups s.stall_holds s.drops_recoverable s.drops_unrecoverable
+    s.token_dups

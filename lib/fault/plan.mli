@@ -1,0 +1,64 @@
+(** A seeded, executable fault plan: the bridge between a {!Spec.t} and
+    a fabric's injection hook. One plan per run; every decision draws
+    from the plan's own SplitMix64 stream, so a (seed, spec) pair
+    replays the exact same fault sequence. *)
+
+type drop_record = {
+  dr_time : Sim.Time.t;
+  dr_src : int;
+  dr_dst : int;
+  dr_cls : Interconnect.Msg_class.t;
+  dr_label : string;
+  dr_recoverable : bool;
+      (** true: a transient request the protocol must recover from via
+          timeout/reissue; false: a token-carrying message — the run is
+          expected to report it, not survive it *)
+}
+
+type stats = {
+  mutable delays : int;
+  mutable reorders : int;
+  mutable dups : int;
+  mutable stall_holds : int;
+  mutable drops_recoverable : int;
+  mutable drops_unrecoverable : int;
+  mutable token_dups : int;  (** deliberate token-minting duplicates *)
+}
+
+type t
+
+val create : seed:int -> nodes:int -> Spec.t -> t
+
+val spec : t -> Spec.t
+val seed : t -> int
+val stats : t -> stats
+
+(** All drop decisions so far, oldest first. *)
+val drop_records : t -> drop_record list
+
+(** The unrecoverable subset — what the monitor turns into reports. *)
+val unrecoverable_drops : t -> drop_record list
+
+(** Generic decision point, exposed for tests. *)
+val decide :
+  t ->
+  now:Sim.Time.t ->
+  src:int ->
+  dst:int ->
+  cls:Interconnect.Msg_class.t ->
+  tokens_carried:int ->
+  label:(unit -> string) ->
+  Interconnect.Fabric.fault_action
+
+(** Injector for {!Token.Protocol} fabrics: token-carrying messages are
+    identified via {!Token.Msg.tokens_carried} so drops/duplicates are
+    gated per the spec's corruption flags. *)
+val token_injector : t -> Token.Msg.t Interconnect.Fabric.injector
+
+(** Injector for {!Directory.Protocol} fabrics. The directory protocol
+    survives only delay/reorder/stall faults (it has no retry path), so
+    pair this with {!Spec.delay_only} plans. *)
+val directory_injector : t -> Directory.Msg.t Interconnect.Fabric.injector
+
+val pp_drop_record : Format.formatter -> drop_record -> unit
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,28 @@
+type kind =
+  | Invariant of Mcmp.Violation.t
+  | Unrecoverable_drop of Plan.drop_record
+  | No_progress of { window : Sim.Time.t; mode : [ `Deadlock | `Livelock ] }
+  | Starvation of Mcmp.Probe.outstanding
+
+type t = { at : Sim.Time.t; kind : kind }
+
+let severity r =
+  match r.kind with
+  | Invariant _ -> `Fatal
+  | Unrecoverable_drop _ -> `Expected
+  | No_progress _ -> `Fatal
+  | Starvation _ -> `Fatal
+
+let pp fmt r =
+  match r.kind with
+  | Invariant v -> Format.fprintf fmt "%a: INVARIANT %a" Sim.Time.pp r.at Mcmp.Violation.pp v
+  | Unrecoverable_drop d ->
+    Format.fprintf fmt "%a: FAULT %a" Sim.Time.pp r.at Plan.pp_drop_record d
+  | No_progress { window; mode } ->
+    Format.fprintf fmt "%a: %s (no operation retired for %a)" Sim.Time.pp r.at
+      (match mode with `Deadlock -> "DEADLOCK" | `Livelock -> "LIVELOCK")
+      Sim.Time.pp window
+  | Starvation o ->
+    Format.fprintf fmt "%a: STARVATION %a" Sim.Time.pp r.at Mcmp.Probe.pp_outstanding o
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,25 @@
+(** Structured result of a detected problem during a torture run. *)
+
+type kind =
+  | Invariant of Mcmp.Violation.t  (** safety: a monitor/protocol check failed *)
+  | Unrecoverable_drop of Plan.drop_record
+      (** an injected token-carrying drop — expected to appear whenever
+          the plan's corruption mode fired; its {e absence} after such
+          a fault is the bug *)
+  | No_progress of { window : Sim.Time.t; mode : [ `Deadlock | `Livelock ] }
+      (** liveness: no operation retired for [window]. [`Livelock] if
+          retry/persistent counters still advanced during the window,
+          [`Deadlock] if nothing moved at all *)
+  | Starvation of Mcmp.Probe.outstanding
+      (** one request outstanding beyond the starvation bound while the
+          rest of the system makes progress *)
+
+type t = { at : Sim.Time.t; kind : kind }
+
+(** [`Expected] marks reports that injected unsurvivable faults are
+    {e supposed} to produce (detection working as intended); [`Fatal]
+    reports are genuine protocol failures. *)
+val severity : t -> [ `Fatal | `Expected ]
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

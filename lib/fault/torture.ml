@@ -1,0 +1,167 @@
+module E = Sim.Engine
+module F = Interconnect.Fabric
+
+type target = Token of Token.Policy.t | Directory of { dram_directory : bool }
+
+let target_name = function
+  | Token p -> "token:" ^ p.Token.Policy.name
+  | Directory { dram_directory } -> Directory.Protocol.name ~dram_directory
+
+type outcome = {
+  seed : int;
+  spec : Spec.t;
+  target : target;
+  completed : bool;
+  reports : Report.t list;
+  stats : Plan.stats;
+  trace : string;
+  dump : string;
+  ops : int;
+  runtime : Sim.Time.t;
+  events : int;
+}
+
+let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
+    ?(trace_capacity = 512) ?(monitor_interval = Sim.Time.ns 500)
+    ?(watchdog_interval = Sim.Time.ns 20_000) ?(no_progress_windows = 5)
+    ?(starvation_bound = Sim.Time.ns 200_000) ?(max_events = 20_000_000) target ~spec
+    ~seed =
+  let engine = E.create () in
+  let tr = E.enable_trace engine ~capacity:trace_capacity in
+  let traffic = Interconnect.Traffic.create () in
+  let rng = Sim.Rng.create (seed + 7_919) in
+  let counters = Mcmp.Counters.create () in
+  let layout = Mcmp.Config.layout config in
+  let plan = Plan.create ~seed ~nodes:(Interconnect.Layout.node_count layout) spec in
+  let handle, probe, dump_state =
+    match target with
+    | Token policy ->
+      let i = Token.Protocol.create_instrumented policy engine config traffic rng counters in
+      F.set_fault_injector i.Token.Protocol.i_fabric (Plan.token_injector plan);
+      (i.Token.Protocol.i_handle, i.Token.Protocol.i_probe, i.Token.Protocol.i_dump)
+    | Directory { dram_directory } ->
+      let i =
+        Directory.Protocol.create_instrumented ~dram_directory () engine config traffic rng
+          counters
+      in
+      F.set_fault_injector i.Directory.Protocol.i_fabric (Plan.directory_injector plan);
+      (i.Directory.Protocol.i_handle, i.Directory.Protocol.i_probe, i.Directory.Protocol.i_dump)
+  in
+  let values = Mcmp.Values.create () in
+  let nprocs = Mcmp.Config.nprocs config in
+  let remaining = ref nprocs in
+  let finish_time = ref Sim.Time.zero in
+  let on_done ~proc:_ =
+    remaining := !remaining - 1;
+    if !remaining = 0 then begin
+      finish_time := E.now engine;
+      E.stop engine
+    end
+  in
+  let lcfg = { (Workload.Locking.default ~nlocks) with acquires; warmup_acquires = 5 } in
+  let programs = Workload.Locking.programs lcfg ~seed ~nprocs in
+  let cores =
+    List.init nprocs (fun proc ->
+        Mcmp.Core.create engine values handle counters ~proc ~program:(programs ~proc)
+          ~on_done)
+  in
+  let reports = ref [] in
+  let report r =
+    reports := r :: !reports;
+    (* First genuine failure established: stop so the trace tail stays
+       focused on it (expected reports let the run play out). *)
+    match Report.severity r with `Fatal -> E.stop engine | `Expected -> ()
+  in
+  let running () = !remaining > 0 in
+  let mon =
+    Monitor.attach engine ~probe ~plan ~interval:monitor_interval ~running ~report
+  in
+  let _wd =
+    Watchdog.attach engine ~probe ~counters ~interval:watchdog_interval
+      ~no_progress_windows ~starvation_bound ~running ~report
+      ~on_stall:(fun () -> E.stop engine)
+  in
+  List.iter Mcmp.Core.start cores;
+  (try E.run ~max_events engine with
+  | Mcmp.Violation.Invariant_violation v ->
+    report { Report.at = E.now engine; kind = Report.Invariant v }
+  | Failure _ -> () (* max_events safety valve: surfaces as an incomplete run *));
+  Monitor.check mon;
+  let reports = List.rev !reports in
+  let completed = !remaining = 0 in
+  let keep_evidence = reports <> [] || not completed in
+  {
+    seed;
+    spec;
+    target;
+    completed;
+    reports;
+    stats = Plan.stats plan;
+    trace = (if keep_evidence then Sim.Trace.to_string tr else "");
+    dump = (if keep_evidence then Format.asprintf "%a" dump_state () else "");
+    ops = List.fold_left (fun acc c -> acc + Mcmp.Core.ops_committed c) 0 cores;
+    runtime = (if completed then !finish_time else E.now engine);
+    events = E.events_processed engine;
+  }
+
+type verdict = Clean | Detected | Failed of string
+
+let verdict o =
+  let has_invariant =
+    List.exists
+      (fun r -> match r.Report.kind with Report.Invariant _ -> true | _ -> false)
+      o.reports
+  in
+  let fatal = List.exists (fun r -> Report.severity r = `Fatal) o.reports in
+  let corrupted = o.spec.Spec.duplicate_tokens && o.stats.Plan.token_dups > 0 in
+  let unrecoverable = o.stats.Plan.drops_unrecoverable > 0 in
+  if corrupted then
+    if has_invariant then Detected
+    else Failed "token-minting duplicate was injected but no invariant violation reported"
+  else if has_invariant then Failed "invariant violation"
+  else if unrecoverable then
+    if o.reports = [] then Failed "unrecoverable drop silently absorbed"
+    else Detected
+  else if fatal then Failed "liveness failure without an unsurvivable fault"
+  else if not o.completed then Failed "run did not complete"
+  else Clean
+
+let pp_verdict fmt = function
+  | Clean -> Format.pp_print_string fmt "clean"
+  | Detected -> Format.pp_print_string fmt "detected"
+  | Failed msg -> Format.fprintf fmt "FAILED: %s" msg
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "%-22s seed=%-6d %a  ops=%d runtime=%a events=%d [%a]@,  plan: %a"
+    (target_name o.target) o.seed pp_verdict (verdict o) o.ops Sim.Time.pp o.runtime
+    o.events Plan.pp_stats o.stats Spec.pp o.spec
+
+(* Per-run spec derivation must not depend on list evaluation order. *)
+let spec_for rng ~drop_mode ~drop_tokens target =
+  let spec = Spec.random rng in
+  match target with
+  | Directory _ -> Spec.delay_only spec
+  | Token _ ->
+    if drop_mode then Spec.with_drops ~tokens:drop_tokens ~prob:0.01 spec else spec
+
+let campaign ?config ?(runs = 100) ?(drop_mode = false) ?(drop_tokens = false) ~targets
+    ~seed ?on_outcome () =
+  if targets = [] then invalid_arg "Torture.campaign: no targets";
+  let rng = Sim.Rng.create ((seed * 31) + 17) in
+  let ntargets = List.length targets in
+  let acc = ref [] in
+  for i = 0 to runs - 1 do
+    let target = List.nth targets (i mod ntargets) in
+    let spec = spec_for rng ~drop_mode ~drop_tokens target in
+    let o = run ?config target ~spec ~seed:(seed + i) in
+    (match on_outcome with Some f -> f i o | None -> ());
+    acc := o :: !acc
+  done;
+  List.rev !acc
+
+let default_targets =
+  Token Token.Policy.arb0 :: Token Token.Policy.dst0 :: Token Token.Policy.dst4
+  :: Token Token.Policy.dst1 :: Token Token.Policy.dst1_pred
+  :: Token Token.Policy.dst1_filt :: Token Token.Policy.dst1_flat
+  :: Token Token.Policy.dst1_mcast
+  :: [ Directory { dram_directory = true }; Directory { dram_directory = false } ]

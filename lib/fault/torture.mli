@@ -1,0 +1,78 @@
+(** Randomized fault-injection torture runs.
+
+    One {!run} wires together an instrumented protocol, a seeded
+    {!Plan.t} installed on its fabric, the invariant {!Monitor}, the
+    liveness {!Watchdog} and a bounded event trace, then drives the
+    locking micro-benchmark through the fault storm. A {!campaign}
+    repeats that across targets with freshly randomized specs; every
+    outcome carries its seed and spec, so any failure reproduces from
+    two integers. *)
+
+type target = Token of Token.Policy.t | Directory of { dram_directory : bool }
+
+val target_name : target -> string
+
+(** All eight token policy variants plus both directory configurations. *)
+val default_targets : target list
+
+type outcome = {
+  seed : int;
+  spec : Spec.t;
+  target : target;
+  completed : bool;  (** every processor finished its program *)
+  reports : Report.t list;  (** chronological *)
+  stats : Plan.stats;
+  trace : string;  (** ring-buffer dump; captured only on evidence *)
+  dump : string;  (** protocol-state dump; captured only on evidence *)
+  ops : int;
+  runtime : Sim.Time.t;
+  events : int;
+}
+
+val run :
+  ?config:Mcmp.Config.t ->
+  ?nlocks:int ->
+  ?acquires:int ->
+  ?trace_capacity:int ->
+  ?monitor_interval:Sim.Time.t ->
+  ?watchdog_interval:Sim.Time.t ->
+  ?no_progress_windows:int ->
+  ?starvation_bound:Sim.Time.t ->
+  ?max_events:int ->
+  target ->
+  spec:Spec.t ->
+  seed:int ->
+  outcome
+
+(** Judgement of one outcome against what its fault plan made
+    survivable:
+
+    - [Clean]: completed, nothing to report;
+    - [Detected]: an injected unsurvivable fault (token-carrying drop,
+      token-minting duplicate) was correctly caught and reported;
+    - [Failed _]: a genuine robustness bug — an invariant broke under
+      survivable faults, a liveness failure without an unsurvivable
+      fault, an unsurvivable fault that went unreported, or a silent
+      hang. *)
+type verdict = Clean | Detected | Failed of string
+
+val verdict : outcome -> verdict
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** [campaign ~targets ~seed ()] cycles [runs] randomized-spec runs
+    over [targets] (directory targets are automatically restricted to
+    the delay/reorder/stall faults they can survive). [drop_mode]
+    additionally drops transient requests on token targets;
+    [drop_tokens] escalates to unrecoverable token-carrying drops.
+    [on_outcome] fires after each run (progress printing). *)
+val campaign :
+  ?config:Mcmp.Config.t ->
+  ?runs:int ->
+  ?drop_mode:bool ->
+  ?drop_tokens:bool ->
+  targets:target list ->
+  seed:int ->
+  ?on_outcome:(int -> outcome -> unit) ->
+  unit ->
+  outcome list

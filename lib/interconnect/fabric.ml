@@ -17,6 +17,15 @@ let default_params =
     jitter = Sim.Time.ps 500;
   }
 
+type fault_action =
+  | Pass
+  | Delay of Sim.Time.t
+  | Drop
+  | Duplicate of Sim.Time.t
+
+type 'msg injector =
+  now:Sim.Time.t -> src:int -> dst:int -> cls:Msg_class.t -> 'msg -> fault_action
+
 type 'msg t = {
   engine : Sim.Engine.t;
   layout : Layout.t;
@@ -27,6 +36,9 @@ type 'msg t = {
   port_busy : Sim.Time.t array; (* per node, on-chip egress port *)
   link_busy : Sim.Time.t array; (* per ordered site pair *)
   mutable delivered : int;
+  mutable dropped : int;
+  mutable injector : 'msg injector option;
+  mutable msg_label : 'msg -> string;
 }
 
 let create engine layout params traffic rng =
@@ -40,12 +52,19 @@ let create engine layout params traffic rng =
     port_busy = Array.make (Layout.node_count layout) Sim.Time.zero;
     link_busy = Array.make (layout.Layout.ncmp * layout.Layout.ncmp) Sim.Time.zero;
     delivered = 0;
+    dropped = 0;
+    injector = None;
+    msg_label = (fun _ -> "");
   }
 
 let set_handler t h = t.handler <- h
+let set_fault_injector t i = t.injector <- Some i
+let clear_fault_injector t = t.injector <- None
+let set_msg_label t f = t.msg_label <- f
 let layout t = t.layout
 let engine t = t.engine
 let delivered t = t.delivered
+let dropped t = t.dropped
 
 let serialization bytes_per_ns bytes =
   Sim.Time.ps (int_of_float (Float.round (float_of_int bytes /. bytes_per_ns *. 1000.)))
@@ -67,10 +86,44 @@ let claim_link t ~src_site ~dst_site ready ser =
   t.link_busy.(i) <- start + ser;
   start + ser
 
-let deliver_at t time dst msg =
+let describe t ~src ~dst ~cls msg verb extra =
+  let node id = Format.asprintf "%a" (Layout.pp_node t.layout) id in
+  let label = t.msg_label msg in
+  Printf.sprintf "%s %s->%s [%s]%s%s" verb (node src) (node dst)
+    (Msg_class.to_string cls)
+    (if label = "" then "" else " " ^ label)
+    extra
+
+let schedule_delivery t ~src ~cls time dst msg =
   Sim.Engine.schedule_at t.engine time (fun () ->
       t.delivered <- t.delivered + 1;
+      Sim.Engine.record t.engine (fun () -> describe t ~src ~dst ~cls msg "deliver" "");
       t.handler ~dst msg)
+
+(* Injection point: every copy of every message passes through here
+   once its fault-free arrival time is known. A fault plan may delay,
+   drop or duplicate the copy; faults are logged to the engine trace so
+   a violation dump shows exactly what the network did. *)
+let deliver_at t ~src ~cls time dst msg =
+  match t.injector with
+  | None -> schedule_delivery t ~src ~cls time dst msg
+  | Some inject -> (
+    match inject ~now:(Sim.Engine.now t.engine) ~src ~dst ~cls msg with
+    | Pass -> schedule_delivery t ~src ~cls time dst msg
+    | Delay extra ->
+      Sim.Engine.record t.engine (fun () ->
+          describe t ~src ~dst ~cls msg "fault:delay"
+            (Printf.sprintf " +%.0fns" (Sim.Time.to_ns extra)));
+      schedule_delivery t ~src ~cls (time + extra) dst msg
+    | Drop ->
+      t.dropped <- t.dropped + 1;
+      Sim.Engine.record t.engine (fun () -> describe t ~src ~dst ~cls msg "fault:drop" "")
+    | Duplicate extra ->
+      Sim.Engine.record t.engine (fun () ->
+          describe t ~src ~dst ~cls msg "fault:duplicate"
+            (Printf.sprintf " +%.0fns" (Sim.Time.to_ns extra)));
+      schedule_delivery t ~src ~cls time dst msg;
+      schedule_delivery t ~src ~cls (time + extra) dst msg)
 
 let send t ~src ~dsts ~cls ~bytes msg =
   let p = t.params in
@@ -89,13 +142,13 @@ let send t ~src ~dsts ~cls ~bytes msg =
       if src_onchip && d_onchip then begin
         Traffic.add_intra t.traffic cls bytes;
         let dep = claim_port t src (serialization p.intra_bytes_per_ns bytes) in
-        deliver_at t (dep + p.intra_latency + jitter t) d msg
+        deliver_at t ~src ~cls (dep + p.intra_latency + jitter t) d msg
       end
       else if d_onchip then
         (* memory controller fanning back on-chip *)
         begin
           Traffic.add_intra t.traffic cls bytes;
-          deliver_at t (now + p.mem_link_latency + jitter t) d msg
+          deliver_at t ~src ~cls (now + p.mem_link_latency + jitter t) d msg
         end
       else begin
         (* cache -> local memory controller: off-chip pin traffic. *)
@@ -104,7 +157,7 @@ let send t ~src ~dsts ~cls ~bytes msg =
           if src_onchip then claim_port t src (serialization p.inter_bytes_per_ns bytes)
           else now
         in
-        deliver_at t (dep + p.mem_link_latency + jitter t) d msg
+        deliver_at t ~src ~cls (dep + p.mem_link_latency + jitter t) d msg
       end)
     local;
   (* Remote deliveries: exit hop once, then one global-link crossing per
@@ -137,7 +190,7 @@ let send t ~src ~dsts ~cls ~bytes msg =
               end
               else p.mem_link_latency
             in
-            deliver_at t (arrive + entry + jitter t) d msg)
+            deliver_at t ~src ~cls (arrive + entry + jitter t) d msg)
           site_dsts)
       by_site
   end

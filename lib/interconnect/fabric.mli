@@ -32,6 +32,24 @@ type params = {
 
 val default_params : params
 
+(** Verdict of a fault injector on one message copy, applied after the
+    fault-free arrival time is computed:
+
+    - [Pass]: deliver normally;
+    - [Delay d]: deliver [d] later (extreme values model delay spikes
+      and, relative to unfaulted traffic, adversarial reordering);
+    - [Drop]: never deliver this copy;
+    - [Duplicate d]: deliver normally {e and} again [d] later. *)
+type fault_action =
+  | Pass
+  | Delay of Sim.Time.t
+  | Drop
+  | Duplicate of Sim.Time.t
+
+(** Consulted once per (message, destination) copy. *)
+type 'msg injector =
+  now:Sim.Time.t -> src:int -> dst:int -> cls:Msg_class.t -> 'msg -> fault_action
+
 type 'msg t
 
 val create :
@@ -39,6 +57,16 @@ val create :
 
 (** Must be called before any [send]; [dst] is the destination node. *)
 val set_handler : 'msg t -> (dst:int -> 'msg -> unit) -> unit
+
+(** Attach a fault injector. Injected faults (and, when the engine has
+    a trace enabled, ordinary deliveries) are logged to the engine's
+    trace ring buffer. *)
+val set_fault_injector : 'msg t -> 'msg injector -> unit
+
+val clear_fault_injector : 'msg t -> unit
+
+(** Label messages in trace entries (defaults to the class name only). *)
+val set_msg_label : 'msg t -> ('msg -> string) -> unit
 
 val layout : 'msg t -> Layout.t
 val engine : 'msg t -> Sim.Engine.t
@@ -53,3 +81,6 @@ val send_one :
 
 (** Messages delivered so far. *)
 val delivered : 'msg t -> int
+
+(** Message copies eliminated by an injector's [Drop] verdicts. *)
+val dropped : 'msg t -> int

@@ -1,0 +1,21 @@
+(* Protocol-agnostic introspection bundle consumed by the fault-injection
+   monitor and liveness watchdog. Both Token.Protocol and
+   Directory.Protocol produce one. *)
+
+type outstanding = {
+  o_node : int;
+  o_addr : Cache.Addr.t;
+  o_issued : Sim.Time.t;
+  o_retries : int;
+  o_persistent : bool;
+}
+
+type t = {
+  check : unit -> Violation.t list;
+  outstanding : unit -> outstanding list;
+}
+
+let pp_outstanding fmt o =
+  Format.fprintf fmt "node %d: %a issued@%a retries=%d%s" o.o_node Cache.Addr.pp o.o_addr
+    Sim.Time.pp o.o_issued o.o_retries
+    (if o.o_persistent then " persistent" else "")

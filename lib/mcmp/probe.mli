@@ -1,0 +1,24 @@
+(** Protocol-agnostic introspection bundle for the runtime invariant
+    monitor and liveness watchdog. Both the token and directory
+    protocols expose one from their instrumented constructors. *)
+
+(** One in-flight L1 miss, as seen by the liveness watchdog.
+    [o_retries] and [o_persistent] are always 0/false for protocols
+    without timeout-driven reissue (DirectoryCMP). *)
+type outstanding = {
+  o_node : int;
+  o_addr : Cache.Addr.t;
+  o_issued : Sim.Time.t;
+  o_retries : int;
+  o_persistent : bool;
+}
+
+type t = {
+  check : unit -> Violation.t list;
+      (** scan global state, return every violated safety invariant;
+          sound at event boundaries because handlers run atomically *)
+  outstanding : unit -> outstanding list;
+      (** live MSHRs, for starvation tracking *)
+}
+
+val pp_outstanding : Format.formatter -> outstanding -> unit

@@ -1,4 +1,5 @@
 type result = {
+  seed : int;
   runtime : Sim.Time.t;
   total_runtime : Sim.Time.t;
   completed : bool;
@@ -45,6 +46,7 @@ let run ?(config = Config.default) builder ~programs ~seed =
     else 0
   in
   {
+    seed;
     runtime = max 0 (finish - measured_start);
     total_runtime = finish;
     completed = !remaining = 0;

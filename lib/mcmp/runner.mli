@@ -2,6 +2,7 @@
     processor, collect runtime, traffic and counters. *)
 
 type result = {
+  seed : int;  (** the run's RNG seed, echoed so every report is reproducible *)
   runtime : Sim.Time.t;
       (** measured runtime: last finish minus the instant every
           processor had passed its warmup {!Workload.Program.Mark}

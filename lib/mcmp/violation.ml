@@ -1,0 +1,27 @@
+type t = {
+  kind : string;
+  addr : Cache.Addr.t option;
+  node : int option;
+  time : Sim.Time.t;
+  detail : string;
+}
+
+exception Invariant_violation of t
+
+let make ~kind ?addr ?node ~time detail = { kind; addr; node; time; detail }
+
+let raise_it ~kind ?addr ?node ~time detail =
+  raise (Invariant_violation (make ~kind ?addr ?node ~time detail))
+
+let pp fmt v =
+  Format.fprintf fmt "[%s] at %a" v.kind Sim.Time.pp v.time;
+  (match v.addr with Some a -> Format.fprintf fmt " addr=%a" Cache.Addr.pp a | None -> ());
+  (match v.node with Some n -> Format.fprintf fmt " node=%d" n | None -> ());
+  if v.detail <> "" then Format.fprintf fmt ": %s" v.detail
+
+let to_string v = Format.asprintf "%a" pp v
+
+let () =
+  Printexc.register_printer (function
+    | Invariant_violation v -> Some ("Invariant_violation " ^ to_string v)
+    | _ -> None)

@@ -1,0 +1,28 @@
+(** Structured protocol-invariant violations.
+
+    Both coherence protocols report broken invariants through this one
+    type instead of bare [assert] failures, so the fault-injection
+    monitor and the tests can catch them, attribute them to a block and
+    node, and print an actionable report. *)
+
+type t = {
+  kind : string;  (** e.g. ["token-conservation"], ["negative-inflight"] *)
+  addr : Cache.Addr.t option;  (** block the invariant is about, if any *)
+  node : int option;  (** node where it was observed, if any *)
+  time : Sim.Time.t;  (** simulated instant of detection *)
+  detail : string;
+}
+
+(** Raised by protocol code at the point a safety invariant breaks. *)
+exception Invariant_violation of t
+
+val make :
+  kind:string -> ?addr:Cache.Addr.t -> ?node:int -> time:Sim.Time.t -> string -> t
+
+(** [raise_it] builds the record and raises {!Invariant_violation}. *)
+val raise_it :
+  kind:string -> ?addr:Cache.Addr.t -> ?node:int -> time:Sim.Time.t -> string -> 'a
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

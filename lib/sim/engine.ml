@@ -4,15 +4,27 @@ type t = {
   mutable processed : int;
   mutable stopped : bool;
   queue : (unit -> unit) Heap.t;
+  mutable trace : Trace.t option;
 }
 
 type timer = { mutable cancelled : bool }
 
 let create () =
-  { now = Time.zero; seq = 0; processed = 0; stopped = false; queue = Heap.create () }
+  { now = Time.zero; seq = 0; processed = 0; stopped = false; queue = Heap.create ();
+    trace = None }
 
 let now t = t.now
 let events_processed t = t.processed
+
+let enable_trace t ~capacity =
+  let tr = Trace.create ~capacity in
+  t.trace <- Some tr;
+  tr
+
+let trace t = t.trace
+
+let record t text =
+  match t.trace with Some tr -> Trace.add tr ~at:t.now (text ()) | None -> ()
 
 let schedule_at t time f =
   assert (time >= t.now);

@@ -39,3 +39,15 @@ val run : ?until:Time.t -> ?max_events:int -> t -> unit
 
 (** [stop t] makes {!run} return after the current event. *)
 val stop : t -> unit
+
+(** [enable_trace t ~capacity] attaches a bounded ring buffer that
+    instrumented components ({!record} callers, e.g. the fabric) log
+    into; returns it for later dumping. Off by default. *)
+val enable_trace : t -> capacity:int -> Trace.t
+
+val trace : t -> Trace.t option
+
+(** [record t text] appends [text ()] to the attached trace, stamped
+    with the current time. [text] is not evaluated when tracing is
+    off, so call sites stay free on untraced runs. *)
+val record : t -> (unit -> string) -> unit

@@ -1,0 +1,43 @@
+type entry = { at : Time.t; text : string }
+
+type t = {
+  capacity : int;
+  entries : entry option array;
+  mutable next : int;  (* total entries ever recorded *)
+}
+
+let create ~capacity =
+  let capacity = max 1 capacity in
+  { capacity; entries = Array.make capacity None; next = 0 }
+
+let capacity t = t.capacity
+let recorded t = t.next
+let retained t = min t.next t.capacity
+
+let add t ~at text =
+  t.entries.(t.next mod t.capacity) <- Some { at; text };
+  t.next <- t.next + 1
+
+let clear t =
+  Array.fill t.entries 0 t.capacity None;
+  t.next <- 0
+
+let iter t f =
+  let n = retained t in
+  let first = t.next - n in
+  for i = first to t.next - 1 do
+    match t.entries.(i mod t.capacity) with
+    | Some e -> f ~at:e.at e.text
+    | None -> ()
+  done
+
+let pp fmt t =
+  if t.next > t.capacity then
+    Format.fprintf fmt "... (%d earlier entries dropped)@," (t.next - t.capacity);
+  iter t (fun ~at text -> Format.fprintf fmt "%a %s@," Time.pp at text)
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.fprintf fmt "@[<v>%a@]@?" pp t;
+  Buffer.contents buf

@@ -1,0 +1,28 @@
+(** Bounded event-trace ring buffer.
+
+    Keeps the last [capacity] timestamped entries; older entries are
+    overwritten. Intended for post-mortem triage: cheap enough to leave
+    on during torture runs, dumped only when a violation fires. *)
+
+type t
+
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+(** Total entries ever recorded (including overwritten ones). *)
+val recorded : t -> int
+
+(** Entries currently retained (at most [capacity]). *)
+val retained : t -> int
+
+val add : t -> at:Time.t -> string -> unit
+
+val clear : t -> unit
+
+(** Oldest retained entry first. *)
+val iter : t -> (at:Time.t -> string -> unit) -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

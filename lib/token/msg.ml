@@ -22,8 +22,8 @@ type t =
     }
   | P_activate of { addr : Cache.Addr.t; proc : int; l1 : int; rw : rw; seq : int }
   | P_deactivate of { addr : Cache.Addr.t; proc : int; seq : int }
-  | P_arb_request of { addr : Cache.Addr.t; proc : int; l1 : int; rw : rw }
-  | P_arb_done of { addr : Cache.Addr.t; proc : int }
+  | P_arb_request of { addr : Cache.Addr.t; proc : int; l1 : int; rw : rw; rid : int }
+  | P_arb_done of { addr : Cache.Addr.t; proc : int; rid : int }
 
 let pp_rw fmt = function R -> Format.pp_print_string fmt "R" | W -> Format.pp_print_string fmt "W"
 
@@ -39,6 +39,16 @@ let pp fmt = function
     Format.fprintf fmt "P_activate(%a,p%d,#%d)" Cache.Addr.pp addr proc seq
   | P_deactivate { addr; proc; seq } ->
     Format.fprintf fmt "P_deactivate(%a,p%d,#%d)" Cache.Addr.pp addr proc seq
-  | P_arb_request { addr; proc; _ } ->
-    Format.fprintf fmt "P_arb_request(%a,p%d)" Cache.Addr.pp addr proc
-  | P_arb_done { addr; proc } -> Format.fprintf fmt "P_arb_done(%a,p%d)" Cache.Addr.pp addr proc
+  | P_arb_request { addr; proc; rid; _ } ->
+    Format.fprintf fmt "P_arb_request(%a,p%d,r%d)" Cache.Addr.pp addr proc rid
+  | P_arb_done { addr; proc; rid } ->
+    Format.fprintf fmt "P_arb_done(%a,p%d,r%d)" Cache.Addr.pp addr proc rid
+
+let label m = Format.asprintf "%a" pp m
+
+let addr = function
+  | Transient { addr; _ } | Tokens { addr; _ } | P_activate { addr; _ }
+  | P_deactivate { addr; _ } | P_arb_request { addr; _ } | P_arb_done { addr; _ } ->
+    addr
+
+let tokens_carried = function Tokens { count; _ } -> count | _ -> 0

@@ -33,9 +33,18 @@ type t =
     }
   | P_activate of { addr : Cache.Addr.t; proc : int; l1 : int; rw : rw; seq : int }
   | P_deactivate of { addr : Cache.Addr.t; proc : int; seq : int }
-  | P_arb_request of { addr : Cache.Addr.t; proc : int; l1 : int; rw : rw }
-      (** starving L1 -> home arbiter *)
-  | P_arb_done of { addr : Cache.Addr.t; proc : int }
+  | P_arb_request of { addr : Cache.Addr.t; proc : int; l1 : int; rw : rw; rid : int }
+      (** starving L1 -> home arbiter; [rid] is the per-processor
+          request id, so a done can never retract a later request *)
+  | P_arb_done of { addr : Cache.Addr.t; proc : int; rid : int }
       (** satisfied requester -> home arbiter *)
 
 val pp : Format.formatter -> t -> unit
+
+val label : t -> string
+
+val addr : t -> Cache.Addr.t
+
+(** Tokens moved by the message: positive for [Tokens], 0 otherwise.
+    Dropping a message with [tokens_carried > 0] is unrecoverable. *)
+val tokens_carried : t -> int

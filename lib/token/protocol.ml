@@ -63,9 +63,11 @@ type node = {
      server (fair queuing): every request/done decision occupies the
      arbiter for a service time, so blocks colocated on one controller
      contend for its arbitration bandwidth *)
-  arb_queue : (Cache.Addr.t, (int * int * Msg.rw) Queue.t) Hashtbl.t;
+  arb_queue : (Cache.Addr.t, (int * int * Msg.rw * int) Queue.t) Hashtbl.t;
   mutable arb_busy_until : Sim.Time.t;
   arb_epoch_ctr : (Cache.Addr.t, int) Hashtbl.t;  (* mem arbiter: activation epochs *)
+  arb_active_rid : (Cache.Addr.t, int) Hashtbl.t;  (* mem arbiter: rid of active entry *)
+  arb_done_rid : int array;  (* mem arbiter: highest completed rid, per proc *)
   predictor : Predictor.t option;  (* L1, dst1-pred *)
   dsp : (Cache.Addr.t, int) Hashtbl.t;  (* L1, dst1-mcast: last remote source chip *)
 }
@@ -80,6 +82,7 @@ type t = {
   rng : Sim.Rng.t;
   nodes : node array;
   inflight : (Cache.Addr.t, int) Hashtbl.t;
+  inflight_owner : (Cache.Addr.t, int) Hashtbl.t;  (* owner tokens inside messages *)
   pseq : int array;  (* next activation sequence number, per proc *)
   ema_mem : Sim.Stat.Ema.t;
   ema_all : Sim.Stat.Ema.t;
@@ -114,10 +117,23 @@ let home_l2 t ~cmp addr =
 
 let inflight_count t addr = try Hashtbl.find t.inflight addr with Not_found -> 0
 
+let inflight_owner_count t addr = try Hashtbl.find t.inflight_owner addr with Not_found -> 0
+
 let add_inflight t addr d =
   let v = inflight_count t addr + d in
-  assert (v >= 0);
+  if v < 0 then
+    Mcmp.Violation.raise_it ~kind:"negative-inflight" ~addr ~time:(E.now t.engine)
+      (Printf.sprintf
+         "received %d more tokens than were in flight (token-creating duplicate?)" (-v));
   if v = 0 then Hashtbl.remove t.inflight addr else Hashtbl.replace t.inflight addr v
+
+let add_inflight_owner t addr d =
+  let v = inflight_owner_count t addr + d in
+  if v < 0 then
+    Mcmp.Violation.raise_it ~kind:"negative-inflight-owner" ~addr ~time:(E.now t.engine)
+      "received an owner token that was not in flight";
+  if v = 0 then Hashtbl.remove t.inflight_owner addr
+  else Hashtbl.replace t.inflight_owner addr v
 
 (* Memory starts with all T tokens of every block at the block's home
    controller; non-home controllers never hold tokens. *)
@@ -166,9 +182,16 @@ let strip node addr line =
 (* Token transfer                                                      *)
 
 let send_tokens t ~src ~dst ~addr ~count ~owner ~data ~dirty ~writeback =
-  assert (count >= 1);
-  assert ((not owner) || data);
+  if count < 1 then
+    Mcmp.Violation.raise_it ~kind:"empty-token-message" ~addr ~node:src
+      ~time:(E.now t.engine)
+      (Printf.sprintf "attempted to send %d tokens to node %d" count dst);
+  if owner && not data then
+    Mcmp.Violation.raise_it ~kind:"owner-without-data" ~addr ~node:src
+      ~time:(E.now t.engine)
+      (Printf.sprintf "owner token sent to node %d without the data block" dst);
   add_inflight t addr count;
+  if owner then add_inflight_owner t addr 1;
   let cls =
     if writeback then if data then MC.Writeback_data else MC.Writeback_control
     else if data then MC.Response_data
@@ -180,8 +203,14 @@ let send_tokens t ~src ~dst ~addr ~count ~owner ~data ~dirty ~writeback =
 
 (* Take [count] tokens out of [line] for a message; sending the owner
    token requires sending data too. *)
-let take node addr line ~count ~with_owner =
-  assert (count <= line.tokens);
+let take t node addr line ~count ~with_owner =
+  if count > line.tokens then
+    Mcmp.Violation.raise_it ~kind:"token-overdraw" ~addr ~node:node.id
+      ~time:(E.now t.engine)
+      (Printf.sprintf "taking %d tokens from a line holding %d" count line.tokens);
+  if with_owner && not line.owner then
+    Mcmp.Violation.raise_it ~kind:"phantom-owner" ~addr ~node:node.id
+      ~time:(E.now t.engine) "taking the owner token from a non-owner line";
   line.tokens <- line.tokens - count;
   if with_owner then line.owner <- false;
   strip node addr line
@@ -225,7 +254,7 @@ let rec persistent_check t node addr =
       else begin
         let send ~count ~owner ~data =
           let dirty = line.dirty && owner in
-          take node addr line ~count ~with_owner:owner;
+          take t node addr line ~count ~with_owner:owner;
           send_tokens t ~src:node.id ~dst:l1 ~addr ~count ~owner ~data ~dirty ~writeback:false
         in
         match rw with
@@ -251,7 +280,7 @@ let respond_from_line t node line ~addr ~requester ~rw ~same_cmp =
   else begin
     let reply ~count ~owner ~data =
       let dirty = line.dirty && owner in
-      take node addr line ~count ~with_owner:owner;
+      take t node addr line ~count ~with_owner:owner;
       send_tokens t ~src:node.id ~dst:requester ~addr ~count ~owner ~data ~dirty ~writeback:false;
       count
     in
@@ -291,7 +320,7 @@ let mem_respond t node ~addr ~requester ~rw =
       let line = mem_line t node addr in
       if line.tokens > 0 then begin
         let reply ~count ~owner ~data =
-          take node addr line ~count ~with_owner:owner;
+          take t node addr line ~count ~with_owner:owner;
           send_tokens t ~src:node.id ~dst:requester ~addr ~count ~owner ~data ~dirty:false
             ~writeback:false
         in
@@ -424,9 +453,11 @@ and start_persistent t node m =
   | Policy.Arbiter ->
     m.m_persistent <- true;
     let proc = proc_of_node t node in
+    let rid = t.pseq.(proc) in
+    t.pseq.(proc) <- rid + 1;
     F.send_one t.fabric ~src:node.id ~dst:(home_mem t m.m_addr) ~cls:MC.Persistent
       ~bytes:t.cfg.ctrl_bytes
-      (Msg.P_arb_request { addr = m.m_addr; proc; l1 = node.id; rw = m.m_rw })
+      (Msg.P_arb_request { addr = m.m_addr; proc; l1 = node.id; rw = m.m_rw; rid })
   | Policy.Distributed ->
     if has_marked_for node m.m_addr then m.m_pending_persistent <- true
     else begin
@@ -450,7 +481,9 @@ and complete t node m =
   let line =
     match cache_line node m.m_addr with
     | Some l -> l
-    | None -> assert false
+    | None ->
+      Mcmp.Violation.raise_it ~kind:"complete-without-line" ~addr:m.m_addr ~node:node.id
+        ~time:(now t) "request completed but the line is no longer resident"
   in
   let lat_ns = Sim.Time.to_ns (now t - m.m_issued) in
   Sim.Stat.Ema.add t.ema_all lat_ns;
@@ -479,7 +512,7 @@ and deactivate t node m =
   | Policy.Arbiter ->
     F.send_one t.fabric ~src:node.id ~dst:(home_mem t m.m_addr) ~cls:MC.Persistent
       ~bytes:t.cfg.ctrl_bytes
-      (Msg.P_arb_done { addr = m.m_addr; proc })
+      (Msg.P_arb_done { addr = m.m_addr; proc; rid = t.pseq.(proc) - 1 })
   | Policy.Distributed ->
     let seq = t.pseq.(proc) - 1 in
     node.ptable.(proc) <- None;
@@ -506,6 +539,7 @@ let check_mshr t node addr ~from =
 
 let receive_tokens t node ~addr ~src ~count ~owner ~data ~dirty ~writeback =
   add_inflight t addr (-count);
+  if owner then add_inflight_owner t addr (-1);
   let line = if is_mem_node node then mem_line t node addr else alloc_line t node addr in
   line.tokens <- line.tokens + count;
   if owner then line.owner <- true;
@@ -525,8 +559,14 @@ let receive_tokens t node ~addr ~src ~count ~owner ~data ~dirty ~writeback =
     meta.sharers <- meta.sharers land lnot (local_l1_bit t src);
     meta.filter_sharers <- meta.filter_sharers land lnot (local_l1_bit t src)
   | _ -> ());
-  persistent_check t node addr;
-  if is_l1_node node then check_mshr t node addr ~from:src
+  (* Satisfy our own request before forwarding to a persistent winner:
+     completion is instantaneous and opens the response-delay hold
+     window, after which persistent_check still forwards. The reverse
+     order can strand a satisfied persistent read — a stale table view
+     flings the just-arrived data away (stripping the valid bit), and
+     the owner, having already responded once, is never re-triggered. *)
+  if is_l1_node node then check_mshr t node addr ~from:src;
+  persistent_check t node addr
 
 (* External-request fan-out used by the L2 escalation path. With the
    destination-set-prediction extension, the first escalation multicasts
@@ -651,41 +691,60 @@ let arb_schedule t node k =
   node.arb_busy_until <- start;
   E.schedule_at t.engine start k
 
-let arb_activate t node addr (proc, l1, rw) =
+let arb_activate t node addr (proc, l1, rw, rid) =
   let epoch = 1 + (try Hashtbl.find node.arb_epoch_ctr addr with Not_found -> 0) in
   Hashtbl.replace node.arb_epoch_ctr addr epoch;
   Hashtbl.replace node.parb_epoch addr epoch;
   Hashtbl.replace node.parb_active addr (proc, l1, rw);
+  Hashtbl.replace node.arb_active_rid addr rid;
   F.send t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
     ~bytes:t.cfg.ctrl_bytes
     (Msg.P_activate { addr; proc; l1; rw; seq = epoch });
   persistent_check t node addr
 
-let handle_arb_request t node ~addr ~proc ~l1 ~rw =
-  arb_schedule t node (fun () ->
-      if Hashtbl.mem node.parb_active addr then Queue.push (proc, l1, rw) (arb_queue node addr)
-      else arb_activate t node addr (proc, l1, rw))
+(* Pop the next queue entry whose request id has not already completed
+   (a done can overtake its own delayed request). *)
+let rec arb_pop_fresh node q =
+  match Queue.take_opt q with
+  | Some (p, _, _, r) when r <= node.arb_done_rid.(p) -> arb_pop_fresh node q
+  | other -> other
 
-let handle_arb_done t node ~addr ~proc =
+let handle_arb_request t node ~addr ~proc ~l1 ~rw ~rid =
   arb_schedule t node (fun () ->
-      match Hashtbl.find_opt node.parb_active addr with
-      | Some (p, _, _) when p = proc ->
+      if rid <= node.arb_done_rid.(proc) then
+        (* Reordering delivered this request after its own done: the
+           transaction already completed, never (re)activate it. *)
+        ()
+      else if Hashtbl.mem node.parb_active addr then
+        Queue.push (proc, l1, rw, rid) (arb_queue node addr)
+      else arb_activate t node addr (proc, l1, rw, rid))
+
+let handle_arb_done t node ~addr ~proc ~rid =
+  arb_schedule t node (fun () ->
+      node.arb_done_rid.(proc) <- max node.arb_done_rid.(proc) rid;
+      (* Drop queued entries whose transaction has completed (satisfied
+         while still queued). Matching by request id — never by bare
+         processor — so a stale done cannot retract a later request. *)
+      let q = arb_queue node addr in
+      let keep = Queue.create () in
+      Queue.iter
+        (fun ((p, _, _, r) as e) -> if r > node.arb_done_rid.(p) then Queue.push e keep)
+        q;
+      Queue.clear q;
+      Queue.transfer keep q;
+      match (Hashtbl.find_opt node.parb_active addr, Hashtbl.find_opt node.arb_active_rid addr)
+      with
+      | Some (p, _, _), Some r when p = proc && r = rid ->
         Hashtbl.remove node.parb_active addr;
+        Hashtbl.remove node.arb_active_rid addr;
         let epoch = try Hashtbl.find node.arb_epoch_ctr addr with Not_found -> 0 in
         F.send t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
           ~bytes:t.cfg.ctrl_bytes
           (Msg.P_deactivate { addr; proc; seq = epoch });
-        (match Queue.take_opt (arb_queue node addr) with
+        (match arb_pop_fresh node (arb_queue node addr) with
         | Some next -> arb_activate t node addr next
         | None -> ())
-      | Some _ | None ->
-        (* The requester was satisfied while still queued: retract its
-           queue entry so it is never activated posthumously. *)
-        let q = arb_queue node addr in
-        let keep = Queue.create () in
-        Queue.iter (fun (p, l, r) -> if p <> proc then Queue.push (p, l, r) keep) q;
-        Queue.clear q;
-        Queue.transfer keep q)
+      | _ -> ())
 
 let handle_p_activate t node ~addr ~proc ~l1 ~rw ~seq =
   match t.policy.Policy.activation with
@@ -700,21 +759,11 @@ let handle_p_activate t node ~addr ~proc ~l1 ~rw ~seq =
     if seq > cur then begin
       Hashtbl.replace node.parb_epoch addr seq;
       Hashtbl.replace node.parb_active addr (proc, l1, rw);
-      (* Recovery: an activation can reach its own requester after the
-         request was satisfied by other means; answer for it so the
-         arbiter moves on. *)
-      let stale_self =
-        l1 = node.id
-        &&
-        match node.mshr with
-        | Some m -> not (m.m_addr = addr && m.m_persistent)
-        | None -> true
-      in
-      if stale_self then
-        F.send_one t.fabric ~src:node.id ~dst:(home_mem t addr) ~cls:MC.Persistent
-          ~bytes:t.cfg.ctrl_bytes
-          (Msg.P_arb_done { addr; proc })
-      else persistent_check t node addr
+      (* A stale activation (its requester already satisfied) needs no
+         recovery here: the requester's completion sent a P_arb_done
+         carrying the request id, which deactivates it at the arbiter
+         regardless of message ordering. *)
+      persistent_check t node addr
     end
 
 let handle_p_deactivate t node ~addr ~proc ~seq =
@@ -722,9 +771,16 @@ let handle_p_deactivate t node ~addr ~proc ~seq =
   | Policy.Distributed ->
     if seq >= node.peer_seq.(proc) then begin
       node.peer_seq.(proc) <- seq;
+      (* Per-processor transactions are serial, so a deactivation
+         numbered [seq] proves every activation numbered <= [seq] is
+         over. Clear the slot even if it names a different block: that
+         entry's own deactivation was overtaken by this one and would
+         otherwise be ignored, orphaning the entry forever. *)
       match node.ptable.(proc) with
-      | Some e when e.pe_addr = addr -> node.ptable.(proc) <- None
-      | Some _ | None -> ()
+      | Some e when e.pe_addr <> addr ->
+        node.ptable.(proc) <- None;
+        persistent_check t node e.pe_addr
+      | Some _ | None -> node.ptable.(proc) <- None
     end
   | Policy.Arbiter ->
     let cur = try Hashtbl.find node.parb_epoch addr with Not_found -> 0 in
@@ -757,8 +813,9 @@ let handle t ~dst msg =
   | Msg.P_activate { addr; proc; l1; rw; seq } ->
     handle_p_activate t node ~addr ~proc ~l1 ~rw ~seq
   | Msg.P_deactivate { addr; proc; seq } -> handle_p_deactivate t node ~addr ~proc ~seq
-  | Msg.P_arb_request { addr; proc; l1; rw } -> handle_arb_request t node ~addr ~proc ~l1 ~rw
-  | Msg.P_arb_done { addr; proc } -> handle_arb_done t node ~addr ~proc
+  | Msg.P_arb_request { addr; proc; l1; rw; rid } ->
+    handle_arb_request t node ~addr ~proc ~l1 ~rw ~rid
+  | Msg.P_arb_done { addr; proc; rid } -> handle_arb_done t node ~addr ~proc ~rid
 
 (* ------------------------------------------------------------------ *)
 (* Processor-side entry point                                          *)
@@ -862,6 +919,8 @@ let make_node t_layout cfg policy rng id =
     arb_queue = Hashtbl.create (match kind with L.Mem _ -> 64 | _ -> 1);
     arb_busy_until = 0;
     arb_epoch_ctr = Hashtbl.create (match kind with L.Mem _ -> 64 | _ -> 1);
+    arb_active_rid = Hashtbl.create (match kind with L.Mem _ -> 64 | _ -> 1);
+    arb_done_rid = Array.make (L.nprocs t_layout) (-1);
     predictor =
       (if is_l1 && policy.Policy.predictor then Some (Predictor.create (Sim.Rng.split rng))
        else None);
@@ -885,6 +944,7 @@ let create policy engine cfg traffic rng counters =
       rng;
       nodes;
       inflight = Hashtbl.create 1024;
+      inflight_owner = Hashtbl.create 64;
       pseq = Array.make (L.nprocs layout) 0;
       ema_mem = Sim.Stat.Ema.create ~alpha:0.2 ~init:200.;
       ema_all = Sim.Stat.Ema.create ~alpha:0.2 ~init:200.;
@@ -982,3 +1042,161 @@ let create_debug policy engine cfg traffic rng counters =
 let create_debug_dump policy engine cfg traffic rng counters =
   let t = create policy engine cfg traffic rng counters in
   (handle_of t, debug_of t, dump t)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime invariant checking (the fault-injection monitor's probe)    *)
+
+(* Every block any node or message has ever mentioned. *)
+let touched_addrs t =
+  let set = Hashtbl.create 256 in
+  let mark a = Hashtbl.replace set a () in
+  Array.iter
+    (fun node ->
+      Cache.Sarray.iter (fun a _ -> mark a) node.lines;
+      Hashtbl.iter (fun a _ -> mark a) node.mem_lines)
+    t.nodes;
+  Hashtbl.iter (fun a _ -> mark a) t.inflight;
+  Hashtbl.iter (fun a _ -> mark a) t.inflight_owner;
+  Hashtbl.fold (fun a () acc -> a :: acc) set []
+
+(* Snapshot check of the safety substrate. Sound at event boundaries:
+   every handler runs atomically, so the monitor (its own event) never
+   observes a half-applied transition. *)
+let check_invariants t =
+  let time = now t in
+  let vs = ref [] in
+  let add v = vs := v :: !vs in
+  (* A home memory controller that never materialized a line for [addr]
+     implicitly holds all T tokens plus the owner token (see mem_line). *)
+  let find_line node addr =
+    if is_mem_node node then
+      match Hashtbl.find_opt node.mem_lines addr with
+      | Some l -> Some l
+      | None ->
+        if is_home_mem t node addr then
+          Some { tokens = t.cfg.tokens; owner = true; dirty = false; valid = true; hold_until = 0 }
+        else None
+    else cache_line node addr
+  in
+  let held_tokens addr =
+    Array.fold_left
+      (fun acc node -> acc + match find_line node addr with Some l -> l.tokens | None -> 0)
+      0 t.nodes
+  in
+  let held_owners addr =
+    Array.fold_left
+      (fun acc node ->
+        acc + match find_line node addr with Some l when l.owner -> 1 | _ -> 0)
+      0 t.nodes
+  in
+  List.iter
+    (fun addr ->
+      let held = held_tokens addr and inflight = inflight_count t addr in
+      if held + inflight <> t.cfg.tokens then
+        add
+          (Mcmp.Violation.make ~kind:"token-conservation" ~addr ~time
+             (Printf.sprintf "held %d + in-flight %d <> T = %d" held inflight t.cfg.tokens));
+      let owners = held_owners addr + inflight_owner_count t addr in
+      if owners <> 1 then
+        add
+          (Mcmp.Violation.make ~kind:"owner-count" ~addr ~time
+             (Printf.sprintf "%d owner tokens exist (exactly 1 required)" owners)))
+    (touched_addrs t);
+  Array.iter
+    (fun node ->
+      let check_line addr (line : line) =
+        if line.valid && line.tokens = 0 then
+          add
+            (Mcmp.Violation.make ~kind:"data-without-token" ~addr ~node:node.id ~time
+               "line holds valid data but zero tokens");
+        if line.owner && not line.valid then
+          add
+            (Mcmp.Violation.make ~kind:"owner-without-data" ~addr ~node:node.id ~time
+               "line holds the owner token but no valid data")
+      in
+      Cache.Sarray.iter check_line node.lines;
+      Hashtbl.iter check_line node.mem_lines)
+    t.nodes;
+  (* Persistent-request-table consistency: the requester's own slot and
+     its MSHR must agree (both are updated synchronously at the
+     requester; peer tables lag only by message latency). *)
+  (match t.policy.Policy.activation with
+  | Policy.Distributed ->
+    Array.iter
+      (fun node ->
+        if is_l1_node node then begin
+          let proc = proc_of_node t node in
+          (match node.mshr with
+          | Some m when m.m_persistent -> (
+            match node.ptable.(proc) with
+            | Some e when e.pe_addr = m.m_addr && e.pe_l1 = node.id -> ()
+            | Some _ | None ->
+              add
+                (Mcmp.Violation.make ~kind:"ptable-mismatch" ~addr:m.m_addr ~node:node.id
+                   ~time "persistent MSHR without a matching own-table activation"))
+          | Some _ | None -> ());
+          match node.ptable.(proc) with
+          | Some e when e.pe_l1 = node.id && not e.pe_marked -> (
+            match node.mshr with
+            | Some m when m.m_persistent && m.m_addr = e.pe_addr -> ()
+            | Some _ | None ->
+              add
+                (Mcmp.Violation.make ~kind:"ptable-orphan" ~addr:e.pe_addr ~node:node.id
+                   ~time "own-table activation without a persistent MSHR behind it"))
+          | Some _ | None -> ()
+        end)
+      t.nodes
+  | Policy.Arbiter ->
+    Array.iter
+      (fun node ->
+        if is_mem_node node then
+          Hashtbl.iter
+            (fun addr (_, l1, _) ->
+              if not (L.is_l1 t.layout l1) then
+                add
+                  (Mcmp.Violation.make ~kind:"arbiter-bad-requester" ~addr ~node:node.id
+                     ~time (Printf.sprintf "active entry names non-L1 node %d" l1)))
+            node.parb_active)
+      t.nodes);
+  List.rev !vs
+
+let outstanding_of t =
+  Array.fold_left
+    (fun acc node ->
+      match node.mshr with
+      | Some m ->
+        {
+          Mcmp.Probe.o_node = node.id;
+          o_addr = m.m_addr;
+          o_issued = m.m_issued;
+          o_retries = m.m_retries;
+          o_persistent = m.m_persistent;
+        }
+        :: acc
+      | None -> acc)
+    [] t.nodes
+
+let probe_of t =
+  {
+    Mcmp.Probe.check = (fun () -> check_invariants t);
+    outstanding = (fun () -> outstanding_of t);
+  }
+
+type instrumented = {
+  i_handle : Mcmp.Protocol.handle;
+  i_debug : debug;
+  i_probe : Mcmp.Probe.t;
+  i_dump : Format.formatter -> unit -> unit;
+  i_fabric : Msg.t F.t;
+}
+
+let create_instrumented policy engine cfg traffic rng counters =
+  let t = create policy engine cfg traffic rng counters in
+  F.set_msg_label t.fabric Msg.label;
+  {
+    i_handle = handle_of t;
+    i_debug = debug_of t;
+    i_probe = probe_of t;
+    i_dump = dump t;
+    i_fabric = t.fabric;
+  }

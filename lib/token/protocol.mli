@@ -43,3 +43,27 @@ val create_debug_dump :
   Sim.Rng.t ->
   Mcmp.Counters.t ->
   Mcmp.Protocol.handle * debug * (Format.formatter -> unit -> unit)
+
+(** Full instrumentation bundle for the fault-injection torture
+    harness: the protocol handle plus debug hooks, the invariant probe
+    (token conservation per block, exactly-one owner,
+    valid-data-implies-token, owner-implies-data, persistent-request-
+    table consistency), the state dump, and the interconnect fabric (so
+    a fault plan can be installed on it). Message labelling is
+    pre-wired for tracing. *)
+type instrumented = {
+  i_handle : Mcmp.Protocol.handle;
+  i_debug : debug;
+  i_probe : Mcmp.Probe.t;
+  i_dump : Format.formatter -> unit -> unit;
+  i_fabric : Msg.t Interconnect.Fabric.t;
+}
+
+val create_instrumented :
+  Policy.t ->
+  Sim.Engine.t ->
+  Mcmp.Config.t ->
+  Interconnect.Traffic.t ->
+  Sim.Rng.t ->
+  Mcmp.Counters.t ->
+  instrumented

@@ -1,0 +1,257 @@
+(* Fault-injection torture harness: spec/plan units, the runtime
+   invariant monitor and liveness watchdog end to end, and the
+   acceptance campaigns — a fixed-seed randomized campaign over every
+   protocol variant must stay clean, while deliberately unsurvivable
+   faults (token-carrying drops, token-minting duplicates) must be
+   detected and reported with seed and trace. *)
+
+let ns = Sim.Time.ns
+
+(* ---- Spec ---- *)
+
+let test_spec_modes () =
+  let d = Fault.Spec.default in
+  Alcotest.(check bool) "default injects delays" true (d.Fault.Spec.delay_prob > 0.);
+  Alcotest.(check bool) "default never drops" true (d.Fault.Spec.drop_prob = 0.);
+  Alcotest.(check bool) "default is not corrupting" false
+    (d.Fault.Spec.drop_tokens || d.Fault.Spec.duplicate_tokens);
+  let w = Fault.Spec.with_drops ~tokens:true ~prob:0.02 d in
+  Alcotest.(check bool) "with_drops sets prob" true (w.Fault.Spec.drop_prob = 0.02);
+  Alcotest.(check bool) "with_drops tokens" true w.Fault.Spec.drop_tokens;
+  let o = Fault.Spec.delay_only w in
+  Alcotest.(check bool) "delay_only keeps delays" true (o.Fault.Spec.delay_prob > 0.);
+  Alcotest.(check (float 0.)) "delay_only clears dup" 0. o.Fault.Spec.dup_prob;
+  Alcotest.(check (float 0.)) "delay_only clears drop" 0. o.Fault.Spec.drop_prob;
+  Alcotest.(check bool) "delay_only clears corruption" false
+    (o.Fault.Spec.drop_tokens || o.Fault.Spec.duplicate_tokens);
+  let rng = Sim.Rng.create 7 in
+  let r = Fault.Spec.random rng in
+  Alcotest.(check bool) "random never drops" true (r.Fault.Spec.drop_prob = 0.);
+  Alcotest.(check bool) "specs print" true
+    (String.length (Format.asprintf "%a" Fault.Spec.pp r) > 0)
+
+(* ---- Plan ---- *)
+
+let decide_all plan ~cls ~tokens n =
+  List.init n (fun i ->
+      Fault.Plan.decide plan ~now:(ns (i * 10)) ~src:(i mod 4) ~dst:((i + 1) mod 4) ~cls
+        ~tokens_carried:tokens ~label:(fun () -> "msg"))
+
+let test_plan_deterministic () =
+  let mk () = Fault.Plan.create ~seed:11 ~nodes:8 Fault.Spec.default in
+  let a = decide_all (mk ()) ~cls:Interconnect.Msg_class.Request ~tokens:0 200 in
+  let b = decide_all (mk ()) ~cls:Interconnect.Msg_class.Request ~tokens:0 200 in
+  Alcotest.(check bool) "same seed, same fault sequence" true (a = b);
+  let none = Fault.Plan.create ~seed:11 ~nodes:8 Fault.Spec.none in
+  List.iter
+    (fun act -> Alcotest.(check bool) "empty spec passes" true (act = Interconnect.Fabric.Pass))
+    (decide_all none ~cls:Interconnect.Msg_class.Response_data ~tokens:4 50)
+
+let test_plan_class_gating () =
+  (* Saturated drop/dup probabilities: Persistent must still pass
+     untouched (lossless-network assumption of the liveness layer). *)
+  let hot =
+    {
+      Fault.Spec.none with
+      Fault.Spec.dup_prob = 1.0;
+      drop_prob = 1.0;
+      drop_tokens = true;
+      duplicate_tokens = true;
+    }
+  in
+  let plan = Fault.Plan.create ~seed:3 ~nodes:8 hot in
+  List.iter
+    (fun act ->
+      Alcotest.(check bool) "persistent untouched" true (act = Interconnect.Fabric.Pass))
+    (decide_all plan ~cls:Interconnect.Msg_class.Persistent ~tokens:0 50);
+  (* Requests at drop_prob 1.0 are recoverable drops, and recorded. *)
+  let plan = Fault.Plan.create ~seed:3 ~nodes:8 hot in
+  List.iter
+    (fun act -> Alcotest.(check bool) "requests drop" true (act = Interconnect.Fabric.Drop))
+    (decide_all plan ~cls:Interconnect.Msg_class.Request ~tokens:0 20);
+  Alcotest.(check int) "recoverable drops recorded" 20
+    (Fault.Plan.stats plan).Fault.Plan.drops_recoverable;
+  Alcotest.(check int) "no unrecoverable drops" 0
+    (List.length (Fault.Plan.unrecoverable_drops plan));
+  (* Token-carrying messages under drop_tokens: unrecoverable, and the
+     duplicate_tokens corruption takes precedence at dup_prob 1.0. *)
+  let drop_only = { hot with Fault.Spec.dup_prob = 0.; duplicate_tokens = false } in
+  let plan = Fault.Plan.create ~seed:3 ~nodes:8 drop_only in
+  List.iter
+    (fun act -> Alcotest.(check bool) "token drops" true (act = Interconnect.Fabric.Drop))
+    (decide_all plan ~cls:Interconnect.Msg_class.Response_data ~tokens:2 10);
+  let recs = Fault.Plan.unrecoverable_drops plan in
+  Alcotest.(check int) "unrecoverable recorded" 10 (List.length recs);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "flagged unrecoverable" false r.Fault.Plan.dr_recoverable;
+      Alcotest.(check bool) "drop record prints" true
+        (String.length (Format.asprintf "%a" Fault.Plan.pp_drop_record r) > 0))
+    recs
+
+(* ---- Violation / Report ---- *)
+
+let test_violation_fields () =
+  let v =
+    Mcmp.Violation.make ~kind:"token-conservation" ~addr:0x40 ~node:3 ~time:(ns 1200)
+      "held 15 + inflight 0 <> 16"
+  in
+  Alcotest.(check string) "kind" "token-conservation" v.Mcmp.Violation.kind;
+  Alcotest.(check (option int)) "addr" (Some 0x40) v.Mcmp.Violation.addr;
+  Alcotest.(check (option int)) "node" (Some 3) v.Mcmp.Violation.node;
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "to_string mentions kind" true
+    (contains (Mcmp.Violation.to_string v) "token-conservation");
+  match Mcmp.Violation.raise_it ~kind:"k" ~time:Sim.Time.zero "detail" with
+  | exception Mcmp.Violation.Invariant_violation v' ->
+    Alcotest.(check string) "raise_it carries kind" "k" v'.Mcmp.Violation.kind
+  | _ -> Alcotest.fail "raise_it did not raise"
+
+let test_report_severity () =
+  let at = ns 100 in
+  let dr =
+    {
+      Fault.Plan.dr_time = at;
+      dr_src = 0;
+      dr_dst = 1;
+      dr_cls = Interconnect.Msg_class.Response_data;
+      dr_label = "Tokens";
+      dr_recoverable = false;
+    }
+  in
+  let sev k = Fault.Report.severity { Fault.Report.at; kind = k } in
+  Alcotest.(check bool) "unrecoverable drop is expected" true
+    (sev (Fault.Report.Unrecoverable_drop dr) = `Expected);
+  Alcotest.(check bool) "invariant is fatal" true
+    (sev
+       (Fault.Report.Invariant
+          (Mcmp.Violation.make ~kind:"k" ~time:at "d"))
+    = `Fatal);
+  Alcotest.(check bool) "no-progress is fatal" true
+    (sev (Fault.Report.No_progress { window = ns 1000; mode = `Deadlock }) = `Fatal)
+
+(* ---- Torture runs ---- *)
+
+let check_clean o =
+  match Fault.Torture.verdict o with
+  | Fault.Torture.Clean -> ()
+  | v ->
+    Alcotest.failf "%s seed=%d expected clean, got %a (%d reports)"
+      (Fault.Torture.target_name o.Fault.Torture.target)
+      o.Fault.Torture.seed Fault.Torture.pp_verdict v
+      (List.length o.Fault.Torture.reports)
+
+(* Acceptance: a fixed-seed randomized campaign — both protocols, every
+   token policy, delay/duplication/reorder/stall faults — is violation-
+   and hang-free. *)
+let test_campaign_clean () =
+  let outcomes =
+    Fault.Torture.campaign ~config:Mcmp.Config.tiny ~runs:100
+      ~targets:Fault.Torture.default_targets ~seed:2026 ()
+  in
+  Alcotest.(check int) "ran all 100" 100 (List.length outcomes);
+  List.iter check_clean outcomes
+
+(* Acceptance: a deliberately dropped token-carrying message must be
+   detected and reported, with the seed and a bounded trace attached. *)
+let test_token_drop_detected () =
+  let spec = Fault.Spec.with_drops ~tokens:true ~prob:0.05 Fault.Spec.default in
+  let hits = ref 0 in
+  for seed = 1 to 6 do
+    let o = Fault.Torture.run (Fault.Torture.Token Token.Policy.dst1) ~spec ~seed in
+    if o.Fault.Torture.stats.Fault.Plan.drops_unrecoverable > 0 then begin
+      incr hits;
+      (match Fault.Torture.verdict o with
+      | Fault.Torture.Detected -> ()
+      | v -> Alcotest.failf "seed %d: expected detected, got %a" seed Fault.Torture.pp_verdict v);
+      Alcotest.(check bool) "reported" true (o.Fault.Torture.reports <> []);
+      Alcotest.(check bool) "reports the drop" true
+        (List.exists
+           (fun r ->
+             match r.Fault.Report.kind with
+             | Fault.Report.Unrecoverable_drop _ -> true
+             | _ -> false)
+           o.Fault.Torture.reports);
+      Alcotest.(check int) "seed preserved for reproduction" seed o.Fault.Torture.seed;
+      Alcotest.(check bool) "trace captured" true (String.length o.Fault.Torture.trace > 0)
+    end
+  done;
+  Alcotest.(check bool) "at least one unrecoverable drop injected" true (!hits > 0)
+
+(* The invariant monitor must catch token-minting duplicates: a
+   duplicated token-carrying message breaks global conservation. *)
+let test_token_mint_caught () =
+  let spec =
+    { Fault.Spec.default with Fault.Spec.dup_prob = 0.3; duplicate_tokens = true }
+  in
+  let hits = ref 0 in
+  for seed = 1 to 6 do
+    let o = Fault.Torture.run (Fault.Torture.Token Token.Policy.dst1) ~spec ~seed in
+    if o.Fault.Torture.stats.Fault.Plan.token_dups > 0 then begin
+      incr hits;
+      (match Fault.Torture.verdict o with
+      | Fault.Torture.Detected -> ()
+      | v -> Alcotest.failf "seed %d: expected detected, got %a" seed Fault.Torture.pp_verdict v);
+      Alcotest.(check bool) "invariant violation reported" true
+        (List.exists
+           (fun r ->
+             match r.Fault.Report.kind with Fault.Report.Invariant _ -> true | _ -> false)
+           o.Fault.Torture.reports)
+    end
+  done;
+  Alcotest.(check bool) "at least one duplicate minted" true (!hits > 0)
+
+let delay_spikes =
+  {
+    Fault.Spec.none with
+    Fault.Spec.delay_prob = 0.05;
+    delay_min = ns 300;
+    delay_max = ns 1500;
+    reorder_prob = 0.05;
+    reorder_max = ns 60;
+  }
+
+(* dst1-mcast predicts a destination set; delay spikes force timeouts,
+   whose reissue falls back to the full broadcast before escalating to
+   a persistent request. The run must stay clean throughout. *)
+let test_mcast_fallback_under_spikes () =
+  for seed = 1 to 3 do
+    check_clean
+      (Fault.Torture.run (Fault.Torture.Token Token.Policy.dst1_mcast) ~spec:delay_spikes
+         ~seed)
+  done
+
+(* timeout_all_responses arms the retry timer from the all-responses
+   latency average instead of the memory-response average, so delay
+   spikes trigger much earlier reissues; survivability must not depend
+   on the timer flavor. *)
+let test_timeout_all_responses_under_spikes () =
+  let policy =
+    { Token.Policy.dst1 with Token.Policy.name = "TokenCMP-dst1-toall";
+      timeout_all_responses = true }
+  in
+  for seed = 1 to 3 do
+    check_clean (Fault.Torture.run (Fault.Torture.Token policy) ~spec:delay_spikes ~seed)
+  done
+
+let tests =
+  [
+    Alcotest.test_case "spec modes" `Quick test_spec_modes;
+    Alcotest.test_case "plans are seed-deterministic" `Quick test_plan_deterministic;
+    Alcotest.test_case "plan class gating" `Quick test_plan_class_gating;
+    Alcotest.test_case "violation fields" `Quick test_violation_fields;
+    Alcotest.test_case "report severity" `Quick test_report_severity;
+    Alcotest.test_case "clean fixed-seed campaign, all targets" `Slow test_campaign_clean;
+    Alcotest.test_case "token drop detected with seed and trace" `Slow
+      test_token_drop_detected;
+    Alcotest.test_case "token-minting duplicate caught by monitor" `Slow
+      test_token_mint_caught;
+    Alcotest.test_case "dst1-mcast fallback under delay spikes" `Slow
+      test_mcast_fallback_under_spikes;
+    Alcotest.test_case "timeout_all_responses under delay spikes" `Slow
+      test_timeout_all_responses_under_spikes;
+  ]

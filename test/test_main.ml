@@ -16,5 +16,6 @@ let () =
       ("model-checking", Test_mc.tests);
       ("random-programs", Test_random.tests);
       ("integration", Test_integration.tests);
+      ("fault", Test_fault.tests);
       ("misc", Test_misc.tests);
     ]

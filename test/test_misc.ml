@@ -57,8 +57,8 @@ let test_token_msg_pp () =
           writeback = false };
       Token.Msg.P_activate { addr = 5; proc = 0; l1 = 1; rw = Token.Msg.W; seq = 4 };
       Token.Msg.P_deactivate { addr = 5; proc = 0; seq = 4 };
-      Token.Msg.P_arb_request { addr = 5; proc = 0; l1 = 1; rw = Token.Msg.W };
-      Token.Msg.P_arb_done { addr = 5; proc = 0 };
+      Token.Msg.P_arb_request { addr = 5; proc = 0; l1 = 1; rw = Token.Msg.W; rid = 7 };
+      Token.Msg.P_arb_done { addr = 5; proc = 0; rid = 7 };
     ]
   in
   List.iter

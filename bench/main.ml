@@ -11,12 +11,20 @@
 
    Run with no arguments for everything, or name the sections:
      dune exec bench/main.exe -- fig2 fig6
-   Add "quick" to shrink run lengths. *)
+   Add "quick" to shrink run lengths; "-j N" fans the independent
+   simulations out over N domains (0 = all cores; default
+   $TOKENCMP_JOBS or serial).
+
+   Besides the human-readable tables on stdout, each section writes a
+   machine-readable BENCH_<section>.json (schema in README) so the
+   perf trajectory is tracked across PRs. *)
 
 module E = Tokencmp.Experiments
 module P = Tokencmp.Protocols
+module J = Tokencmp.Json
 
 let quick = ref false
+let jobs = ref 1
 let seeds () = if !quick then [ 1 ] else [ 1; 2 ]
 let acquires () = if !quick then 25 else 50
 let episodes () = if !quick then 10 else 25
@@ -27,6 +35,15 @@ let progress fmt = Printf.eprintf fmt
 
 let hr title = Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 let mean (r : E.run) = r.E.runtime_ns.Sim.Stat.Summary.mean
+
+let runs_json runs = J.List (List.map E.run_to_json runs)
+
+let sweep_json sweep =
+  J.List
+    (List.map
+       (fun (nlocks, runs) ->
+         J.Obj [ ("nlocks", J.Int nlocks); ("runs", runs_json runs) ])
+       sweep)
 
 (* ------------------------------------------------------------------ *)
 (* Figures 2 and 3: locking micro-benchmark                            *)
@@ -55,7 +72,7 @@ let print_locking_table ~title ~note sweep protocols =
 let fig2 () =
   progress "[fig2] locking sweep, persistent requests only...\n%!";
   let sweep =
-    E.locking_sweep ~seeds:(seeds ()) ~acquires:(acquires ()) ~locks:(locks ())
+    E.locking_sweep ~jobs:!jobs ~seeds:(seeds ()) ~acquires:(acquires ()) ~locks:(locks ())
       ~protocols:E.fig2_protocols ()
   in
   print_locking_table
@@ -64,12 +81,13 @@ let fig2 () =
       "Paper shape: TokenCMP-arb0 far worse than DirectoryCMP under contention\n\
        (~3.7x at 2 locks); TokenCMP-dst0 comparable or better than the directory\n\
        across the sweep."
-    sweep E.fig2_protocols
+    sweep E.fig2_protocols;
+  sweep_json sweep
 
 let fig3 () =
   progress "[fig3] locking sweep, transient + persistent...\n%!";
   let sweep =
-    E.locking_sweep ~seeds:(seeds ()) ~acquires:(acquires ()) ~locks:(locks ())
+    E.locking_sweep ~jobs:!jobs ~seeds:(seeds ()) ~acquires:(acquires ()) ~locks:(locks ())
       ~protocols:E.fig3_protocols ()
   in
   print_locking_table
@@ -79,7 +97,8 @@ let fig3 () =
        (many lock handoffs are remote sharing misses that the directory\n\
        indirects); contention degrades the token variants, with dst1-pred most\n\
        robust and retry-happy policies worst."
-    sweep E.fig3_protocols
+    sweep E.fig3_protocols;
+  sweep_json sweep
 
 (* ------------------------------------------------------------------ *)
 (* Table 4: barrier micro-benchmark                                    *)
@@ -99,12 +118,12 @@ let tab4 () =
     | _ -> (nan, nan)
   in
   let fixed =
-    E.barrier ~seeds:(seeds ()) ~episodes:(episodes ()) ~variability:Sim.Time.zero
+    E.barrier ~jobs:!jobs ~seeds:(seeds ()) ~episodes:(episodes ()) ~variability:Sim.Time.zero
       ~protocols:E.tab4_protocols ()
   in
   let vary =
-    E.barrier ~seeds:(seeds ()) ~episodes:(episodes ()) ~variability:(Sim.Time.ns 1000)
-      ~protocols:E.tab4_protocols ()
+    E.barrier ~jobs:!jobs ~seeds:(seeds ()) ~episodes:(episodes ())
+      ~variability:(Sim.Time.ns 1000) ~protocols:E.tab4_protocols ()
   in
   let base_fixed = E.find fixed "DirectoryCMP" in
   let base_vary = E.find vary "DirectoryCMP" in
@@ -118,7 +137,8 @@ let tab4 () =
         (E.normalize ~baseline:base_fixed (E.find fixed name))
         (E.normalize ~baseline:base_vary (E.find vary name))
         pf pv)
-    E.tab4_protocols
+    E.tab4_protocols;
+  J.Obj [ ("fixed_work", runs_json fixed); ("variable_work", runs_json vary) ]
 
 (* ------------------------------------------------------------------ *)
 (* Figures 6 and 7: commercial workloads                               *)
@@ -132,10 +152,22 @@ let runs_for profile =
   | None ->
     progress "[fig6/fig7] %s...\n%!" name;
     let runs =
-      E.commercial ~seeds:(seeds ()) ~ops:(ops ()) ~profile ~protocols:E.fig6_protocols ()
+      E.commercial ~jobs:!jobs ~seeds:(seeds ()) ~ops:(ops ()) ~profile
+        ~protocols:E.fig6_protocols ()
     in
     fig6_cache := (name, runs) :: !fig6_cache;
     runs
+
+let commercial_json () =
+  J.List
+    (List.map
+       (fun p ->
+         J.Obj
+           [
+             ("workload", J.String p.Workload.Commercial.name);
+             ("runs", runs_json (runs_for p));
+           ])
+       Workload.Commercial.all)
 
 let fig6 () =
   let table = List.map (fun p -> (p, runs_for p)) Workload.Commercial.all in
@@ -170,7 +202,8 @@ let fig6 () =
       Printf.printf "%s: TokenCMP-dst1 persistent requests = %.3f%% of misses (paper: <0.3%%)\n"
         profile.Workload.Commercial.name
         (100. *. dst1.E.persistent_fraction))
-    table
+    table;
+  commercial_json ()
 
 let print_traffic ~title ~select runs_by_workload =
   hr title;
@@ -224,7 +257,10 @@ let fig7 () =
        Paper shape: similar totals; token spends more on (broadcast) requests,\n\
        the directory more on response data (L1 data routes through the L2)."
     ~select:(fun r -> r.E.intra_bytes)
-    table
+    table;
+  (* Same runs as fig6 (shared cache); the traffic breakdowns live in
+     each run's inter/intra_bytes fields. *)
+  commercial_json ()
 
 (* ------------------------------------------------------------------ *)
 (* Section 5: model checking                                           *)
@@ -253,14 +289,37 @@ let sec5 () =
         | None ->
           if s.Mc.Explore.truncated then "exceeds state budget (intractable)" else "verified"
         | Some (r, _) -> "VIOLATION: " ^ r))
-    rows
+    rows;
+  J.List
+    (List.map
+       (fun (name, s, loc) ->
+         J.Obj
+           [
+             ("model", J.String name);
+             ("states", J.Int s.Mc.Explore.states);
+             ("transitions", J.Int s.Mc.Explore.transitions);
+             ("diameter", J.Int s.Mc.Explore.diameter);
+             ("goals", J.Int s.Mc.Explore.goals);
+             ("doomed", J.Int s.Mc.Explore.doomed);
+             ("truncated", J.Bool s.Mc.Explore.truncated);
+             ( "violation",
+               match s.Mc.Explore.violation with
+               | None -> J.Null
+               | Some (r, _) -> J.String r );
+             ("model_loc", J.Int loc);
+           ])
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: variants                                                   *)
 
 let tab1 () =
   hr "Table 1: TokenCMP variants";
-  List.iter (fun p -> Format.printf "%a@." Token.Policy.pp p) Token.Policy.all
+  List.iter (fun p -> Format.printf "%a@." Token.Policy.pp p) Token.Policy.all;
+  J.List
+    (List.map
+       (fun p -> J.String (Format.asprintf "%a" Token.Policy.pp p))
+       Token.Policy.all)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -270,7 +329,7 @@ let ablate () =
   hr "Ablations (DESIGN.md section 4; not figures of the paper)";
   let nlocks = 16 in
   let run protocols =
-    E.locking ~seeds:(seeds ()) ~acquires:(acquires ()) ~protocols ~nlocks ()
+    E.locking ~jobs:!jobs ~seeds:(seeds ()) ~acquires:(acquires ()) ~protocols ~nlocks ()
   in
   (* 1. hierarchical vs flat broadcast *)
   let r = run [ P.token Token.Policy.dst1; P.token Token.Policy.dst1_flat ] in
@@ -280,11 +339,20 @@ let ablate () =
   let inter r = List.fold_left (fun a (_, b) -> a +. b) 0. r.E.inter_bytes in
   Printf.printf "  inter-CMP bytes: dst1 %.0f vs flat %.0f (flat broadcasts everything)\n"
     (inter d) (inter f);
+  let j_flat =
+    J.Obj
+      [
+        ("dst1_runtime_ns", J.Float (mean d));
+        ("flat_runtime_ns", J.Float (mean f));
+        ("dst1_inter_bytes", J.Float (inter d));
+        ("flat_inter_bytes", J.Float (inter f));
+      ]
+  in
   (* 2. migratory sharing *)
   let mig_off = { Mcmp.Config.default with Mcmp.Config.migratory = false } in
   let r_on = run [ P.token Token.Policy.dst1; P.directory ] in
   let r_off =
-    E.locking ~config:mig_off ~seeds:(seeds ()) ~acquires:(acquires ())
+    E.locking ~jobs:!jobs ~config:mig_off ~seeds:(seeds ()) ~acquires:(acquires ())
       ~protocols:[ P.token Token.Policy.dst1; P.directory ] ~nlocks ()
   in
   Printf.printf "migratory-sharing optimization, locking with %d locks:\n" nlocks;
@@ -294,19 +362,36 @@ let ablate () =
         (mean (E.find r_on name))
         (mean (E.find r_off name)))
     [ "TokenCMP-dst1"; "DirectoryCMP" ];
+  let j_mig =
+    J.Obj
+      (List.concat_map
+         (fun name ->
+           [
+             (name ^ "_on_ns", J.Float (mean (E.find r_on name)));
+             (name ^ "_off_ns", J.Float (mean (E.find r_off name)));
+           ])
+         [ "TokenCMP-dst1"; "DirectoryCMP" ])
+  in
   (* 3. response-delay window *)
   let no_delay = { Mcmp.Config.default with Mcmp.Config.response_delay = Sim.Time.zero } in
   let r_nd =
-    E.locking ~config:no_delay ~seeds:(seeds ()) ~acquires:(acquires ())
+    E.locking ~jobs:!jobs ~config:no_delay ~seeds:(seeds ()) ~acquires:(acquires ())
       ~protocols:[ P.token Token.Policy.dst1 ] ~nlocks:4 ()
   in
   let r_d =
-    E.locking ~seeds:(seeds ()) ~acquires:(acquires ())
+    E.locking ~jobs:!jobs ~seeds:(seeds ()) ~acquires:(acquires ())
       ~protocols:[ P.token Token.Policy.dst1 ] ~nlocks:4 ()
   in
   Printf.printf "response-delay window, locking with 4 locks: with %.0fns, without %.0fns\n"
     (mean (E.find r_d "TokenCMP-dst1"))
     (mean (E.find r_nd "TokenCMP-dst1"));
+  let j_delay =
+    J.Obj
+      [
+        ("with_window_ns", J.Float (mean (E.find r_d "TokenCMP-dst1")));
+        ("without_window_ns", J.Float (mean (E.find r_nd "TokenCMP-dst1")));
+      ]
+  in
   (* 4. timeout estimation: memory responses vs all responses *)
   let all_resp =
     { Token.Policy.dst1 with Token.Policy.name = "dst1-timeout-all"; timeout_all_responses = true }
@@ -317,14 +402,21 @@ let ablate () =
      averaging admits fast on-chip hits and fires premature retries)\n"
     (mean (E.find r_t "TokenCMP-dst1"))
     (mean (E.find r_t "dst1-timeout-all"));
+  let j_timeout =
+    J.Obj
+      [
+        ("memory_responses_ns", J.Float (mean (E.find r_t "TokenCMP-dst1")));
+        ("all_responses_ns", J.Float (mean (E.find r_t "dst1-timeout-all")));
+      ]
+  in
   (* 5. Arbiter colocation (Section 7: "TokenCMP-arb0 performs even
      worse when highly-contended locks map to the same arbiter"). *)
   let spread =
-    E.locking ~seeds:(seeds ()) ~acquires:(acquires ())
+    E.locking ~jobs:!jobs ~seeds:(seeds ()) ~acquires:(acquires ())
       ~protocols:[ P.token Token.Policy.arb0 ] ~nlocks:4 ()
   in
   let colocated =
-    E.locking ~seeds:(seeds ()) ~acquires:(acquires ()) ~lock_stride:4
+    E.locking ~jobs:!jobs ~seeds:(seeds ()) ~acquires:(acquires ()) ~lock_stride:4
       ~protocols:[ P.token Token.Policy.arb0 ] ~nlocks:4 ()
   in
   Printf.printf
@@ -333,6 +425,13 @@ let ablate () =
      immune to where locks map)\n"
     (mean (E.find spread "TokenCMP-arb0"))
     (mean (E.find colocated "TokenCMP-arb0"));
+  let j_coloc =
+    J.Obj
+      [
+        ("spread_ns", J.Float (mean (E.find spread "TokenCMP-arb0")));
+        ("colocated_ns", J.Float (mean (E.find colocated "TokenCMP-arb0")));
+      ]
+  in
   (* 6. Inter-CMP bandwidth sensitivity: the paper notes its traffic
      plots matter "for other assumptions"; squeeze the global links and
      watch broadcast overhead bite. *)
@@ -341,17 +440,22 @@ let ablate () =
     let cfg = { Mcmp.Config.default with Mcmp.Config.fabric } in
     let profile = { Workload.Commercial.oltp with Workload.Commercial.ops = ops () } in
     let runs =
-      E.commercial ~config:cfg ~seeds:(seeds ()) ~profile
+      E.commercial ~jobs:!jobs ~config:cfg ~seeds:(seeds ()) ~profile
         ~protocols:[ P.directory; P.token Token.Policy.dst1 ] ()
     in
     E.normalize ~baseline:(E.find runs "DirectoryCMP") (E.find runs "TokenCMP-dst1")
   in
+  let bw16 = squeeze 16. and bw8 = squeeze 8. and bw4 = squeeze 4. in
   Printf.printf
     "inter-CMP bandwidth sensitivity (OLTP, dst1/directory runtime ratio):\n\
     \  16 GB/s %.2f   8 GB/s %.2f   4 GB/s %.2f\n\
      (token's broadcasts consume more link bandwidth, so its advantage narrows\n\
      as the global links tighten)\n"
-    (squeeze 16.) (squeeze 8.) (squeeze 4.);
+    bw16 bw8 bw4;
+  let j_bw =
+    J.Obj
+      [ ("16GBps", J.Float bw16); ("8GBps", J.Float bw8); ("4GBps", J.Float bw4) ]
+  in
   (* 7. L2 capacity pressure: the paper's billion-instruction commercial
      runs keep the 8MB L2 churning, producing the writeback traffic of
      Fig. 7a; our short runs cannot fill it, so emulate the steady state
@@ -359,7 +463,7 @@ let ablate () =
   let small_l2 = { Mcmp.Config.default with Mcmp.Config.l2_sets = 1024 } in
   let profile = { Workload.Commercial.oltp with Workload.Commercial.ops = ops () } in
   let r_small =
-    E.commercial ~config:small_l2 ~seeds:(seeds ()) ~profile
+    E.commercial ~jobs:!jobs ~config:small_l2 ~seeds:(seeds ()) ~profile
       ~protocols:[ P.directory; P.token Token.Policy.dst1 ] ()
   in
   let dir = E.find r_small "DirectoryCMP" and tok = E.find r_small "TokenCMP-dst1" in
@@ -372,7 +476,25 @@ let ablate () =
     (total tok /. total dir)
     (List.assoc Interconnect.Msg_class.Writeback_data dir.E.inter_bytes /. total dir)
     (List.assoc Interconnect.Msg_class.Writeback_data tok.E.inter_bytes /. total tok)
-    (E.normalize ~baseline:dir tok)
+    (E.normalize ~baseline:dir tok);
+  let j_l2 =
+    J.Obj
+      [
+        ("directory_inter_bytes", J.Float (total dir));
+        ("dst1_inter_bytes", J.Float (total tok));
+        ("runtime_ratio", J.Float (E.normalize ~baseline:dir tok));
+      ]
+  in
+  J.Obj
+    [
+      ("flat_broadcast", j_flat);
+      ("migratory", j_mig);
+      ("response_delay_window", j_delay);
+      ("timeout_estimation", j_timeout);
+      ("arbiter_colocation", j_coloc);
+      ("bandwidth_sensitivity", j_bw);
+      ("l2_capacity_pressure", j_l2);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Scaling: 8 CMPs and destination-set-prediction multicast            *)
@@ -391,7 +513,7 @@ let scale () =
   let protocols =
     [ P.directory; P.token Token.Policy.dst1; P.token Token.Policy.dst1_mcast ]
   in
-  let runs = E.commercial ~config:config8 ~seeds:(seeds ()) ~profile ~protocols () in
+  let runs = E.commercial ~jobs:!jobs ~config:config8 ~seeds:(seeds ()) ~profile ~protocols () in
   let baseline = E.find runs "DirectoryCMP" in
   let inter r = List.fold_left (fun a (_, b) -> a +. b) 0. r.E.inter_bytes in
   Printf.printf "%-22s %12s %16s %14s\n" "Protocol" "runtime" "inter-CMP bytes" "persistent%";
@@ -418,24 +540,40 @@ let scale () =
     pc.Workload.Producer_consumer.rounds;
   Printf.printf "%-22s %12s %16s %14s\n" "Protocol" "runtime(us)" "inter-CMP bytes"
     "persistent%";
-  List.iter
-    (fun proto ->
-      let results =
-        List.map
-          (fun seed ->
-            Mcmp.Runner.run ~config:Mcmp.Config.default proto.P.builder
-              ~programs:(fun ~proc ->
-                Workload.Producer_consumer.programs pc ~seed ~nprocs ~proc)
-              ~seed)
-          (seeds ())
-      in
-      let n = float_of_int (List.length results) in
-      let favg f = List.fold_left (fun a r -> a +. f r) 0. results /. n in
-      Printf.printf "%-22s %12.1f %16.3g %13.2f%%\n" proto.P.name
-        (favg (fun r -> Sim.Time.to_ns r.Mcmp.Runner.runtime) /. 1000.)
-        (favg (fun r -> float_of_int (Interconnect.Traffic.inter_total r.Mcmp.Runner.traffic)))
-        (favg (fun r -> 100. *. Mcmp.Counters.persistent_fraction r.Mcmp.Runner.counters)))
-    pc_protocols
+  let pc_rows =
+    List.map
+      (fun proto ->
+        let results =
+          Par.Pool.map ~jobs:!jobs
+            ~label:(fun _ seed -> Printf.sprintf "prodcons %s seed=%d" proto.P.name seed)
+            (fun seed ->
+              Mcmp.Runner.run ~config:Mcmp.Config.default proto.P.builder
+                ~programs:(fun ~proc ->
+                  Workload.Producer_consumer.programs pc ~seed ~nprocs ~proc)
+                ~seed)
+            (seeds ())
+        in
+        let n = float_of_int (List.length results) in
+        let favg f = List.fold_left (fun a r -> a +. f r) 0. results /. n in
+        let runtime_us = favg (fun r -> Sim.Time.to_ns r.Mcmp.Runner.runtime) /. 1000. in
+        let inter_bytes =
+          favg (fun r -> float_of_int (Interconnect.Traffic.inter_total r.Mcmp.Runner.traffic))
+        in
+        let persistent =
+          favg (fun r -> 100. *. Mcmp.Counters.persistent_fraction r.Mcmp.Runner.counters)
+        in
+        Printf.printf "%-22s %12.1f %16.3g %13.2f%%\n" proto.P.name runtime_us inter_bytes
+          persistent;
+        J.Obj
+          [
+            ("protocol", J.String proto.P.name);
+            ("runtime_us", J.Float runtime_us);
+            ("inter_bytes", J.Float inter_bytes);
+            ("persistent_pct", J.Float persistent);
+          ])
+      pc_protocols
+  in
+  J.Obj [ ("oltp_8cmp", runs_json runs); ("producer_consumer", J.List pc_rows) ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the substrate                          *)
@@ -501,17 +639,24 @@ let micro () =
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) () in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   let instance = Toolkit.Instance.monotonic_clock in
-  List.iter
-    (fun test ->
-      List.iter
-        (fun elt ->
-          let raw = Benchmark.run cfg [ instance ] elt in
-          let result = Analyze.one ols instance raw in
-          match Analyze.OLS.estimates result with
-          | Some [ ns ] -> Printf.printf "  %-28s %12.0f ns/iter\n" (Test.Elt.name elt) ns
-          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n" (Test.Elt.name elt))
-        (Test.elements test))
-    tests
+  let rows =
+    List.concat_map
+      (fun test ->
+        List.filter_map
+          (fun elt ->
+            let raw = Benchmark.run cfg [ instance ] elt in
+            let result = Analyze.one ols instance raw in
+            match Analyze.OLS.estimates result with
+            | Some [ ns ] ->
+              Printf.printf "  %-28s %12.0f ns/iter\n" (Test.Elt.name elt) ns;
+              Some (Test.Elt.name elt, J.Float ns)
+            | Some _ | None ->
+              Printf.printf "  %-28s (no estimate)\n" (Test.Elt.name elt);
+              Some (Test.Elt.name elt, J.Null))
+          (Test.elements test))
+      tests
+  in
+  J.Obj rows
 
 (* ------------------------------------------------------------------ *)
 
@@ -529,23 +674,50 @@ let sections =
     ("micro", micro);
   ]
 
+(* Envelope around each section's payload; BENCH_<section>.json files
+   are the cross-PR perf trajectory (schema in README). *)
+let write_json name ~wall_clock data =
+  let file = "BENCH_" ^ name ^ ".json" in
+  J.write_file file
+    (J.Obj
+       [
+         ("schema_version", J.Int 1);
+         ("section", J.String name);
+         ("quick", J.Bool !quick);
+         ("jobs", J.Int !jobs);
+         ("wall_clock_s", J.Float wall_clock);
+         ("data", data);
+       ]);
+  progress "[%s] wrote %s (%.1fs wall clock, %d jobs)\n%!" name file wall_clock !jobs
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "quick" || a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let requested_jobs = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | ("quick" | "--quick") :: rest ->
+      quick := true;
+      parse acc rest
+    | ("-j" | "--jobs") :: n :: rest when int_of_string_opt n <> None ->
+      requested_jobs := int_of_string_opt n;
+      parse acc rest
+    | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j"
+                     && int_of_string_opt (String.sub a 2 (String.length a - 2)) <> None ->
+      requested_jobs := int_of_string_opt (String.sub a 2 (String.length a - 2));
+      parse acc rest
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] args in
+  jobs := Par.Pool.resolve_jobs ?requested:!requested_jobs ();
+  if !jobs > 1 then progress "[bench] running with %d worker domains\n%!" !jobs;
   let chosen = if args = [] then List.map fst sections else args in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
-      | Some f -> f ()
+      | Some f ->
+        let t0 = Unix.gettimeofday () in
+        let data = f () in
+        write_json name ~wall_clock:(Unix.gettimeofday () -. t0) data
       | None ->
         Printf.eprintf "unknown section %s (have: %s)\n" name
           (String.concat ", " (List.map fst sections));

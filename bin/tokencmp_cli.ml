@@ -40,6 +40,18 @@ let tiny_arg =
     value & flag
     & info [ "tiny" ] ~doc:"Use a 2-CMP x 2-processor machine instead of the paper's 4x4.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int (-1)
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for independent simulations (0 = all cores). Defaults to \
+           $(b,TOKENCMP_JOBS) if set, else 1 (serial). Results are bit-identical for any \
+           value.")
+
+(* -1 = flag absent: defer to TOKENCMP_JOBS / serial. *)
+let resolve_jobs j = Par.Pool.resolve_jobs ?requested:(if j < 0 then None else Some j) ()
+
 let config_of_tiny tiny = if tiny then Mcmp.Config.tiny else Mcmp.Config.default
 
 (* ---- list ---- *)
@@ -89,42 +101,77 @@ let run_cmd =
       & info [ "w"; "workload" ] ~docv:"WORKLOAD"
           ~doc:"Workload: locking:N, barrier, prodcons, oltp, apache, specjbb.")
   in
-  let run protocol workload seed tiny =
+  let run_seeds_arg =
+    Arg.(
+      value & opt (list int) []
+      & info [ "seeds" ] ~docv:"SEEDS"
+          ~doc:
+            "Run several seeds (in parallel with $(b,-j)) and report per-seed runtimes plus \
+             mean +/- CI instead of one full report.")
+  in
+  let print_one workload r =
+    Format.printf "workload: %s, seed %d (reproduce with --seed %d)@." workload
+      r.Mcmp.Runner.seed r.Mcmp.Runner.seed;
+    Format.printf "measured runtime: %a (total %a)@." Sim.Time.pp r.Mcmp.Runner.runtime
+      Sim.Time.pp r.Mcmp.Runner.total_runtime;
+    Format.printf "completed: %b, events: %d, ops: %d@." r.Mcmp.Runner.completed
+      r.Mcmp.Runner.events r.Mcmp.Runner.ops;
+    Format.printf "%a@." Mcmp.Counters.pp r.Mcmp.Runner.counters;
+    let pr_traffic label breakdown total =
+      Format.printf "%s traffic: %d bytes (%s)@." label total
+        (String.concat ", "
+           (List.filter_map
+              (fun (c, b) ->
+                if b = 0 then None
+                else Some (Printf.sprintf "%s %d" (Interconnect.Msg_class.to_string c) b))
+              breakdown))
+    in
+    pr_traffic "intra-CMP"
+      (Interconnect.Traffic.intra_breakdown r.Mcmp.Runner.traffic)
+      (Interconnect.Traffic.intra_total r.Mcmp.Runner.traffic);
+    pr_traffic "inter-CMP"
+      (Interconnect.Traffic.inter_breakdown r.Mcmp.Runner.traffic)
+      (Interconnect.Traffic.inter_total r.Mcmp.Runner.traffic)
+  in
+  let run protocol workload seed seeds jobs tiny =
     let config = config_of_tiny tiny in
-    match workload_programs ~config ~seed workload with
-    | Error e ->
-      prerr_endline e;
-      exit 2
-    | Ok programs ->
-      let r = Mcmp.Runner.run ~config protocol.Tokencmp.Protocols.builder ~programs ~seed in
-      Format.printf "protocol: %s@." protocol.Tokencmp.Protocols.name;
-      Format.printf "workload: %s, seed %d (reproduce with --seed %d)@." workload
-        r.Mcmp.Runner.seed r.Mcmp.Runner.seed;
-      Format.printf "measured runtime: %a (total %a)@." Sim.Time.pp r.Mcmp.Runner.runtime
-        Sim.Time.pp r.Mcmp.Runner.total_runtime;
-      Format.printf "completed: %b, events: %d, ops: %d@." r.Mcmp.Runner.completed
-        r.Mcmp.Runner.events r.Mcmp.Runner.ops;
-      Format.printf "%a@." Mcmp.Counters.pp r.Mcmp.Runner.counters;
-      let pr_traffic label breakdown total =
-        Format.printf "%s traffic: %d bytes (%s)@." label total
-          (String.concat ", "
-             (List.filter_map
-                (fun (c, b) ->
-                  if b = 0 then None
-                  else Some (Printf.sprintf "%s %d" (Interconnect.Msg_class.to_string c) b))
-                breakdown))
-      in
-      pr_traffic "intra-CMP"
-        (Interconnect.Traffic.intra_breakdown r.Mcmp.Runner.traffic)
-        (Interconnect.Traffic.intra_total r.Mcmp.Runner.traffic);
-      pr_traffic "inter-CMP"
-        (Interconnect.Traffic.inter_breakdown r.Mcmp.Runner.traffic)
-        (Interconnect.Traffic.inter_total r.Mcmp.Runner.traffic);
+    let jobs = resolve_jobs jobs in
+    let one seed =
+      match workload_programs ~config ~seed workload with
+      | Error e ->
+        prerr_endline e;
+        exit 2
+      | Ok programs ->
+        Mcmp.Runner.run ~config protocol.Tokencmp.Protocols.builder ~programs ~seed
+    in
+    Format.printf "protocol: %s@." protocol.Tokencmp.Protocols.name;
+    match seeds with
+    | [] ->
+      let r = one seed in
+      print_one workload r;
       if not r.Mcmp.Runner.completed then exit 1
+    | seeds ->
+      let results =
+        Par.Pool.map ~jobs ~label:(fun _ seed -> Printf.sprintf "seed %d" seed) one seeds
+      in
+      List.iter
+        (fun r ->
+          Format.printf "seed %-6d runtime %a  events %d  ops %d%s@." r.Mcmp.Runner.seed
+            Sim.Time.pp r.Mcmp.Runner.runtime r.Mcmp.Runner.events r.Mcmp.Runner.ops
+            (if r.Mcmp.Runner.completed then "" else "  INCOMPLETE"))
+        results;
+      let summary =
+        Sim.Stat.Summary.of_list
+          (List.map (fun r -> Sim.Time.to_ns r.Mcmp.Runner.runtime) results)
+      in
+      Format.printf "runtime over %d seeds: %a ns@." (List.length results)
+        Sim.Stat.Summary.pp summary;
+      if List.exists (fun r -> not r.Mcmp.Runner.completed) results then exit 1
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run one simulation and print its statistics.")
-    Term.(const run $ protocol_arg $ workload_arg $ seed_arg $ tiny_arg)
+    (Cmd.info "run" ~doc:"Run one simulation (or one per seed) and print statistics.")
+    Term.(const run $ protocol_arg $ workload_arg $ seed_arg $ run_seeds_arg $ jobs_arg
+          $ tiny_arg)
 
 (* ---- sweep ---- *)
 
@@ -141,10 +188,11 @@ let sweep_cmd =
           [ Tokencmp.Protocols.directory; Tokencmp.Protocols.token Token.Policy.dst1 ]
       & info [ "protocols" ] ~docv:"P1,P2" ~doc:"Protocols to compare.")
   in
-  let run protocols locks seeds tiny =
+  let run protocols locks seeds jobs tiny =
     let config = config_of_tiny tiny in
     let sweep =
-      Tokencmp.Experiments.locking_sweep ~config ~seeds ~locks ~protocols ()
+      Tokencmp.Experiments.locking_sweep ~jobs:(resolve_jobs jobs) ~config ~seeds ~locks
+        ~protocols ()
     in
     Printf.printf "%8s" "locks";
     List.iter (fun p -> Printf.printf " %22s" p.Tokencmp.Protocols.name) protocols;
@@ -164,7 +212,7 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Locking contention sweep (Figures 2 and 3).")
-    Term.(const run $ protocols_arg $ locks_arg $ seeds_arg $ tiny_arg)
+    Term.(const run $ protocols_arg $ locks_arg $ seeds_arg $ jobs_arg $ tiny_arg)
 
 (* ---- torture ---- *)
 
@@ -191,15 +239,17 @@ let torture_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every run, not only failures.")
   in
-  let run runs seed tiny drop_mode drop_tokens verbose =
+  let run runs seed jobs tiny drop_mode drop_tokens verbose =
     let config = if tiny then Mcmp.Config.tiny else Mcmp.Config.default in
+    let jobs = resolve_jobs jobs in
     let drop_mode = drop_mode || drop_tokens in
     let failures = ref 0 in
     let detected = ref 0 in
-    Printf.printf "torture: %d runs over %d targets, base seed %d%s\n%!" runs
+    Printf.printf "torture: %d runs over %d targets, base seed %d%s%s\n%!" runs
       (List.length Fault.Torture.default_targets)
       seed
-      (if drop_tokens then ", drop-tokens" else if drop_mode then ", drop-mode" else "");
+      (if drop_tokens then ", drop-tokens" else if drop_mode then ", drop-mode" else "")
+      (if jobs > 1 then Printf.sprintf ", %d jobs" jobs else "");
     let on_outcome i o =
       let v = Fault.Torture.verdict o in
       (match v with
@@ -224,7 +274,7 @@ let torture_cmd =
         if verbose then Format.printf "run %3d: @[<v>%a@]@." i Fault.Torture.pp_outcome o
     in
     let outcomes =
-      Fault.Torture.campaign ~config ~runs ~drop_mode ~drop_tokens
+      Fault.Torture.campaign ~config ~runs ~jobs ~drop_mode ~drop_tokens
         ~targets:Fault.Torture.default_targets ~seed ~on_outcome ()
     in
     Printf.printf "%d runs: %d clean, %d detected, %d failed\n"
@@ -240,7 +290,8 @@ let torture_cmd =
           stalls (and optionally drops) against every protocol variant, with a runtime \
           invariant monitor and liveness watchdog.")
     Term.(
-      const run $ runs_arg $ seed_arg $ tiny_arg $ drop_arg $ drop_tokens_arg $ verbose_arg)
+      const run $ runs_arg $ seed_arg $ jobs_arg $ tiny_arg $ drop_arg $ drop_tokens_arg
+      $ verbose_arg)
 
 (* ---- check ---- *)
 

@@ -50,33 +50,86 @@ let summarize protocol results =
     completed = List.for_all (fun r -> r.Mcmp.Runner.completed) results;
   }
 
-let run_protocols ~config ~seeds ~protocols ~programs =
-  List.map
-    (fun p ->
-      let results =
-        List.map
-          (fun seed ->
-            Mcmp.Runner.run ~config p.Protocols.builder ~programs:(programs ~seed) ~seed)
-          seeds
-      in
-      summarize p.Protocols.name results)
-    protocols
+(* [chunks n xs] splits [xs] into consecutive groups of [n],
+   preserving order: how flattened parallel job results are regrouped
+   into the per-protocol (and per-lock-count) lists the serial code
+   produced. *)
+let rec chunks n = function
+  | [] -> []
+  | xs ->
+    let rec take k acc = function
+      | rest when k = 0 -> (List.rev acc, rest)
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (k - 1) (x :: acc) rest
+    in
+    let group, rest = take n [] xs in
+    group :: chunks n rest
 
-let locking ?(config = Mcmp.Config.default) ?(seeds = default_seeds) ?(acquires = 60)
-    ?(lock_stride = 1) ~protocols ~nlocks () =
-  let wl =
-    { (Workload.Locking.default ~nlocks) with Workload.Locking.acquires; lock_stride }
+(* Every (protocol, seed) simulation is independent: fan them out over
+   the pool, then regroup in submission order so the result is
+   structurally identical to the serial nested loops. *)
+let run_protocols ~jobs ~config ~seeds ~protocols ~programs =
+  let tasks =
+    List.concat_map (fun p -> List.map (fun seed -> (p, seed)) seeds) protocols
   in
+  let results =
+    Par.Pool.map ~jobs
+      ~label:(fun _ (p, seed) -> Printf.sprintf "%s seed=%d" p.Protocols.name seed)
+      (fun (p, seed) ->
+        Mcmp.Runner.run ~config p.Protocols.builder ~programs:(programs ~seed) ~seed)
+      tasks
+  in
+  List.map2
+    (fun p rs -> summarize p.Protocols.name rs)
+    protocols
+    (chunks (List.length seeds) results)
+
+let locking_workload ~nlocks ~acquires ~lock_stride =
+  { (Workload.Locking.default ~nlocks) with Workload.Locking.acquires; lock_stride }
+
+let locking ?(jobs = 1) ?(config = Mcmp.Config.default) ?(seeds = default_seeds)
+    ?(acquires = 60) ?(lock_stride = 1) ~protocols ~nlocks () =
+  let wl = locking_workload ~nlocks ~acquires ~lock_stride in
   let nprocs = Mcmp.Config.nprocs config in
   let programs ~seed = Workload.Locking.programs wl ~seed ~nprocs in
-  run_protocols ~config ~seeds ~protocols ~programs
+  run_protocols ~jobs ~config ~seeds ~protocols ~programs
 
-let locking_sweep ?(config = Mcmp.Config.default) ?(seeds = default_seeds) ?(acquires = 60)
-    ?(locks = [ 2; 4; 8; 16; 32; 64; 128; 256; 512 ]) ~protocols () =
-  List.map (fun nlocks -> (nlocks, locking ~config ~seeds ~acquires ~protocols ~nlocks ())) locks
+let locking_sweep ?(jobs = 1) ?(config = Mcmp.Config.default) ?(seeds = default_seeds)
+    ?(acquires = 60) ?(locks = [ 2; 4; 8; 16; 32; 64; 128; 256; 512 ]) ~protocols () =
+  (* Flatten the full (nlocks x protocol x seed) cross product so one
+     pool keeps every worker busy across the whole sweep. *)
+  let nprocs = Mcmp.Config.nprocs config in
+  let tasks =
+    List.concat_map
+      (fun nlocks ->
+        List.concat_map
+          (fun p -> List.map (fun seed -> (nlocks, p, seed)) seeds)
+          protocols)
+      locks
+  in
+  let results =
+    Par.Pool.map ~jobs
+      ~label:(fun _ (nlocks, p, seed) ->
+        Printf.sprintf "locking nlocks=%d %s seed=%d" nlocks p.Protocols.name seed)
+      (fun (nlocks, p, seed) ->
+        let wl = locking_workload ~nlocks ~acquires ~lock_stride:1 in
+        Mcmp.Runner.run ~config p.Protocols.builder
+          ~programs:(Workload.Locking.programs wl ~seed ~nprocs)
+          ~seed)
+      tasks
+  in
+  let nseeds = List.length seeds in
+  List.map2
+    (fun nlocks per_lock ->
+      ( nlocks,
+        List.map2
+          (fun p rs -> summarize p.Protocols.name rs)
+          protocols (chunks nseeds per_lock) ))
+    locks
+    (chunks (nseeds * List.length protocols) results)
 
-let barrier ?(config = Mcmp.Config.default) ?(seeds = default_seeds) ?(episodes = 30)
-    ~variability ~protocols () =
+let barrier ?(jobs = 1) ?(config = Mcmp.Config.default) ?(seeds = default_seeds)
+    ?(episodes = 30) ~variability ~protocols () =
   let nprocs = Mcmp.Config.nprocs config in
   let wl =
     { (Workload.Barrier.default ~nprocs) with
@@ -84,15 +137,15 @@ let barrier ?(config = Mcmp.Config.default) ?(seeds = default_seeds) ?(episodes 
       work_variability = variability }
   in
   let programs ~seed ~proc = Workload.Barrier.program wl ~seed ~proc in
-  run_protocols ~config ~seeds ~protocols ~programs:(fun ~seed -> programs ~seed)
+  run_protocols ~jobs ~config ~seeds ~protocols ~programs:(fun ~seed -> programs ~seed)
 
-let commercial ?(config = Mcmp.Config.default) ?(seeds = default_seeds) ?ops ~profile
-    ~protocols () =
+let commercial ?(jobs = 1) ?(config = Mcmp.Config.default) ?(seeds = default_seeds) ?ops
+    ~profile ~protocols () =
   let profile =
     match ops with Some ops -> { profile with Workload.Commercial.ops } | None -> profile
   in
   let programs ~seed ~proc = Workload.Commercial.program profile ~seed ~proc in
-  run_protocols ~config ~seeds ~protocols ~programs:(fun ~seed -> programs ~seed)
+  run_protocols ~jobs ~config ~seeds ~protocols ~programs:(fun ~seed -> programs ~seed)
 
 let model_checking ?(max_states = 4_000_000) () =
   let check name m loc =
@@ -152,3 +205,30 @@ let find runs name =
   | None -> invalid_arg ("Experiments.find: no run for " ^ name)
 
 let normalize ~baseline run = run.runtime_ns.Sim.Stat.Summary.mean /. baseline.runtime_ns.Sim.Stat.Summary.mean
+
+let breakdown_to_json breakdown =
+  Json.Obj
+    (List.map
+       (fun (cls, bytes) -> (Interconnect.Msg_class.to_string cls, Json.Float bytes))
+       breakdown)
+
+let run_to_json r =
+  let s = r.runtime_ns in
+  Json.Obj
+    [
+      ("protocol", Json.String r.protocol);
+      ( "runtime_ns",
+        Json.Obj
+          [
+            ("mean", Json.Float s.Sim.Stat.Summary.mean);
+            ("ci95", Json.Float s.Sim.Stat.Summary.ci95);
+            ("stddev", Json.Float s.Sim.Stat.Summary.stddev);
+            ("n", Json.Int s.Sim.Stat.Summary.n);
+          ] );
+      ("persistent_fraction", Json.Float r.persistent_fraction);
+      ("retries_per_miss", Json.Float r.retries_per_miss);
+      ("miss_latency_ns", Json.Float r.miss_latency_ns);
+      ("inter_bytes", breakdown_to_json r.inter_bytes);
+      ("intra_bytes", breakdown_to_json r.intra_bytes);
+      ("completed", Json.Bool r.completed);
+    ]

@@ -4,7 +4,13 @@
     figure; the bench executable formats the results, and EXPERIMENTS.md
     records paper-vs-measured. Runs are repeated over [seeds] with
     randomly perturbed message latencies and reported as mean ± 95% CI
-    (Alameldeen & Wood's methodology). *)
+    (Alameldeen & Wood's methodology).
+
+    Every harness takes [?jobs]: the independent (protocol, seed)
+    simulations fan out over a {!Par.Pool} of that many domains.
+    Results are regrouped in submission order and each simulation owns
+    its engine/rng/counters, so any [jobs] value produces output
+    bit-identical to the serial run (enforced by [test/test_par.ml]). *)
 
 type run = {
   protocol : string;
@@ -21,6 +27,7 @@ val default_seeds : int list
 
 (** The locking micro-benchmark at one contention level. *)
 val locking :
+  ?jobs:int ->
   ?config:Mcmp.Config.t ->
   ?seeds:int list ->
   ?acquires:int ->
@@ -30,8 +37,10 @@ val locking :
   unit ->
   run list
 
-(** Figures 2 and 3: sweep lock counts (2..512 by default). *)
+(** Figures 2 and 3: sweep lock counts (2..512 by default). The whole
+    (locks x protocols x seeds) cross product is one job pool. *)
 val locking_sweep :
+  ?jobs:int ->
   ?config:Mcmp.Config.t ->
   ?seeds:int list ->
   ?acquires:int ->
@@ -44,6 +53,7 @@ val locking_sweep :
     [variability] is the half-width of the uniform work perturbation
     (0 or 1000 ns in the paper). *)
 val barrier :
+  ?jobs:int ->
   ?config:Mcmp.Config.t ->
   ?seeds:int list ->
   ?episodes:int ->
@@ -54,6 +64,7 @@ val barrier :
 
 (** Figures 6 and 7: a commercial-workload stand-in. *)
 val commercial :
+  ?jobs:int ->
   ?config:Mcmp.Config.t ->
   ?seeds:int list ->
   ?ops:int ->
@@ -78,3 +89,7 @@ val fig6_protocols : Protocols.t list
 val normalize : baseline:run -> run -> float
 
 val find : run list -> string -> run
+
+(** Serialization for the committed [BENCH_<section>.json] trajectory
+    files (schema documented in README "Machine-readable bench output"). *)
+val run_to_json : run -> Json.t

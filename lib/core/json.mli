@@ -1,0 +1,17 @@
+(** Minimal JSON emitter for the committed [BENCH_<section>.json]
+    trajectory files (no external JSON dependency in the toolchain).
+    Output is two-space indented so cross-PR diffs stay line-oriented;
+    non-finite floats render as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val write_file : string -> t -> unit

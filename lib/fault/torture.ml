@@ -144,20 +144,39 @@ let spec_for rng ~drop_mode ~drop_tokens target =
   | Token _ ->
     if drop_mode then Spec.with_drops ~tokens:drop_tokens ~prob:0.01 spec else spec
 
-let campaign ?config ?(runs = 100) ?(drop_mode = false) ?(drop_tokens = false) ~targets
-    ~seed ?on_outcome () =
+let campaign ?config ?(runs = 100) ?(jobs = 1) ?(drop_mode = false) ?(drop_tokens = false)
+    ~targets ~seed ?on_outcome () =
   if targets = [] then invalid_arg "Torture.campaign: no targets";
   let rng = Sim.Rng.create ((seed * 31) + 17) in
   let ntargets = List.length targets in
-  let acc = ref [] in
-  for i = 0 to runs - 1 do
-    let target = List.nth targets (i mod ntargets) in
-    let spec = spec_for rng ~drop_mode ~drop_tokens target in
-    let o = run ?config target ~spec ~seed:(seed + i) in
-    (match on_outcome with Some f -> f i o | None -> ());
-    acc := o :: !acc
-  done;
-  List.rev !acc
+  (* Spec derivation consumes the campaign rng in run order and stays
+     serial; only the (independent, per-run-seeded) simulations fan
+     out, so a parallel campaign replays the exact serial fault
+     sequence. *)
+  let tasks =
+    List.init runs (fun i ->
+        let target = List.nth targets (i mod ntargets) in
+        let spec = spec_for rng ~drop_mode ~drop_tokens target in
+        (i, target, spec))
+  in
+  if jobs <= 1 then
+    List.map
+      (fun (i, target, spec) ->
+        let o = run ?config target ~spec ~seed:(seed + i) in
+        (match on_outcome with Some f -> f i o | None -> ());
+        o)
+      tasks
+  else begin
+    let outcomes =
+      Par.Pool.map ~jobs
+        ~label:(fun _ (i, target, _) ->
+          Printf.sprintf "torture run %d: %s seed=%d" i (target_name target) (seed + i))
+        (fun (i, target, spec) -> run ?config target ~spec ~seed:(seed + i))
+        tasks
+    in
+    (match on_outcome with Some f -> List.iteri f outcomes | None -> ());
+    outcomes
+  end
 
 let default_targets =
   Token Token.Policy.arb0 :: Token Token.Policy.dst0 :: Token Token.Policy.dst4

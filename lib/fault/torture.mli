@@ -65,10 +65,18 @@ val pp_outcome : Format.formatter -> outcome -> unit
     the delay/reorder/stall faults they can survive). [drop_mode]
     additionally drops transient requests on token targets;
     [drop_tokens] escalates to unrecoverable token-carrying drops.
-    [on_outcome] fires after each run (progress printing). *)
+    [on_outcome] fires after each run (progress printing).
+
+    [jobs] fans the runs out over a {!Par.Pool}. Specs are derived
+    serially from the campaign rng before anything executes and each
+    run re-seeds its own simulation from [(seed + i, spec)], so the
+    outcome list is bit-identical for every [jobs] value; with
+    [jobs > 1], [on_outcome] fires after the campaign, still in run
+    order. *)
 val campaign :
   ?config:Mcmp.Config.t ->
   ?runs:int ->
+  ?jobs:int ->
   ?drop_mode:bool ->
   ?drop_tokens:bool ->
   targets:target list ->

@@ -2,21 +2,31 @@ type 'a entry = { key : int; seq : int; value : 'a }
 
 type 'a t = { mutable data : 'a entry array; mutable size : int }
 
+(* Filler for dead slots (indices >= size). Those slots are never read
+   — [grow] blits only [0 .. size-1], sift-up/down only touch live
+   indices — so one unit-valued record can stand in for every element
+   type. Without it, [pop] and [clear] would keep popped entries (and
+   the closures they carry) reachable for the array's lifetime, which
+   on long campaigns retains arbitrarily much dead simulation state. *)
+let dummy : Obj.t entry = { key = min_int; seq = 0; value = Obj.repr () }
+
+let filler () : 'a entry = Obj.magic dummy
+
 let create () = { data = [||]; size = 0 }
 let length h = h.size
 let is_empty h = h.size = 0
 
 let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
-let grow h entry =
+let grow h =
   let capacity = max 64 (2 * Array.length h.data) in
-  let data = Array.make capacity entry in
+  let data = Array.make capacity (filler ()) in
   Array.blit h.data 0 data 0 h.size;
   h.data <- data
 
 let push h ~key ~seq value =
   let entry = { key; seq; value } in
-  if h.size >= Array.length h.data then grow h entry;
+  if h.size >= Array.length h.data then grow h;
   (* Sift the new entry up from the last slot. *)
   let rec up i =
     if i = 0 then h.data.(0) <- entry
@@ -55,8 +65,13 @@ let pop h =
     in
     down 0
   end;
+  (* Vacated slot: index [size] in the shrink case, the root when the
+     heap just emptied. *)
+  h.data.(h.size) <- filler ();
   (top.key, top.seq, top.value)
 
 let peek_key h = if h.size = 0 then None else Some h.data.(0).key
 
-let clear h = h.size <- 0
+let clear h =
+  Array.fill h.data 0 h.size (filler ());
+  h.size <- 0

@@ -65,6 +65,118 @@ let prop_heap_stable =
           seqs = List.sort compare seqs)
         [ 0; 1; 2; 3 ])
 
+(* Space-leak regression: popped (and cleared) entries must become
+   unreachable — the heap used to keep them live in the array's dead
+   slots, retaining event closures across long campaigns. Weak
+   pointers observe collectability directly. *)
+let assert_collected name w =
+  Gc.full_major ();
+  for i = 0 to Weak.length w - 1 do
+    Alcotest.(check bool) (Printf.sprintf "%s slot %d collected" name i) true
+      (Weak.get w i = None)
+  done
+
+let test_pop_releases () =
+  let h = Sim.Heap.create () in
+  let n = 16 in
+  let w = Weak.create n in
+  for i = 0 to n - 1 do
+    let v = ref i in
+    Weak.set w i (Some v);
+    Sim.Heap.push h ~key:(n - i) ~seq:i v
+  done;
+  for _ = 1 to n do
+    ignore (Sim.Heap.pop h)
+  done;
+  Alcotest.(check bool) "drained" true (Sim.Heap.is_empty h);
+  assert_collected "pop" w
+
+let test_clear_releases () =
+  let h = Sim.Heap.create () in
+  let n = 16 in
+  let w = Weak.create n in
+  for i = 0 to n - 1 do
+    let v = ref i in
+    Weak.set w i (Some v);
+    Sim.Heap.push h ~key:i ~seq:i v
+  done;
+  Sim.Heap.clear h;
+  assert_collected "clear" w
+
+let test_partial_pop_releases () =
+  (* Only the popped half may be collected; the resident half must
+     survive a major GC and still drain correctly. *)
+  let h = Sim.Heap.create () in
+  let n = 8 in
+  let w = Weak.create n in
+  for i = 0 to n - 1 do
+    let v = ref i in
+    Weak.set w i (Some v);
+    Sim.Heap.push h ~key:i ~seq:i v
+  done;
+  for _ = 1 to n / 2 do
+    ignore (Sim.Heap.pop h)
+  done;
+  Gc.full_major ();
+  for i = 0 to (n / 2) - 1 do
+    Alcotest.(check bool) (Printf.sprintf "popped %d collected" i) true (Weak.get w i = None)
+  done;
+  for i = n / 2 to n - 1 do
+    Alcotest.(check bool) (Printf.sprintf "resident %d alive" i) true (Weak.get w i <> None)
+  done;
+  let rec drain acc =
+    if Sim.Heap.is_empty h then List.rev acc
+    else
+      let _, _, v = Sim.Heap.pop h in
+      drain (!v :: acc)
+  in
+  Alcotest.(check (list int)) "remaining order" [ 4; 5; 6; 7 ] (drain [])
+
+(* Random push/pop/clear interleavings against a sorted-list model,
+   checking the full (key, seq) tie-break order. *)
+type heap_op = Push of int | Pop | Clear
+
+let gen_heap_ops =
+  let open QCheck.Gen in
+  list_size (int_range 0 200)
+    (frequency
+       [ (6, map (fun k -> Push k) (int_range 0 7)); (3, return Pop); (1, return Clear) ])
+
+let prop_heap_model =
+  QCheck.Test.make ~name:"push/pop/clear interleavings match sorted model" ~count:200
+    (QCheck.make gen_heap_ops)
+    (fun ops ->
+      let h = Sim.Heap.create () in
+      let model = ref [] (* sorted by (key, seq) *) in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Push k ->
+            Sim.Heap.push h ~key:k ~seq:!seq (k, !seq);
+            model :=
+              List.sort
+                (fun (k1, s1) (k2, s2) -> compare (k1, s1) (k2, s2))
+                ((k, !seq) :: !model);
+            incr seq
+          | Pop -> (
+            match !model with
+            | [] ->
+              ok := !ok && Sim.Heap.is_empty h;
+              if not (Sim.Heap.is_empty h) then ignore (Sim.Heap.pop h)
+            | m :: rest ->
+              let k, s, v = Sim.Heap.pop h in
+              ok := !ok && (k, s) = m && v = m;
+              model := rest)
+          | Clear ->
+            Sim.Heap.clear h;
+            model := [])
+        ops;
+      !ok
+      && Sim.Heap.length h = List.length !model
+      && Sim.Heap.peek_key h = (match !model with [] -> None | (k, _) :: _ -> Some k))
+
 let tests =
   [
     Alcotest.test_case "empty heap" `Quick test_empty;
@@ -72,6 +184,10 @@ let tests =
     Alcotest.test_case "FIFO on equal keys" `Quick test_fifo_ties;
     Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
     Alcotest.test_case "length and clear" `Quick test_clear;
+    Alcotest.test_case "pop releases entries (no space leak)" `Quick test_pop_releases;
+    Alcotest.test_case "clear releases entries (no space leak)" `Quick test_clear_releases;
+    Alcotest.test_case "partial pop releases only popped" `Quick test_partial_pop_releases;
     QCheck_alcotest.to_alcotest prop_heap_sort;
     QCheck_alcotest.to_alcotest prop_heap_stable;
+    QCheck_alcotest.to_alcotest prop_heap_model;
   ]

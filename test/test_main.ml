@@ -17,5 +17,7 @@ let () =
       ("random-programs", Test_random.tests);
       ("integration", Test_integration.tests);
       ("fault", Test_fault.tests);
+      ("par", Test_par.tests);
+      ("golden", Test_golden.tests);
       ("misc", Test_misc.tests);
     ]

@@ -659,6 +659,101 @@ let micro () =
   J.Obj rows
 
 (* ------------------------------------------------------------------ *)
+(* Tracing: spans, Perfetto export, reconciliation                     *)
+
+(* Runs the locking micro-benchmark with tracing on, exports a Perfetto
+   trace (gitignored; the BENCH json keeps only deterministic
+   summaries) and cross-checks the observability pipeline against the
+   simulation's own accounting:
+     - the emitted JSON round-trips through our parser,
+     - the trace passes structural + span-nesting validation,
+     - per-phase span sums reconcile with the miss_latency Welford
+       accumulator.
+   Any failure exits non-zero so CI catches a broken exporter. *)
+let trace () =
+  progress "[trace] tracing-enabled locking run + Perfetto export...\n%!";
+  hr "Tracing: transaction spans, Perfetto export, reconciliation";
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "[trace] FAILED: %s\n%!" s;
+        exit 1)
+      fmt
+  in
+  let buffer = Obs.Buffer.create ~capacity:1_000_000 () in
+  let registry = Obs.Registry.create () in
+  let config = Mcmp.Config.tiny in
+  let nprocs = Mcmp.Config.nprocs config in
+  let wl =
+    { (Workload.Locking.default ~nlocks:8) with Workload.Locking.acquires = acquires () }
+  in
+  let proto = P.token Token.Policy.dst1 in
+  let result =
+    Mcmp.Runner.run ~config ~registry ~buffer proto.P.builder
+      ~programs:(Workload.Locking.programs wl ~seed:1 ~nprocs)
+      ~seed:1
+  in
+  let spans = Obs.Span.assemble buffer in
+  let summary = Obs.Span.summarize spans in
+  let hists = Obs.Span.phase_histograms spans in
+  Obs.Span.register_phase_histograms registry hists;
+  (* Reconcile span totals against the protocol's own Welford
+     accumulator. With no ring wrap every retired miss has a span, so
+     both the count and the latency mass must agree. *)
+  let w = result.Mcmp.Runner.counters.Mcmp.Counters.miss_latency in
+  let wn = Sim.Stat.Welford.count w in
+  let wtotal = float_of_int wn *. Sim.Stat.Welford.mean w in
+  let dropped = Obs.Buffer.dropped buffer in
+  if dropped = 0 then begin
+    if summary.Obs.Span.spans <> wn then
+      fail "span count %d <> misses measured %d" summary.Obs.Span.spans wn;
+    let rel = abs_float (summary.Obs.Span.total_ns -. wtotal) /. Float.max 1. wtotal in
+    if rel > 1e-6 then
+      fail "span total %.3f ns vs welford total %.3f ns (rel err %g)"
+        summary.Obs.Span.total_ns wtotal rel
+  end
+  else
+    progress "[trace] ring dropped %d events; skipping exact reconciliation\n%!" dropped;
+  let json =
+    Obs.Perfetto.export
+      ~node_name:(fun id -> Printf.sprintf "node%d" id)
+      buffer
+  in
+  (match Obs.Perfetto.validate json with
+  | Ok () -> ()
+  | Error e -> fail "trace validation: %s" e);
+  (match J.parse (J.to_string json) with
+  | Ok round when J.equal round json -> ()
+  | Ok _ -> fail "trace JSON did not round-trip through the parser"
+  | Error e -> fail "trace JSON re-parse: %s" e);
+  let file = "bench_locking.trace.json" in
+  J.write_file file json;
+  Printf.printf
+    "run: %d misses, %d events recorded (%d dropped)\n\
+     spans: %d complete, %d incomplete\n\
+     phases: request %.0f ns + fill %.0f ns = %.0f ns (welford total %.0f ns)\n\
+     wrote %s (Perfetto/chrome://tracing loadable; validated + reparsed)\n"
+    wn
+    (Obs.Buffer.recorded buffer)
+    dropped summary.Obs.Span.spans summary.Obs.Span.incomplete
+    summary.Obs.Span.request_total_ns summary.Obs.Span.fill_total_ns
+    summary.Obs.Span.total_ns wtotal file;
+  J.Obj
+    [
+      ("protocol", J.String proto.P.name);
+      ("misses", J.Int wn);
+      ("events_recorded", J.Int (Obs.Buffer.recorded buffer));
+      ("events_dropped", J.Int dropped);
+      ("spans", J.Int summary.Obs.Span.spans);
+      ("spans_incomplete", J.Int summary.Obs.Span.incomplete);
+      ("request_total_ns", J.Float summary.Obs.Span.request_total_ns);
+      ("fill_total_ns", J.Float summary.Obs.Span.fill_total_ns);
+      ("span_total_ns", J.Float summary.Obs.Span.total_ns);
+      ("welford_total_ns", J.Float wtotal);
+      ("metrics", Obs.Registry.snapshot registry);
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -672,6 +767,7 @@ let sections =
     ("ablate", ablate);
     ("scale", scale);
     ("micro", micro);
+    ("trace", trace);
   ]
 
 (* Envelope around each section's payload; BENCH_<section>.json files
@@ -681,7 +777,7 @@ let write_json name ~wall_clock data =
   J.write_file file
     (J.Obj
        [
-         ("schema_version", J.Int 1);
+         ("schema_version", J.Int 2);
          ("section", J.String name);
          ("quick", J.Bool !quick);
          ("jobs", J.Int !jobs);

@@ -4,6 +4,7 @@
      list            protocols, policies, workload profiles
      run             one simulation (protocol x workload), full statistics
      sweep           locking contention sweep across protocols
+     trace           traced simulation: span breakdown + Perfetto export
      check           model-check the substrate and the flat directory *)
 
 open Cmdliner
@@ -260,8 +261,12 @@ let torture_cmd =
       | Fault.Torture.Failed _ ->
         Format.printf "run %3d: @[<v>%a@]@." i Fault.Torture.pp_outcome o;
         List.iter (fun r -> Format.printf "  %a@." Fault.Report.pp r) o.Fault.Torture.reports;
-        if o.Fault.Torture.trace <> "" then
-          Format.printf "--- event trace (newest last) ---@.%s" o.Fault.Torture.trace;
+        (match o.Fault.Torture.trace with
+        | Tcjson.Null -> ()
+        | trace ->
+          let file = Printf.sprintf "torture-run%d.trace.json" i in
+          Tcjson.write_file file trace;
+          Format.printf "--- evidence trace written to %s (load in Perfetto) ---@." file);
         if o.Fault.Torture.dump <> "" then
           Format.printf "--- protocol state ---@.%s" o.Fault.Torture.dump;
         Format.printf "reproduce: tokencmp torture --runs %d --seed %d%s%s%s@." runs seed
@@ -293,6 +298,82 @@ let torture_cmd =
       const run $ runs_arg $ seed_arg $ jobs_arg $ tiny_arg $ drop_arg $ drop_tokens_arg
       $ verbose_arg)
 
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let workload_arg =
+    Arg.(
+      value & opt string "locking:8"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:"Workload: locking:N, barrier, prodcons, oltp, apache, specjbb.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "tokencmp.trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Perfetto/chrome://tracing JSON output path.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Event ring capacity; oldest events are dropped beyond it.")
+  in
+  let run protocol workload seed tiny out capacity =
+    let config = config_of_tiny tiny in
+    match workload_programs ~config ~seed workload with
+    | Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok programs ->
+      let buffer = Obs.Buffer.create ~capacity () in
+      let registry = Obs.Registry.create () in
+      let r =
+        Mcmp.Runner.run ~config ~registry ~buffer protocol.Tokencmp.Protocols.builder
+          ~programs ~seed
+      in
+      let spans = Obs.Span.assemble buffer in
+      let summary = Obs.Span.summarize spans in
+      Obs.Span.register_phase_histograms registry (Obs.Span.phase_histograms spans);
+      Format.printf "protocol: %s, workload: %s, seed %d@."
+        protocol.Tokencmp.Protocols.name workload seed;
+      Format.printf "runtime: %a, events recorded: %d (%d dropped)@." Sim.Time.pp
+        r.Mcmp.Runner.runtime (Obs.Buffer.recorded buffer) (Obs.Buffer.dropped buffer);
+      Format.printf "spans: %d complete, %d incomplete@." summary.Obs.Span.spans
+        summary.Obs.Span.incomplete;
+      if summary.Obs.Span.spans > 0 then begin
+        let n = float_of_int summary.Obs.Span.spans in
+        Format.printf
+          "phase means: request %.1f ns, fill %.1f ns, total %.1f ns per miss@."
+          (summary.Obs.Span.request_total_ns /. n)
+          (summary.Obs.Span.fill_total_ns /. n)
+          (summary.Obs.Span.total_ns /. n);
+        let w = r.Mcmp.Runner.counters.Mcmp.Counters.miss_latency in
+        Format.printf "welford: %d misses, mean %.1f ns (span totals %s)@."
+          (Sim.Stat.Welford.count w) (Sim.Stat.Welford.mean w)
+          (if Obs.Buffer.dropped buffer = 0 then "reconcile exactly"
+           else "approximate: ring dropped events")
+      end;
+      Format.printf "metrics:@.%s@." (Tcjson.to_string (Obs.Registry.snapshot registry));
+      let json = Obs.Perfetto.export buffer in
+      (match Obs.Perfetto.validate json with
+      | Ok () -> ()
+      | Error e ->
+        Printf.eprintf "trace validation failed: %s\n" e;
+        exit 1);
+      Tcjson.write_file out json;
+      Format.printf "wrote %s (open in https://ui.perfetto.dev or chrome://tracing)@." out;
+      if not r.Mcmp.Runner.completed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one traced simulation: record structured events, print the transaction-span \
+          phase breakdown and metrics snapshot, and export a Perfetto-loadable trace.")
+    Term.(
+      const run $ protocol_arg $ workload_arg $ seed_arg $ tiny_arg $ out_arg
+      $ capacity_arg)
+
 (* ---- check ---- *)
 
 let check_cmd =
@@ -323,4 +404,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "tokencmp" ~doc)
-          [ list_cmd; run_cmd; sweep_cmd; torture_cmd; check_cmd ]))
+          [ list_cmd; run_cmd; sweep_cmd; torture_cmd; trace_cmd; check_cmd ]))

@@ -7,6 +7,7 @@ type run = {
   inter_bytes : (Interconnect.Msg_class.t * float) list;
   intra_bytes : (Interconnect.Msg_class.t * float) list;
   completed : bool;
+  metrics : Json.t;
 }
 
 let default_seeds = [ 1; 2; 3 ]
@@ -22,6 +23,23 @@ let mean_breakdown per_seed =
       in
       (cls, float_of_int total /. n))
     Interconnect.Msg_class.all
+
+(* Merge every seed's counters and traffic into fresh accumulators and
+   snapshot them through a registry: the same rendering path the live
+   (per-engine) registries use, so BENCH metrics and torture evidence
+   share one schema. *)
+let merged_metrics results =
+  let counters = Mcmp.Counters.create () in
+  let traffic = Interconnect.Traffic.create () in
+  List.iter
+    (fun r ->
+      Mcmp.Counters.merge ~into:counters r.Mcmp.Runner.counters;
+      Interconnect.Traffic.merge ~into:traffic r.Mcmp.Runner.traffic)
+    results;
+  let registry = Obs.Registry.create () in
+  Mcmp.Counters.register registry counters;
+  Interconnect.Traffic.register registry traffic;
+  Obs.Registry.snapshot registry
 
 let summarize protocol results =
   let runtimes = List.map (fun r -> Sim.Time.to_ns r.Mcmp.Runner.runtime) results in
@@ -48,6 +66,7 @@ let summarize protocol results =
       mean_breakdown
         (List.map (fun r -> Interconnect.Traffic.intra_breakdown r.Mcmp.Runner.traffic) results);
     completed = List.for_all (fun r -> r.Mcmp.Runner.completed) results;
+    metrics = merged_metrics results;
   }
 
 (* [chunks n xs] splits [xs] into consecutive groups of [n],
@@ -231,4 +250,5 @@ let run_to_json r =
       ("inter_bytes", breakdown_to_json r.inter_bytes);
       ("intra_bytes", breakdown_to_json r.intra_bytes);
       ("completed", Json.Bool r.completed);
+      ("metrics", r.metrics);
     ]

@@ -21,6 +21,8 @@ type run = {
   inter_bytes : (Interconnect.Msg_class.t * float) list;  (** mean per seed *)
   intra_bytes : (Interconnect.Msg_class.t * float) list;
   completed : bool;  (** every seed ran to completion *)
+  metrics : Json.t;
+      (** registry snapshot of counters/traffic merged across seeds *)
 }
 
 val default_seeds : int list

@@ -1,81 +1,1 @@
-type t =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of t list
-  | Obj of (string * t) list
-
-let escape buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
-
-let float_repr x =
-  if not (Float.is_finite x) then "null"
-  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
-  else
-    (* shortest representation that round-trips *)
-    let s = Printf.sprintf "%.12g" x in
-    if float_of_string s = x then s else Printf.sprintf "%.17g" x
-
-(* Two-space indented rendering: the BENCH_*.json files are committed,
-   so line-oriented diffs across PRs must stay readable. *)
-let rec render buf indent v =
-  let pad n = Buffer.add_string buf (String.make n ' ') in
-  match v with
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (string_of_bool b)
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float x -> Buffer.add_string buf (float_repr x)
-  | String s -> escape buf s
-  | List [] -> Buffer.add_string buf "[]"
-  | List items ->
-    Buffer.add_string buf "[\n";
-    List.iteri
-      (fun i item ->
-        if i > 0 then Buffer.add_string buf ",\n";
-        pad (indent + 2);
-        render buf (indent + 2) item)
-      items;
-    Buffer.add_char buf '\n';
-    pad indent;
-    Buffer.add_char buf ']'
-  | Obj [] -> Buffer.add_string buf "{}"
-  | Obj fields ->
-    Buffer.add_string buf "{\n";
-    List.iteri
-      (fun i (k, item) ->
-        if i > 0 then Buffer.add_string buf ",\n";
-        pad (indent + 2);
-        escape buf k;
-        Buffer.add_string buf ": ";
-        render buf (indent + 2) item)
-      fields;
-    Buffer.add_char buf '\n';
-    pad indent;
-    Buffer.add_char buf '}'
-
-let to_string v =
-  let buf = Buffer.create 4096 in
-  render buf 0 v;
-  Buffer.add_char buf '\n';
-  Buffer.contents buf
-
-let write_file path v =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string v))
+include Tcjson

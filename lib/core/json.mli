@@ -1,9 +1,9 @@
-(** Minimal JSON emitter for the committed [BENCH_<section>.json]
-    trajectory files (no external JSON dependency in the toolchain).
-    Output is two-space indented so cross-PR diffs stay line-oriented;
-    non-finite floats render as [null]. *)
+(** JSON emission for the committed [BENCH_<section>.json] trajectory
+    files. The implementation lives in {!Tcjson} (bottom of the library
+    stack, shared with the observability layer); this module re-exports
+    it under the public facade. *)
 
-type t =
+type t = Tcjson.t =
   | Null
   | Bool of bool
   | Int of int
@@ -15,3 +15,13 @@ type t =
 val to_string : t -> string
 
 val write_file : string -> t -> unit
+
+val float_repr : float -> string
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+
+val to_list_opt : t -> t list option
+
+val equal : t -> t -> bool

@@ -8,6 +8,8 @@ module MC = Interconnect.Msg_class
 
 type l1_state = M | O | Es | S
 
+let l1_state_name = function M -> "M" | O -> "O" | Es -> "E" | S -> "S"
+
 type l1_line = { mutable st : l1_state; mutable hold_until : Sim.Time.t }
 
 (* Chip-level view kept by the home L2 bank, mirroring (with bounded
@@ -61,6 +63,8 @@ type mshr = {
   m_rw : [ `R | `W ];
   m_commit : unit -> unit;
   m_issued : Sim.Time.t;
+  m_tid : int;  (* transaction id for trace spans; unused by the protocol *)
+  m_proc : int;
 }
 
 (* Inter-CMP directory entry at the home memory controller. *)
@@ -289,6 +293,13 @@ and l1_line node addr = Cache.Sarray.find node.l1_lines addr
 
 (* Install a granted block at the requesting L1, evicting if needed. *)
 and l1_install t node addr st =
+  let from_state =
+    if E.tracing t.engine then
+      match Cache.Sarray.find node.l1_lines addr with
+      | Some line -> l1_state_name line.st
+      | None -> "I"
+    else ""
+  in
   (match Cache.Sarray.find node.l1_lines addr with
   | Some line ->
     line.st <- st;
@@ -298,10 +309,19 @@ and l1_install t node addr st =
     | Some (vaddr, vline) -> l1_evict t node vaddr vline
     | None -> ());
     Cache.Sarray.insert node.l1_lines addr { st; hold_until = 0 });
+  if E.tracing t.engine then
+    E.emit t.engine
+      (Obs.Event.Fsm
+         { node = node.id; addr; fsm = "l1"; from_state; to_state = l1_state_name st });
   match Cache.Sarray.find node.l1_lines addr with Some l -> l | None -> assert false
 
 and l1_evict t node vaddr (vline : l1_line) =
   Cache.Sarray.remove node.l1_lines vaddr;
+  if E.tracing t.engine then
+    E.emit t.engine
+      (Obs.Event.Fsm
+         { node = node.id; addr = vaddr; fsm = "l1";
+           from_state = l1_state_name vline.st; to_state = "I" });
   match vline.st with
   | S -> ()  (* silent drop; stale sharer bits are tolerated *)
   | M | O | Es ->
@@ -370,7 +390,13 @@ and l1_handle_fwd t node addr ~getm =
 and l1_handle_inv t node addr =
   E.schedule_in t.engine t.cfg.Mcmp.Config.l1_latency (fun () ->
       (match l1_line node addr with
-      | Some _ -> Cache.Sarray.remove node.l1_lines addr
+      | Some line ->
+        Cache.Sarray.remove node.l1_lines addr;
+        if E.tracing t.engine then
+          E.emit t.engine
+            (Obs.Event.Fsm
+               { node = node.id; addr; fsm = "l1"; from_state = l1_state_name line.st;
+                 to_state = "I" })
       | None -> ());
       (* Ack is traffic-only: local invalidations are serialized at the
          L2 bank, so nothing waits on it. *)
@@ -402,6 +428,17 @@ and l1_handle_data t node addr ~excl ~dirty ~origin ~unblock =
   | Msg.Chip -> c.Mcmp.Counters.l2_local_fills <- c.Mcmp.Counters.l2_local_fills + 1
   | Msg.Remote -> c.Mcmp.Counters.remote_fills <- c.Mcmp.Counters.remote_fills + 1
   | Msg.Memdram -> c.Mcmp.Counters.mem_fills <- c.Mcmp.Counters.mem_fills + 1);
+  if E.tracing t.engine then
+    E.emit t.engine
+      (Obs.Event.Req_retire
+         { tid = m.m_tid; node = node.id; proc = m.m_proc; addr;
+           rw = (match m.m_rw with `W -> Obs.Event.W | `R -> Obs.Event.R);
+           fill =
+             (match origin with
+             | Msg.Chip -> Obs.Event.Fill_l2
+             | Msg.Remote -> Obs.Event.Fill_remote
+             | Msg.Memdram -> Obs.Event.Fill_memory);
+           retries = 0; persistent = false });
   (* Only transaction grants hold the block busy at the L2; a direct
      response must not emit an unblock that could clear an unrelated
      in-flight transaction. *)
@@ -445,6 +482,11 @@ and maybe_complete_local t node addr =
     end
 
 and l2_handle_local_gets t node addr ~l1 =
+  if E.tracing t.engine then
+    E.emit t.engine
+      (Obs.Event.Lookup
+         { node = node.id; level = Obs.Event.L2; addr;
+           hit = l2_chip_data node addr <> None });
   let d = get_ldir node addr in
   let start () =
     match d.owner_l1 with
@@ -501,6 +543,11 @@ and l2_handle_local_gets t node addr ~l1 =
   gate_local t node addr start
 
 and l2_handle_local_getm t node addr ~l1 =
+  if E.tracing t.engine then
+    E.emit t.engine
+      (Obs.Event.Lookup
+         { node = node.id; level = Obs.Event.L2; addr;
+           hit = l2_chip_data node addr <> None });
   let d = get_ldir node addr in
   let start () =
     d.busy <- true;
@@ -784,6 +831,8 @@ and mem_handle_gets t node addr ~l2 =
     | Some oc when oc <> cmp ->
       t.counters.Mcmp.Counters.dir_indirections <-
         t.counters.Mcmp.Counters.dir_indirections + 1;
+      if E.tracing t.engine then
+        E.emit t.engine (Obs.Event.Dir_indirection { node = node.id; addr; write = false });
       dir_lookup t (fun () ->
           send1 t ~src:node.id ~dst:(home_l2 t ~cmp:oc addr) ~cls:MC.Inv_fwd_ack_tokens
             ~bytes:(ctrl t)
@@ -818,6 +867,8 @@ and mem_handle_getm t node addr ~l2 =
     | Some oc when oc <> cmp ->
       t.counters.Mcmp.Counters.dir_indirections <-
         t.counters.Mcmp.Counters.dir_indirections + 1;
+      if E.tracing t.engine then
+        E.emit t.engine (Obs.Event.Dir_indirection { node = node.id; addr; write = true });
       send1 t ~src:node.id ~dst:(home_l2 t ~cmp:oc addr) ~cls:MC.Inv_fwd_ack_tokens
         ~bytes:(ctrl t)
         (Msg.C_fwd_getm { addr; requester_l2 = l2; acks = nacks })
@@ -957,6 +1008,9 @@ let access t ~proc ~kind addr ~commit =
         | Some l -> ( match l.st with M | Es -> true | O | S -> not write)
         | None -> false
       in
+      if E.tracing t.engine then
+        E.emit t.engine
+          (Obs.Event.Lookup { node = node.id; level = Obs.Event.L1; addr; hit });
       if hit then begin
         t.counters.Mcmp.Counters.l1_hits <- t.counters.Mcmp.Counters.l1_hits + 1;
         Cache.Sarray.touch node.l1_lines addr;
@@ -970,8 +1024,15 @@ let access t ~proc ~kind addr ~commit =
       else begin
         t.counters.Mcmp.Counters.l1_misses <- t.counters.Mcmp.Counters.l1_misses + 1;
         assert (node.mshr = None);
+        let tid = t.counters.Mcmp.Counters.l1_misses in
         node.mshr <-
-          Some { m_addr = addr; m_rw = (if write then `W else `R); m_commit = commit; m_issued = now t };
+          Some { m_addr = addr; m_rw = (if write then `W else `R); m_commit = commit;
+                 m_issued = now t; m_tid = tid; m_proc = proc };
+        if E.tracing t.engine then
+          E.emit t.engine
+            (Obs.Event.Req_issue
+               { tid; node = node.id; proc; addr;
+                 rw = (if write then Obs.Event.W else Obs.Event.R) });
         let msg =
           if write then Msg.L1_getm { addr; l1 = node.id } else Msg.L1_gets { addr; l1 = node.id }
         in

@@ -26,3 +26,27 @@ let pp fmt r =
     Format.fprintf fmt "%a: STARVATION %a" Sim.Time.pp r.at Mcmp.Probe.pp_outstanding o
 
 let to_string r = Format.asprintf "%a" pp r
+
+let kind_name r =
+  match r.kind with
+  | Invariant _ -> "invariant"
+  | Unrecoverable_drop _ -> "unrecoverable-drop"
+  | No_progress { mode = `Deadlock; _ } -> "deadlock"
+  | No_progress { mode = `Livelock; _ } -> "livelock"
+  | Starvation _ -> "starvation"
+
+let to_json r =
+  let module J = Tcjson in
+  let base =
+    [ ("at_ns", J.Float (Sim.Time.to_ns r.at));
+      ("kind", J.String (kind_name r));
+      ("severity",
+       J.String (match severity r with `Fatal -> "fatal" | `Expected -> "expected"));
+      ("detail", J.String (to_string r)) ]
+  in
+  let extra =
+    match r.kind with
+    | No_progress { window; _ } -> [ ("window_ns", J.Float (Sim.Time.to_ns window)) ]
+    | _ -> []
+  in
+  J.Obj (base @ extra)

@@ -23,3 +23,8 @@ val severity : t -> [ `Fatal | `Expected ]
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** Structured rendering: [at_ns], [kind], [severity], [detail], plus
+    kind-specific fields. Shared by torture evidence dumps and the
+    bench JSON emitter. *)
+val to_json : t -> Tcjson.t

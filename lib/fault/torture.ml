@@ -14,7 +14,8 @@ type outcome = {
   completed : bool;
   reports : Report.t list;
   stats : Plan.stats;
-  trace : string;
+  trace : Tcjson.t;
+  metrics : Tcjson.t;
   dump : string;
   ops : int;
   runtime : Sim.Time.t;
@@ -27,10 +28,15 @@ let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
     ?(starvation_bound = Sim.Time.ns 200_000) ?(max_events = 20_000_000) target ~spec
     ~seed =
   let engine = E.create () in
-  let tr = E.enable_trace engine ~capacity:trace_capacity in
+  let buf = Obs.Buffer.create ~capacity:trace_capacity () in
+  Obs.Buffer.attach buf engine;
+  let registry = Obs.Registry.create () in
+  Obs.Registry.attach registry engine;
   let traffic = Interconnect.Traffic.create () in
   let rng = Sim.Rng.create (seed + 7_919) in
   let counters = Mcmp.Counters.create () in
+  Mcmp.Counters.register registry counters;
+  Interconnect.Traffic.register registry traffic;
   let layout = Mcmp.Config.layout config in
   let plan = Plan.create ~seed ~nodes:(Interconnect.Layout.node_count layout) spec in
   let handle, probe, dump_state =
@@ -97,7 +103,13 @@ let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
     completed;
     reports;
     stats = Plan.stats plan;
-    trace = (if keep_evidence then Sim.Trace.to_string tr else "");
+    trace =
+      (if keep_evidence then
+         Obs.Perfetto.export
+           ~marks:(List.map (fun r -> (r.Report.at, Report.to_string r)) reports)
+           buf
+       else Tcjson.Null);
+    metrics = Obs.Registry.snapshot registry;
     dump = (if keep_evidence then Format.asprintf "%a" dump_state () else "");
     ops = List.fold_left (fun acc c -> acc + Mcmp.Core.ops_committed c) 0 cores;
     runtime = (if completed then !finish_time else E.now engine);

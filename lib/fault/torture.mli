@@ -22,7 +22,10 @@ type outcome = {
   completed : bool;  (** every processor finished its program *)
   reports : Report.t list;  (** chronological *)
   stats : Plan.stats;
-  trace : string;  (** ring-buffer dump; captured only on evidence *)
+  trace : Tcjson.t;
+      (** Perfetto trace of the event ring with reports as instant
+          marks; captured only on evidence, [Tcjson.Null] otherwise *)
+  metrics : Tcjson.t;  (** metrics-registry snapshot at end of run *)
   dump : string;  (** protocol-state dump; captured only on evidence *)
   ops : int;
   runtime : Sim.Time.t;

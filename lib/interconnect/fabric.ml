@@ -39,23 +39,61 @@ type 'msg t = {
   mutable dropped : int;
   mutable injector : 'msg injector option;
   mutable msg_label : 'msg -> string;
+  mutable port_busy_total : Sim.Time.t; (* serialization time ever claimed on ports *)
+  mutable link_busy_total : Sim.Time.t; (* ... on inter-site links *)
 }
 
+let register ?(prefix = "fabric.") registry t =
+  let module R = Obs.Registry in
+  let now_ns () = Sim.Time.to_ns (Sim.Engine.now t.engine) in
+  let backlog busy =
+    (* Instantaneous queue occupancy: serialization time already claimed
+       beyond the present, summed over the array — how far behind the
+       ports/links are right now. *)
+    let now = Sim.Engine.now t.engine in
+    Array.fold_left (fun acc b -> acc +. Sim.Time.to_ns (max 0 (b - now))) 0. busy
+  in
+  R.register_int registry (prefix ^ "delivered") (fun () -> t.delivered);
+  R.register_int registry (prefix ^ "dropped") (fun () -> t.dropped);
+  R.register_float registry (prefix ^ "port_busy_ns") (fun () ->
+      Sim.Time.to_ns t.port_busy_total);
+  R.register_float registry (prefix ^ "link_busy_ns") (fun () ->
+      Sim.Time.to_ns t.link_busy_total);
+  R.register_float registry (prefix ^ "port_utilization") (fun () ->
+      let elapsed = now_ns () *. float_of_int (Array.length t.port_busy) in
+      if elapsed = 0. then 0. else Sim.Time.to_ns t.port_busy_total /. elapsed);
+  R.register_float registry (prefix ^ "link_utilization") (fun () ->
+      let nlinks = t.layout.Layout.ncmp * (t.layout.Layout.ncmp - 1) in
+      let elapsed = now_ns () *. float_of_int (max 1 nlinks) in
+      if elapsed = 0. then 0. else Sim.Time.to_ns t.link_busy_total /. elapsed);
+  R.register_float registry (prefix ^ "port_backlog_ns") (fun () -> backlog t.port_busy);
+  R.register_float registry (prefix ^ "link_backlog_ns") (fun () -> backlog t.link_busy)
+
 let create engine layout params traffic rng =
-  {
-    engine;
-    layout;
-    params;
-    traffic;
-    rng;
-    handler = (fun ~dst:_ _ -> failwith "Fabric: handler not set");
-    port_busy = Array.make (Layout.node_count layout) Sim.Time.zero;
-    link_busy = Array.make (layout.Layout.ncmp * layout.Layout.ncmp) Sim.Time.zero;
-    delivered = 0;
-    dropped = 0;
-    injector = None;
-    msg_label = (fun _ -> "");
-  }
+  let t =
+    {
+      engine;
+      layout;
+      params;
+      traffic;
+      rng;
+      handler = (fun ~dst:_ _ -> failwith "Fabric: handler not set");
+      port_busy = Array.make (Layout.node_count layout) Sim.Time.zero;
+      link_busy = Array.make (layout.Layout.ncmp * layout.Layout.ncmp) Sim.Time.zero;
+      delivered = 0;
+      dropped = 0;
+      injector = None;
+      msg_label = (fun _ -> "");
+      port_busy_total = Sim.Time.zero;
+      link_busy_total = Sim.Time.zero;
+    }
+  in
+  (* Self-register occupancy/utilization samplers when the engine
+     carries a metrics registry — builders need no extra plumbing. *)
+  (match Obs.Registry.of_engine engine with
+  | Some registry -> register registry t
+  | None -> ());
+  t
 
 let set_handler t h = t.handler <- h
 let set_fault_injector t i = t.injector <- Some i
@@ -76,52 +114,59 @@ let claim_port t node ser =
   let now = Sim.Engine.now t.engine in
   let start = max now t.port_busy.(node) in
   t.port_busy.(node) <- start + ser;
+  t.port_busy_total <- t.port_busy_total + ser;
   start + ser
 
 (* Claim the global link between two sites: [ready] is when the message
    reaches the link; returns when the last byte is on the wire. *)
-let claim_link t ~src_site ~dst_site ready ser =
+let claim_link t ~src_site ~dst_site ~cls ~bytes ready ser =
   let i = (src_site * t.layout.Layout.ncmp) + dst_site in
   let start = max ready t.link_busy.(i) in
   t.link_busy.(i) <- start + ser;
+  t.link_busy_total <- t.link_busy_total + ser;
+  if Sim.Engine.tracing t.engine then
+    Sim.Engine.emit t.engine
+      (Obs.Event.Link_xfer
+         { src_site; dst_site; cls = Msg_class.to_string cls; bytes; start;
+           finish = start + ser });
   start + ser
 
-let describe t ~src ~dst ~cls msg verb extra =
-  let node id = Format.asprintf "%a" (Layout.pp_node t.layout) id in
-  let label = t.msg_label msg in
-  Printf.sprintf "%s %s->%s [%s]%s%s" verb (node src) (node dst)
-    (Msg_class.to_string cls)
-    (if label = "" then "" else " " ^ label)
-    extra
+let fault t ~src ~dst ~cls action =
+  if Sim.Engine.tracing t.engine then
+    Sim.Engine.emit t.engine
+      (Obs.Event.Fault_action { src; dst; cls = Msg_class.to_string cls; action })
 
 let schedule_delivery t ~src ~cls time dst msg =
   Sim.Engine.schedule_at t.engine time (fun () ->
       t.delivered <- t.delivered + 1;
-      Sim.Engine.record t.engine (fun () -> describe t ~src ~dst ~cls msg "deliver" "");
+      if Sim.Engine.tracing t.engine then
+        Sim.Engine.emit t.engine
+          (Obs.Event.Msg_deliver
+             { src; dst; cls = Msg_class.to_string cls; label = t.msg_label msg });
       t.handler ~dst msg)
 
 (* Injection point: every copy of every message passes through here
    once its fault-free arrival time is known. A fault plan may delay,
-   drop or duplicate the copy; faults are logged to the engine trace so
-   a violation dump shows exactly what the network did. *)
-let deliver_at t ~src ~cls time dst msg =
+   drop or duplicate the copy; faults are emitted as structured events
+   so a violation dump shows exactly what the network did. *)
+let deliver_at t ~src ~cls ~bytes time dst msg =
+  if Sim.Engine.tracing t.engine then
+    Sim.Engine.emit t.engine
+      (Obs.Event.Msg_send
+         { src; dst; cls = Msg_class.to_string cls; bytes; label = t.msg_label msg });
   match t.injector with
   | None -> schedule_delivery t ~src ~cls time dst msg
   | Some inject -> (
     match inject ~now:(Sim.Engine.now t.engine) ~src ~dst ~cls msg with
     | Pass -> schedule_delivery t ~src ~cls time dst msg
     | Delay extra ->
-      Sim.Engine.record t.engine (fun () ->
-          describe t ~src ~dst ~cls msg "fault:delay"
-            (Printf.sprintf " +%.0fns" (Sim.Time.to_ns extra)));
+      fault t ~src ~dst ~cls "delay";
       schedule_delivery t ~src ~cls (time + extra) dst msg
     | Drop ->
       t.dropped <- t.dropped + 1;
-      Sim.Engine.record t.engine (fun () -> describe t ~src ~dst ~cls msg "fault:drop" "")
+      fault t ~src ~dst ~cls "drop"
     | Duplicate extra ->
-      Sim.Engine.record t.engine (fun () ->
-          describe t ~src ~dst ~cls msg "fault:duplicate"
-            (Printf.sprintf " +%.0fns" (Sim.Time.to_ns extra)));
+      fault t ~src ~dst ~cls "duplicate";
       schedule_delivery t ~src ~cls time dst msg;
       schedule_delivery t ~src ~cls (time + extra) dst msg)
 
@@ -142,13 +187,13 @@ let send t ~src ~dsts ~cls ~bytes msg =
       if src_onchip && d_onchip then begin
         Traffic.add_intra t.traffic cls bytes;
         let dep = claim_port t src (serialization p.intra_bytes_per_ns bytes) in
-        deliver_at t ~src ~cls (dep + p.intra_latency + jitter t) d msg
+        deliver_at t ~src ~cls ~bytes (dep + p.intra_latency + jitter t) d msg
       end
       else if d_onchip then
         (* memory controller fanning back on-chip *)
         begin
           Traffic.add_intra t.traffic cls bytes;
-          deliver_at t ~src ~cls (now + p.mem_link_latency + jitter t) d msg
+          deliver_at t ~src ~cls ~bytes (now + p.mem_link_latency + jitter t) d msg
         end
       else begin
         (* cache -> local memory controller: off-chip pin traffic. *)
@@ -157,7 +202,7 @@ let send t ~src ~dsts ~cls ~bytes msg =
           if src_onchip then claim_port t src (serialization p.inter_bytes_per_ns bytes)
           else now
         in
-        deliver_at t ~src ~cls (dep + p.mem_link_latency + jitter t) d msg
+        deliver_at t ~src ~cls ~bytes (dep + p.mem_link_latency + jitter t) d msg
       end)
     local;
   (* Remote deliveries: exit hop once, then one global-link crossing per
@@ -180,7 +225,10 @@ let send t ~src ~dsts ~cls ~bytes msg =
       (fun site site_dsts ->
         Traffic.add_inter t.traffic cls bytes;
         let ser = serialization p.inter_bytes_per_ns bytes in
-        let arrive = claim_link t ~src_site ~dst_site:site exit_ready ser + p.inter_latency in
+        let arrive =
+          claim_link t ~src_site ~dst_site:site ~cls ~bytes exit_ready ser
+          + p.inter_latency
+        in
         List.iter
           (fun d ->
             let entry =
@@ -190,7 +238,7 @@ let send t ~src ~dsts ~cls ~bytes msg =
               end
               else p.mem_link_latency
             in
-            deliver_at t ~src ~cls (arrive + entry + jitter t) d msg)
+            deliver_at t ~src ~cls ~bytes (arrive + entry + jitter t) d msg)
           site_dsts)
       by_site
   end

@@ -59,14 +59,22 @@ val create :
 val set_handler : 'msg t -> (dst:int -> 'msg -> unit) -> unit
 
 (** Attach a fault injector. Injected faults (and, when the engine has
-    a trace enabled, ordinary deliveries) are logged to the engine's
-    trace ring buffer. *)
+    a trace sink, ordinary sends/deliveries/link transfers) are emitted
+    as structured {!Obs.Event} values through the engine. *)
 val set_fault_injector : 'msg t -> 'msg injector -> unit
 
 val clear_fault_injector : 'msg t -> unit
 
-(** Label messages in trace entries (defaults to the class name only). *)
+(** Label messages in trace events (defaults to the empty string; the
+    message class always accompanies it). *)
 val set_msg_label : 'msg t -> ('msg -> string) -> unit
+
+(** Register delivery counters plus queue-occupancy and utilization
+    samplers ([<prefix>delivered], [<prefix>port_busy_ns],
+    [<prefix>link_utilization], [<prefix>port_backlog_ns], ...) into a
+    metrics registry. [create] does this automatically when the engine
+    already carries an attached {!Obs.Registry}. *)
+val register : ?prefix:string -> Obs.Registry.t -> 'msg t -> unit
 
 val layout : 'msg t -> Layout.t
 val engine : 'msg t -> Sim.Engine.t

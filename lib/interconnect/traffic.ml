@@ -15,3 +15,21 @@ let inter_breakdown t = List.map (fun c -> (c, inter_bytes t c)) Msg_class.all
 let reset t =
   Array.fill t.intra 0 Msg_class.count 0;
   Array.fill t.inter 0 Msg_class.count 0
+
+let merge ~into src =
+  Array.iteri (fun i v -> into.intra.(i) <- into.intra.(i) + v) src.intra;
+  Array.iteri (fun i v -> into.inter.(i) <- into.inter.(i) + v) src.inter
+
+let register ?(prefix = "traffic.") registry t =
+  Obs.Registry.register_int registry (prefix ^ "intra_bytes") (fun () -> intra_total t);
+  Obs.Registry.register_int registry (prefix ^ "inter_bytes") (fun () -> inter_total t);
+  List.iter
+    (fun cls ->
+      let name = Msg_class.to_string cls in
+      Obs.Registry.register_int registry
+        (Printf.sprintf "%sintra_bytes.%s" prefix name)
+        (fun () -> intra_bytes t cls);
+      Obs.Registry.register_int registry
+        (Printf.sprintf "%sinter_bytes.%s" prefix name)
+        (fun () -> inter_bytes t cls))
+    Msg_class.all

@@ -18,3 +18,11 @@ val intra_breakdown : t -> (Msg_class.t * int) list
 
 val inter_breakdown : t -> (Msg_class.t * int) list
 val reset : t -> unit
+
+(** [merge ~into src] adds [src]'s byte counters into [into]. *)
+val merge : into:t -> t -> unit
+
+(** Register totals and per-class byte counters into a metrics
+    registry (names [<prefix>intra_bytes], [<prefix>inter_bytes.req],
+    ...). *)
+val register : ?prefix:string -> Obs.Registry.t -> t -> unit

@@ -39,9 +39,54 @@ let create () =
 
 let data_ops t = t.loads + t.stores + t.atomics
 
+let merge ~into src =
+  into.loads <- into.loads + src.loads;
+  into.stores <- into.stores + src.stores;
+  into.atomics <- into.atomics + src.atomics;
+  into.ifetches <- into.ifetches + src.ifetches;
+  into.l1_hits <- into.l1_hits + src.l1_hits;
+  into.l1_misses <- into.l1_misses + src.l1_misses;
+  into.l2_local_fills <- into.l2_local_fills + src.l2_local_fills;
+  into.remote_fills <- into.remote_fills + src.remote_fills;
+  into.mem_fills <- into.mem_fills + src.mem_fills;
+  into.transient_retries <- into.transient_retries + src.transient_retries;
+  into.persistent_requests <- into.persistent_requests + src.persistent_requests;
+  into.persistent_reads <- into.persistent_reads + src.persistent_reads;
+  into.writebacks <- into.writebacks + src.writebacks;
+  into.dir_indirections <- into.dir_indirections + src.dir_indirections;
+  Sim.Stat.Welford.merge ~into:into.miss_latency src.miss_latency;
+  Sim.Stat.Histogram.merge ~into:into.miss_histogram src.miss_histogram
+
 let persistent_fraction t =
   if t.l1_misses = 0 then 0.
   else float_of_int t.persistent_requests /. float_of_int t.l1_misses
+
+let register ?(prefix = "counters.") registry t =
+  let module R = Obs.Registry in
+  let ints =
+    [ ("loads", fun () -> t.loads);
+      ("stores", fun () -> t.stores);
+      ("atomics", fun () -> t.atomics);
+      ("ifetches", fun () -> t.ifetches);
+      ("l1_hits", fun () -> t.l1_hits);
+      ("l1_misses", fun () -> t.l1_misses);
+      ("l2_local_fills", fun () -> t.l2_local_fills);
+      ("remote_fills", fun () -> t.remote_fills);
+      ("mem_fills", fun () -> t.mem_fills);
+      ("transient_retries", fun () -> t.transient_retries);
+      ("persistent_requests", fun () -> t.persistent_requests);
+      ("persistent_reads", fun () -> t.persistent_reads);
+      ("writebacks", fun () -> t.writebacks);
+      ("dir_indirections", fun () -> t.dir_indirections) ]
+  in
+  List.iter (fun (name, f) -> R.register_int registry (prefix ^ name) f) ints;
+  R.register_float registry (prefix ^ "persistent_fraction") (fun () ->
+      persistent_fraction t);
+  R.register_float registry (prefix ^ "miss_latency_ns.mean") (fun () ->
+      Sim.Stat.Welford.mean t.miss_latency);
+  R.register_float registry (prefix ^ "miss_latency_ns.stddev") (fun () ->
+      Sim.Stat.Welford.stddev t.miss_latency);
+  R.register_histogram registry (prefix ^ "miss_latency_ns") t.miss_histogram
 
 let pp fmt t =
   Format.fprintf fmt

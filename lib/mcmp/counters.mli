@@ -23,6 +23,15 @@ val create : unit -> t
 
 val data_ops : t -> int
 
+(** [merge ~into src] accumulates [src] into [into]: counters add,
+    [miss_latency] combines via {!Sim.Stat.Welford.merge} and
+    [miss_histogram] bucket-wise. Used to aggregate per-seed results. *)
+val merge : into:t -> t -> unit
+
+(** Register every counter, the persistent fraction and the miss-latency
+    statistics into a metrics registry under [<prefix>...]. *)
+val register : ?prefix:string -> Obs.Registry.t -> t -> unit
+
 (** Fraction of L1 misses that escalated to a persistent request. *)
 val persistent_fraction : t -> float
 

@@ -9,7 +9,7 @@ type result = {
   ops : int;
 }
 
-let run ?(config = Config.default) builder ~programs ~seed =
+let run ?(config = Config.default) ?registry ?buffer builder ~programs ~seed =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Runner.run: " ^ msg));
@@ -17,6 +17,15 @@ let run ?(config = Config.default) builder ~programs ~seed =
   let traffic = Interconnect.Traffic.create () in
   let rng = Sim.Rng.create (seed + 7_919) in
   let counters = Counters.create () in
+  (* Observability hooks go in before the builder runs so the fabric
+     (and anything else built inside) can discover them. *)
+  Option.iter (fun b -> Obs.Buffer.attach b engine) buffer;
+  Option.iter
+    (fun r ->
+      Obs.Registry.attach r engine;
+      Counters.register r counters;
+      Interconnect.Traffic.register r traffic)
+    registry;
   let protocol = builder engine config traffic rng counters in
   let values = Values.create () in
   let nprocs = Config.nprocs config in

@@ -15,8 +15,16 @@ type result = {
   ops : int;
 }
 
+(** @param registry when given, attached to the engine and populated
+    with the run's counters, traffic and fabric samplers before the
+    protocol is built (snapshot it after [run] returns).
+    @param buffer when given, installed as the engine's trace sink:
+    the run records structured {!Obs.Event}s (tracing changes no
+    simulation outcome, only observation). *)
 val run :
   ?config:Config.t ->
+  ?registry:Obs.Registry.t ->
+  ?buffer:Obs.Buffer.t ->
   Protocol.builder ->
   programs:(proc:int -> Workload.Program.t) ->
   seed:int ->

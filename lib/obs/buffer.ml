@@ -1,0 +1,36 @@
+type entry = { at : Sim.Time.t; ev : Sim.Engine.event }
+
+type t = {
+  entries : entry option array;
+  mutable next : int;  (* total events ever recorded *)
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Obs.Buffer.create: capacity must be positive";
+  { entries = Array.make capacity None; next = 0 }
+
+let capacity t = Array.length t.entries
+
+let add t ~at ev =
+  t.entries.(t.next mod Array.length t.entries) <- Some { at; ev };
+  t.next <- t.next + 1
+
+let attach t engine = Sim.Engine.set_sink engine (fun at ev -> add t ~at ev)
+
+let recorded t = t.next
+let length t = min t.next (Array.length t.entries)
+let dropped t = t.next - length t
+
+let iter t f =
+  let cap = Array.length t.entries in
+  let start = if t.next > cap then t.next - cap else 0 in
+  for i = start to t.next - 1 do
+    match t.entries.(i mod cap) with
+    | Some e -> f ~at:e.at e.ev
+    | None -> ()
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun ~at ev -> acc := { at; ev } :: !acc);
+  List.rev !acc

@@ -1,0 +1,31 @@
+(** Bounded in-memory event ring. When full, the oldest events are
+    overwritten — evidence capture keeps the window leading up to a
+    failure, and exporters can see how much history was lost. *)
+
+type entry = { at : Sim.Time.t; ev : Sim.Engine.event }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+
+val add : t -> at:Sim.Time.t -> Sim.Engine.event -> unit
+
+(** [attach t engine] installs this buffer as the engine's trace sink
+    (turning tracing on). *)
+val attach : t -> Sim.Engine.t -> unit
+
+(** Total events ever recorded, including overwritten ones. *)
+val recorded : t -> int
+
+(** Events currently held. *)
+val length : t -> int
+
+(** Events lost to ring wrap ([recorded - length]). *)
+val dropped : t -> int
+
+(** Oldest-first iteration over the retained window. *)
+val iter : t -> (at:Sim.Time.t -> Sim.Engine.event -> unit) -> unit
+
+val to_list : t -> entry list

@@ -1,0 +1,145 @@
+type rw = R | W
+type level = L1 | L2
+type fill = Fill_l2 | Fill_remote | Fill_memory
+
+let rw_to_string = function R -> "R" | W -> "W"
+let level_to_string = function L1 -> "L1" | L2 -> "L2"
+
+let fill_to_string = function
+  | Fill_l2 -> "l2"
+  | Fill_remote -> "remote"
+  | Fill_memory -> "memory"
+
+type Sim.Engine.event +=
+  | Req_issue of { tid : int; node : int; proc : int; addr : int; rw : rw }
+      (** An L1 miss allocates an MSHR and a transaction begins. *)
+  | Req_response of { tid : int; node : int; src : int }
+      (** A response (tokens/data) for an outstanding miss reached the
+          requester; the first one per [tid] ends the request phase. *)
+  | Req_retire of {
+      tid : int;
+      node : int;
+      proc : int;
+      addr : int;
+      rw : rw;
+      fill : fill;
+      retries : int;
+      persistent : bool;
+    }  (** The miss completed and the processor was released. *)
+  | Req_reissue of { tid : int; node : int; addr : int; retry : int }
+      (** A transient request timed out and was reissued. *)
+  | Lookup of { node : int; level : level; addr : int; hit : bool }
+  | Msg_send of { src : int; dst : int; cls : string; bytes : int; label : string }
+  | Msg_deliver of { src : int; dst : int; cls : string; label : string }
+  | Link_xfer of {
+      src_site : int;
+      dst_site : int;
+      cls : string;
+      bytes : int;
+      start : Sim.Time.t;
+      finish : Sim.Time.t;
+    }
+      (** A message occupied the serialized inter-chip link (or an
+          on-chip crossbar port pair) for [start, finish]. *)
+  | Fault_action of { src : int; dst : int; cls : string; action : string }
+  | Fsm of { node : int; addr : int; fsm : string; from_state : string; to_state : string }
+  | Persistent of { node : int; proc : int; addr : int; action : string }
+      (** Persistent-request arbitration: escalate / activate /
+          deactivate at the arbiter or the distributed tables. *)
+  | Dir_indirection of { node : int; addr : int; write : bool }
+      (** The home directory had to forward to a remote owner — the
+          3-hop transactions the paper's broadcast avoids. *)
+
+let describe at ev =
+  let ns = Sim.Time.to_ns at in
+  let p fmt = Printf.sprintf fmt in
+  match ev with
+  | Req_issue e ->
+    Some (p "%.1fns issue tid=%d node=%d proc=%d addr=%#x %s" ns e.tid e.node e.proc e.addr
+            (rw_to_string e.rw))
+  | Req_response e -> Some (p "%.1fns response tid=%d node=%d src=%d" ns e.tid e.node e.src)
+  | Req_retire e ->
+    Some
+      (p "%.1fns retire tid=%d node=%d addr=%#x %s fill=%s retries=%d%s" ns e.tid e.node
+         e.addr (rw_to_string e.rw) (fill_to_string e.fill) e.retries
+         (if e.persistent then " persistent" else ""))
+  | Req_reissue e ->
+    Some (p "%.1fns reissue tid=%d node=%d addr=%#x retry=%d" ns e.tid e.node e.addr e.retry)
+  | Lookup e ->
+    Some
+      (p "%.1fns %s %s node=%d addr=%#x" ns (level_to_string e.level)
+         (if e.hit then "hit" else "miss") e.node e.addr)
+  | Msg_send e ->
+    Some
+      (p "%.1fns send %d->%d [%s] %dB%s" ns e.src e.dst e.cls e.bytes
+         (if e.label = "" then "" else " " ^ e.label))
+  | Msg_deliver e ->
+    Some
+      (p "%.1fns deliver %d->%d [%s]%s" ns e.src e.dst e.cls
+         (if e.label = "" then "" else " " ^ e.label))
+  | Link_xfer e ->
+    Some
+      (p "%.1fns link %d->%d [%s] %dB busy %.1f..%.1fns" ns e.src_site e.dst_site e.cls
+         e.bytes (Sim.Time.to_ns e.start) (Sim.Time.to_ns e.finish))
+  | Fault_action e -> Some (p "%.1fns fault %s %d->%d [%s]" ns e.action e.src e.dst e.cls)
+  | Fsm e ->
+    Some (p "%.1fns fsm %s node=%d addr=%#x %s->%s" ns e.fsm e.node e.addr e.from_state
+            e.to_state)
+  | Persistent e ->
+    Some (p "%.1fns persistent %s node=%d proc=%d addr=%#x" ns e.action e.node e.proc e.addr)
+  | Dir_indirection e ->
+    Some (p "%.1fns dir-indirection node=%d addr=%#x %s" ns e.node e.addr
+            (if e.write then "W" else "R"))
+  | _ -> None
+
+let to_json at ev =
+  let base kind fields =
+    Some (Tcjson.Obj (("at_ns", Tcjson.Float (Sim.Time.to_ns at))
+                      :: ("kind", Tcjson.String kind) :: fields))
+  in
+  let i n = Tcjson.Int n and s v = Tcjson.String v in
+  match ev with
+  | Req_issue e ->
+    base "req_issue"
+      [ ("tid", i e.tid); ("node", i e.node); ("proc", i e.proc); ("addr", i e.addr);
+        ("rw", s (rw_to_string e.rw)) ]
+  | Req_response e ->
+    base "req_response" [ ("tid", i e.tid); ("node", i e.node); ("src", i e.src) ]
+  | Req_retire e ->
+    base "req_retire"
+      [ ("tid", i e.tid); ("node", i e.node); ("proc", i e.proc); ("addr", i e.addr);
+        ("rw", s (rw_to_string e.rw)); ("fill", s (fill_to_string e.fill));
+        ("retries", i e.retries); ("persistent", Tcjson.Bool e.persistent) ]
+  | Req_reissue e ->
+    base "req_reissue"
+      [ ("tid", i e.tid); ("node", i e.node); ("addr", i e.addr); ("retry", i e.retry) ]
+  | Lookup e ->
+    base "lookup"
+      [ ("node", i e.node); ("level", s (level_to_string e.level)); ("addr", i e.addr);
+        ("hit", Tcjson.Bool e.hit) ]
+  | Msg_send e ->
+    base "msg_send"
+      [ ("src", i e.src); ("dst", i e.dst); ("cls", s e.cls); ("bytes", i e.bytes);
+        ("label", s e.label) ]
+  | Msg_deliver e ->
+    base "msg_deliver"
+      [ ("src", i e.src); ("dst", i e.dst); ("cls", s e.cls); ("label", s e.label) ]
+  | Link_xfer e ->
+    base "link_xfer"
+      [ ("src_site", i e.src_site); ("dst_site", i e.dst_site); ("cls", s e.cls);
+        ("bytes", i e.bytes); ("start_ns", Tcjson.Float (Sim.Time.to_ns e.start));
+        ("finish_ns", Tcjson.Float (Sim.Time.to_ns e.finish)) ]
+  | Fault_action e ->
+    base "fault"
+      [ ("action", s e.action); ("src", i e.src); ("dst", i e.dst); ("cls", s e.cls) ]
+  | Fsm e ->
+    base "fsm"
+      [ ("fsm", s e.fsm); ("node", i e.node); ("addr", i e.addr);
+        ("from", s e.from_state); ("to", s e.to_state) ]
+  | Persistent e ->
+    base "persistent"
+      [ ("action", s e.action); ("node", i e.node); ("proc", i e.proc); ("addr", i e.addr) ]
+  | Dir_indirection e ->
+    base "dir_indirection"
+      [ ("node", i e.node); ("addr", i e.addr); ("write", Tcjson.Bool e.write) ]
+  | _ -> None

@@ -1,0 +1,60 @@
+(** The structured event vocabulary. Constructors extend
+    {!Sim.Engine.event}, so any layer that sees the engine can emit
+    them; nothing below [lib/obs] needs to link against this library.
+
+    Instrumented call sites follow the pattern
+
+    {[ if Sim.Engine.tracing e then
+         Sim.Engine.emit e (Obs.Event.Req_issue { ... }) ]}
+
+    which costs one branch on untraced runs — no allocation, no
+    formatting. *)
+
+type rw = R | W
+type level = L1 | L2
+
+(** Where a miss was filled from: the local chip's shared L2, a remote
+    chip's cache, or memory. *)
+type fill = Fill_l2 | Fill_remote | Fill_memory
+
+val rw_to_string : rw -> string
+val level_to_string : level -> string
+val fill_to_string : fill -> string
+
+type Sim.Engine.event +=
+  | Req_issue of { tid : int; node : int; proc : int; addr : int; rw : rw }
+  | Req_response of { tid : int; node : int; src : int }
+  | Req_retire of {
+      tid : int;
+      node : int;
+      proc : int;
+      addr : int;
+      rw : rw;
+      fill : fill;
+      retries : int;
+      persistent : bool;
+    }
+  | Req_reissue of { tid : int; node : int; addr : int; retry : int }
+  | Lookup of { node : int; level : level; addr : int; hit : bool }
+  | Msg_send of { src : int; dst : int; cls : string; bytes : int; label : string }
+  | Msg_deliver of { src : int; dst : int; cls : string; label : string }
+  | Link_xfer of {
+      src_site : int;
+      dst_site : int;
+      cls : string;
+      bytes : int;
+      start : Sim.Time.t;
+      finish : Sim.Time.t;
+    }
+  | Fault_action of { src : int; dst : int; cls : string; action : string }
+  | Fsm of { node : int; addr : int; fsm : string; from_state : string; to_state : string }
+  | Persistent of { node : int; proc : int; addr : int; action : string }
+  | Dir_indirection of { node : int; addr : int; write : bool }
+
+(** One-line human rendering; [None] for constructors this library does
+    not know about. *)
+val describe : Sim.Time.t -> Sim.Engine.event -> string option
+
+(** Structured rendering for evidence dumps; [None] for foreign
+    constructors. *)
+val to_json : Sim.Time.t -> Sim.Engine.event -> Tcjson.t option

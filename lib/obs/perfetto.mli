@@ -1,0 +1,30 @@
+(** Chrome trace-event / Perfetto JSON exporter. The output loads in
+    {{:https://ui.perfetto.dev}ui.perfetto.dev} or [chrome://tracing]:
+    one process for the machine, one track per node (core/cache) plus
+    one per fabric link; miss transactions render as "miss" slices with
+    nested "request"/"fill" phase slices, everything else as instants.
+
+    Timestamps are microseconds of simulated time (1 us on screen =
+    1 us simulated; sub-ns structure survives as fractional ts). *)
+
+(** [export buf] renders the retained event window.
+    @param node_name names node tracks (defaults to ["node<i>"]).
+    @param process_name the Perfetto process label.
+    @param include_instants when false, only transaction/link slices
+    and fault/persistent markers are emitted — traces stay small on
+    long runs.
+    @param marks extra global instant events (e.g. invariant
+    violations) stamped onto track 0. *)
+val export :
+  ?node_name:(int -> string) ->
+  ?process_name:string ->
+  ?include_instants:bool ->
+  ?marks:(Sim.Time.t * string) list ->
+  Buffer.t ->
+  Tcjson.t
+
+(** Structural check used by tests and CI on exported documents:
+    [traceEvents] exists, every event carries the fields its phase
+    requires, and complete ("X") slices nest properly per track (no
+    partial overlap). *)
+val validate : Tcjson.t -> (unit, string) result

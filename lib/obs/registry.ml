@@ -1,0 +1,51 @@
+type metric =
+  | Int_gauge of (unit -> int)
+  | Float_gauge of (unit -> float)
+  | Histogram of Sim.Stat.Histogram.t
+
+type t = { mutable metrics : (string * metric) list }
+
+type Sim.Engine.ext += Registry of t
+
+let create () = { metrics = [] }
+
+let register t name m =
+  if List.mem_assoc name t.metrics then
+    invalid_arg (Printf.sprintf "Obs.Registry: duplicate metric %S" name);
+  t.metrics <- (name, m) :: t.metrics
+
+let register_int t name f = register t name (Int_gauge f)
+let register_float t name f = register t name (Float_gauge f)
+let register_histogram t name h = register t name (Histogram h)
+
+let attach t engine = Sim.Engine.add_ext engine (Registry t)
+
+let of_engine engine =
+  Sim.Engine.find_ext engine (function Registry r -> Some r | _ -> None)
+
+let sorted t = List.sort (fun (a, _) (b, _) -> compare a b) t.metrics
+
+let names t = List.map fst (sorted t)
+
+let histogram_json h =
+  let module H = Sim.Stat.Histogram in
+  Tcjson.Obj
+    [ ("count", Tcjson.Int (H.count h));
+      ("total", Tcjson.Int (H.total h));
+      ("mean", Tcjson.Float (H.mean h));
+      ("p50", Tcjson.Int (H.percentile h 50.));
+      ("p90", Tcjson.Int (H.percentile h 90.));
+      ("p99", Tcjson.Int (H.percentile h 99.)) ]
+
+let snapshot t =
+  Tcjson.Obj
+    (List.map
+       (fun (name, m) ->
+         let v =
+           match m with
+           | Int_gauge f -> Tcjson.Int (f ())
+           | Float_gauge f -> Tcjson.Float (f ())
+           | Histogram h -> histogram_json h
+         in
+         (name, v))
+       (sorted t))

@@ -1,0 +1,30 @@
+(** Named metrics registry (pull model). Components register getters
+    once at construction; a snapshot reads every metric at that instant
+    and renders a deterministic, name-sorted JSON object — the
+    [metrics] payload of BENCH schema v2 and of torture evidence. *)
+
+type t
+
+(** Engine extension carrying a registry, so components created deep
+    inside a protocol builder (e.g. the fabric) can self-register
+    without signature churn: [Registry.of_engine engine]. *)
+type Sim.Engine.ext += Registry of t
+
+val create : unit -> t
+
+(** Registration; raises [Invalid_argument] on duplicate names. *)
+
+val register_int : t -> string -> (unit -> int) -> unit
+val register_float : t -> string -> (unit -> float) -> unit
+val register_histogram : t -> string -> Sim.Stat.Histogram.t -> unit
+
+(** [attach t engine] makes the registry discoverable from the engine. *)
+val attach : t -> Sim.Engine.t -> unit
+
+val of_engine : Sim.Engine.t -> t option
+
+(** Registered names, sorted. *)
+val names : t -> string list
+
+(** Histograms render as [{count; total; mean; p50; p90; p99}]. *)
+val snapshot : t -> Tcjson.t

@@ -1,0 +1,121 @@
+type t = {
+  tid : int;
+  node : int;
+  proc : int;
+  addr : int;
+  rw : Event.rw;
+  issued : Sim.Time.t;
+  mutable first_response : Sim.Time.t option;
+  mutable retired : Sim.Time.t option;
+  mutable reissues : int;
+  mutable fill : Event.fill option;
+  mutable persistent : bool;
+  mutable retries : int;
+}
+
+let completed s = s.retired <> None
+
+let total_ns s =
+  match s.retired with
+  | Some at -> Some (Sim.Time.to_ns (at - s.issued))
+  | None -> None
+
+(* Request phase: issue until the first response reaches the requester.
+   Spans with no observed response (e.g. protocols that fill without a
+   fabric response event) attribute everything to the request phase. *)
+let request_ns s =
+  match (s.first_response, s.retired) with
+  | Some at, _ -> Some (Sim.Time.to_ns (at - s.issued))
+  | None, Some at -> Some (Sim.Time.to_ns (at - s.issued))
+  | None, None -> None
+
+let fill_ns s =
+  match (s.first_response, s.retired) with
+  | Some resp, Some retire -> Some (Sim.Time.to_ns (retire - resp))
+  | None, Some _ -> Some 0.
+  | _ -> None
+
+let assemble buf =
+  let by_tid : (int, t) Hashtbl.t = Hashtbl.create 1024 in
+  let order = ref [] in
+  Buffer.iter buf (fun ~at ev ->
+      match ev with
+      | Event.Req_issue e ->
+        let s =
+          { tid = e.tid; node = e.node; proc = e.proc; addr = e.addr; rw = e.rw;
+            issued = at; first_response = None; retired = None; reissues = 0;
+            fill = None; persistent = false; retries = 0 }
+        in
+        Hashtbl.replace by_tid e.tid s;
+        order := s :: !order
+      | Event.Req_response e -> (
+        match Hashtbl.find_opt by_tid e.tid with
+        | Some s when s.first_response = None && s.retired = None ->
+          s.first_response <- Some at
+        | _ -> ())
+      | Event.Req_reissue e -> (
+        match Hashtbl.find_opt by_tid e.tid with
+        | Some s when s.retired = None -> s.reissues <- s.reissues + 1
+        | _ -> ())
+      | Event.Req_retire e -> (
+        match Hashtbl.find_opt by_tid e.tid with
+        | Some s when s.retired = None ->
+          s.retired <- Some at;
+          s.fill <- Some e.fill;
+          s.retries <- e.retries;
+          s.persistent <- e.persistent
+        | _ -> ())
+      | _ -> ());
+  List.rev !order
+
+type summary = {
+  spans : int;  (** completed spans *)
+  incomplete : int;
+  request_total_ns : float;
+  fill_total_ns : float;
+  total_ns : float;
+}
+
+let summarize spans =
+  let s =
+    List.fold_left
+      (fun acc sp ->
+        if completed sp then
+          { acc with
+            spans = acc.spans + 1;
+            request_total_ns =
+              acc.request_total_ns +. Option.value ~default:0. (request_ns sp);
+            fill_total_ns = acc.fill_total_ns +. Option.value ~default:0. (fill_ns sp);
+            total_ns = acc.total_ns +. Option.value ~default:0. (total_ns sp) }
+        else { acc with incomplete = acc.incomplete + 1 })
+      { spans = 0; incomplete = 0; request_total_ns = 0.; fill_total_ns = 0.;
+        total_ns = 0. }
+      spans
+  in
+  s
+
+type phase_histograms = {
+  request : Sim.Stat.Histogram.t;
+  fill : Sim.Stat.Histogram.t;
+  total : Sim.Stat.Histogram.t;
+}
+
+let phase_histograms ?(bucket = 10) ?(buckets = 200) spans =
+  let module H = Sim.Stat.Histogram in
+  let h = { request = H.create ~bucket ~buckets; fill = H.create ~bucket ~buckets;
+            total = H.create ~bucket ~buckets }
+  in
+  List.iter
+    (fun sp ->
+      if completed sp then begin
+        Option.iter (fun v -> H.add h.request (int_of_float v)) (request_ns sp);
+        Option.iter (fun v -> H.add h.fill (int_of_float v)) (fill_ns sp);
+        Option.iter (fun v -> H.add h.total (int_of_float v)) (total_ns sp)
+      end)
+    spans;
+  h
+
+let register_phase_histograms ?(prefix = "spans.") registry h =
+  Registry.register_histogram registry (prefix ^ "request_ns") h.request;
+  Registry.register_histogram registry (prefix ^ "fill_ns") h.fill;
+  Registry.register_histogram registry (prefix ^ "total_ns") h.total

@@ -1,0 +1,61 @@
+(** Transaction span assembly: stitches [Req_issue] / [Req_response] /
+    [Req_reissue] / [Req_retire] events sharing a transaction id into
+    per-miss spans with a two-phase breakdown —
+
+    - {b request}: issue until the first response reaches the requester;
+    - {b fill}: first response until the processor is released.
+
+    Their sum is the span total, which reconciles with the protocol's
+    [miss_latency] Welford accumulator when no events were dropped. *)
+
+type t = {
+  tid : int;
+  node : int;
+  proc : int;
+  addr : int;
+  rw : Event.rw;
+  issued : Sim.Time.t;
+  mutable first_response : Sim.Time.t option;
+  mutable retired : Sim.Time.t option;
+  mutable reissues : int;
+  mutable fill : Event.fill option;
+  mutable persistent : bool;
+  mutable retries : int;
+}
+
+val completed : t -> bool
+
+(** Phase durations in nanoseconds; [None] until the span has the
+    events that bound the phase. Spans with no observed response
+    attribute their whole latency to the request phase. *)
+
+val request_ns : t -> float option
+val fill_ns : t -> float option
+val total_ns : t -> float option
+
+(** Spans in issue order. Retires whose issue was lost to ring wrap
+    are dropped (the span would have no start). *)
+val assemble : Buffer.t -> t list
+
+type summary = {
+  spans : int;  (** completed spans *)
+  incomplete : int;
+  request_total_ns : float;
+  fill_total_ns : float;
+  total_ns : float;
+}
+
+val summarize : t list -> summary
+
+type phase_histograms = {
+  request : Sim.Stat.Histogram.t;
+  fill : Sim.Stat.Histogram.t;
+  total : Sim.Stat.Histogram.t;
+}
+
+(** Per-phase latency histograms over completed spans
+    (default geometry matches [Mcmp.Counters.miss_histogram]:
+    10 ns buckets, 200 of them). *)
+val phase_histograms : ?bucket:int -> ?buckets:int -> t list -> phase_histograms
+
+val register_phase_histograms : ?prefix:string -> Registry.t -> phase_histograms -> unit

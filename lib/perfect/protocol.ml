@@ -56,6 +56,8 @@ let access t ~proc ~kind addr ~commit =
         | Some line -> line.writable || not write
         | None -> false
       in
+      if E.tracing t.engine then
+        E.emit t.engine (Obs.Event.Lookup { node = l1id; level = Obs.Event.L1; addr; hit });
       if hit then begin
         t.counters.Mcmp.Counters.l1_hits <- t.counters.Mcmp.Counters.l1_hits + 1;
         Cache.Sarray.touch l1.lines addr;
@@ -64,6 +66,10 @@ let access t ~proc ~kind addr ~commit =
       end
       else begin
         t.counters.Mcmp.Counters.l1_misses <- t.counters.Mcmp.Counters.l1_misses + 1;
+        let tid = t.counters.Mcmp.Counters.l1_misses in
+        let rw = if write then Obs.Event.W else Obs.Event.R in
+        if E.tracing t.engine then
+          E.emit t.engine (Obs.Event.Req_issue { tid; node = l1id; proc; addr; rw });
         (* On-chip round trip to an infinite, always-hitting L2. *)
         let fabric = t.cfg.Mcmp.Config.fabric in
         let miss_latency =
@@ -75,6 +81,11 @@ let access t ~proc ~kind addr ~commit =
             Sim.Stat.Welford.add t.counters.Mcmp.Counters.miss_latency
               (Sim.Time.to_ns miss_latency);
             install t l1id addr ~writable:write;
+            if E.tracing t.engine then
+              E.emit t.engine
+                (Obs.Event.Req_retire
+                   { tid; node = l1id; proc; addr; rw; fill = Obs.Event.Fill_l2;
+                     retries = 0; persistent = false });
             commit ())
       end)
 

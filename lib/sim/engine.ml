@@ -1,30 +1,38 @@
+type event = ..
+type ext = ..
+
 type t = {
   mutable now : Time.t;
   mutable seq : int;
   mutable processed : int;
   mutable stopped : bool;
   queue : (unit -> unit) Heap.t;
-  mutable trace : Trace.t option;
+  mutable sink : (Time.t -> event -> unit) option;
+  mutable exts : ext list;
 }
 
 type timer = { mutable cancelled : bool }
 
 let create () =
   { now = Time.zero; seq = 0; processed = 0; stopped = false; queue = Heap.create ();
-    trace = None }
+    sink = None; exts = [] }
 
 let now t = t.now
 let events_processed t = t.processed
 
-let enable_trace t ~capacity =
-  let tr = Trace.create ~capacity in
-  t.trace <- Some tr;
-  tr
+let tracing t = t.sink <> None
+let set_sink t f = t.sink <- Some f
+let clear_sink t = t.sink <- None
 
-let trace t = t.trace
+let emit t ev = match t.sink with Some f -> f t.now ev | None -> ()
 
-let record t text =
-  match t.trace with Some tr -> Trace.add tr ~at:t.now (text ()) | None -> ()
+let add_ext t e = t.exts <- e :: t.exts
+
+let rec find_opt f = function
+  | [] -> None
+  | x :: rest -> ( match f x with Some _ as r -> r | None -> find_opt f rest)
+
+let find_ext t f = find_opt f t.exts
 
 let schedule_at t time f =
   assert (time >= t.now);

@@ -4,6 +4,18 @@
     closures). Events scheduled at the same instant fire in scheduling
     order, so the simulation is fully deterministic. *)
 
+(** Structured trace events. The engine itself defines no constructors;
+    observability layers extend this type (see [Obs.Event]) and
+    instrumented components emit through {!emit}. Keeping the type here
+    lets every layer of the stack record events without depending on
+    the observability library. *)
+type event = ..
+
+(** Extensible per-engine context. Higher layers attach values (e.g. a
+    metrics registry) that components created later can discover
+    without threading extra arguments through every constructor. *)
+type ext = ..
+
 type t
 
 val create : unit -> t
@@ -40,14 +52,25 @@ val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** [stop t] makes {!run} return after the current event. *)
 val stop : t -> unit
 
-(** [enable_trace t ~capacity] attaches a bounded ring buffer that
-    instrumented components ({!record} callers, e.g. the fabric) log
-    into; returns it for later dumping. Off by default. *)
-val enable_trace : t -> capacity:int -> Trace.t
+(** True when a trace sink is attached. Instrumented call sites guard
+    with [if tracing t then emit t (Ev ...)] so that untraced runs pay
+    a single branch — no allocation, no formatting. *)
+val tracing : t -> bool
 
-val trace : t -> Trace.t option
+(** [set_sink t f] routes every {!emit} to [f], stamped with the
+    current simulated time. Off by default. *)
+val set_sink : t -> (Time.t -> event -> unit) -> unit
 
-(** [record t text] appends [text ()] to the attached trace, stamped
-    with the current time. [text] is not evaluated when tracing is
-    off, so call sites stay free on untraced runs. *)
-val record : t -> (unit -> string) -> unit
+val clear_sink : t -> unit
+
+(** [emit t ev] passes [ev] to the attached sink; no-op when tracing is
+    off (but the event value has already been allocated — guard with
+    {!tracing} on hot paths). *)
+val emit : t -> event -> unit
+
+(** [add_ext t e] attaches an extension value to the engine. *)
+val add_ext : t -> ext -> unit
+
+(** [find_ext t f] returns the first attached extension [f] recognises
+    (most recently added first). *)
+val find_ext : t -> (ext -> 'a option) -> 'a option

@@ -14,6 +14,24 @@ module Welford = struct
   let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
   let stddev t = sqrt (variance t)
   let ci95 t = if t.n < 2 then 0. else 1.96 *. stddev t /. sqrt (float_of_int t.n)
+
+  (* Chan et al.'s parallel update: combine [src] into [into]. *)
+  let merge ~into src =
+    if src.n > 0 then begin
+      if into.n = 0 then begin
+        into.n <- src.n;
+        into.mean <- src.mean;
+        into.m2 <- src.m2
+      end
+      else begin
+        let na = float_of_int into.n and nb = float_of_int src.n in
+        let n = na +. nb in
+        let delta = src.mean -. into.mean in
+        into.mean <- into.mean +. (delta *. nb /. n);
+        into.m2 <- into.m2 +. src.m2 +. (delta *. delta *. na *. nb /. n);
+        into.n <- into.n + src.n
+      end
+    end
 end
 
 module Summary = struct
@@ -70,8 +88,19 @@ module Histogram = struct
         if i >= Array.length t.counts then Array.length t.counts * t.bucket
         else
           let acc = acc + t.counts.(i) in
-          if float_of_int acc >= target then (i + 1) * t.bucket else scan (i + 1) acc
+          (* [acc > 0] skips empty leading buckets: with p = 0 the target
+             is 0 and a bare [acc >= target] would report the first
+             bucket's upper bound even when no sample landed there. *)
+          if acc > 0 && float_of_int acc >= target then (i + 1) * t.bucket
+          else scan (i + 1) acc
       in
       scan 0 0
     end
+
+  let merge ~into src =
+    if src.bucket <> into.bucket || Array.length src.counts <> Array.length into.counts
+    then invalid_arg "Histogram.merge: mismatched geometry";
+    Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+    into.n <- into.n + src.n;
+    into.total <- into.total + src.total
 end

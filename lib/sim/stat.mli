@@ -18,6 +18,10 @@ module Welford : sig
   (** Half-width of an approximate 95% confidence interval on the mean
       (normal approximation; 0 for fewer than two observations). *)
   val ci95 : t -> float
+
+  (** [merge ~into src] folds [src]'s samples into [into] (Chan's
+      parallel combination); [src] is left untouched. *)
+  val merge : into:t -> t -> unit
 end
 
 (** Summary of a float list: mean, stddev and 95% CI half-width. *)
@@ -54,6 +58,12 @@ module Histogram : sig
   val mean : t -> float
 
   (** [percentile t p] with [p] in [0,100]: upper bound of the bucket
-      containing that percentile. *)
+      containing that percentile. Empty leading buckets are skipped, so
+      [percentile t 0.] is the upper bound of the first non-empty
+      bucket (0 on an empty histogram). *)
   val percentile : t -> float -> int
+
+  (** [merge ~into src] adds [src]'s buckets into [into]. Raises
+      [Invalid_argument] if the two differ in bucket width or count. *)
+  val merge : into:t -> t -> unit
 end

@@ -1,0 +1,38 @@
+(** Minimal JSON representation, emitter and parser (no external JSON
+    dependency in the toolchain). Sits at the bottom of the library
+    stack so both the observability layer and the public facade can
+    produce structured output.
+
+    The emitter is two-space indented so the committed
+    [BENCH_<section>.json] trajectory files keep line-oriented diffs;
+    non-finite floats render as [null]. The parser accepts standard
+    JSON (used to validate exported traces in tests and CI). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val write_file : string -> t -> unit
+
+(** Canonical decimal representation used by the emitter: integers and
+    small magnitudes as ["x.0"], otherwise the shortest form that
+    round-trips; non-finite values become ["null"]. *)
+val float_repr : float -> string
+
+(** [parse s] reads one JSON value (plus surrounding whitespace). *)
+val parse : string -> (t, string) result
+
+(** [member key json] is the field [key] of an [Obj], if any. *)
+val member : string -> t -> t option
+
+val to_list_opt : t -> t list option
+
+(** Structural equality; [Int]/[Float] compare numerically. *)
+val equal : t -> t -> bool

@@ -15,6 +15,16 @@ type line = {
 
 let fresh_line () = { tokens = 0; owner = false; dirty = false; valid = false; hold_until = 0 }
 
+(* Token-FSM state label for trace events, e.g. "T3OV" (3 tokens, owner,
+   valid) or "I" (no tokens, no data). Only evaluated while tracing. *)
+let line_state_name line =
+  if line.tokens = 0 && not line.valid then "I"
+  else
+    Printf.sprintf "T%d%s%s%s" line.tokens
+      (if line.owner then "O" else "")
+      (if line.valid then "V" else "")
+      (if line.dirty then "D" else "")
+
 (* L2-bank approximate knowledge of its chip: which local L1s probably
    hold the block (the dst1-filt filter) and roughly how many tokens
    live in local L1s (drives write-escalation). Being wrong only costs
@@ -31,6 +41,7 @@ type mshr = {
   m_rw : Msg.rw;
   m_commit : unit -> unit;
   m_issued : Sim.Time.t;
+  m_tid : int;  (* transaction id for trace spans; unused by the protocol *)
   mutable m_retries : int;
   mutable m_timer : E.timer option;
   mutable m_persistent : bool;
@@ -434,6 +445,10 @@ and on_timeout t node m =
         m.m_retries <- m.m_retries + 1;
         t.counters.Mcmp.Counters.transient_retries <-
           t.counters.Mcmp.Counters.transient_retries + 1;
+        if E.tracing t.engine then
+          E.emit t.engine
+            (Obs.Event.Req_reissue
+               { tid = m.m_tid; node = node.id; addr = m.m_addr; retry = m.m_retries });
         broadcast_transient t node m ~force_external:true;
         arm_timer t node m
       end
@@ -447,7 +462,12 @@ and start_persistent t node m =
     t.counters.Mcmp.Counters.persistent_requests <-
       t.counters.Mcmp.Counters.persistent_requests + 1;
     if m.m_rw = Msg.R then
-      t.counters.Mcmp.Counters.persistent_reads <- t.counters.Mcmp.Counters.persistent_reads + 1
+      t.counters.Mcmp.Counters.persistent_reads <- t.counters.Mcmp.Counters.persistent_reads + 1;
+    if E.tracing t.engine then
+      E.emit t.engine
+        (Obs.Event.Persistent
+           { node = node.id; proc = proc_of_node t node; addr = m.m_addr;
+             action = "escalate" })
   end;
   match t.policy.Policy.activation with
   | Policy.Arbiter ->
@@ -494,6 +514,16 @@ and complete t node m =
   if m.m_saw_mem then c.Mcmp.Counters.mem_fills <- c.Mcmp.Counters.mem_fills + 1
   else if m.m_saw_remote then c.Mcmp.Counters.remote_fills <- c.Mcmp.Counters.remote_fills + 1
   else c.Mcmp.Counters.l2_local_fills <- c.Mcmp.Counters.l2_local_fills + 1;
+  if E.tracing t.engine then
+    E.emit t.engine
+      (Obs.Event.Req_retire
+         { tid = m.m_tid; node = node.id; proc = proc_of_node t node; addr = m.m_addr;
+           rw = (match m.m_rw with Msg.W -> Obs.Event.W | Msg.R -> Obs.Event.R);
+           fill =
+             (if m.m_saw_mem then Obs.Event.Fill_memory
+              else if m.m_saw_remote then Obs.Event.Fill_remote
+              else Obs.Event.Fill_l2);
+           retries = m.m_retries; persistent = m.m_persistent });
   Cache.Sarray.touch node.lines m.m_addr;
   (match m.m_rw with
   | Msg.W ->
@@ -508,6 +538,9 @@ and complete t node m =
 
 and deactivate t node m =
   let proc = proc_of_node t node in
+  if E.tracing t.engine then
+    E.emit t.engine
+      (Obs.Event.Persistent { node = node.id; proc; addr = m.m_addr; action = "deactivate" });
   match t.policy.Policy.activation with
   | Policy.Arbiter ->
     F.send_one t.fabric ~src:node.id ~dst:(home_mem t m.m_addr) ~cls:MC.Persistent
@@ -534,6 +567,8 @@ let check_mshr t node addr ~from =
   | Some m when m.m_addr = addr ->
     if L.is_mem t.layout from then m.m_saw_mem <- true
     else if L.cmp_of t.layout from <> node_cmp node then m.m_saw_remote <- true;
+    if E.tracing t.engine then
+      E.emit t.engine (Obs.Event.Req_response { tid = m.m_tid; node = node.id; src = from });
     if satisfied t node m then complete t node m
   | Some _ | None -> ()
 
@@ -541,10 +576,16 @@ let receive_tokens t node ~addr ~src ~count ~owner ~data ~dirty ~writeback =
   add_inflight t addr (-count);
   if owner then add_inflight_owner t addr (-1);
   let line = if is_mem_node node then mem_line t node addr else alloc_line t node addr in
+  let from_state = if E.tracing t.engine then line_state_name line else "" in
   line.tokens <- line.tokens + count;
   if owner then line.owner <- true;
   if data then line.valid <- true;
   if dirty then line.dirty <- true;
+  if E.tracing t.engine then
+    E.emit t.engine
+      (Obs.Event.Fsm
+         { node = node.id; addr; fsm = "token"; from_state;
+           to_state = line_state_name line });
   if not (is_mem_node node) then Cache.Sarray.touch node.lines addr;
   if
     is_l1_node node && t.policy.Policy.multicast
@@ -625,6 +666,13 @@ let handle_transient_l2 t node ~addr ~requester ~rw ~scope ~force_external ~hint
         (Msg.Transient { addr; requester; rw; scope = `External; force_external; hint = None })
   end;
   E.schedule_in t.engine t.cfg.l2_latency (fun () ->
+      if E.tracing t.engine then
+        E.emit t.engine
+          (Obs.Event.Lookup
+             { node = node.id; level = Obs.Event.L2; addr;
+               hit = (match cache_line node addr with
+                     | Some l -> l.tokens > 0 && l.valid
+                     | None -> false) });
       let meta = get_meta node addr in
       let same_cmp = L.cmp_of t.layout requester = node_cmp node in
       if same_cmp && scope = `Local then begin
@@ -692,6 +740,8 @@ let arb_schedule t node k =
   E.schedule_at t.engine start k
 
 let arb_activate t node addr (proc, l1, rw, rid) =
+  if E.tracing t.engine then
+    E.emit t.engine (Obs.Event.Persistent { node = node.id; proc; addr; action = "arb-grant" });
   let epoch = 1 + (try Hashtbl.find node.arb_epoch_ctr addr with Not_found -> 0) in
   Hashtbl.replace node.arb_epoch_ctr addr epoch;
   Hashtbl.replace node.parb_epoch addr epoch;
@@ -747,6 +797,8 @@ let handle_arb_done t node ~addr ~proc ~rid =
       | _ -> ())
 
 let handle_p_activate t node ~addr ~proc ~l1 ~rw ~seq =
+  if E.tracing t.engine then
+    E.emit t.engine (Obs.Event.Persistent { node = node.id; proc; addr; action = "activate" });
   match t.policy.Policy.activation with
   | Policy.Distributed ->
     if seq > node.peer_seq.(proc) then begin
@@ -852,6 +904,9 @@ let access t ~proc ~kind addr ~commit =
         | Some l, Msg.W -> l.tokens = t.cfg.tokens && l.valid
         | None, _ -> false
       in
+      if E.tracing t.engine then
+        E.emit t.engine
+          (Obs.Event.Lookup { node = node.id; level = Obs.Event.L1; addr; hit });
       if hit then begin
         t.counters.Mcmp.Counters.l1_hits <- t.counters.Mcmp.Counters.l1_hits + 1;
         Cache.Sarray.touch node.lines addr;
@@ -865,12 +920,16 @@ let access t ~proc ~kind addr ~commit =
       else begin
         t.counters.Mcmp.Counters.l1_misses <- t.counters.Mcmp.Counters.l1_misses + 1;
         assert (node.mshr = None);
+        (* The post-increment miss count is unique per transaction within
+           a run, so it doubles as the span-stitching transaction id. *)
+        let tid = t.counters.Mcmp.Counters.l1_misses in
         let m =
           {
             m_addr = addr;
             m_rw = rw;
             m_commit = commit;
             m_issued = now t;
+            m_tid = tid;
             m_retries = 0;
             m_timer = None;
             m_persistent = false;
@@ -881,6 +940,11 @@ let access t ~proc ~kind addr ~commit =
           }
         in
         node.mshr <- Some m;
+        if E.tracing t.engine then
+          E.emit t.engine
+            (Obs.Event.Req_issue
+               { tid; node = node.id; proc; addr;
+                 rw = (match rw with Msg.W -> Obs.Event.W | Msg.R -> Obs.Event.R) });
         issue t node m
       end)
 

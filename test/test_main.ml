@@ -5,6 +5,8 @@ let () =
       ("rng", Test_rng.tests);
       ("engine", Test_engine.tests);
       ("stat", Test_stat.tests);
+      ("json", Test_json.tests);
+      ("obs", Test_obs.tests);
       ("cache", Test_cache.tests);
       ("interconnect", Test_interconnect.tests);
       ("workload", Test_workload.tests);

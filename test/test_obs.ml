@@ -1,0 +1,167 @@
+module J = Tokencmp.Json
+
+let lookup node addr hit =
+  Obs.Event.Lookup { node; level = Obs.Event.L1; addr; hit }
+
+let test_buffer_ring () =
+  let b = Obs.Buffer.create ~capacity:4 () in
+  for i = 0 to 5 do
+    Obs.Buffer.add b ~at:(Sim.Time.ns i) (lookup i i true)
+  done;
+  Alcotest.(check int) "recorded" 6 (Obs.Buffer.recorded b);
+  Alcotest.(check int) "length" 4 (Obs.Buffer.length b);
+  Alcotest.(check int) "dropped" 2 (Obs.Buffer.dropped b);
+  let seen = ref [] in
+  Obs.Buffer.iter b (fun ~at:_ e ->
+      match e with Obs.Event.Lookup { addr; _ } -> seen := addr :: !seen | _ -> ());
+  Alcotest.(check (list int)) "oldest-first window" [ 2; 3; 4; 5 ] (List.rev !seen)
+
+let test_buffer_attach () =
+  let engine = Sim.Engine.create () in
+  Alcotest.(check bool) "tracing off by default" false (Sim.Engine.tracing engine);
+  let b = Obs.Buffer.create ~capacity:8 () in
+  Obs.Buffer.attach b engine;
+  Alcotest.(check bool) "tracing on after attach" true (Sim.Engine.tracing engine);
+  Sim.Engine.schedule_in engine (Sim.Time.ns 5) (fun () ->
+      Sim.Engine.emit engine (lookup 1 0x40 false));
+  Sim.Engine.run engine;
+  match Obs.Buffer.to_list b with
+  | [ { Obs.Buffer.at; ev = Obs.Event.Lookup { addr; _ } } ] ->
+    Alcotest.(check bool) "timestamped at emit" true (at = Sim.Time.ns 5);
+    Alcotest.(check int) "payload" 0x40 addr
+  | _ -> Alcotest.fail "expected exactly the emitted event"
+
+let test_registry () =
+  let r = Obs.Registry.create () in
+  let x = ref 1 in
+  Obs.Registry.register_int r "b.count" (fun () -> !x);
+  Obs.Registry.register_float r "a.ratio" (fun () -> 0.5);
+  let h = Sim.Stat.Histogram.create ~bucket:10 ~buckets:4 in
+  Sim.Stat.Histogram.add h 15;
+  Obs.Registry.register_histogram r "c.hist" h;
+  Alcotest.(check (list string)) "names sorted" [ "a.ratio"; "b.count"; "c.hist" ]
+    (Obs.Registry.names r);
+  Alcotest.check_raises "duplicate name rejected"
+    (Invalid_argument "Obs.Registry: duplicate metric \"b.count\"") (fun () ->
+      Obs.Registry.register_int r "b.count" (fun () -> 0));
+  x := 7;
+  let snap = Obs.Registry.snapshot r in
+  Alcotest.(check bool) "gauge read at snapshot" true
+    (J.member "b.count" snap = Some (J.Int 7));
+  match J.member "c.hist" snap with
+  | Some hist ->
+    Alcotest.(check bool) "histogram count" true (J.member "count" hist = Some (J.Int 1))
+  | None -> Alcotest.fail "histogram missing from snapshot"
+
+let test_span_assembly () =
+  let b = Obs.Buffer.create ~capacity:64 () in
+  let add at ev = Obs.Buffer.add b ~at:(Sim.Time.ns at) ev in
+  add 10
+    (Obs.Event.Req_issue { tid = 1; node = 0; proc = 0; addr = 0x80; rw = Obs.Event.R });
+  add 12 (Obs.Event.Req_issue { tid = 2; node = 1; proc = 1; addr = 0x90; rw = Obs.Event.W });
+  add 40 (Obs.Event.Req_response { tid = 1; node = 0; src = 3 });
+  add 45 (Obs.Event.Req_response { tid = 1; node = 0; src = 5 });
+  add 50
+    (Obs.Event.Req_retire
+       { tid = 1; node = 0; proc = 0; addr = 0x80; rw = Obs.Event.R;
+         fill = Obs.Event.Fill_remote; retries = 0; persistent = false });
+  (* tid 2 never retires: incomplete *)
+  let spans = Obs.Span.assemble b in
+  Alcotest.(check int) "two spans" 2 (List.length spans);
+  let s1 = List.nth spans 0 in
+  Alcotest.(check int) "issue order" 1 s1.Obs.Span.tid;
+  Alcotest.(check (option (float 1e-9))) "request phase = issue..first response"
+    (Some 30.) (Obs.Span.request_ns s1);
+  Alcotest.(check (option (float 1e-9))) "fill phase = first response..retire" (Some 10.)
+    (Obs.Span.fill_ns s1);
+  Alcotest.(check (option (float 1e-9))) "total" (Some 40.) (Obs.Span.total_ns s1);
+  let sum = Obs.Span.summarize spans in
+  Alcotest.(check int) "completed" 1 sum.Obs.Span.spans;
+  Alcotest.(check int) "incomplete" 1 sum.Obs.Span.incomplete;
+  Alcotest.(check (float 1e-9)) "request total" 30. sum.Obs.Span.request_total_ns;
+  Alcotest.(check (float 1e-9)) "fill total" 10. sum.Obs.Span.fill_total_ns
+
+let traced_run ?buffer ?registry () =
+  let config = Mcmp.Config.tiny in
+  let nprocs = Mcmp.Config.nprocs config in
+  let wl = { (Workload.Locking.default ~nlocks:4) with Workload.Locking.acquires = 10 } in
+  Mcmp.Runner.run ~config ?registry ?buffer
+    (Token.Protocol.builder Token.Policy.dst1)
+    ~programs:(Workload.Locking.programs wl ~seed:3 ~nprocs)
+    ~seed:3
+
+let test_tracing_noninvasive () =
+  let plain = traced_run () in
+  let buffer = Obs.Buffer.create ~capacity:1_000_000 () in
+  let registry = Obs.Registry.create () in
+  let traced = traced_run ~buffer ~registry () in
+  Alcotest.(check bool) "events recorded" true (Obs.Buffer.recorded buffer > 0);
+  Alcotest.(check bool) "runtime identical" true
+    (plain.Mcmp.Runner.runtime = traced.Mcmp.Runner.runtime);
+  Alcotest.(check int) "engine events identical" plain.Mcmp.Runner.events
+    traced.Mcmp.Runner.events;
+  Alcotest.(check int) "ops identical" plain.Mcmp.Runner.ops traced.Mcmp.Runner.ops;
+  Alcotest.(check int) "misses identical"
+    plain.Mcmp.Runner.counters.Mcmp.Counters.l1_misses
+    traced.Mcmp.Runner.counters.Mcmp.Counters.l1_misses
+
+let test_reconciliation_and_export () =
+  let buffer = Obs.Buffer.create ~capacity:1_000_000 () in
+  let registry = Obs.Registry.create () in
+  let r = traced_run ~buffer ~registry () in
+  Alcotest.(check int) "no ring wrap" 0 (Obs.Buffer.dropped buffer);
+  let spans = Obs.Span.assemble buffer in
+  let sum = Obs.Span.summarize spans in
+  let w = r.Mcmp.Runner.counters.Mcmp.Counters.miss_latency in
+  Alcotest.(check int) "span per miss" (Sim.Stat.Welford.count w) sum.Obs.Span.spans;
+  let wtotal = float_of_int (Sim.Stat.Welford.count w) *. Sim.Stat.Welford.mean w in
+  Alcotest.(check bool) "latency mass reconciles" true
+    (Float.abs (sum.Obs.Span.total_ns -. wtotal) <= 1e-6 *. Float.max 1. wtotal);
+  (* Registered phase histograms appear in the snapshot. *)
+  Obs.Span.register_phase_histograms registry (Obs.Span.phase_histograms spans);
+  let snap = Obs.Registry.snapshot registry in
+  Alcotest.(check bool) "fabric sampler registered" true
+    (J.member "fabric.port_busy_ns" snap <> None);
+  Alcotest.(check bool) "counters registered" true
+    (J.member "counters.l1_misses" snap = Some (J.Int (Sim.Stat.Welford.count w)));
+  Alcotest.(check bool) "span histograms registered" true
+    (J.member "spans.request_ns" snap <> None);
+  (* Perfetto export validates, and round-trips through the parser. *)
+  let json = Obs.Perfetto.export buffer in
+  (match Obs.Perfetto.validate json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "validate: %s" e);
+  (match J.parse (J.to_string json) with
+  | Ok round -> Alcotest.(check bool) "export round-trips" true (J.equal round json)
+  | Error e -> Alcotest.failf "reparse: %s" e);
+  match J.member "traceEvents" json with
+  | Some (J.List evs) ->
+    Alcotest.(check bool) "has events" true (List.length evs > 0)
+  | _ -> Alcotest.fail "missing traceEvents"
+
+let test_validate_rejects_overlap () =
+  let slice ts dur =
+    J.Obj
+      [ ("name", J.String "x"); ("ph", J.String "X"); ("pid", J.Int 0);
+        ("tid", J.Int 1); ("ts", J.Float ts); ("dur", J.Float dur) ]
+  in
+  let trace slices = J.Obj [ ("traceEvents", J.List slices) ] in
+  (match Obs.Perfetto.validate (trace [ slice 0. 10.; slice 2. 5. ]) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "nested slices should validate: %s" e);
+  match Obs.Perfetto.validate (trace [ slice 0. 10.; slice 5. 10. ]) with
+  | Ok () -> Alcotest.fail "overlapping slices must be rejected"
+  | Error _ -> ()
+
+let tests =
+  [
+    Alcotest.test_case "buffer ring semantics" `Quick test_buffer_ring;
+    Alcotest.test_case "buffer attach and emit" `Quick test_buffer_attach;
+    Alcotest.test_case "registry snapshot" `Quick test_registry;
+    Alcotest.test_case "span assembly" `Quick test_span_assembly;
+    Alcotest.test_case "tracing does not perturb the run" `Quick test_tracing_noninvasive;
+    Alcotest.test_case "spans reconcile with welford; export validates" `Quick
+      test_reconciliation_and_export;
+    Alcotest.test_case "validator rejects overlapping slices" `Quick
+      test_validate_rejects_overlap;
+  ]

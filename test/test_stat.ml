@@ -34,6 +34,51 @@ let test_histogram () =
   Alcotest.(check (array int)) "buckets" [| 2; 1; 1; 0; 1 |] (Sim.Stat.Histogram.bucket_counts h);
   Alcotest.(check int) "median bucket bound" 20 (Sim.Stat.Histogram.percentile h 50.)
 
+let test_percentile_edges () =
+  let h = Sim.Stat.Histogram.create ~bucket:10 ~buckets:5 in
+  Alcotest.(check int) "empty histogram" 0 (Sim.Stat.Histogram.percentile h 50.);
+  (* Leading buckets empty: p=0 must land on the first non-empty
+     bucket, not on bucket 0. *)
+  Sim.Stat.Histogram.add h 25;
+  Alcotest.(check int) "p0 skips empty leading buckets" 30
+    (Sim.Stat.Histogram.percentile h 0.);
+  Alcotest.(check int) "p100 single sample" 30 (Sim.Stat.Histogram.percentile h 100.);
+  Sim.Stat.Histogram.add h 45;
+  Alcotest.(check int) "p0 still first occupied" 30 (Sim.Stat.Histogram.percentile h 0.);
+  Alcotest.(check int) "p100 last occupied" 50 (Sim.Stat.Histogram.percentile h 100.)
+
+let test_welford_merge () =
+  let a = Sim.Stat.Welford.create () and b = Sim.Stat.Welford.create () in
+  let all = Sim.Stat.Welford.create () in
+  let xs = [ 2.; 4.; 4.; 4. ] and ys = [ 5.; 5.; 7.; 9. ] in
+  List.iter (Sim.Stat.Welford.add a) xs;
+  List.iter (Sim.Stat.Welford.add b) ys;
+  List.iter (Sim.Stat.Welford.add all) (xs @ ys);
+  Sim.Stat.Welford.merge ~into:a b;
+  Alcotest.(check int) "merged count" (Sim.Stat.Welford.count all) (Sim.Stat.Welford.count a);
+  Alcotest.(check (float 1e-9)) "merged mean" (Sim.Stat.Welford.mean all)
+    (Sim.Stat.Welford.mean a);
+  Alcotest.(check (float 1e-9)) "merged variance" (Sim.Stat.Welford.variance all)
+    (Sim.Stat.Welford.variance a);
+  (* Merging an empty accumulator changes nothing. *)
+  Sim.Stat.Welford.merge ~into:a (Sim.Stat.Welford.create ());
+  Alcotest.(check (float 1e-9)) "merge empty keeps mean" (Sim.Stat.Welford.mean all)
+    (Sim.Stat.Welford.mean a)
+
+let test_histogram_merge () =
+  let a = Sim.Stat.Histogram.create ~bucket:10 ~buckets:5 in
+  let b = Sim.Stat.Histogram.create ~bucket:10 ~buckets:5 in
+  List.iter (Sim.Stat.Histogram.add a) [ 0; 15 ];
+  List.iter (Sim.Stat.Histogram.add b) [ 5; 25; 999 ];
+  Sim.Stat.Histogram.merge ~into:a b;
+  Alcotest.(check int) "merged count" 5 (Sim.Stat.Histogram.count a);
+  Alcotest.(check (array int)) "merged buckets" [| 2; 1; 1; 0; 1 |]
+    (Sim.Stat.Histogram.bucket_counts a);
+  let mismatched = Sim.Stat.Histogram.create ~bucket:20 ~buckets:5 in
+  Alcotest.check_raises "geometry mismatch"
+    (Invalid_argument "Histogram.merge: mismatched geometry") (fun () ->
+      Sim.Stat.Histogram.merge ~into:a mismatched)
+
 let prop_welford_mean =
   QCheck.Test.make ~name:"welford mean equals arithmetic mean" ~count:200
     QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
@@ -58,6 +103,9 @@ let tests =
     Alcotest.test_case "summary of list" `Quick test_summary;
     Alcotest.test_case "exponential moving average" `Quick test_ema;
     Alcotest.test_case "histogram buckets" `Quick test_histogram;
+    Alcotest.test_case "histogram percentile edges" `Quick test_percentile_edges;
+    Alcotest.test_case "welford merge" `Quick test_welford_merge;
+    Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
     QCheck_alcotest.to_alcotest prop_welford_mean;
     QCheck_alcotest.to_alcotest prop_variance_nonneg;
   ]

@@ -8,6 +8,7 @@
      tab1   the TokenCMP variant table
      ablate design-choice ablations (not in the paper's figures)
      micro  Bechamel micro-benchmarks of the simulator substrate
+     faultrate  recovery-mode cost vs token-drop probability
 
    Run with no arguments for everything, or name the sections:
      dune exec bench/main.exe -- fig2 fig6
@@ -754,6 +755,78 @@ let trace () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Fault-rate sweep (recovery mode)                                    *)
+
+let faultrate () =
+  progress "[faultrate] recovery-mode fault-rate sweep...\n%!";
+  hr "Fault-rate sweep: recovery-mode cost vs token-drop probability";
+  print_endline
+    "Locking micro-benchmark with the recovery stack armed (reliable\n\
+     transport + token recreation). Token-carrying messages are dropped\n\
+     with the given probability; every run must stay violation-free and\n\
+     retire all requests, paying for the faults in retransmissions and\n\
+     (when transport gives out) token recreations.";
+  let probs =
+    if !quick then [ 0.0; 0.01; 0.05 ] else [ 0.0; 0.002; 0.005; 0.01; 0.02; 0.05 ]
+  in
+  let sweep_seeds = if !quick then [ 1; 2 ] else [ 1; 2; 3; 4 ] in
+  let nseeds = float_of_int (List.length sweep_seeds) in
+  let measure prob =
+    let outcomes =
+      List.map
+        (fun seed ->
+          let spec = Fault.Spec.with_drops ~tokens:true ~prob Fault.Spec.none in
+          Fault.Torture.run ~recover:true (Fault.Torture.Token Token.Policy.dst1) ~spec
+            ~seed)
+        sweep_seeds
+    in
+    let clean =
+      List.for_all (fun o -> Fault.Torture.verdict o = Fault.Torture.Clean) outcomes
+    in
+    let sum f = List.fold_left (fun a o -> a + f o) 0 outcomes in
+    let runtime =
+      List.fold_left (fun a o -> a +. Sim.Time.to_ns o.Fault.Torture.runtime) 0. outcomes
+      /. nseeds
+    in
+    let rec_sum f =
+      sum (fun o ->
+          match o.Fault.Torture.recovered with Some rs -> f rs | None -> 0)
+    in
+    ( prob,
+      runtime,
+      sum (fun o -> o.Fault.Torture.retransmits),
+      rec_sum (fun rs -> rs.Token.Protocol.rs_recreations),
+      rec_sum (fun rs -> rs.Token.Protocol.rs_epoch_bumps),
+      clean )
+  in
+  let rows = List.map measure probs in
+  let base =
+    match rows with (_, rt, _, _, _, _) :: _ -> rt | [] -> 1.
+  in
+  Printf.printf "%-10s %12s %9s %12s %12s %12s %s\n" "drop_prob" "runtime_ns" "slowdown"
+    "retransmits" "recreations" "epoch_bumps" "verdict";
+  List.iter
+    (fun (prob, rt, rx, rc, eb, clean) ->
+      Printf.printf "%-10.3f %12.0f %9.2f %12d %12d %12d %s\n" prob rt (rt /. base) rx rc
+        eb
+        (if clean then "clean" else "NOT CLEAN"))
+    rows;
+  J.List
+    (List.map
+       (fun (prob, rt, rx, rc, eb, clean) ->
+         J.Obj
+           [
+             ("drop_prob", J.Float prob);
+             ("runtime_ns", J.Float rt);
+             ("slowdown", J.Float (rt /. base));
+             ("retransmits", J.Int rx);
+             ("recreations", J.Int rc);
+             ("epoch_bumps", J.Int eb);
+             ("clean", J.Bool clean);
+           ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -768,6 +841,7 @@ let sections =
     ("scale", scale);
     ("micro", micro);
     ("trace", trace);
+    ("faultrate", faultrate);
   ]
 
 (* Envelope around each section's payload; BENCH_<section>.json files

@@ -4,6 +4,8 @@
      list            protocols, policies, workload profiles
      run             one simulation (protocol x workload), full statistics
      sweep           locking contention sweep across protocols
+     torture         randomized fault-injection campaigns (--recover for the recovery stack)
+     faultrate       recovery-mode cost vs token-drop probability
      trace           traced simulation: span breakdown + Perfetto export
      check           model-check the substrate and the flat directory *)
 
@@ -240,15 +242,29 @@ let torture_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every run, not only failures.")
   in
-  let run runs seed jobs tiny drop_mode drop_tokens verbose =
+  let recover_arg =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "Arm the recovery stack (reliable transport, token recreation, crash/restart \
+             cycles) on the token targets; the pass criterion becomes surviving the storm \
+             -- zero violations, every request retired -- instead of detecting it.")
+  in
+  let run runs seed jobs tiny drop_mode drop_tokens recover verbose =
     let config = if tiny then Mcmp.Config.tiny else Mcmp.Config.default in
     let jobs = resolve_jobs jobs in
     let drop_mode = drop_mode || drop_tokens in
+    let targets =
+      if recover then Fault.Torture.token_targets else Fault.Torture.default_targets
+    in
     let failures = ref 0 in
     let detected = ref 0 in
-    Printf.printf "torture: %d runs over %d targets, base seed %d%s%s\n%!" runs
-      (List.length Fault.Torture.default_targets)
-      seed
+    let invariant_broken = ref false in
+    let liveness_broken = ref false in
+    Printf.printf "torture: %d runs over %d targets, base seed %d%s%s%s\n%!" runs
+      (List.length targets) seed
+      (if recover then ", recover" else "")
       (if drop_tokens then ", drop-tokens" else if drop_mode then ", drop-mode" else "")
       (if jobs > 1 then Printf.sprintf ", %d jobs" jobs else "");
     let on_outcome i o =
@@ -256,7 +272,16 @@ let torture_cmd =
       (match v with
       | Fault.Torture.Clean -> ()
       | Fault.Torture.Detected -> incr detected
-      | Fault.Torture.Failed _ -> incr failures);
+      | Fault.Torture.Failed _ ->
+        incr failures;
+        (* Classify for the exit code: safety beats liveness. *)
+        if
+          List.exists
+            (fun r ->
+              match r.Fault.Report.kind with Fault.Report.Invariant _ -> true | _ -> false)
+            o.Fault.Torture.reports
+        then invariant_broken := true
+        else liveness_broken := true);
       match v with
       | Fault.Torture.Failed _ ->
         Format.printf "run %3d: @[<v>%a@]@." i Fault.Torture.pp_outcome o;
@@ -272,31 +297,140 @@ let torture_cmd =
         Format.printf "reproduce: tokencmp torture --runs %d --seed %d%s%s%s@." runs seed
           (if tiny then " --tiny" else "")
           (if drop_tokens then " --drop-tokens" else if drop_mode then " --drop-mode" else "")
-          ""
+          (if recover then " --recover" else "")
       | Fault.Torture.Detected when verbose ->
         Format.printf "run %3d: @[<v>%a@]@." i Fault.Torture.pp_outcome o
       | _ ->
         if verbose then Format.printf "run %3d: @[<v>%a@]@." i Fault.Torture.pp_outcome o
     in
     let outcomes =
-      Fault.Torture.campaign ~config ~runs ~jobs ~drop_mode ~drop_tokens
-        ~targets:Fault.Torture.default_targets ~seed ~on_outcome ()
+      Fault.Torture.campaign ~config ~runs ~jobs ~drop_mode ~drop_tokens ~recover ~targets
+        ~seed ~on_outcome ()
     in
     Printf.printf "%d runs: %d clean, %d detected, %d failed\n"
       (List.length outcomes)
       (List.length outcomes - !detected - !failures)
       !detected !failures;
-    if !failures > 0 then exit 1
+    (* Exit codes: 0 = clean/survived, 1 = invariant violation,
+       2 = watchdog/liveness timeout. *)
+    if !invariant_broken then begin
+      print_endline "exit: invariant violation (1)";
+      exit 1
+    end
+    else if !liveness_broken then begin
+      print_endline "exit: watchdog/liveness timeout (2)";
+      exit 2
+    end
+    else print_endline "exit: clean (0)"
   in
   Cmd.v
     (Cmd.info "torture"
        ~doc:
          "Randomized fault-injection campaign: delay spikes, reordering, duplication, node \
           stalls (and optionally drops) against every protocol variant, with a runtime \
-          invariant monitor and liveness watchdog.")
+          invariant monitor and liveness watchdog. With $(b,--recover), the recovery stack \
+          must survive drops and crash/restart cycles outright. Exit codes: 0 clean, 1 \
+          invariant violation, 2 watchdog/liveness timeout.")
     Term.(
       const run $ runs_arg $ seed_arg $ jobs_arg $ tiny_arg $ drop_arg $ drop_tokens_arg
-      $ verbose_arg)
+      $ recover_arg $ verbose_arg)
+
+(* ---- faultrate ---- *)
+
+let faultrate_cmd =
+  let probs_arg =
+    Arg.(
+      value
+      & opt (list float) [ 0.0; 0.002; 0.005; 0.01; 0.02; 0.05 ]
+      & info [ "probs" ] ~docv:"P1,P2"
+          ~doc:"Token-carrying drop probabilities to sweep.")
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Fewer probabilities and seeds.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write the sweep as JSON (same schema as BENCH_faultrate.json data).")
+  in
+  let run probs seeds quick out =
+    let probs = if quick then [ 0.0; 0.01; 0.05 ] else probs in
+    let seeds = if quick then [ 1; 2 ] else seeds in
+    let nseeds = float_of_int (List.length seeds) in
+    Printf.printf "faultrate: recovery-mode sweep, %d seeds per point\n%!"
+      (List.length seeds);
+    Printf.printf "%-10s %12s %9s %12s %12s %s\n" "drop_prob" "runtime_ns" "slowdown"
+      "retransmits" "recreations" "verdict";
+    let base = ref None in
+    let failed = ref false in
+    let rows =
+      List.map
+        (fun prob ->
+          let outcomes =
+            List.map
+              (fun seed ->
+                let spec = Fault.Spec.with_drops ~tokens:true ~prob Fault.Spec.none in
+                Fault.Torture.run ~recover:true (Fault.Torture.Token Token.Policy.dst1)
+                  ~spec ~seed)
+              seeds
+          in
+          let clean =
+            List.for_all (fun o -> Fault.Torture.verdict o = Fault.Torture.Clean) outcomes
+          in
+          if not clean then failed := true;
+          let runtime =
+            List.fold_left
+              (fun a o -> a +. Sim.Time.to_ns o.Fault.Torture.runtime)
+              0. outcomes
+            /. nseeds
+          in
+          let retransmits =
+            List.fold_left (fun a o -> a + o.Fault.Torture.retransmits) 0 outcomes
+          in
+          let recreations =
+            List.fold_left
+              (fun a o ->
+                a
+                + match o.Fault.Torture.recovered with
+                  | Some rs -> rs.Token.Protocol.rs_recreations
+                  | None -> 0)
+              0 outcomes
+          in
+          if !base = None then base := Some runtime;
+          let b = match !base with Some b -> b | None -> runtime in
+          Printf.printf "%-10.3f %12.0f %9.2f %12d %12d %s\n" prob runtime (runtime /. b)
+            retransmits recreations
+            (if clean then "clean" else "NOT CLEAN");
+          (prob, runtime, runtime /. b, retransmits, recreations, clean))
+        probs
+    in
+    (match out with
+    | None -> ()
+    | Some file ->
+      Tcjson.write_file file
+        (Tcjson.List
+           (List.map
+              (fun (prob, rt, slow, rx, rc, clean) ->
+                Tcjson.Obj
+                  [
+                    ("drop_prob", Tcjson.Float prob);
+                    ("runtime_ns", Tcjson.Float rt);
+                    ("slowdown", Tcjson.Float slow);
+                    ("retransmits", Tcjson.Int rx);
+                    ("recreations", Tcjson.Int rc);
+                    ("clean", Tcjson.Bool clean);
+                  ])
+              rows));
+      Printf.printf "wrote %s\n" file);
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "faultrate"
+       ~doc:
+         "Recovery-mode fault-rate sweep: runtime, retransmissions and token recreations \
+          vs token-carrying drop probability. Every point must survive cleanly.")
+    Term.(const run $ probs_arg $ seeds_arg $ quick_arg $ out_arg)
 
 (* ---- trace ---- *)
 
@@ -404,4 +538,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "tokencmp" ~doc)
-          [ list_cmd; run_cmd; sweep_cmd; torture_cmd; trace_cmd; check_cmd ]))
+          [ list_cmd; run_cmd; sweep_cmd; torture_cmd; faultrate_cmd; trace_cmd; check_cmd ]))

@@ -175,12 +175,15 @@ let model_checking ?(max_states = 4_000_000) () =
   let tp = Mc.Token_model.default_params in
   let dp = Mc.Dir_model.default_params in
   let dp3 = { dp with Mc.Dir_model.caches = 3 } in
+  let rp = Mc.Recovery_model.default_params in
   let token_loc = Mc.Dir_model.model_loc `Token in
   let dir_loc = Mc.Dir_model.model_loc `Directory in
+  let rec_loc = Mc.Dir_model.model_loc `Recovery in
   [
     check "TokenCMP-safety" (Mc.Token_model.safety tp) token_loc;
     check "TokenCMP-dst" (Mc.Token_model.distributed tp) token_loc;
     check "TokenCMP-arb" (Mc.Token_model.arbiter tp) token_loc;
+    check "TokenCMP-recovery" (Mc.Recovery_model.model rp) rec_loc;
     check "Flat Directory (2c)" (Mc.Dir_model.flat dp) dir_loc;
     (* one more cache makes the directory's coupled transient states
        blow past the state budget -- the scaling wall of Section 5 *)

@@ -24,18 +24,20 @@ type t = {
   seed : int;
   rng : Sim.Rng.t;
   nodes : int;
+  recovery : bool;  (* token drops are recoverable (recreation heals them) *)
   stalled : (int, Sim.Time.t) Hashtbl.t;  (* node -> stall end *)
   mutable next_roll : Sim.Time.t;
   stats : stats;
   mutable drops : drop_record list;  (* newest first *)
 }
 
-let create ~seed ~nodes spec =
+let create ?(recovery = false) ~seed ~nodes spec =
   {
     spec;
     seed;
     rng = Sim.Rng.create (seed * 2_654_435_761);
     nodes;
+    recovery;
     stalled = Hashtbl.create 8;
     next_roll = Sim.Time.zero;
     stats =
@@ -100,7 +102,14 @@ let decide t ~now ~src ~dst ~cls ~tokens_carried ~label =
     else if (not persistent) && hit t s.Spec.drop_prob then
       if carries_tokens then
         if s.Spec.drop_tokens then begin
-          t.stats.drops_unrecoverable <- t.stats.drops_unrecoverable + 1;
+          (* Under the recovery layer a lost token is healed by
+             recreation, so the drop is recorded as recoverable — the
+             recording is the ONLY thing [recovery] changes; the RNG
+             draw sequence is identical either way, so one (seed, spec)
+             pair fires the exact same fault schedule with recovery on
+             or off. *)
+          if t.recovery then t.stats.drops_recoverable <- t.stats.drops_recoverable + 1
+          else t.stats.drops_unrecoverable <- t.stats.drops_unrecoverable + 1;
           t.drops <-
             {
               dr_time = now;
@@ -108,7 +117,7 @@ let decide t ~now ~src ~dst ~cls ~tokens_carried ~label =
               dr_dst = dst;
               dr_cls = cls;
               dr_label = label ();
-              dr_recoverable = false;
+              dr_recoverable = t.recovery;
             }
             :: t.drops;
           Interconnect.Fabric.Drop

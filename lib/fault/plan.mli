@@ -27,7 +27,13 @@ type stats = {
 
 type t
 
-val create : seed:int -> nodes:int -> Spec.t -> t
+(** [recovery] marks token-carrying drops as recoverable (the recovery
+    layer's token recreation heals them) instead of unrecoverable. It
+    changes bookkeeping only: the plan's RNG stream is drawn
+    identically either way, so the same (seed, spec) pair fires the
+    exact same fault sequence with recovery on or off — recovery
+    randomness can never perturb the fault schedule. *)
+val create : ?recovery:bool -> seed:int -> nodes:int -> Spec.t -> t
 
 val spec : t -> Spec.t
 val seed : t -> int

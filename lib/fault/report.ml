@@ -3,6 +3,12 @@ type kind =
   | Unrecoverable_drop of Plan.drop_record
   | No_progress of { window : Sim.Time.t; mode : [ `Deadlock | `Livelock ] }
   | Starvation of Mcmp.Probe.outstanding
+  | Retransmit_exhausted of {
+      src : int;
+      dst : int;
+      cls : Interconnect.Msg_class.t;
+      attempts : int;
+    }
 
 type t = { at : Sim.Time.t; kind : kind }
 
@@ -12,6 +18,7 @@ let severity r =
   | Unrecoverable_drop _ -> `Expected
   | No_progress _ -> `Fatal
   | Starvation _ -> `Fatal
+  | Retransmit_exhausted _ -> `Fatal
 
 let pp fmt r =
   match r.kind with
@@ -24,6 +31,11 @@ let pp fmt r =
       Sim.Time.pp window
   | Starvation o ->
     Format.fprintf fmt "%a: STARVATION %a" Sim.Time.pp r.at Mcmp.Probe.pp_outstanding o
+  | Retransmit_exhausted { src; dst; cls; attempts } ->
+    Format.fprintf fmt "%a: RETRANSMIT-EXHAUSTED %d->%d [%s] after %d attempts" Sim.Time.pp
+      r.at src dst
+      (Interconnect.Msg_class.to_string cls)
+      attempts
 
 let to_string r = Format.asprintf "%a" pp r
 
@@ -34,6 +46,7 @@ let kind_name r =
   | No_progress { mode = `Deadlock; _ } -> "deadlock"
   | No_progress { mode = `Livelock; _ } -> "livelock"
   | Starvation _ -> "starvation"
+  | Retransmit_exhausted _ -> "retransmit-exhausted"
 
 let to_json r =
   let module J = Tcjson in
@@ -47,6 +60,8 @@ let to_json r =
   let extra =
     match r.kind with
     | No_progress { window; _ } -> [ ("window_ns", J.Float (Sim.Time.to_ns window)) ]
+    | Retransmit_exhausted { src; dst; attempts; _ } ->
+      [ ("src", J.Int src); ("dst", J.Int dst); ("attempts", J.Int attempts) ]
     | _ -> []
   in
   J.Obj (base @ extra)

@@ -13,6 +13,15 @@ type kind =
   | Starvation of Mcmp.Probe.outstanding
       (** one request outstanding beyond the starvation bound while the
           rest of the system makes progress *)
+  | Retransmit_exhausted of {
+      src : int;
+      dst : int;
+      cls : Interconnect.Msg_class.t;
+      attempts : int;
+    }
+      (** reliable transport gave up on a link after its retransmit cap
+          — the network is lossier than the recovery layer was
+          provisioned for *)
 
 type t = { at : Sim.Time.t; kind : kind }
 

@@ -12,6 +12,8 @@ type t = {
   drop_prob : float;
   drop_tokens : bool;
   duplicate_tokens : bool;
+  crashes : int;
+  crash_down : Sim.Time.t;
 }
 
 let none =
@@ -29,6 +31,8 @@ let none =
     drop_prob = 0.;
     drop_tokens = false;
     duplicate_tokens = false;
+    crashes = 0;
+    crash_down = Sim.Time.ns 10_000;
   }
 
 let default =
@@ -62,10 +66,15 @@ let random rng =
     drop_prob = 0.;
     drop_tokens = false;
     duplicate_tokens = false;
+    crashes = 0;
+    crash_down = Sim.Time.ns 10_000;
   }
 
 let with_drops ?(tokens = false) ~prob t =
   { t with drop_prob = prob; drop_tokens = tokens }
+
+let with_crashes ?(down = Sim.Time.ns 10_000) ~count t =
+  { t with crashes = count; crash_down = down }
 
 let delay_only t =
   { t with dup_prob = 0.; drop_prob = 0.; drop_tokens = false; duplicate_tokens = false }
@@ -78,4 +87,6 @@ let pp fmt t =
     Sim.Time.pp t.reorder_max (pct t.dup_prob) (pct t.stall_prob) t.stall_nodes Sim.Time.pp
     t.stall_len Sim.Time.pp t.stall_period (pct t.drop_prob)
     (if t.drop_tokens then " +drop-tokens" else "")
-    (if t.duplicate_tokens then " +dup-tokens" else "")
+    (if t.duplicate_tokens then " +dup-tokens" else "");
+  if t.crashes > 0 then
+    Format.fprintf fmt " crashes=%dx[%a down]" t.crashes Sim.Time.pp t.crash_down

@@ -21,7 +21,14 @@
       copy. The protocol must survive via timeout -> reissue ->
       persistent request. With [drop_tokens] the plan may also destroy
       token-carrying messages; that is unrecoverable by design and must
-      be {e detected} (reported), never silently absorbed.
+      be {e detected} (reported), never silently absorbed — unless the
+      run opts into the recovery layer, whose token recreation turns
+      token loss into a survivable (bounded-slowdown) fault;
+    - {b crash/restart} (opt-in, recovery runs only): [crashes] cache
+      nodes are power-cycled over the run, each losing all volatile
+      state and coming back after [crash_down]. The torture harness
+      schedules them from its own RNG stream so the message-level fault
+      sequence is untouched.
 
     Persistent-request messages are never dropped or duplicated: token
     coherence's liveness layer assumes a lossless network, and the
@@ -41,6 +48,8 @@ type t = {
   drop_prob : float;
   drop_tokens : bool;  (** corruption mode: drop token-carrying messages *)
   duplicate_tokens : bool;  (** corruption mode: duplicate token-carrying messages *)
+  crashes : int;  (** cache crash/restart cycles over the run (0 = none) *)
+  crash_down : Sim.Time.t;  (** downtime between a crash and its restart *)
 }
 
 val none : t
@@ -55,6 +64,10 @@ val random : Sim.Rng.t -> t
 (** Enable drop mode at probability [prob]; [tokens] additionally
     allows (unrecoverable, detected) token-carrying drops. *)
 val with_drops : ?tokens:bool -> prob:float -> t -> t
+
+(** Schedule [count] cache crash/restart cycles, each [down] long
+    (default 10 us). Only meaningful for recovery-mode torture runs. *)
+val with_crashes : ?down:Sim.Time.t -> count:int -> t -> t
 
 (** Restrict to delay/reorder/stall faults — what DirectoryCMP can
     survive, since it has no timeout-driven retry path. *)

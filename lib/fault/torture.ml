@@ -20,13 +20,27 @@ type outcome = {
   ops : int;
   runtime : Sim.Time.t;
   events : int;
+  recovered : Token.Protocol.recovery_stats option;
+  retransmits : int;
+}
+
+(* Per-target control surface beyond the protocol handle. *)
+type ctl = {
+  c_crash : int -> unit;
+  c_restart : int -> unit;
+  c_recovery : unit -> Token.Protocol.recovery_stats option;
+  c_retransmits : unit -> int;
 }
 
 let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
     ?(trace_capacity = 512) ?(monitor_interval = Sim.Time.ns 500)
     ?(watchdog_interval = Sim.Time.ns 20_000) ?(no_progress_windows = 5)
-    ?(starvation_bound = Sim.Time.ns 200_000) ?(max_events = 20_000_000) target ~spec
-    ~seed =
+    ?(starvation_bound = Sim.Time.ns 200_000) ?(max_events = 20_000_000)
+    ?(recover = false) ?watchdog_margin target ~spec ~seed =
+  (match target with
+  | Directory _ when recover ->
+    invalid_arg "Torture.run: recovery mode is a token-protocol feature"
+  | _ -> ());
   let engine = E.create () in
   let buf = Obs.Buffer.create ~capacity:trace_capacity () in
   Obs.Buffer.attach buf engine;
@@ -38,20 +52,62 @@ let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
   Mcmp.Counters.register registry counters;
   Interconnect.Traffic.register registry traffic;
   let layout = Mcmp.Config.layout config in
-  let plan = Plan.create ~seed ~nodes:(Interconnect.Layout.node_count layout) spec in
-  let handle, probe, dump_state =
+  let plan =
+    Plan.create ~recovery:recover ~seed ~nodes:(Interconnect.Layout.node_count layout) spec
+  in
+  let reports = ref [] in
+  let report r =
+    reports := r :: !reports;
+    (* First genuine failure established: stop so the trace tail stays
+       focused on it (expected reports let the run play out). *)
+    match Report.severity r with `Fatal -> E.stop engine | `Expected -> ()
+  in
+  let handle, probe, dump_state, ctl =
     match target with
     | Token policy ->
-      let i = Token.Protocol.create_instrumented policy engine config traffic rng counters in
+      let recovery = if recover then Some Token.Recovery.default else None in
+      let i =
+        Token.Protocol.create_instrumented ?recovery policy engine config traffic rng
+          counters
+      in
       F.set_fault_injector i.Token.Protocol.i_fabric (Plan.token_injector plan);
-      (i.Token.Protocol.i_handle, i.Token.Protocol.i_probe, i.Token.Protocol.i_dump)
+      if recover then begin
+        (* Reliable transport draws its retransmit jitter from its own
+           split stream; the plan's schedule is untouched. *)
+        F.enable_reliability i.Token.Protocol.i_fabric (Sim.Rng.split rng);
+        F.set_give_up_handler i.Token.Protocol.i_fabric (fun ~src ~dst ~cls _msg ->
+            report
+              {
+                Report.at = E.now engine;
+                kind =
+                  Report.Retransmit_exhausted
+                    { src; dst; cls; attempts = F.default_reliability.F.max_retrans };
+              })
+      end;
+      ( i.Token.Protocol.i_handle,
+        i.Token.Protocol.i_probe,
+        i.Token.Protocol.i_dump,
+        {
+          c_crash = i.Token.Protocol.i_crash;
+          c_restart = i.Token.Protocol.i_restart;
+          c_recovery = (fun () -> if recover then Some (i.Token.Protocol.i_recovery ()) else None);
+          c_retransmits = (fun () -> F.retransmits i.Token.Protocol.i_fabric);
+        } )
     | Directory { dram_directory } ->
       let i =
         Directory.Protocol.create_instrumented ~dram_directory () engine config traffic rng
           counters
       in
       F.set_fault_injector i.Directory.Protocol.i_fabric (Plan.directory_injector plan);
-      (i.Directory.Protocol.i_handle, i.Directory.Protocol.i_probe, i.Directory.Protocol.i_dump)
+      ( i.Directory.Protocol.i_handle,
+        i.Directory.Protocol.i_probe,
+        i.Directory.Protocol.i_dump,
+        {
+          c_crash = (fun _ -> ());
+          c_restart = (fun _ -> ());
+          c_recovery = (fun () -> None);
+          c_retransmits = (fun () -> 0);
+        } )
   in
   let values = Mcmp.Values.create () in
   let nprocs = Mcmp.Config.nprocs config in
@@ -71,19 +127,34 @@ let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
         Mcmp.Core.create engine values handle counters ~proc ~program:(programs ~proc)
           ~on_done)
   in
-  let reports = ref [] in
-  let report r =
-    reports := r :: !reports;
-    (* First genuine failure established: stop so the trace tail stays
-       focused on it (expected reports let the run play out). *)
-    match Report.severity r with `Fatal -> E.stop engine | `Expected -> ()
-  in
   let running () = !remaining > 0 in
+  (* Crash/restart campaign: scheduled from a dedicated rng stream (not
+     the plan's, not the protocol's) so neither the message-level fault
+     sequence nor protocol randomness shifts when crashes are added. *)
+  if recover && spec.Spec.crashes > 0 then begin
+    let crng = Sim.Rng.create ((seed * 69_069) + 12_345) in
+    let caches = Interconnect.Layout.all_caches layout in
+    let ncaches = List.length caches in
+    for k = 0 to spec.Spec.crashes - 1 do
+      let victim = List.nth caches (Sim.Rng.int crng ncaches) in
+      (* Early enough to land inside the locking run (a few to a few
+         tens of us); later crashes hit the recovery-extended tail and
+         are skipped if the run already finished. *)
+      let at = Sim.Time.ns (2_000 + (k * 12_000) + Sim.Rng.int crng 8_000) in
+      E.schedule_at engine at (fun () -> if running () then ctl.c_crash victim);
+      E.schedule_at engine
+        (at + spec.Spec.crash_down)
+        (fun () -> ctl.c_restart victim)
+    done
+  end;
+  let margin =
+    match watchdog_margin with Some m -> m | None -> if recover then 2.5 else 1.0
+  in
   let mon =
     Monitor.attach engine ~probe ~plan ~interval:monitor_interval ~running ~report
   in
   let _wd =
-    Watchdog.attach engine ~probe ~counters ~interval:watchdog_interval
+    Watchdog.attach ~margin engine ~probe ~counters ~interval:watchdog_interval
       ~no_progress_windows ~starvation_bound ~running ~report
       ~on_stall:(fun () -> E.stop engine)
   in
@@ -114,6 +185,8 @@ let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
     ops = List.fold_left (fun acc c -> acc + Mcmp.Core.ops_committed c) 0 cores;
     runtime = (if completed then !finish_time else E.now engine);
     events = E.events_processed engine;
+    recovered = ctl.c_recovery ();
+    retransmits = ctl.c_retransmits ();
   }
 
 type verdict = Clean | Detected | Failed of string
@@ -146,19 +219,32 @@ let pp_verdict fmt = function
 let pp_outcome fmt o =
   Format.fprintf fmt "%-22s seed=%-6d %a  ops=%d runtime=%a events=%d [%a]@,  plan: %a"
     (target_name o.target) o.seed pp_verdict (verdict o) o.ops Sim.Time.pp o.runtime
-    o.events Plan.pp_stats o.stats Spec.pp o.spec
+    o.events Plan.pp_stats o.stats Spec.pp o.spec;
+  match o.recovered with
+  | Some rs ->
+    Format.fprintf fmt "@,  recovery: recreations=%d epoch-bumps=%d stale-discards=%d crashes=%d retransmits=%d"
+      rs.Token.Protocol.rs_recreations rs.Token.Protocol.rs_epoch_bumps
+      rs.Token.Protocol.rs_stale_discards rs.Token.Protocol.rs_crashes o.retransmits
+  | None -> ()
 
-(* Per-run spec derivation must not depend on list evaluation order. *)
-let spec_for rng ~drop_mode ~drop_tokens target =
+(* Per-run spec derivation must not depend on list evaluation order.
+   Recovery-mode post-processing (drops + crashes) draws no randomness,
+   so the serial spec stream is identical with and without it. *)
+let spec_for rng ~drop_mode ~drop_tokens ~recover target =
   let spec = Spec.random rng in
   match target with
   | Directory _ -> Spec.delay_only spec
   | Token _ ->
-    if drop_mode then Spec.with_drops ~tokens:drop_tokens ~prob:0.01 spec else spec
+    if recover then
+      Spec.with_crashes ~count:2 (Spec.with_drops ~tokens:true ~prob:0.01 spec)
+    else if drop_mode then Spec.with_drops ~tokens:drop_tokens ~prob:0.01 spec
+    else spec
 
 let campaign ?config ?(runs = 100) ?(jobs = 1) ?(drop_mode = false) ?(drop_tokens = false)
-    ~targets ~seed ?on_outcome () =
+    ?(recover = false) ~targets ~seed ?on_outcome () =
   if targets = [] then invalid_arg "Torture.campaign: no targets";
+  if recover && List.exists (function Directory _ -> true | Token _ -> false) targets then
+    invalid_arg "Torture.campaign: recovery campaigns take token targets only";
   let rng = Sim.Rng.create ((seed * 31) + 17) in
   let ntargets = List.length targets in
   (* Spec derivation consumes the campaign rng in run order and stays
@@ -168,13 +254,13 @@ let campaign ?config ?(runs = 100) ?(jobs = 1) ?(drop_mode = false) ?(drop_token
   let tasks =
     List.init runs (fun i ->
         let target = List.nth targets (i mod ntargets) in
-        let spec = spec_for rng ~drop_mode ~drop_tokens target in
+        let spec = spec_for rng ~drop_mode ~drop_tokens ~recover target in
         (i, target, spec))
   in
   if jobs <= 1 then
     List.map
       (fun (i, target, spec) ->
-        let o = run ?config target ~spec ~seed:(seed + i) in
+        let o = run ?config ~recover target ~spec ~seed:(seed + i) in
         (match on_outcome with Some f -> f i o | None -> ());
         o)
       tasks
@@ -183,7 +269,7 @@ let campaign ?config ?(runs = 100) ?(jobs = 1) ?(drop_mode = false) ?(drop_token
       Par.Pool.map ~jobs
         ~label:(fun _ (i, target, _) ->
           Printf.sprintf "torture run %d: %s seed=%d" i (target_name target) (seed + i))
-        (fun (i, target, spec) -> run ?config target ~spec ~seed:(seed + i))
+        (fun (i, target, spec) -> run ?config ~recover target ~spec ~seed:(seed + i))
         tasks
     in
     (match on_outcome with Some f -> List.iteri f outcomes | None -> ());
@@ -196,3 +282,6 @@ let default_targets =
   :: Token Token.Policy.dst1_filt :: Token Token.Policy.dst1_flat
   :: Token Token.Policy.dst1_mcast
   :: [ Directory { dram_directory = true }; Directory { dram_directory = false } ]
+
+let token_targets =
+  List.filter (function Token _ -> true | Directory _ -> false) default_targets

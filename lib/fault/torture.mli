@@ -15,6 +15,10 @@ val target_name : target -> string
 (** All eight token policy variants plus both directory configurations. *)
 val default_targets : target list
 
+(** The token subset of {!default_targets} — what recovery campaigns
+    run against (the directory protocol has no recovery layer). *)
+val token_targets : target list
+
 type outcome = {
   seed : int;
   spec : Spec.t;
@@ -30,8 +34,24 @@ type outcome = {
   ops : int;
   runtime : Sim.Time.t;
   events : int;
+  recovered : Token.Protocol.recovery_stats option;
+      (** recovery-layer activity; [Some] only for recovery-mode runs *)
+  retransmits : int;  (** reliable-transport retransmissions (recovery mode) *)
 }
 
+(** [recover] (token targets only; [Invalid_argument] on directory
+    targets) arms the full recovery stack: the protocol's token
+    recreation ({!Token.Recovery.default} timescales), reliable
+    transport on the fabric, crash/restart cycles per the spec's
+    [crashes] field (scheduled from a dedicated rng stream so the
+    message-level fault schedule is unchanged), and a widened watchdog.
+    The fault plan then records token-carrying drops as {e recoverable}
+    — the pass criterion flips from "detect the loss" to "survive it:
+    zero violations, every request retires, slowdown bounded".
+
+    [watchdog_margin] overrides the {!Watchdog.attach} margin; the
+    default (2.5 in recovery mode, 1.0 otherwise) keeps the scaled
+    starvation bound above {!Token.Recovery.worst_case_latency}. *)
 val run :
   ?config:Mcmp.Config.t ->
   ?nlocks:int ->
@@ -42,6 +62,8 @@ val run :
   ?no_progress_windows:int ->
   ?starvation_bound:Sim.Time.t ->
   ?max_events:int ->
+  ?recover:bool ->
+  ?watchdog_margin:float ->
   target ->
   spec:Spec.t ->
   seed:int ->
@@ -75,13 +97,19 @@ val pp_outcome : Format.formatter -> outcome -> unit
     run re-seeds its own simulation from [(seed + i, spec)], so the
     outcome list is bit-identical for every [jobs] value; with
     [jobs > 1], [on_outcome] fires after the campaign, still in run
-    order. *)
+    order.
+
+    [recover] runs every task in recovery mode ([Invalid_argument] if
+    [targets] includes a directory protocol): specs gain token-carrying
+    drops plus two crash/restart cycles, and a clean verdict means the
+    storm was {e survived} rather than detected. *)
 val campaign :
   ?config:Mcmp.Config.t ->
   ?runs:int ->
   ?jobs:int ->
   ?drop_mode:bool ->
   ?drop_tokens:bool ->
+  ?recover:bool ->
   targets:target list ->
   seed:int ->
   ?on_outcome:(int -> outcome -> unit) ->

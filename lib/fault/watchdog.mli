@@ -15,11 +15,19 @@
     [starvation_bound] is reported once, even while the rest of the
     system makes progress. The bound must comfortably exceed the
     injected worst case (delay spikes + persistent-request latency), or
-    healthy runs will false-positive. *)
+    healthy runs will false-positive.
+
+    [margin] (default 1.0, must be >= 1.0) uniformly widens both
+    criteria: the starvation bound and the stalled-window count are
+    scaled by it at attach time. Recovery-mode torture runs pass a
+    margin so that a legitimate token recreation — bounded by
+    {!Token.Recovery.worst_case_latency} — is never misreported as
+    livelock or starvation. *)
 
 type t
 
 val attach :
+  ?margin:float ->
   Sim.Engine.t ->
   probe:Mcmp.Probe.t ->
   counters:Mcmp.Counters.t ->

@@ -26,6 +26,34 @@ type fault_action =
 type 'msg injector =
   now:Sim.Time.t -> src:int -> dst:int -> cls:Msg_class.t -> 'msg -> fault_action
 
+type reliability_params = {
+  retrans_timeout : Sim.Time.t;
+  retrans_backoff : int;
+  max_retrans : int;
+  retrans_jitter : Sim.Time.t;
+}
+
+let default_reliability =
+  {
+    retrans_timeout = Sim.Time.ns 300;
+    retrans_backoff = 2;
+    max_retrans = 10;
+    retrans_jitter = Sim.Time.ns 50;
+  }
+
+(* Reliable-delivery state. Sequence numbers are per ordered (src, dst)
+   pair; the rng is a dedicated stream so backoff jitter never perturbs
+   the fault plan's or the fabric's own draws. *)
+type 'msg rel = {
+  rp : reliability_params;
+  r_rng : Sim.Rng.t;
+  r_seq : (int * int, int) Hashtbl.t;
+  mutable r_retransmits : int;
+  mutable r_absorbed : int;
+  mutable r_exhausted : int;
+  mutable r_give_up : (src:int -> dst:int -> cls:Msg_class.t -> 'msg -> unit) option;
+}
+
 type 'msg t = {
   engine : Sim.Engine.t;
   layout : Layout.t;
@@ -41,6 +69,7 @@ type 'msg t = {
   mutable msg_label : 'msg -> string;
   mutable port_busy_total : Sim.Time.t; (* serialization time ever claimed on ports *)
   mutable link_busy_total : Sim.Time.t; (* ... on inter-site links *)
+  mutable rel : 'msg rel option;
 }
 
 let register ?(prefix = "fabric.") registry t =
@@ -86,6 +115,7 @@ let create engine layout params traffic rng =
       msg_label = (fun _ -> "");
       port_busy_total = Sim.Time.zero;
       link_busy_total = Sim.Time.zero;
+      rel = None;
     }
   in
   (* Self-register occupancy/utilization samplers when the engine
@@ -145,6 +175,63 @@ let schedule_delivery t ~src ~cls time dst msg =
              { src; dst; cls = Msg_class.to_string cls; label = t.msg_label msg });
       t.handler ~dst msg)
 
+(* Reliable delivery: each copy becomes a sequenced frame the sender
+   keeps until it is known delivered. A [Drop] verdict is survived by
+   re-offering the frame to the injector after an ack-timeout with
+   exponential backoff, up to [max_retrans] attempts; a [Duplicate]
+   verdict is absorbed by the receiver's per-link sequence filter. The
+   simulation collapses the ack round-trip into the timeout schedule:
+   attempt [n] fires [retrans_timeout * backoff^(n-1)] after the
+   previous attempt's expected arrival. *)
+let next_seq rel ~src ~dst =
+  let k = (src, dst) in
+  let n = try Hashtbl.find rel.r_seq k with Not_found -> 0 in
+  Hashtbl.replace rel.r_seq k (n + 1);
+  n
+
+let rel_backoff rel ~attempt =
+  let rec pow acc n = if n <= 0 then acc else pow (acc * rel.rp.retrans_backoff) (n - 1) in
+  let jitter =
+    if rel.rp.retrans_jitter = 0 then 0
+    else Sim.Rng.int rel.r_rng (rel.rp.retrans_jitter + 1)
+  in
+  (rel.rp.retrans_timeout * pow 1 (attempt - 1)) + jitter
+
+let rec rel_attempt t rel inject ~src ~dst ~cls ~seq ~flight ~attempt time msg =
+  match inject ~now:(Sim.Engine.now t.engine) ~src ~dst ~cls msg with
+  | Pass -> schedule_delivery t ~src ~cls time dst msg
+  | Delay extra ->
+    fault t ~src ~dst ~cls "delay";
+    schedule_delivery t ~src ~cls (time + extra) dst msg
+  | Duplicate _ ->
+    fault t ~src ~dst ~cls "duplicate";
+    rel.r_absorbed <- rel.r_absorbed + 1;
+    if Sim.Engine.tracing t.engine then
+      Sim.Engine.emit t.engine
+        (Obs.Event.Dup_absorbed { src; dst; cls = Msg_class.to_string cls });
+    schedule_delivery t ~src ~cls time dst msg
+  | Drop ->
+    t.dropped <- t.dropped + 1;
+    fault t ~src ~dst ~cls "drop";
+    if attempt > rel.rp.max_retrans then begin
+      rel.r_exhausted <- rel.r_exhausted + 1;
+      if Sim.Engine.tracing t.engine then
+        Sim.Engine.emit t.engine
+          (Obs.Event.Retransmit_exhausted
+             { src; dst; cls = Msg_class.to_string cls; attempts = attempt });
+      match rel.r_give_up with Some f -> f ~src ~dst ~cls msg | None -> ()
+    end
+    else begin
+      rel.r_retransmits <- rel.r_retransmits + 1;
+      if Sim.Engine.tracing t.engine then
+        Sim.Engine.emit t.engine
+          (Obs.Event.Retransmit { src; dst; cls = Msg_class.to_string cls; attempt });
+      let wait = rel_backoff rel ~attempt in
+      Sim.Engine.schedule_at t.engine (time + wait) (fun () ->
+          rel_attempt t rel inject ~src ~dst ~cls ~seq ~flight ~attempt:(attempt + 1)
+            (Sim.Engine.now t.engine + flight) msg)
+    end
+
 (* Injection point: every copy of every message passes through here
    once its fault-free arrival time is known. A fault plan may delay,
    drop or duplicate the copy; faults are emitted as structured events
@@ -157,18 +244,56 @@ let deliver_at t ~src ~cls ~bytes time dst msg =
   match t.injector with
   | None -> schedule_delivery t ~src ~cls time dst msg
   | Some inject -> (
-    match inject ~now:(Sim.Engine.now t.engine) ~src ~dst ~cls msg with
-    | Pass -> schedule_delivery t ~src ~cls time dst msg
-    | Delay extra ->
-      fault t ~src ~dst ~cls "delay";
-      schedule_delivery t ~src ~cls (time + extra) dst msg
-    | Drop ->
-      t.dropped <- t.dropped + 1;
-      fault t ~src ~dst ~cls "drop"
-    | Duplicate extra ->
-      fault t ~src ~dst ~cls "duplicate";
-      schedule_delivery t ~src ~cls time dst msg;
-      schedule_delivery t ~src ~cls (time + extra) dst msg)
+    match t.rel with
+    | Some rel ->
+      let seq = next_seq rel ~src ~dst in
+      let flight = max 0 (time - Sim.Engine.now t.engine) in
+      rel_attempt t rel inject ~src ~dst ~cls ~seq ~flight ~attempt:1 time msg
+    | None -> (
+      match inject ~now:(Sim.Engine.now t.engine) ~src ~dst ~cls msg with
+      | Pass -> schedule_delivery t ~src ~cls time dst msg
+      | Delay extra ->
+        fault t ~src ~dst ~cls "delay";
+        schedule_delivery t ~src ~cls (time + extra) dst msg
+      | Drop ->
+        t.dropped <- t.dropped + 1;
+        fault t ~src ~dst ~cls "drop"
+      | Duplicate extra ->
+        fault t ~src ~dst ~cls "duplicate";
+        schedule_delivery t ~src ~cls time dst msg;
+        schedule_delivery t ~src ~cls (time + extra) dst msg))
+
+let enable_reliability ?(params = default_reliability) t rng =
+  let rel =
+    {
+      rp = params;
+      r_rng = rng;
+      r_seq = Hashtbl.create 64;
+      r_retransmits = 0;
+      r_absorbed = 0;
+      r_exhausted = 0;
+      r_give_up = None;
+    }
+  in
+  t.rel <- Some rel;
+  match Obs.Registry.of_engine t.engine with
+  | Some registry ->
+    let module R = Obs.Registry in
+    R.register_int registry "fabric.retransmits" (fun () -> rel.r_retransmits);
+    R.register_int registry "fabric.dups_absorbed" (fun () -> rel.r_absorbed);
+    R.register_int registry "fabric.retrans_exhausted" (fun () -> rel.r_exhausted)
+  | None -> ()
+
+let reliable t = t.rel <> None
+
+let set_give_up_handler t f =
+  match t.rel with
+  | Some rel -> rel.r_give_up <- Some f
+  | None -> invalid_arg "Fabric.set_give_up_handler: reliability not enabled"
+
+let retransmits t = match t.rel with Some r -> r.r_retransmits | None -> 0
+let absorbed_duplicates t = match t.rel with Some r -> r.r_absorbed | None -> 0
+let retrans_exhausted t = match t.rel with Some r -> r.r_exhausted | None -> 0
 
 let send t ~src ~dsts ~cls ~bytes msg =
   let p = t.params in

@@ -65,6 +65,46 @@ val set_fault_injector : 'msg t -> 'msg injector -> unit
 
 val clear_fault_injector : 'msg t -> unit
 
+(** Opt-in reliable-delivery mode: per ordered (src, dst) link sequence
+    numbers with ack-timeout retransmission.
+
+    With reliability enabled, an injector's [Drop] verdict is survived:
+    the frame is re-offered to the injector after [retrans_timeout]
+    scaled by [retrans_backoff]^(attempt-1) (plus uniform
+    [retrans_jitter], drawn from a dedicated rng stream so recovery
+    randomness cannot perturb a fault plan's schedule), up to
+    [max_retrans] attempts. A [Duplicate] verdict is absorbed by the
+    receiver's sequence filter instead of delivering twice. *)
+type reliability_params = {
+  retrans_timeout : Sim.Time.t;  (** base ack timeout before the first retransmit *)
+  retrans_backoff : int;  (** exponential multiplier per attempt *)
+  max_retrans : int;  (** attempts before giving up *)
+  retrans_jitter : Sim.Time.t;  (** max uniform extra wait per attempt *)
+}
+
+val default_reliability : reliability_params
+
+(** [enable_reliability t rng] switches the fabric into reliable mode.
+    [rng] should be a stream split off for this purpose. Registers
+    [fabric.retransmits] / [fabric.dups_absorbed] /
+    [fabric.retrans_exhausted] samplers when the engine carries a
+    metrics registry. No effect on fault-free traffic: frames that pass
+    the injector unharmed are delivered exactly as without reliability,
+    and no randomness is drawn. *)
+val enable_reliability : ?params:reliability_params -> 'msg t -> Sim.Rng.t -> unit
+
+val reliable : 'msg t -> bool
+
+(** Called when a frame exhausts its retransmit budget (after the
+    structured {!Obs.Event.Retransmit_exhausted} event is emitted).
+    @raise Invalid_argument if reliability is not enabled. *)
+val set_give_up_handler :
+  'msg t -> (src:int -> dst:int -> cls:Msg_class.t -> 'msg -> unit) -> unit
+
+val retransmits : 'msg t -> int
+val absorbed_duplicates : 'msg t -> int
+val retrans_exhausted : 'msg t -> int
+
 (** Label messages in trace events (defaults to the empty string; the
     message class always accompanies it). *)
 val set_msg_label : 'msg t -> ('msg -> string) -> unit

@@ -577,13 +577,14 @@ let flat p : (module Explore.MODEL) =
         s.net
   end)
 
-let fallback_loc = function `Token -> 330 | `Directory -> 390
+let fallback_loc = function `Token -> 330 | `Directory -> 390 | `Recovery -> 280
 
 let model_loc which =
   let file =
     match which with
     | `Token -> "lib/mc/token_model.ml"
     | `Directory -> "lib/mc/dir_model.ml"
+    | `Recovery -> "lib/mc/recovery_model.ml"
   in
   let count path =
     let ic = open_in path in

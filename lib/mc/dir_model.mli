@@ -22,4 +22,4 @@ val flat : params -> (module Explore.MODEL)
 
 (** Non-comment source lines of the given model implementations, the
     rough complexity metric the paper reports for its TLA+ specs. *)
-val model_loc : [ `Token | `Directory ] -> int
+val model_loc : [ `Token | `Directory | `Recovery ] -> int

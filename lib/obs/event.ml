@@ -49,6 +49,28 @@ type Sim.Engine.event +=
   | Dir_indirection of { node : int; addr : int; write : bool }
       (** The home directory had to forward to a remote owner — the
           3-hop transactions the paper's broadcast avoids. *)
+  | Retransmit of { src : int; dst : int; cls : string; attempt : int }
+      (** Reliable-delivery mode: a dropped copy was rescheduled. *)
+  | Retransmit_exhausted of { src : int; dst : int; cls : string; attempts : int }
+      (** Reliable-delivery mode: the retransmit cap was reached and the
+          copy abandoned. *)
+  | Dup_absorbed of { src : int; dst : int; cls : string }
+      (** Reliable-delivery mode: receiver-side sequence filtering
+          discarded a duplicated copy. *)
+  | Epoch_bump of { node : int; addr : int; epoch : int }
+      (** Token recreation: [node] raised its known epoch for [addr],
+          invalidating everything it held under the old epoch. *)
+  | Token_recreated of { addr : int; epoch : int; tokens : int }
+      (** Token recreation: the home controller minted a fresh token set
+          under [epoch]. *)
+  | Stale_discard of { node : int; addr : int; epoch : int }
+      (** A message stamped with a superseded epoch arrived and was
+          discarded on receipt. *)
+  | Node_crash of { node : int }
+      (** The cache lost all state; tokens it held are destroyed. *)
+  | Node_restart of { node : int }
+      (** The crashed cache rejoined empty and re-issued its pending
+          request. *)
 
 let describe at ev =
   let ns = Sim.Time.to_ns at in
@@ -90,6 +112,20 @@ let describe at ev =
   | Dir_indirection e ->
     Some (p "%.1fns dir-indirection node=%d addr=%#x %s" ns e.node e.addr
             (if e.write then "W" else "R"))
+  | Retransmit e ->
+    Some (p "%.1fns retransmit %d->%d [%s] attempt=%d" ns e.src e.dst e.cls e.attempt)
+  | Retransmit_exhausted e ->
+    Some
+      (p "%.1fns retransmit-exhausted %d->%d [%s] after %d attempts" ns e.src e.dst e.cls
+         e.attempts)
+  | Dup_absorbed e -> Some (p "%.1fns dup-absorbed %d->%d [%s]" ns e.src e.dst e.cls)
+  | Epoch_bump e -> Some (p "%.1fns epoch-bump node=%d addr=%#x epoch=%d" ns e.node e.addr e.epoch)
+  | Token_recreated e ->
+    Some (p "%.1fns token-recreated addr=%#x epoch=%d tokens=%d" ns e.addr e.epoch e.tokens)
+  | Stale_discard e ->
+    Some (p "%.1fns stale-discard node=%d addr=%#x epoch=%d" ns e.node e.addr e.epoch)
+  | Node_crash e -> Some (p "%.1fns node-crash node=%d" ns e.node)
+  | Node_restart e -> Some (p "%.1fns node-restart node=%d" ns e.node)
   | _ -> None
 
 let to_json at ev =
@@ -142,4 +178,21 @@ let to_json at ev =
   | Dir_indirection e ->
     base "dir_indirection"
       [ ("node", i e.node); ("addr", i e.addr); ("write", Tcjson.Bool e.write) ]
+  | Retransmit e ->
+    base "retransmit"
+      [ ("src", i e.src); ("dst", i e.dst); ("cls", s e.cls); ("attempt", i e.attempt) ]
+  | Retransmit_exhausted e ->
+    base "retransmit_exhausted"
+      [ ("src", i e.src); ("dst", i e.dst); ("cls", s e.cls); ("attempts", i e.attempts) ]
+  | Dup_absorbed e ->
+    base "dup_absorbed" [ ("src", i e.src); ("dst", i e.dst); ("cls", s e.cls) ]
+  | Epoch_bump e ->
+    base "epoch_bump" [ ("node", i e.node); ("addr", i e.addr); ("epoch", i e.epoch) ]
+  | Token_recreated e ->
+    base "token_recreated"
+      [ ("addr", i e.addr); ("epoch", i e.epoch); ("tokens", i e.tokens) ]
+  | Stale_discard e ->
+    base "stale_discard" [ ("node", i e.node); ("addr", i e.addr); ("epoch", i e.epoch) ]
+  | Node_crash e -> base "node_crash" [ ("node", i e.node) ]
+  | Node_restart e -> base "node_restart" [ ("node", i e.node) ]
   | _ -> None

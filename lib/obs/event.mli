@@ -50,6 +50,14 @@ type Sim.Engine.event +=
   | Fsm of { node : int; addr : int; fsm : string; from_state : string; to_state : string }
   | Persistent of { node : int; proc : int; addr : int; action : string }
   | Dir_indirection of { node : int; addr : int; write : bool }
+  | Retransmit of { src : int; dst : int; cls : string; attempt : int }
+  | Retransmit_exhausted of { src : int; dst : int; cls : string; attempts : int }
+  | Dup_absorbed of { src : int; dst : int; cls : string }
+  | Epoch_bump of { node : int; addr : int; epoch : int }
+  | Token_recreated of { addr : int; epoch : int; tokens : int }
+  | Stale_discard of { node : int; addr : int; epoch : int }
+  | Node_crash of { node : int }
+  | Node_restart of { node : int }
 
 (** One-line human rendering; [None] for constructors this library does
     not know about. *)

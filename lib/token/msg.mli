@@ -30,6 +30,11 @@ type t =
       data : bool;  (** message carries the 64 B block *)
       dirty : bool;
       writeback : bool;  (** traffic-accounting only *)
+      epoch : int;
+          (** token-recreation epoch these tokens belong to; always 0
+              without the recovery layer. Receivers discard tokens from
+              superseded epochs, which is what keeps recreation safe
+              under arbitrary message reordering. *)
     }
   | P_activate of { addr : Cache.Addr.t; proc : int; l1 : int; rw : rw; seq : int }
   | P_deactivate of { addr : Cache.Addr.t; proc : int; seq : int }
@@ -38,6 +43,16 @@ type t =
           request id, so a done can never retract a later request *)
   | P_arb_done of { addr : Cache.Addr.t; proc : int; rid : int }
       (** satisfied requester -> home arbiter *)
+  | Recreate_req of { addr : Cache.Addr.t; src : int; epoch : int }
+      (** starving persistent requester -> home memory: please recreate
+          this block's tokens ([epoch] is the requester's view; stale
+          asks are ignored) *)
+  | Epoch_bump of { addr : Cache.Addr.t; epoch : int }
+      (** home memory -> all caches: raise your epoch for [addr] to
+          [epoch], destroying anything held under older epochs, and ack *)
+  | Epoch_ack of { addr : Cache.Addr.t; src : int; epoch : int }
+      (** cache -> home memory: bump applied; once every cache acked,
+          memory mints a fresh full token set *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -44,6 +44,7 @@ type mshr = {
   m_tid : int;  (* transaction id for trace spans; unused by the protocol *)
   mutable m_retries : int;
   mutable m_timer : E.timer option;
+  mutable m_rec_timer : E.timer option;  (* recovery: recreation-ask timer *)
   mutable m_persistent : bool;
   mutable m_counted : bool;
   mutable m_pending_persistent : bool;  (* blocked by marked entries *)
@@ -57,6 +58,9 @@ type pentry = {
   pe_rw : Msg.rw;
   pe_l1 : int;
   mutable pe_marked : bool;
+  mutable pe_expires : Sim.Time.t;
+      (* recovery: lease end (refreshed by activation rebroadcast);
+         0 = no lease, the non-recovery default *)
 }
 
 type node = {
@@ -81,6 +85,22 @@ type node = {
   arb_done_rid : int array;  (* mem arbiter: highest completed rid, per proc *)
   predictor : Predictor.t option;  (* L1, dst1-pred *)
   dsp : (Cache.Addr.t, int) Hashtbl.t;  (* L1, dst1-mcast: last remote source chip *)
+  (* --- recovery state --- *)
+  mutable down : bool;  (* crashed: all incoming traffic is discarded *)
+  epochs : (Cache.Addr.t, int) Hashtbl.t;
+      (* known recreation epoch per block. Survives a crash: incarnation
+         numbers live in NVRAM precisely so a restarted node can never
+         accept stale-epoch tokens. *)
+  mutable pending_restart : (Cache.Addr.t * Msg.rw * (unit -> unit) * int) option;
+      (* L1: the in-flight request a crash interrupted, re-issued at
+         restart so its processor still retires *)
+}
+
+(* Home-memory bookkeeping of one in-progress recreation. *)
+type rec_state = {
+  rc_epoch : int;
+  rc_acks : (int, unit) Hashtbl.t;  (* cache ids that applied the bump *)
+  mutable rc_timer : E.timer option;  (* bump rebroadcast *)
 }
 
 type t = {
@@ -97,6 +117,15 @@ type t = {
   pseq : int array;  (* next activation sequence number, per proc *)
   ema_mem : Sim.Stat.Ema.t;
   ema_all : Sim.Stat.Ema.t;
+  (* --- recovery state (all idle when [recovery = None]) --- *)
+  recovery : Recovery.params option;
+  cur_epoch : (Cache.Addr.t, int) Hashtbl.t;  (* authoritative epoch, bumped at mint *)
+  recreating : (Cache.Addr.t, rec_state) Hashtbl.t;  (* home-memory collect phase *)
+  mutable tick_on : bool;  (* recovery refresh tick currently armed *)
+  mutable recreations : int;
+  mutable epoch_bumps : int;
+  mutable stale_discards : int;
+  mutable crashes : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -145,6 +174,17 @@ let add_inflight_owner t addr d =
       "received an owner token that was not in flight";
   if v = 0 then Hashtbl.remove t.inflight_owner addr
   else Hashtbl.replace t.inflight_owner addr v
+
+let recovery_on t = t.recovery <> None
+
+(* Authoritative recreation epoch of a block (bumped only at mint). *)
+let cur_epoch t addr = try Hashtbl.find t.cur_epoch addr with Not_found -> 0
+
+(* A node's own view of the epoch. Memory is authoritative; a cache
+   learns the epoch from bumps and from current-epoch tokens. *)
+let node_epoch t node addr =
+  if is_mem_node node then cur_epoch t addr
+  else try Hashtbl.find node.epochs addr with Not_found -> 0
 
 (* Memory starts with all T tokens of every block at the block's home
    controller; non-home controllers never hold tokens. *)
@@ -201,8 +241,15 @@ let send_tokens t ~src ~dst ~addr ~count ~owner ~data ~dirty ~writeback =
     Mcmp.Violation.raise_it ~kind:"owner-without-data" ~addr ~node:src
       ~time:(E.now t.engine)
       (Printf.sprintf "owner token sent to node %d without the data block" dst);
-  add_inflight t addr count;
-  if owner then add_inflight_owner t addr 1;
+  (* Tokens are stamped with the sender's epoch view; a sender always
+     holds current-epoch tokens (the collect phase destroys older ones
+     before a mint), so the stamp equals the authoritative epoch and
+     the in-flight accounting below counts current-epoch tokens only. *)
+  let epoch = node_epoch t t.nodes.(src) addr in
+  if epoch = cur_epoch t addr then begin
+    add_inflight t addr count;
+    if owner then add_inflight_owner t addr 1
+  end;
   let cls =
     if writeback then if data then MC.Writeback_data else MC.Writeback_control
     else if data then MC.Response_data
@@ -210,7 +257,7 @@ let send_tokens t ~src ~dst ~addr ~count ~owner ~data ~dirty ~writeback =
   in
   let bytes = if data then t.cfg.data_bytes else t.cfg.ctrl_bytes in
   F.send_one t.fabric ~src ~dst ~cls ~bytes
-    (Msg.Tokens { addr; src; count; owner; data; dirty; writeback })
+    (Msg.Tokens { addr; src; count; owner; data; dirty; writeback; epoch })
 
 (* Take [count] tokens out of [line] for a message; sending the owner
    token requires sending data too. *)
@@ -229,6 +276,12 @@ let take t node addr line ~count ~with_owner =
 (* ------------------------------------------------------------------ *)
 (* Persistent-request machinery (the correctness substrate)            *)
 
+(* Recovery: a leased table entry whose refresh stopped (its requester
+   crashed, or the entry is a stale reapplication) eventually expires
+   instead of blocking the block forever. Never true without recovery. *)
+let pe_expired t e =
+  recovery_on t && e.pe_expires > 0 && E.now t.engine > e.pe_expires
+
 (* The request currently activated at [node] for [addr], if any. *)
 let active_persistent t node addr =
   match t.policy.Policy.activation with
@@ -238,7 +291,8 @@ let active_persistent t node addr =
     Array.iteri
       (fun proc entry ->
         match entry with
-        | Some e when e.pe_addr = addr -> if !best = None then best := Some (proc, e.pe_l1, e.pe_rw)
+        | Some e when e.pe_addr = addr && not (pe_expired t e) ->
+          if !best = None then best := Some (proc, e.pe_l1, e.pe_rw)
         | Some _ | None -> ())
       node.ptable;
     !best
@@ -248,7 +302,9 @@ let active_persistent t node addr =
    at caches (the paper's persistent read), with the owner supplying
    data. Deferred by the response-delay window. *)
 let rec persistent_check t node addr =
-  match active_persistent t node addr with
+  if node.down then ()
+  else
+    match active_persistent t node addr with
   | None -> ()
   | Some (_, l1, rw) when l1 <> node.id ->
     let line =
@@ -402,9 +458,11 @@ let proc_of_node t node =
   | L.L1d { cmp; proc } | L.L1i { cmp; proc } -> (cmp * t.layout.L.procs_per_cmp) + proc
   | L.L2 _ | L.Mem _ -> invalid_arg "proc_of_node"
 
-let has_marked_for node addr =
+let has_marked_for t node addr =
   Array.exists
-    (function Some e -> e.pe_addr = addr && e.pe_marked | None -> false)
+    (function
+      | Some e -> e.pe_addr = addr && e.pe_marked && not (pe_expired t e)
+      | None -> false)
     node.ptable
 
 let persistent_targets t node =
@@ -435,6 +493,32 @@ and arm_timer t node m =
   let th = timeout_threshold t m in
   m.m_timer <- Some (E.timer_in t.engine th (fun () -> on_timeout t node m))
 
+(* Recovery: once a request goes persistent, a second (much longer)
+   timer asks the home controller to recreate the block's tokens if the
+   request is still starving — the sign that tokens were lost rather
+   than merely contended. The ask retries until satisfied; the home
+   side dedupes. *)
+and arm_rec_timer t node m =
+  match t.recovery with
+  | Some p ->
+    (match m.m_rec_timer with Some ti -> E.cancel ti | None -> ());
+    m.m_rec_timer <-
+      Some
+        (E.timer_in t.engine p.Recovery.recreation_timeout (fun () ->
+             request_recreation t node m))
+  | None -> ()
+
+and request_recreation t node m =
+  m.m_rec_timer <- None;
+  match node.mshr with
+  | Some m' when m' == m && (not node.down) && not (satisfied t node m) ->
+    let addr = m.m_addr in
+    F.send_one t.fabric ~src:node.id ~dst:(home_mem t addr) ~cls:MC.Persistent
+      ~bytes:t.cfg.ctrl_bytes
+      (Msg.Recreate_req { addr; src = node.id; epoch = node_epoch t node addr });
+    arm_rec_timer t node m
+  | Some _ | None -> ()
+
 and on_timeout t node m =
   match node.mshr with
   | Some m' when m' == m ->
@@ -457,6 +541,7 @@ and on_timeout t node m =
   | Some _ | None -> ()
 
 and start_persistent t node m =
+  ensure_tick t;
   if not m.m_counted then begin
     m.m_counted <- true;
     t.counters.Mcmp.Counters.persistent_requests <-
@@ -472,6 +557,7 @@ and start_persistent t node m =
   match t.policy.Policy.activation with
   | Policy.Arbiter ->
     m.m_persistent <- true;
+    arm_rec_timer t node m;
     let proc = proc_of_node t node in
     let rid = t.pseq.(proc) in
     t.pseq.(proc) <- rid + 1;
@@ -479,16 +565,19 @@ and start_persistent t node m =
       ~bytes:t.cfg.ctrl_bytes
       (Msg.P_arb_request { addr = m.m_addr; proc; l1 = node.id; rw = m.m_rw; rid })
   | Policy.Distributed ->
-    if has_marked_for node m.m_addr then m.m_pending_persistent <- true
+    if has_marked_for t node m.m_addr then m.m_pending_persistent <- true
     else begin
       m.m_persistent <- true;
       m.m_pending_persistent <- false;
+      arm_rec_timer t node m;
       let proc = proc_of_node t node in
       let seq = t.pseq.(proc) in
       t.pseq.(proc) <- seq + 1;
       node.peer_seq.(proc) <- seq;
       node.ptable.(proc) <-
-        Some { pe_addr = m.m_addr; pe_rw = m.m_rw; pe_l1 = node.id; pe_marked = false };
+        Some
+          { pe_addr = m.m_addr; pe_rw = m.m_rw; pe_l1 = node.id; pe_marked = false;
+            pe_expires = 0 };
       F.send t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
         ~bytes:t.cfg.ctrl_bytes
         (Msg.P_activate { addr = m.m_addr; proc; l1 = node.id; rw = m.m_rw; seq })
@@ -497,6 +586,8 @@ and start_persistent t node m =
 and complete t node m =
   (match m.m_timer with Some timer -> E.cancel timer | None -> ());
   m.m_timer <- None;
+  (match m.m_rec_timer with Some timer -> E.cancel timer | None -> ());
+  m.m_rec_timer <- None;
   node.mshr <- None;
   let line =
     match cache_line node m.m_addr with
@@ -559,6 +650,73 @@ and deactivate t node m =
       (Msg.P_deactivate { addr = m.m_addr; proc; seq });
     persistent_check t node m.m_addr
 
+(* Recovery tick: periodically re-broadcast still-active persistent
+   activations (re-populating the tables of restarted peers and
+   extending leases everywhere else), purge expired entries, and retry
+   deferred persistent issues. Self-rescheduling only while recovery
+   work is outstanding, so runs still drain their event queues. *)
+and ensure_tick t =
+  match t.recovery with
+  | Some p when not t.tick_on ->
+    t.tick_on <- true;
+    ignore (E.timer_in t.engine p.Recovery.refresh_interval (fun () -> recovery_tick t p))
+  | Some _ | None -> ()
+
+and recovery_tick t p =
+  Array.iter
+    (fun node ->
+      if not node.down then
+        Array.iteri
+          (fun i entry ->
+            match entry with
+            | Some e when pe_expired t e ->
+              node.ptable.(i) <- None;
+              persistent_check t node e.pe_addr
+            | Some _ | None -> ())
+          node.ptable)
+    t.nodes;
+  let live = ref (Hashtbl.length t.recreating > 0) in
+  Array.iter
+    (fun node ->
+      if node.down then ()
+      else if is_l1_node node then (
+        match node.mshr with
+        | Some m when m.m_persistent ->
+          live := true;
+          if not (satisfied t node m) then refresh_activation t node m
+        | Some m when m.m_pending_persistent ->
+          live := true;
+          if not (has_marked_for t node m.m_addr) then start_persistent t node m
+        | Some _ | None -> ())
+      else if is_mem_node node then
+        (* Arbiter refresh: re-broadcast active grants so restarted
+           caches relearn them (their activation-epoch view was wiped,
+           so the same sequence number applies again). *)
+        Hashtbl.iter
+          (fun addr (proc, l1, rw) ->
+            live := true;
+            let seq = try Hashtbl.find node.parb_epoch addr with Not_found -> 0 in
+            F.send t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
+              ~bytes:t.cfg.ctrl_bytes
+              (Msg.P_activate { addr; proc; l1; rw; seq }))
+          node.parb_active)
+    t.nodes;
+  if !live then
+    ignore (E.timer_in t.engine p.Recovery.refresh_interval (fun () -> recovery_tick t p))
+  else t.tick_on <- false
+
+and refresh_activation t node m =
+  match t.policy.Policy.activation with
+  | Policy.Distributed ->
+    (* Per-processor transactions are serial, so the outstanding
+       activation's sequence number is always the last one issued. *)
+    let proc = proc_of_node t node in
+    F.send t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
+      ~bytes:t.cfg.ctrl_bytes
+      (Msg.P_activate
+         { addr = m.m_addr; proc; l1 = node.id; rw = m.m_rw; seq = t.pseq.(proc) - 1 })
+  | Policy.Arbiter -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Message handlers                                                    *)
 
@@ -572,9 +730,32 @@ let check_mshr t node addr ~from =
     if satisfied t node m then complete t node m
   | Some _ | None -> ()
 
-let receive_tokens t node ~addr ~src ~count ~owner ~data ~dirty ~writeback =
+let rec receive_tokens t node ~addr ~src ~count ~owner ~data ~dirty ~writeback ~epoch =
+  (* Recovery: tokens stamped with a superseded epoch are discarded on
+     receipt — they were declared dead when the home controller minted a
+     replacement set, and merging them would overshoot T. Tokens of the
+     current epoch reaching a cache that already applied a pending bump
+     (node view ahead of the authoritative epoch, mid-collect) are dead
+     too, but still leave the current in-flight account. *)
+  let stale =
+    recovery_on t && (epoch < node_epoch t node addr || epoch < cur_epoch t addr)
+  in
+  if stale then begin
+    t.stale_discards <- t.stale_discards + 1;
+    if E.tracing t.engine then
+      E.emit t.engine (Obs.Event.Stale_discard { node = node.id; addr; epoch });
+    if epoch = cur_epoch t addr then begin
+      add_inflight t addr (-count);
+      if owner then add_inflight_owner t addr (-1)
+    end
+  end
+  else receive_tokens_live t node ~addr ~src ~count ~owner ~data ~dirty ~writeback ~epoch
+
+and receive_tokens_live t node ~addr ~src ~count ~owner ~data ~dirty ~writeback ~epoch =
   add_inflight t addr (-count);
   if owner then add_inflight_owner t addr (-1);
+  if recovery_on t && (not (is_mem_node node)) && epoch > node_epoch t node addr then
+    Hashtbl.replace node.epochs addr epoch;
   let line = if is_mem_node node then mem_line t node addr else alloc_line t node addr in
   let from_state = if E.tracing t.engine then line_state_name line else "" in
   line.tokens <- line.tokens + count;
@@ -637,7 +818,7 @@ let escalate_external t node ~addr ~requester ~rw ~hint ~full =
 
 let handle_transient_l1 t node ~addr ~requester ~rw =
   E.schedule_in t.engine t.cfg.l1_latency (fun () ->
-      match cache_line node addr with
+      match if node.down then None else cache_line node addr with
       | None -> ()
       | Some line ->
         (* Transient requests are stateless at responders: inside the
@@ -784,7 +965,11 @@ let handle_arb_done t node ~addr ~proc ~rid =
       Queue.transfer keep q;
       match (Hashtbl.find_opt node.parb_active addr, Hashtbl.find_opt node.arb_active_rid addr)
       with
-      | Some (p, _, _), Some r when p = proc && r = rid ->
+      (* Recovery also accepts a *newer* done from the same processor:
+         a crashed-and-restarted requester re-issues its interrupted
+         transaction under a fresh request id, and its completion must
+         still clear the activation granted to the old incarnation. *)
+      | Some (p, _, _), Some r when p = proc && (r = rid || (recovery_on t && r <= rid)) ->
         Hashtbl.remove node.parb_active addr;
         Hashtbl.remove node.arb_active_rid addr;
         let epoch = try Hashtbl.find node.arb_epoch_ctr addr with Not_found -> 0 in
@@ -801,9 +986,24 @@ let handle_p_activate t node ~addr ~proc ~l1 ~rw ~seq =
     E.emit t.engine (Obs.Event.Persistent { node = node.id; proc; addr; action = "activate" });
   match t.policy.Policy.activation with
   | Policy.Distributed ->
-    if seq > node.peer_seq.(proc) then begin
+    (* Recovery also re-accepts [seq = peer_seq]: the periodic refresh
+       rebroadcast of a still-active request, which re-populates a
+       restarted node's wiped table and extends the lease at everyone
+       else. Wave marks survive a refresh of the same activation. *)
+    let refresh = recovery_on t && seq = node.peer_seq.(proc) in
+    if seq > node.peer_seq.(proc) || refresh then begin
       node.peer_seq.(proc) <- seq;
-      node.ptable.(proc) <- Some { pe_addr = addr; pe_rw = rw; pe_l1 = l1; pe_marked = false };
+      let marked =
+        refresh
+        && (match node.ptable.(proc) with
+           | Some e -> e.pe_addr = addr && e.pe_marked
+           | None -> false)
+      in
+      let expires =
+        match t.recovery with Some p -> now t + p.Recovery.lease | None -> 0
+      in
+      node.ptable.(proc) <-
+        Some { pe_addr = addr; pe_rw = rw; pe_l1 = l1; pe_marked = marked; pe_expires = expires };
       persistent_check t node addr
     end
   | Policy.Arbiter ->
@@ -845,13 +1045,117 @@ let handle_p_deactivate t node ~addr ~proc ~seq =
   persistent_check t node addr;
   (* A cleared wave may unblock a deferred persistent issue. *)
   match node.mshr with
-  | Some m when m.m_pending_persistent && not (has_marked_for node m.m_addr) ->
+  | Some m when m.m_pending_persistent && not (has_marked_for t node m.m_addr) ->
     start_persistent t node m
+  | Some _ | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Token recreation (the recovery tentpole). Lost tokens starve a
+   persistent request forever under the base substrate, whose safety
+   story assumes tokens are conserved. Recreation restores liveness
+   without giving up safety by running a two-phase epoch bump at the
+   block's home memory controller: (1) collect — broadcast the next
+   epoch number to every cache and retry until all ack, each cache
+   destroying whatever it holds under older epochs; (2) mint — with
+   every cache provably empty and all in-flight tokens doomed to
+   stale-discard on receipt, materialize a fresh full set (T tokens +
+   owner) at the controller and hand it to the persistent winner.  The
+   block's value is architecturally safe throughout: committed stores
+   live in the workload's value oracle, so remint-from-memory can never
+   resurrect stale data in this model (a hardware implementation would
+   write the owner's data back during collect). *)
+
+let handle_recreate_req t node ~addr ~src:_ ~epoch:_ =
+  (* Any still-starving persistent requester may ask; asks re-arm only
+     while the MSHR stays unsatisfied, so even a requester with a stale
+     epoch view is starving *now* and a fresh recreation is warranted.
+     Concurrent and duplicate asks collapse onto the in-progress
+     collect phase. *)
+  match t.recovery with
+  | Some p when is_home_mem t node addr && not (Hashtbl.mem t.recreating addr) ->
+    let rc_epoch = cur_epoch t addr + 1 in
+    let rc = { rc_epoch; rc_acks = Hashtbl.create 16; rc_timer = None } in
+    Hashtbl.add t.recreating addr rc;
+    let rec broadcast () =
+      rc.rc_timer <- None;
+      let pending =
+        List.filter (fun id -> not (Hashtbl.mem rc.rc_acks id)) (L.all_caches t.layout)
+      in
+      if pending <> [] then begin
+        F.send t.fabric ~src:node.id ~dsts:pending ~cls:MC.Persistent ~bytes:t.cfg.ctrl_bytes
+          (Msg.Epoch_bump { addr; epoch = rc_epoch });
+        (* Rebroadcast until everyone acked: this is what rides through
+           caches that are crashed mid-recreation. *)
+        rc.rc_timer <- Some (E.timer_in t.engine p.Recovery.bump_retry broadcast)
+      end
+    in
+    broadcast ()
+  | Some _ | None -> ()
+
+let handle_epoch_bump t node ~addr ~epoch =
+  if epoch > node_epoch t node addr then begin
+    Hashtbl.replace node.epochs addr epoch;
+    t.epoch_bumps <- t.epoch_bumps + 1;
+    if E.tracing t.engine then
+      E.emit t.engine (Obs.Event.Epoch_bump { node = node.id; addr; epoch });
+    match cache_line node addr with
+    | Some line ->
+      line.tokens <- 0;
+      line.owner <- false;
+      strip node addr line
+    | None -> ()
+  end;
+  (* Always ack, including re-deliveries: the controller's collect must
+     converge no matter how bumps and acks are reordered or retried. *)
+  F.send_one t.fabric ~src:node.id ~dst:(home_mem t addr) ~cls:MC.Persistent
+    ~bytes:t.cfg.ctrl_bytes
+    (Msg.Epoch_ack { addr; src = node.id; epoch })
+
+let handle_epoch_ack t node ~addr ~src ~epoch =
+  match Hashtbl.find_opt t.recreating addr with
+  | Some rc when rc.rc_epoch = epoch ->
+    Hashtbl.replace rc.rc_acks src ();
+    if Hashtbl.length rc.rc_acks = List.length (L.all_caches t.layout) then begin
+      (* Every cache renounced the old epoch: mint a fresh full set.
+         Surviving in-flight tokens all carry older epochs and will be
+         discarded on receipt, so the accounting restarts clean. *)
+      (match rc.rc_timer with Some ti -> E.cancel ti | None -> ());
+      rc.rc_timer <- None;
+      Hashtbl.remove t.recreating addr;
+      Hashtbl.remove t.inflight addr;
+      Hashtbl.remove t.inflight_owner addr;
+      Hashtbl.replace t.cur_epoch addr rc.rc_epoch;
+      let line = mem_line t node addr in
+      line.tokens <- t.cfg.tokens;
+      line.owner <- true;
+      line.valid <- true;
+      line.dirty <- false;
+      line.hold_until <- 0;
+      t.recreations <- t.recreations + 1;
+      if E.tracing t.engine then
+        E.emit t.engine
+          (Obs.Event.Token_recreated { addr; epoch = rc.rc_epoch; tokens = t.cfg.tokens });
+      persistent_check t node addr
+    end
   | Some _ | None -> ()
 
 let handle t ~dst msg =
   let node = t.nodes.(dst) in
-  match msg with
+  if node.down then begin
+    (* A crashed node's traffic dies at the pins. Tokens it would have
+       received are destroyed — they leave the in-flight account (a
+       deficit recreation will heal) unless a mint already disowned
+       their epoch. *)
+    match msg with
+    | Msg.Tokens { addr; count; owner; epoch; _ } ->
+      if (not (recovery_on t)) || epoch = cur_epoch t addr then begin
+        add_inflight t addr (-count);
+        if owner then add_inflight_owner t addr (-1)
+      end
+    | _ -> ()
+  end
+  else
+    match msg with
   | Msg.Transient { addr; requester; rw; scope; force_external; hint } ->
     if requester = node.id then ()
     else begin
@@ -860,14 +1164,17 @@ let handle t ~dst msg =
       | L.L2 _ -> handle_transient_l2 t node ~addr ~requester ~rw ~scope ~force_external ~hint
       | L.Mem _ -> mem_respond t node ~addr ~requester ~rw
     end
-  | Msg.Tokens { addr; src; count; owner; data; dirty; writeback } ->
-    receive_tokens t node ~addr ~src ~count ~owner ~data ~dirty ~writeback
+  | Msg.Tokens { addr; src; count; owner; data; dirty; writeback; epoch } ->
+    receive_tokens t node ~addr ~src ~count ~owner ~data ~dirty ~writeback ~epoch
   | Msg.P_activate { addr; proc; l1; rw; seq } ->
     handle_p_activate t node ~addr ~proc ~l1 ~rw ~seq
   | Msg.P_deactivate { addr; proc; seq } -> handle_p_deactivate t node ~addr ~proc ~seq
   | Msg.P_arb_request { addr; proc; l1; rw; rid } ->
     handle_arb_request t node ~addr ~proc ~l1 ~rw ~rid
   | Msg.P_arb_done { addr; proc; rid } -> handle_arb_done t node ~addr ~proc ~rid
+  | Msg.Recreate_req { addr; src; epoch } -> handle_recreate_req t node ~addr ~src ~epoch
+  | Msg.Epoch_bump { addr; epoch } -> handle_epoch_bump t node ~addr ~epoch
+  | Msg.Epoch_ack { addr; src; epoch } -> handle_epoch_ack t node ~addr ~src ~epoch
 
 (* ------------------------------------------------------------------ *)
 (* Processor-side entry point                                          *)
@@ -897,6 +1204,16 @@ let access t ~proc ~kind addr ~commit =
   let node = t.nodes.(l1id) in
   let rw = if Mcmp.Protocol.is_write kind then Msg.W else Msg.R in
   E.schedule_in t.engine t.cfg.l1_latency (fun () ->
+      if node.down then begin
+        (* The node is mid-crash: park the access; restart re-issues it.
+           (The core is serial, so the slot is necessarily free — a
+           request interrupted by the crash itself keeps the core
+           blocked until it retires.) *)
+        t.counters.Mcmp.Counters.l1_misses <- t.counters.Mcmp.Counters.l1_misses + 1;
+        node.pending_restart <-
+          Some (addr, rw, commit, t.counters.Mcmp.Counters.l1_misses)
+      end
+      else begin
       let line = cache_line node addr in
       let hit =
         match (line, rw) with
@@ -932,6 +1249,7 @@ let access t ~proc ~kind addr ~commit =
             m_tid = tid;
             m_retries = 0;
             m_timer = None;
+            m_rec_timer = None;
             m_persistent = false;
             m_counted = false;
             m_pending_persistent = false;
@@ -946,7 +1264,74 @@ let access t ~proc ~kind addr ~commit =
                { tid; node = node.id; proc; addr;
                  rw = (match rw with Msg.W -> Obs.Event.W | Msg.R -> Obs.Event.R) });
         issue t node m
+      end
       end)
+
+(* ------------------------------------------------------------------ *)
+(* Crash / restart (recovery fault model)                              *)
+
+(* Power-cycle a cache node. All volatile state dies: resident lines
+   (their tokens are simply gone until a recreation heals the deficit),
+   the MSHR and its timers, sharer metadata and both activation-table
+   views. Two things survive: [epochs] — incarnation numbers live in
+   NVRAM precisely so a restarted node can never accept stale-epoch
+   tokens — and the interrupted request, which is re-issued at restart
+   so its processor still retires. *)
+let crash_node t id =
+  let node = t.nodes.(id) in
+  if is_mem_node node then invalid_arg "Protocol.crash_node: memory controllers do not crash";
+  if not node.down then begin
+    node.down <- true;
+    t.crashes <- t.crashes + 1;
+    ensure_tick t;
+    if E.tracing t.engine then E.emit t.engine (Obs.Event.Node_crash { node = id });
+    let addrs = ref [] in
+    Cache.Sarray.iter (fun a _ -> addrs := a :: !addrs) node.lines;
+    List.iter (fun a -> Cache.Sarray.remove node.lines a) !addrs;
+    Hashtbl.reset node.meta;
+    Hashtbl.reset node.dsp;
+    (match node.mshr with
+    | Some m ->
+      (match m.m_timer with Some ti -> E.cancel ti | None -> ());
+      (match m.m_rec_timer with Some ti -> E.cancel ti | None -> ());
+      node.pending_restart <- Some (m.m_addr, m.m_rw, m.m_commit, m.m_tid);
+      node.mshr <- None
+    | None -> ());
+    Array.fill node.ptable 0 (Array.length node.ptable) None;
+    Array.fill node.peer_seq 0 (Array.length node.peer_seq) (-1);
+    Hashtbl.reset node.parb_active;
+    Hashtbl.reset node.parb_epoch
+  end
+
+let restart_node t id =
+  let node = t.nodes.(id) in
+  if node.down then begin
+    node.down <- false;
+    if E.tracing t.engine then E.emit t.engine (Obs.Event.Node_restart { node = id });
+    match node.pending_restart with
+    | Some (addr, rw, commit, tid) when is_l1_node node ->
+      node.pending_restart <- None;
+      let m =
+        {
+          m_addr = addr;
+          m_rw = rw;
+          m_commit = commit;
+          m_issued = now t;
+          m_tid = tid;
+          m_retries = 0;
+          m_timer = None;
+          m_rec_timer = None;
+          m_persistent = false;
+          m_counted = false;
+          m_pending_persistent = false;
+          m_saw_mem = false;
+          m_saw_remote = false;
+        }
+      in
+      node.mshr <- Some m;
+      issue t node m
+    | Some _ | None -> node.pending_restart <- None
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -989,9 +1374,12 @@ let make_node t_layout cfg policy rng id =
       (if is_l1 && policy.Policy.predictor then Some (Predictor.create (Sim.Rng.split rng))
        else None);
     dsp = Hashtbl.create (if is_l1 && policy.Policy.multicast then 256 else 1);
+    down = false;
+    epochs = Hashtbl.create 16;
+    pending_restart = None;
   }
 
-let create policy engine cfg traffic rng counters =
+let create ?recovery policy engine cfg traffic rng counters =
   let layout = Mcmp.Config.layout cfg in
   let fabric = F.create engine layout cfg.Mcmp.Config.fabric traffic (Sim.Rng.split rng) in
   let nodes =
@@ -1012,9 +1400,24 @@ let create policy engine cfg traffic rng counters =
       pseq = Array.make (L.nprocs layout) 0;
       ema_mem = Sim.Stat.Ema.create ~alpha:0.2 ~init:200.;
       ema_all = Sim.Stat.Ema.create ~alpha:0.2 ~init:200.;
+      recovery;
+      cur_epoch = Hashtbl.create 64;
+      recreating = Hashtbl.create 8;
+      tick_on = false;
+      recreations = 0;
+      epoch_bumps = 0;
+      stale_discards = 0;
+      crashes = 0;
     }
   in
   F.set_handler fabric (fun ~dst msg -> handle t ~dst msg);
+  (match (recovery, Obs.Registry.of_engine engine) with
+  | Some _, Some reg ->
+    Obs.Registry.register_int reg "token.recreations" (fun () -> t.recreations);
+    Obs.Registry.register_int reg "token.epoch_bumps" (fun () -> t.epoch_bumps);
+    Obs.Registry.register_int reg "token.stale_discards" (fun () -> t.stale_discards);
+    Obs.Registry.register_int reg "token.crashes" (fun () -> t.crashes)
+  | _ -> ());
   t
 
 let handle_of t =
@@ -1097,7 +1500,16 @@ let dump t fmt () =
   Hashtbl.iter
     (fun addr n ->
       if n > 0 then Format.fprintf fmt "in flight: %a x%d tokens@." Cache.Addr.pp addr n)
-    t.inflight
+    t.inflight;
+  Hashtbl.iter
+    (fun addr e ->
+      if e > 0 then Format.fprintf fmt "epoch: %a e%d@." Cache.Addr.pp addr e)
+    t.cur_epoch;
+  Hashtbl.iter
+    (fun addr rc ->
+      Format.fprintf fmt "recreating: %a -> e%d (%d acks)@." Cache.Addr.pp addr rc.rc_epoch
+        (Hashtbl.length rc.rc_acks))
+    t.recreating
 
 let create_debug policy engine cfg traffic rng counters =
   let t = create policy engine cfg traffic rng counters in
@@ -1106,6 +1518,13 @@ let create_debug policy engine cfg traffic rng counters =
 let create_debug_dump policy engine cfg traffic rng counters =
   let t = create policy engine cfg traffic rng counters in
   (handle_of t, debug_of t, dump t)
+
+type recovery_stats = {
+  rs_recreations : int;
+  rs_epoch_bumps : int;
+  rs_stale_discards : int;
+  rs_crashes : int;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Runtime invariant checking (the fault-injection monitor's probe)    *)
@@ -1156,15 +1575,31 @@ let check_invariants t =
   List.iter
     (fun addr ->
       let held = held_tokens addr and inflight = inflight_count t addr in
-      if held + inflight <> t.cfg.tokens then
-        add
-          (Mcmp.Violation.make ~kind:"token-conservation" ~addr ~time
-             (Printf.sprintf "held %d + in-flight %d <> T = %d" held inflight t.cfg.tokens));
       let owners = held_owners addr + inflight_owner_count t addr in
-      if owners <> 1 then
-        add
-          (Mcmp.Violation.make ~kind:"owner-count" ~addr ~time
-             (Printf.sprintf "%d owner tokens exist (exactly 1 required)" owners)))
+      if recovery_on t then begin
+        (* Crashes and recreation make *deficits* legal — lost tokens
+           are healed by a future mint — but excess stays fatal: extra
+           current-epoch tokens could hand out overlapping write
+           permission, which no recovery may ever risk. *)
+        if held + inflight > t.cfg.tokens then
+          add
+            (Mcmp.Violation.make ~kind:"token-conservation-excess" ~addr ~time
+               (Printf.sprintf "held %d + in-flight %d > T = %d" held inflight t.cfg.tokens));
+        if owners > 1 then
+          add
+            (Mcmp.Violation.make ~kind:"owner-count" ~addr ~time
+               (Printf.sprintf "%d owner tokens exist (at most 1 allowed)" owners))
+      end
+      else begin
+        if held + inflight <> t.cfg.tokens then
+          add
+            (Mcmp.Violation.make ~kind:"token-conservation" ~addr ~time
+               (Printf.sprintf "held %d + in-flight %d <> T = %d" held inflight t.cfg.tokens));
+        if owners <> 1 then
+          add
+            (Mcmp.Violation.make ~kind:"owner-count" ~addr ~time
+               (Printf.sprintf "%d owner tokens exist (exactly 1 required)" owners))
+      end)
     (touched_addrs t);
   Array.iter
     (fun node ->
@@ -1252,10 +1687,13 @@ type instrumented = {
   i_probe : Mcmp.Probe.t;
   i_dump : Format.formatter -> unit -> unit;
   i_fabric : Msg.t F.t;
+  i_crash : int -> unit;
+  i_restart : int -> unit;
+  i_recovery : unit -> recovery_stats;
 }
 
-let create_instrumented policy engine cfg traffic rng counters =
-  let t = create policy engine cfg traffic rng counters in
+let create_instrumented ?recovery policy engine cfg traffic rng counters =
+  let t = create ?recovery policy engine cfg traffic rng counters in
   F.set_msg_label t.fabric Msg.label;
   {
     i_handle = handle_of t;
@@ -1263,4 +1701,14 @@ let create_instrumented policy engine cfg traffic rng counters =
     i_probe = probe_of t;
     i_dump = dump t;
     i_fabric = t.fabric;
+    i_crash = (fun id -> crash_node t id);
+    i_restart = (fun id -> restart_node t id);
+    i_recovery =
+      (fun () ->
+        {
+          rs_recreations = t.recreations;
+          rs_epoch_bumps = t.epoch_bumps;
+          rs_stale_discards = t.stale_discards;
+          rs_crashes = t.crashes;
+        });
   }

@@ -44,22 +44,52 @@ val create_debug_dump :
   Mcmp.Counters.t ->
   Mcmp.Protocol.handle * debug * (Format.formatter -> unit -> unit)
 
+(** Recovery-layer activity counters (all zero when the protocol was
+    built without [?recovery]). *)
+type recovery_stats = {
+  rs_recreations : int;  (** token sets reminted at home controllers *)
+  rs_epoch_bumps : int;  (** epoch bumps applied at caches *)
+  rs_stale_discards : int;  (** superseded-epoch token messages discarded *)
+  rs_crashes : int;  (** cache nodes crashed *)
+}
+
 (** Full instrumentation bundle for the fault-injection torture
     harness: the protocol handle plus debug hooks, the invariant probe
     (token conservation per block, exactly-one owner,
     valid-data-implies-token, owner-implies-data, persistent-request-
     table consistency), the state dump, and the interconnect fabric (so
     a fault plan can be installed on it). Message labelling is
-    pre-wired for tracing. *)
+    pre-wired for tracing.
+
+    [i_crash]/[i_restart] power-cycle a cache node (see the recovery
+    fault model): a crash loses all volatile state — resident lines,
+    MSHR, activation tables — while the block-epoch table survives and
+    the interrupted request is re-issued at restart. Only meaningful
+    when built with [?recovery]; crashing a memory node raises
+    [Invalid_argument]. *)
 type instrumented = {
   i_handle : Mcmp.Protocol.handle;
   i_debug : debug;
   i_probe : Mcmp.Probe.t;
   i_dump : Format.formatter -> unit -> unit;
   i_fabric : Msg.t Interconnect.Fabric.t;
+  i_crash : int -> unit;
+  i_restart : int -> unit;
+  i_recovery : unit -> recovery_stats;
 }
 
+(** [?recovery] opts the protocol into the fault-recovery layer:
+    per-block epoch numbers stamped on token messages, home-controller
+    token recreation when a persistent request starves past
+    [recreation_timeout], leased persistent activations with periodic
+    refresh, and crash/restart support. Without it the protocol is
+    bit-identical to the pre-recovery implementation (epoch 0 on every
+    message, no extra randomness, messages or timers), which is what
+    keeps golden traces stable. In recovery mode the invariant probe
+    tolerates token {e deficits} (healed by recreation) but still
+    reports excess tokens or duplicate owners — the unsafe direction. *)
 val create_instrumented :
+  ?recovery:Recovery.params ->
   Policy.t ->
   Sim.Engine.t ->
   Mcmp.Config.t ->

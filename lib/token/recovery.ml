@@ -1,0 +1,22 @@
+type params = {
+  recreation_timeout : Sim.Time.t;
+  bump_retry : Sim.Time.t;
+  refresh_interval : Sim.Time.t;
+  lease : Sim.Time.t;
+}
+
+let default =
+  {
+    recreation_timeout = Sim.Time.ns 30_000;
+    bump_retry = Sim.Time.ns 5_000;
+    refresh_interval = Sim.Time.ns 10_000;
+    lease = Sim.Time.ns 30_000;
+  }
+
+let worst_case_latency ?(max_down = Sim.Time.ns 20_000) ?(rounds = 2) p =
+  rounds * (p.recreation_timeout + max_down + (3 * p.bump_retry) + p.lease)
+
+let pp fmt p =
+  Format.fprintf fmt "recreation=%a bump-retry=%a refresh=%a lease=%a" Sim.Time.pp
+    p.recreation_timeout Sim.Time.pp p.bump_retry Sim.Time.pp p.refresh_interval Sim.Time.pp
+    p.lease

@@ -1,0 +1,35 @@
+(** Timescales of the token-recreation recovery layer.
+
+    Recovery is strictly opt-in: a protocol built without a [params]
+    value draws no extra randomness, sends no extra messages and stamps
+    every token message with epoch 0, so fixed-seed runs are
+    bit-identical with the recovery code compiled in but idle. *)
+
+type params = {
+  recreation_timeout : Sim.Time.t;
+      (** how long a persistent request may starve before its requester
+          asks the home controller to recreate the block's tokens (also
+          the retry period of that ask) *)
+  bump_retry : Sim.Time.t;
+      (** home-controller rebroadcast period for un-acked epoch bumps —
+          what rides through caches that are crashed mid-recreation *)
+  refresh_interval : Sim.Time.t;
+      (** period of the recovery tick: persistent-activation refresh
+          (re-populating restarted nodes' tables) and expired-lease
+          purging *)
+  lease : Sim.Time.t;
+      (** validity of a persistent-activation table entry without a
+          refresh; stale entries a crash orphaned expire instead of
+          blocking a block forever *)
+}
+
+val default : params
+
+(** Conservative bound on end-to-end recovery latency: [rounds] full
+    recreations, each preceded by a starvation timeout and possibly
+    waiting out a crashed cache ([max_down]) plus bump retries and a
+    lease expiry. {!Fault.Watchdog} margins must exceed this so a
+    legitimately-recovering run is never flagged as livelocked. *)
+val worst_case_latency : ?max_down:Sim.Time.t -> ?rounds:int -> params -> Sim.Time.t
+
+val pp : Format.formatter -> params -> unit

@@ -243,6 +243,161 @@ let test_timeout_all_responses_under_spikes () =
     check_clean (Fault.Torture.run (Fault.Torture.Token policy) ~spec:delay_spikes ~seed)
   done
 
+(* ---- Recovery mode ---- *)
+
+(* Satellite determinism guarantee: the recovery flag changes drop
+   *bookkeeping* only — the plan's RNG stream is identical, so one
+   (seed, spec) pair fires the exact same fault schedule with recovery
+   on or off. *)
+let test_plan_rng_identical_with_recovery () =
+  let spec =
+    Fault.Spec.with_drops ~tokens:true ~prob:0.5
+      { Fault.Spec.default with Fault.Spec.dup_prob = 0.2 }
+  in
+  let seq recovery =
+    let plan = Fault.Plan.create ~recovery ~seed:23 ~nodes:8 spec in
+    let a = decide_all plan ~cls:Interconnect.Msg_class.Response_data ~tokens:2 150 in
+    let b = decide_all plan ~cls:Interconnect.Msg_class.Request ~tokens:0 150 in
+    (a @ b, Fault.Plan.stats plan, Fault.Plan.unrecoverable_drops plan)
+  in
+  let acts_off, stats_off, unrec_off = seq false in
+  let acts_on, stats_on, unrec_on = seq true in
+  Alcotest.(check bool) "identical fault schedule" true (acts_off = acts_on);
+  Alcotest.(check bool) "off mode records unrecoverable drops" true
+    (stats_off.Fault.Plan.drops_unrecoverable > 0);
+  Alcotest.(check int) "recovery mode records none as unrecoverable" 0
+    stats_on.Fault.Plan.drops_unrecoverable;
+  Alcotest.(check int) "same total drops either way"
+    (stats_off.Fault.Plan.drops_recoverable + stats_off.Fault.Plan.drops_unrecoverable)
+    (stats_on.Fault.Plan.drops_recoverable + stats_on.Fault.Plan.drops_unrecoverable);
+  Alcotest.(check bool) "unrecoverable record list flips" true
+    (unrec_off <> [] && unrec_on = [])
+
+(* Satellite margin audit: the recovery-mode watchdog default (2.5 x
+   the 200 us starvation bound) must clear the recreation layer's
+   worst-case end-to-end latency, or legitimate recoveries would be
+   misreported as starvation/livelock. *)
+let test_watchdog_margin_covers_recreation () =
+  let worst = Token.Recovery.worst_case_latency Token.Recovery.default in
+  let scaled_starvation = Sim.Time.ns (int_of_float (2.5 *. 200_000.)) in
+  Alcotest.(check bool) "margin-scaled starvation bound clears worst-case recovery" true
+    (scaled_starvation > worst);
+  (* no-progress: 5 windows x 20 us, scaled by 2.5 -> 260 us > worst *)
+  let scaled_window = Sim.Time.ns (int_of_float (ceil (5. *. 2.5)) * 20_000) in
+  Alcotest.(check bool) "margin-scaled no-progress window clears worst-case recovery" true
+    (scaled_window > worst);
+  Alcotest.(check bool) "margin below 1 rejected" true
+    (match
+       Fault.Watchdog.attach ~margin:0.5 (Sim.Engine.create ())
+         ~probe:
+           { Mcmp.Probe.check = (fun () -> []); outstanding = (fun () -> []) }
+         ~counters:(Mcmp.Counters.create ()) ~interval:(ns 100) ~no_progress_windows:1
+         ~starvation_bound:(ns 100) ~running:(fun () -> true)
+         ~report:(fun _ -> ())
+         ~on_stall:(fun () -> ())
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* Acceptance (tentpole): a token-drop storm that is *detected* without
+   the recovery layer is *survived* with it — reliable transport
+   retransmits the dropped frames, and any residual loss is healed by
+   token recreation. Zero violations, every request retires. *)
+let test_recovery_survives_token_drops () =
+  let spec = Fault.Spec.with_drops ~tokens:true ~prob:0.05 Fault.Spec.default in
+  let survived = ref 0 and retrans = ref 0 in
+  for seed = 1 to 6 do
+    let o =
+      Fault.Torture.run ~recover:true (Fault.Torture.Token Token.Policy.dst1) ~spec ~seed
+    in
+    if o.Fault.Torture.stats.Fault.Plan.drops_recoverable > 0 then begin
+      incr survived;
+      (match Fault.Torture.verdict o with
+      | Fault.Torture.Clean -> ()
+      | v ->
+        Alcotest.failf "seed %d: expected survival, got %a" seed Fault.Torture.pp_verdict v);
+      Alcotest.(check bool) "completed" true o.Fault.Torture.completed;
+      Alcotest.(check bool) "no fatal report" true
+        (not (List.exists (fun r -> Fault.Report.severity r = `Fatal) o.Fault.Torture.reports));
+      retrans := !retrans + o.Fault.Torture.retransmits;
+      match o.Fault.Torture.recovered with
+      | None -> Alcotest.fail "recovery stats missing on a recovery run"
+      | Some _ -> ()
+    end
+  done;
+  Alcotest.(check bool) "storm actually dropped frames" true (!survived > 0);
+  Alcotest.(check bool) "transport retransmitted" true (!retrans > 0)
+
+(* Acceptance (tentpole): crash/restart campaign — caches power-cycled
+   mid-run lose all volatile state (tokens included); epoch-stamped
+   recreation restores the lost tokens and every request still
+   retires. The same seeds without --recover are the detection
+   baseline exercised by test_token_drop_detected. *)
+let test_recovery_crash_restart_retires () =
+  let spec =
+    Fault.Spec.with_crashes ~count:3
+      (Fault.Spec.with_drops ~tokens:true ~prob:0.02 Fault.Spec.default)
+  in
+  let crashes = ref 0 and recreations = ref 0 in
+  for seed = 1 to 5 do
+    let o =
+      Fault.Torture.run ~recover:true (Fault.Torture.Token Token.Policy.dst1) ~spec ~seed
+    in
+    (match Fault.Torture.verdict o with
+    | Fault.Torture.Clean -> ()
+    | v ->
+      Alcotest.failf "seed %d: expected survival, got %a" seed Fault.Torture.pp_verdict v);
+    Alcotest.(check bool) "all requests retired" true o.Fault.Torture.completed;
+    match o.Fault.Torture.recovered with
+    | None -> Alcotest.fail "recovery stats missing"
+    | Some rs ->
+      crashes := !crashes + rs.Token.Protocol.rs_crashes;
+      recreations := !recreations + rs.Token.Protocol.rs_recreations
+  done;
+  Alcotest.(check bool) "crashes actually fired" true (!crashes > 0);
+  Alcotest.(check bool) "lost tokens were recreated" true (!recreations > 0)
+
+(* Retransmit-cap exhaustion must surface as a structured report, never
+   an exception: at drop probability 1.0 no frame ever gets through, the
+   transport gives up after its cap and the run fails cleanly. *)
+let test_retransmit_exhaustion_structured () =
+  let spec = Fault.Spec.with_drops ~tokens:true ~prob:1.0 Fault.Spec.none in
+  let o =
+    Fault.Torture.run ~recover:true
+      ~no_progress_windows:1_000
+      ~starvation_bound:(ns 50_000_000)
+      (Fault.Torture.Token Token.Policy.dst1) ~spec ~seed:5
+  in
+  Alcotest.(check bool) "did not complete" false o.Fault.Torture.completed;
+  Alcotest.(check bool) "exhaustion reported" true
+    (List.exists
+       (fun r ->
+         match r.Fault.Report.kind with
+         | Fault.Report.Retransmit_exhausted _ -> true
+         | _ -> false)
+       o.Fault.Torture.reports);
+  match Fault.Torture.verdict o with
+  | Fault.Torture.Failed _ -> ()
+  | v -> Alcotest.failf "expected a failed verdict, got %a" Fault.Torture.pp_verdict v
+
+(* Recovery campaign smoke: every token policy survives a randomized
+   drop+crash storm. *)
+let test_recovery_campaign () =
+  let outcomes =
+    Fault.Torture.campaign ~config:Mcmp.Config.tiny ~runs:16 ~recover:true
+      ~targets:Fault.Torture.token_targets ~seed:4711 ()
+  in
+  Alcotest.(check int) "ran all 16" 16 (List.length outcomes);
+  List.iter check_clean outcomes;
+  Alcotest.(check bool) "directory targets rejected" true
+    (match
+       Fault.Torture.campaign ~runs:1 ~recover:true
+         ~targets:[ Fault.Torture.Directory { dram_directory = true } ]
+         ~seed:1 ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let tests =
   [
     Alcotest.test_case "spec modes" `Quick test_spec_modes;
@@ -259,4 +414,16 @@ let tests =
       test_mcast_fallback_under_spikes;
     Alcotest.test_case "timeout_all_responses under delay spikes" `Slow
       test_timeout_all_responses_under_spikes;
+    Alcotest.test_case "recovery flag leaves plan rng untouched" `Quick
+      test_plan_rng_identical_with_recovery;
+    Alcotest.test_case "watchdog margin covers worst-case recovery" `Quick
+      test_watchdog_margin_covers_recreation;
+    Alcotest.test_case "recovery survives token drops" `Slow
+      test_recovery_survives_token_drops;
+    Alcotest.test_case "crash/restart retires all requests" `Slow
+      test_recovery_crash_restart_retires;
+    Alcotest.test_case "retransmit exhaustion is a structured report" `Slow
+      test_retransmit_exhaustion_structured;
+    Alcotest.test_case "recovery campaign, all token targets" `Slow
+      test_recovery_campaign;
   ]

@@ -106,10 +106,26 @@ let test_safety_model_smallest () =
   Alcotest.(check bool) "safety-only model is the smallest" true
     (s.Mc.Explore.states < d.Mc.Explore.states)
 
+let test_recovery_model () =
+  (* The recreation substrate on the tiny config: one lost token, at
+     most one epoch bump, spurious recreation allowed. Safety must hold
+     on every reachable state and the loss must always be survivable
+     (no doomed states = both requests still complete). *)
+  let s = run (Mc.Recovery_model.model Mc.Recovery_model.default_params) () in
+  (match s.Mc.Explore.violation with
+  | None -> ()
+  | Some (reason, trace) ->
+    Alcotest.failf "violation: %s via %s" reason (String.concat ";" trace));
+  Alcotest.(check bool) "states explored" true (s.Mc.Explore.states > 100);
+  Alcotest.(check bool) "not truncated" true (not s.Mc.Explore.truncated);
+  Alcotest.(check bool) "goals reached" true (s.Mc.Explore.goals > 0);
+  Alcotest.(check int) "loss always survivable (no doomed states)" 0 s.Mc.Explore.doomed
+
 let test_model_loc_metric () =
   let t = Mc.Dir_model.model_loc `Token in
   let d = Mc.Dir_model.model_loc `Directory in
-  Alcotest.(check bool) "positive" true (t > 0 && d > 0)
+  let r = Mc.Dir_model.model_loc `Recovery in
+  Alcotest.(check bool) "positive" true (t > 0 && d > 0 && r > 0)
 
 let tests =
   [
@@ -122,6 +138,7 @@ let tests =
     Alcotest.test_case "token distributed activation verifies" `Slow test_token_dst_model;
     Alcotest.test_case "token arbiter activation verifies" `Slow test_token_arb_model;
     Alcotest.test_case "flat directory model verifies" `Quick test_dir_model;
+    Alcotest.test_case "token recreation substrate verifies" `Quick test_recovery_model;
     Alcotest.test_case "activation variants both close" `Slow test_dst_cheaper_than_arb;
     Alcotest.test_case "safety-only model is smallest" `Slow test_safety_model_smallest;
     Alcotest.test_case "model LoC metric" `Quick test_model_loc_metric;

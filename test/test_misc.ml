@@ -54,7 +54,13 @@ let test_token_msg_pp () =
           hint = None };
       Token.Msg.Tokens
         { addr = 5; src = 2; count = 3; owner = true; data = true; dirty = false;
-          writeback = false };
+          writeback = false; epoch = 0 };
+      Token.Msg.Tokens
+        { addr = 5; src = 2; count = 3; owner = true; data = true; dirty = false;
+          writeback = false; epoch = 2 };
+      Token.Msg.Recreate_req { addr = 5; src = 1; epoch = 1 };
+      Token.Msg.Epoch_bump { addr = 5; epoch = 2 };
+      Token.Msg.Epoch_ack { addr = 5; src = 1; epoch = 2 };
       Token.Msg.P_activate { addr = 5; proc = 0; l1 = 1; rw = Token.Msg.W; seq = 4 };
       Token.Msg.P_deactivate { addr = 5; proc = 0; seq = 4 };
       Token.Msg.P_arb_request { addr = 5; proc = 0; l1 = 1; rw = Token.Msg.W; rid = 7 };

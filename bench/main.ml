@@ -9,6 +9,7 @@
      ablate design-choice ablations (not in the paper's figures)
      micro  Bechamel micro-benchmarks of the simulator substrate
      faultrate  recovery-mode cost vs token-drop probability
+     perf   kernel hot-path throughput + per-section wall-clock roll-up
 
    Run with no arguments for everything, or name the sections:
      dune exec bench/main.exe -- fig2 fig6
@@ -827,6 +828,136 @@ let faultrate () =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* Perf: simulation-kernel hot-path throughput                         *)
+
+(* Wall clocks of the sections already run in this invocation, filled
+   in by the driver loop below; [perf] rolls them up so one quick full
+   run leaves a complete trajectory point in BENCH_perf.json. *)
+let section_walls : (string * float) list ref = ref []
+
+let perf () =
+  progress "[perf] kernel hot-path throughput...\n%!";
+  hr "Kernel perf: event scheduling and broadcast hot paths";
+  print_endline
+    "Host-time throughput of the simulation kernel (not simulated time):\n\
+     the calendar event queue vs the reference binary heap, the bitmask\n\
+     destination-set send vs the legacy list send, and end-to-end events/s\n\
+     of a whole tiny simulation. Absolute numbers are machine-dependent;\n\
+     the ratios and the cross-PR trend are what the trajectory tracks.";
+  let time_s f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  (* 1. Empty-handler churn: schedule-then-drain batches, the pure
+     queue-discipline cost with no protocol work at all. *)
+  let churn queue =
+    let batches = if !quick then 60 else 200 in
+    let per_batch = 4096 in
+    let dt =
+      time_s (fun () ->
+          for _ = 1 to batches do
+            let e = Sim.Engine.create ~queue () in
+            for i = 1 to per_batch do
+              Sim.Engine.schedule_in e
+                (Sim.Time.ps ((i * 7919) land 0xffff))
+                (fun () -> ())
+            done;
+            Sim.Engine.run e
+          done)
+    in
+    float_of_int (batches * per_batch) /. dt
+  in
+  let cal_eps = churn Sim.Engine.Calendar in
+  let heap_eps = churn Sim.Engine.Binheap in
+  Printf.printf "engine churn (4096-event batches, empty handlers):\n";
+  Printf.printf "  %-28s %12.3g events/s\n" "calendar queue" cal_eps;
+  Printf.printf "  %-28s %12.3g events/s\n" "binary heap" heap_eps;
+  Printf.printf "  %-28s %12.2fx\n" "calendar/heap" (cal_eps /. heap_eps);
+  (* 2. Broadcast storm: all-caches fan-out on a 4-CMP fabric, mask
+     destsets vs the legacy sorted-list path. *)
+  let storm use_set =
+    let l = Interconnect.Layout.create ~ncmp:4 ~procs_per_cmp:4 ~banks_per_cmp:4 in
+    let engine = Sim.Engine.create () in
+    let traffic = Interconnect.Traffic.create () in
+    let fabric =
+      Interconnect.Fabric.create engine l Interconnect.Fabric.default_params traffic
+        (Sim.Rng.create 1)
+    in
+    Interconnect.Fabric.set_handler fabric (fun ~dst:_ () -> ());
+    let dset = Interconnect.Layout.all_caches_set l in
+    let dlist = Interconnect.Destset.to_list dset in
+    let sends = if !quick then 20_000 else 60_000 in
+    let nnodes = Interconnect.Layout.node_count l in
+    let dt =
+      time_s (fun () ->
+          for i = 1 to sends do
+            let src = i * 13 mod nnodes in
+            (if use_set then
+               Interconnect.Fabric.send_set fabric ~src ~dsts:dset
+                 ~cls:Interconnect.Msg_class.Request ~bytes:8 ()
+             else
+               Interconnect.Fabric.send fabric ~src ~dsts:dlist
+                 ~cls:Interconnect.Msg_class.Request ~bytes:8 ());
+            if i land 255 = 0 then Sim.Engine.run engine
+          done;
+          Sim.Engine.run engine)
+    in
+    float_of_int sends /. dt
+  in
+  let set_sps = storm true in
+  let list_sps = storm false in
+  Printf.printf "broadcast storm (all caches of a 4-CMP machine):\n";
+  Printf.printf "  %-28s %12.3g sends/s\n" "send_set (bitmask)" set_sps;
+  Printf.printf "  %-28s %12.3g sends/s\n" "send (sorted list)" list_sps;
+  Printf.printf "  %-28s %12.2fx\n" "set/list" (set_sps /. list_sps);
+  (* 3. Whole-simulation events/s: protocol + caches + fabric, the
+     number the wall-clock claims of this trajectory cash out in. *)
+  let sim_eps =
+    let config = Mcmp.Config.tiny in
+    let wl = { (Workload.Locking.default ~nlocks:4) with Workload.Locking.acquires = 10 } in
+    let programs = Workload.Locking.programs wl ~seed:1 ~nprocs:(Mcmp.Config.nprocs config) in
+    let reps = if !quick then 30 else 100 in
+    let events = ref 0 in
+    let dt =
+      time_s (fun () ->
+          for _ = 1 to reps do
+            let r =
+              Mcmp.Runner.run ~config (Token.Protocol.builder Token.Policy.dst1) ~programs
+                ~seed:1
+            in
+            events := !events + r.Mcmp.Runner.events
+          done)
+    in
+    float_of_int !events /. dt
+  in
+  Printf.printf "tiny TokenCMP-dst1 simulation:  %12.3g events/s\n" sim_eps;
+  if !section_walls <> [] then begin
+    Printf.printf "wall clock of sections run in this invocation:\n";
+    List.iter (fun (n, w) -> Printf.printf "  %-10s %8.1f s\n" n w) !section_walls
+  end;
+  J.Obj
+    [
+      ( "engine_churn",
+        J.Obj
+          [
+            ("calendar_events_per_s", J.Float cal_eps);
+            ("binheap_events_per_s", J.Float heap_eps);
+            ("speedup", J.Float (cal_eps /. heap_eps));
+          ] );
+      ( "broadcast_storm",
+        J.Obj
+          [
+            ("send_set_per_s", J.Float set_sps);
+            ("send_list_per_s", J.Float list_sps);
+            ("speedup", J.Float (set_sps /. list_sps));
+          ] );
+      ("tiny_sim_events_per_s", J.Float sim_eps);
+      ( "section_wall_clock_s",
+        J.Obj (List.map (fun (n, w) -> (n, J.Float w)) !section_walls) );
+    ]
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -842,6 +973,9 @@ let sections =
     ("micro", micro);
     ("trace", trace);
     ("faultrate", faultrate);
+    (* keep perf last: it rolls up the wall clocks of the sections
+       above when a full run is requested *)
+    ("perf", perf);
   ]
 
 (* Envelope around each section's payload; BENCH_<section>.json files
@@ -887,7 +1021,9 @@ let () =
       | Some f ->
         let t0 = Unix.gettimeofday () in
         let data = f () in
-        write_json name ~wall_clock:(Unix.gettimeofday () -. t0) data
+        let wall = Unix.gettimeofday () -. t0 in
+        section_walls := !section_walls @ [ (name, wall) ];
+        write_json name ~wall_clock:wall data
       | None ->
         Printf.eprintf "unknown section %s (have: %s)\n" name
           (String.concat ", " (List.map fst sections));

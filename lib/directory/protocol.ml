@@ -122,9 +122,10 @@ let local_l1_bit t id =
   | L.L1i { proc; _ } -> 1 lsl (t.layout.L.procs_per_cmp + proc)
   | L.L2 _ | L.Mem _ -> 0
 
-let l1s_of_bits t cmp bits =
-  let l1s = L.l1s_of_cmp t.layout cmp in
-  List.filteri (fun i _ -> bits land (1 lsl i) <> 0) l1s
+(* Sharer-bitmap bit [i] is node [first_l1 + i] (see [local_l1_bit]),
+   so the bitmap lifts straight into a destination mask. *)
+let l1_dstset t cmp bits =
+  Interconnect.Destset.of_bitfield ~bits ~base:(L.l1d t.layout ~cmp ~proc:0)
 
 let get_ldir node addr =
   match Hashtbl.find_opt node.ldir addr with
@@ -281,9 +282,9 @@ and invalidate_local_sharers t node addr ~except =
   let d = get_ldir node addr in
   let bits = d.sharers land lnot except in
   d.sharers <- d.sharers land except;
-  let dsts = l1s_of_bits t (node_cmp node) bits in
-  if dsts <> [] then
-    F.send t.fabric ~src:node.id ~dsts ~cls:MC.Inv_fwd_ack_tokens ~bytes:(ctrl t)
+  let dsts = l1_dstset t (node_cmp node) bits in
+  if not (Interconnect.Destset.is_empty dsts) then
+    F.send_set t.fabric ~src:node.id ~dsts ~cls:MC.Inv_fwd_ack_tokens ~bytes:(ctrl t)
       (Msg.L1_inv { addr })
 
 (* ------------------------------------------------------------------ *)

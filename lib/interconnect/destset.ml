@@ -1,0 +1,107 @@
+type t = Mask of int | Wide of int list
+
+(* Ids 0..62: bit 62 is the last usable one in OCaml's 63-bit int. *)
+let max_direct = 63
+
+let lsb m = m land -m
+
+let msb m =
+  let m = m lor (m lsr 1) in
+  let m = m lor (m lsr 2) in
+  let m = m lor (m lsr 4) in
+  let m = m lor (m lsr 8) in
+  let m = m lor (m lsr 16) in
+  let m = m lor (m lsr 32) in
+  m - (m lsr 1)
+
+(* Binary-search the position of an isolated bit. *)
+let bit_index b =
+  let n = ref 0 in
+  let b = ref b in
+  if !b land 0xFFFFFFFF = 0 then begin n := !n + 32; b := !b lsr 32 end;
+  if !b land 0xFFFF = 0 then begin n := !n + 16; b := !b lsr 16 end;
+  if !b land 0xFF = 0 then begin n := !n + 8; b := !b lsr 8 end;
+  if !b land 0xF = 0 then begin n := !n + 4; b := !b lsr 4 end;
+  if !b land 0x3 = 0 then begin n := !n + 2; b := !b lsr 2 end;
+  if !b land 0x1 = 0 then incr n;
+  !n
+
+let iter_bits_asc f m =
+  let m = ref m in
+  while !m <> 0 do
+    let b = lsb !m in
+    m := !m lxor b;
+    f (bit_index b)
+  done
+
+let iter_bits_desc f m =
+  let m = ref m in
+  while !m <> 0 do
+    let b = msb !m in
+    m := !m lxor b;
+    f (bit_index b)
+  done
+
+let rec popcount m = if m = 0 then 0 else 1 + popcount (m land (m - 1))
+
+let fits id = id >= 0 && id < max_direct
+
+let empty = Mask 0
+
+let is_empty = function Mask m -> m = 0 | Wide l -> l = []
+
+let cardinal = function Mask m -> popcount m | Wide l -> List.length l
+
+let mem id = function
+  | Mask m -> fits id && m land (1 lsl id) <> 0
+  | Wide l -> List.mem id l
+
+let to_list = function
+  | Mask m ->
+      let acc = ref [] in
+      iter_bits_desc (fun i -> acc := i :: !acc) m;
+      !acc
+  | Wide l -> l
+
+let of_list ids =
+  if List.for_all fits ids then
+    Mask (List.fold_left (fun m id -> m lor (1 lsl id)) 0 ids)
+  else Wide (List.sort_uniq compare ids)
+
+let widen s = List.sort_uniq compare (to_list s)
+
+let add id = function
+  | Mask m when fits id -> Mask (m lor (1 lsl id))
+  | s -> Wide (List.sort_uniq compare (id :: widen s))
+
+let remove id = function
+  | Mask m -> Mask (if fits id then m land lnot (1 lsl id) else m)
+  | Wide l -> Wide (List.filter (fun x -> x <> id) l)
+
+let singleton id = add id empty
+
+let union a b =
+  match (a, b) with
+  | Mask x, Mask y -> Mask (x lor y)
+  | _ -> Wide (List.sort_uniq compare (to_list a @ to_list b))
+
+let of_bitfield ~bits ~base =
+  if bits = 0 then empty
+  else begin
+    let top = base + bit_index (msb bits) in
+    if base >= 0 && top < max_direct then Mask (bits lsl base)
+    else begin
+      let acc = ref [] in
+      iter_bits_desc (fun i -> acc := (base + i) :: !acc) bits;
+      Wide !acc
+    end
+  end
+
+let iter f = function
+  | Mask m -> iter_bits_asc f m
+  | Wide l -> List.iter f l
+
+let equal a b =
+  match (a, b) with
+  | Mask x, Mask y -> x = y
+  | _ -> to_list a = to_list b

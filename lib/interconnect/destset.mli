@@ -1,0 +1,64 @@
+(** Destination sets for fabric broadcasts.
+
+    Every supported configuration keeps node ids below {!max_direct}
+    (63 on a 64-bit host), so a destination set is normally a single
+    int bitmask: build, dedup, self-exclusion and local/remote
+    splitting are then bit operations with no allocation on the send
+    hot path. Configurations beyond that fall back to a sorted
+    duplicate-free list ([Wide]) and the fabric's list-based send.
+
+    The representation is exposed concretely so {!Fabric.send_set} can
+    pattern-match [Mask] and work on the raw int. *)
+
+type t =
+  | Mask of int  (** bit [i] set = node [i] is a destination *)
+  | Wide of int list  (** sorted, duplicate-free; any id allowed *)
+
+(** Largest node count representable as a [Mask]: ids [0 .. 62]. *)
+val max_direct : int
+
+val empty : t
+val is_empty : t -> bool
+val cardinal : t -> int
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val singleton : int -> t
+
+(** [of_list ids] builds a [Mask] when every id fits, else a [Wide].
+    Duplicates collapse either way. *)
+val of_list : int list -> t
+
+(** Ascending. *)
+val to_list : t -> int list
+
+val union : t -> t -> t
+
+(** [of_bitfield ~bits ~base] is the set [{ base + i | bit i of bits }]
+    — the shape of the protocols' L1 sharer bitmaps, whose bit [i]
+    stands for node [cmp * stride + i]. *)
+val of_bitfield : bits:int -> base:int -> t
+
+(** [iter f s] applies [f] to each element in ascending order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** Structural equality on the element sets (a [Mask] and a [Wide]
+    holding the same ids are equal). *)
+val equal : t -> t -> bool
+
+(** {2 Raw bitmask helpers} — for callers matching [Mask] directly. *)
+
+(** [lsb m] isolates the lowest set bit ([m land (-m)]); 0 when [m = 0]. *)
+val lsb : int -> int
+
+(** [msb m] isolates the highest set bit; 0 when [m = 0]. *)
+val msb : int -> int
+
+(** [bit_index b] is the position of the single set bit of [b]. *)
+val bit_index : int -> int
+
+(** [iter_bits_asc f m] / [iter_bits_desc f m] apply [f] to each set
+    bit position of [m], lowest-first / highest-first. *)
+val iter_bits_asc : (int -> unit) -> int -> unit
+
+val iter_bits_desc : (int -> unit) -> int -> unit

@@ -60,6 +60,14 @@ type 'msg t = {
   params : params;
   traffic : Traffic.t;
   rng : Sim.Rng.t;
+  (* Per-node layout lookups and per-site node masks, precomputed at
+     creation so the send hot path never recomputes divisions or
+     allocates. [use_masks] is false when the node count exceeds
+     [Destset.max_direct]; [send_set] then falls back to the list path. *)
+  cmp_arr : int array;
+  is_cache_arr : bool array;
+  site_masks : int array;
+  use_masks : bool;
   mutable handler : dst:int -> 'msg -> unit;
   port_busy : Sim.Time.t array; (* per node, on-chip egress port *)
   link_busy : Sim.Time.t array; (* per ordered site pair *)
@@ -99,6 +107,20 @@ let register ?(prefix = "fabric.") registry t =
   R.register_float registry (prefix ^ "link_backlog_ns") (fun () -> backlog t.link_busy)
 
 let create engine layout params traffic rng =
+  let nnodes = Layout.node_count layout in
+  let cmp_arr = Array.init nnodes (fun i -> Layout.cmp_of layout i) in
+  let is_cache_arr = Array.init nnodes (fun i -> Layout.is_cache layout i) in
+  let use_masks = nnodes <= Destset.max_direct in
+  let site_masks =
+    if not use_masks then [||]
+    else begin
+      let sm = Array.make layout.Layout.ncmp 0 in
+      for i = 0 to nnodes - 1 do
+        sm.(cmp_arr.(i)) <- sm.(cmp_arr.(i)) lor (1 lsl i)
+      done;
+      sm
+    end
+  in
   let t =
     {
       engine;
@@ -106,6 +128,10 @@ let create engine layout params traffic rng =
       params;
       traffic;
       rng;
+      cmp_arr;
+      is_cache_arr;
+      site_masks;
+      use_masks;
       handler = (fun ~dst:_ _ -> failwith "Fabric: handler not set");
       port_busy = Array.make (Layout.node_count layout) Sim.Time.zero;
       link_busy = Array.make (layout.Layout.ncmp * layout.Layout.ncmp) Sim.Time.zero;
@@ -295,7 +321,10 @@ let retransmits t = match t.rel with Some r -> r.r_retransmits | None -> 0
 let absorbed_duplicates t = match t.rel with Some r -> r.r_absorbed | None -> 0
 let retrans_exhausted t = match t.rel with Some r -> r.r_exhausted | None -> 0
 
-let send t ~src ~dsts ~cls ~bytes msg =
+(* Reference list-based multicast: kept both as the fallback for
+   configurations too large for bitmasks and as the oracle the destset
+   equivalence tests compare [send_set] against. *)
+let send_list t ~src ~dsts ~cls ~bytes msg =
   let p = t.params in
   let lay = t.layout in
   let now = Sim.Engine.now t.engine in
@@ -367,5 +396,92 @@ let send t ~src ~dsts ~cls ~bytes msg =
           site_dsts)
       by_site
   end
+
+let send = send_list
+
+(* Bitmask multicast: same per-copy charging, port/link claims and rng
+   draws as [send_list], in the same order, but dedup / self-exclusion /
+   local-remote splitting are bit operations and the layout lookups hit
+   the precomputed arrays — no list, pair or hashtable allocation. *)
+let send_set t ~src ~dsts ~cls ~bytes msg =
+  match dsts with
+  | Destset.Wide l -> send_list t ~src ~dsts:l ~cls ~bytes msg
+  | Destset.Mask m0 ->
+    if not t.use_masks then send_list t ~src ~dsts:(Destset.to_list dsts) ~cls ~bytes msg
+    else begin
+      let p = t.params in
+      let now = Sim.Engine.now t.engine in
+      let src_site = t.cmp_arr.(src) in
+      let src_onchip = t.is_cache_arr.(src) in
+      let m = m0 land lnot (1 lsl src) in
+      let local = m land t.site_masks.(src_site) in
+      let remote = m land lnot t.site_masks.(src_site) in
+      (* Local copies in ascending id order — the order the legacy
+         path's sorted list imposes, which the jitter rng draws see. *)
+      let lm = ref local in
+      while !lm <> 0 do
+        let b = Destset.lsb !lm in
+        lm := !lm lxor b;
+        let d = Destset.bit_index b in
+        let d_onchip = t.is_cache_arr.(d) in
+        if src_onchip && d_onchip then begin
+          Traffic.add_intra t.traffic cls bytes;
+          let dep = claim_port t src (serialization p.intra_bytes_per_ns bytes) in
+          deliver_at t ~src ~cls ~bytes (dep + p.intra_latency + jitter t) d msg
+        end
+        else if d_onchip then begin
+          Traffic.add_intra t.traffic cls bytes;
+          deliver_at t ~src ~cls ~bytes (now + p.mem_link_latency + jitter t) d msg
+        end
+        else begin
+          Traffic.add_inter t.traffic cls bytes;
+          let dep =
+            if src_onchip then claim_port t src (serialization p.inter_bytes_per_ns bytes)
+            else now
+          in
+          deliver_at t ~src ~cls ~bytes (dep + p.mem_link_latency + jitter t) d msg
+        end
+      done;
+      if remote <> 0 then begin
+        let exit_ready =
+          if src_onchip then begin
+            Traffic.add_intra t.traffic cls bytes;
+            claim_port t src (serialization p.intra_bytes_per_ns bytes) + p.intra_latency
+          end
+          else now + p.mem_link_latency
+        in
+        (* Destination sites in ascending index order. The legacy path
+           iterates a Hashtbl here — order unspecified — so this also
+           retires that latent determinism hazard for ncmp >= 3. *)
+        for site = 0 to t.layout.Layout.ncmp - 1 do
+          let sm = remote land t.site_masks.(site) in
+          if sm <> 0 then begin
+            Traffic.add_inter t.traffic cls bytes;
+            let ser = serialization p.inter_bytes_per_ns bytes in
+            let arrive =
+              claim_link t ~src_site ~dst_site:site ~cls ~bytes exit_ready ser
+              + p.inter_latency
+            in
+            (* Within a site, descending: the legacy path conses each
+               site's destinations over an ascending scan, so it
+               delivers (and draws jitter) highest-id first. *)
+            let rm = ref sm in
+            while !rm <> 0 do
+              let b = Destset.msb !rm in
+              rm := !rm lxor b;
+              let d = Destset.bit_index b in
+              let entry =
+                if t.is_cache_arr.(d) then begin
+                  Traffic.add_intra t.traffic cls bytes;
+                  p.intra_latency
+                end
+                else p.mem_link_latency
+              in
+              deliver_at t ~src ~cls ~bytes (arrive + entry + jitter t) d msg
+            done
+          end
+        done
+      end
+    end
 
 let send_one t ~src ~dst ~cls ~bytes msg = send t ~src ~dsts:[ dst ] ~cls ~bytes msg

@@ -124,6 +124,22 @@ val engine : 'msg t -> Sim.Engine.t
 val send :
   'msg t -> src:int -> dsts:int list -> cls:Msg_class.t -> bytes:int -> 'msg -> unit
 
+(** [send_set] is [send] taking a precomputed {!Destset.t}: on a [Mask]
+    (and a layout small enough for masks) the whole destination walk is
+    bit operations over arrays precomputed at {!create} — no per-send
+    allocation. Timing, traffic charges and rng draws are identical to
+    [send] on the same destinations, except that destination {e sites}
+    are visited in ascending index order where [send] inherits an
+    unspecified [Hashtbl] order (configs with 3+ CMPs only; the
+    equivalence tests in test_interconnect pin the rest). *)
+val send_set :
+  'msg t -> src:int -> dsts:Destset.t -> cls:Msg_class.t -> bytes:int -> 'msg -> unit
+
+(** The list-based reference path used by [send]; exposed for the
+    differential tests. *)
+val send_list :
+  'msg t -> src:int -> dsts:int list -> cls:Msg_class.t -> bytes:int -> 'msg -> unit
+
 val send_one :
   'msg t -> src:int -> dst:int -> cls:Msg_class.t -> bytes:int -> 'msg -> unit
 

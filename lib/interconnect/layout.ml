@@ -64,6 +64,16 @@ let all_mems t = List.init t.ncmp (fun cmp -> mem t ~cmp)
 
 let all_nodes t = List.init (node_count t) (fun i -> i)
 
+(* Destset twins of the list accessors. Called at component-creation
+   time so protocols can precompute broadcast masks; the hot paths then
+   never rebuild these. *)
+let all_caches_set t = Destset.of_list (all_caches t)
+let all_mems_set t = Destset.of_list (all_mems t)
+let all_nodes_set t = Destset.of_list (all_nodes t)
+let caches_of_cmp_set t cmp = Destset.of_list (caches_of_cmp t cmp)
+let l1s_of_cmp_set t cmp = Destset.of_list (l1s_of_cmp t cmp)
+let l2s_of_cmp_set t cmp = Destset.of_list (l2s_of_cmp t cmp)
+
 let pp_node t fmt id =
   match kind t id with
   | L1d { cmp; proc } -> Format.fprintf fmt "L1d[%d.%d]" cmp proc

@@ -63,4 +63,14 @@ val l2s_of_cmp : t -> int -> int list
 val all_caches : t -> int list
 val all_mems : t -> int list
 val all_nodes : t -> int list
+
+(** {!Destset} twins of the list accessors above, for precomputing
+    broadcast destination masks at component-creation time. *)
+val all_caches_set : t -> Destset.t
+
+val all_mems_set : t -> Destset.t
+val all_nodes_set : t -> Destset.t
+val caches_of_cmp_set : t -> int -> Destset.t
+val l1s_of_cmp_set : t -> int -> Destset.t
+val l2s_of_cmp_set : t -> int -> Destset.t
 val pp_node : t -> Format.formatter -> int -> unit

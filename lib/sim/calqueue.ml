@@ -1,0 +1,190 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+(* Buckets hold immutable entry lists, so removed entries become
+   unreachable as soon as they are unlinked — no dead-slot filler dance
+   like the array-backed {!Heap} needs. A "day" is [key asr wbits]; all
+   entries of one day share a bucket ([day land mask]), so the minimum
+   entry of the first non-empty day is the calendar-wide minimum. *)
+type 'a t = {
+  mutable buckets : 'a entry list array;
+  mutable mask : int; (* Array.length buckets - 1; length is a power of two *)
+  mutable wbits : int; (* bucket width = 1 lsl wbits *)
+  mutable cur_day : int; (* first day the next pop scans *)
+  mutable nsize : int; (* entries resident in the calendar buckets *)
+  mutable size : int; (* total, including overflow *)
+  overflow : 'a Heap.t; (* far-list: entries beyond the calendar window *)
+}
+
+let min_buckets = 64
+let max_buckets = 65536
+
+let create () =
+  {
+    buckets = Array.make min_buckets [];
+    mask = min_buckets - 1;
+    wbits = 4; (* first rebuild recalibrates from the observed key span *)
+    cur_day = 0;
+    nsize = 0;
+    size = 0;
+    overflow = Heap.create ();
+  }
+
+let length q = q.size
+let is_empty q = q.size = 0
+
+let insert_cal q e =
+  let b = (e.key asr q.wbits) land q.mask in
+  q.buckets.(b) <- e :: q.buckets.(b);
+  q.nsize <- q.nsize + 1
+
+let rec log2_floor v = if v <= 1 then 0 else 1 + log2_floor (v lsr 1)
+let rec pow2_ge n acc = if acc >= n then acc else pow2_ge n (acc * 2)
+
+(* Gather every pending entry — calendar and overflow — and re-lay the
+   calendar with bucket count ~ population and width ~ average key gap,
+   anchored at the minimum key. Entries past the new window go back to
+   the overflow heap. O(size), amortised by the triggers in push/pop. *)
+let rebuild q ~extra =
+  let acc = ref (match extra with Some e -> [ e ] | None -> []) in
+  let n = ref (match extra with Some _ -> 1 | None -> 0) in
+  Array.iteri
+    (fun i lst ->
+      List.iter
+        (fun e ->
+          incr n;
+          acc := e :: !acc)
+        lst;
+      q.buckets.(i) <- [])
+    q.buckets;
+  while not (Heap.is_empty q.overflow) do
+    let he = Heap.pop_entry q.overflow in
+    incr n;
+    acc := { key = he.Heap.key; seq = he.Heap.seq; value = he.Heap.value } :: !acc
+  done;
+  q.nsize <- 0;
+  if !n > 0 then begin
+    let min_key = List.fold_left (fun m e -> min m e.key) max_int !acc in
+    let max_key = List.fold_left (fun m e -> max m e.key) min_int !acc in
+    let gap = (max_key - min_key) / !n in
+    q.wbits <- (if gap <= 1 then 0 else log2_floor gap);
+    let nb = max min_buckets (min max_buckets (pow2_ge !n 1)) in
+    if nb <> q.mask + 1 then q.buckets <- Array.make nb [];
+    q.mask <- nb - 1;
+    q.cur_day <- min_key asr q.wbits;
+    let limit = q.cur_day + nb in
+    List.iter
+      (fun e ->
+        if e.key asr q.wbits < limit then insert_cal q e
+        else Heap.push q.overflow ~key:e.key ~seq:e.seq e.value)
+      !acc
+  end
+
+let push q ~key ~seq value =
+  let e = { key; seq; value } in
+  (if q.size = 0 then begin
+     q.cur_day <- key asr q.wbits;
+     insert_cal q e
+   end
+   else
+     let d = key asr q.wbits in
+     if d < q.cur_day then
+       (* Below the calendar window — only possible for out-of-order
+          standalone use (the engine schedules monotonically). *)
+       rebuild q ~extra:(Some e)
+     else if d - q.cur_day <= q.mask then insert_cal q e
+     else Heap.push q.overflow ~key ~seq value);
+  q.size <- q.size + 1;
+  let nb = q.mask + 1 in
+  if q.nsize > 4 * nb && nb < max_buckets then rebuild q ~extra:None
+  else if Heap.length q.overflow > (4 * q.nsize) + min_buckets then
+    (* Overflow dominance means the width is mis-calibrated (too narrow
+       a window); recalibrate before the far-list degenerates the queue
+       into a plain binary heap. *)
+    rebuild q ~extra:None
+
+let bucket_min lst =
+  match lst with
+  | [] -> None
+  | e0 :: rest ->
+      let rec go best = function
+        | [] -> Some best
+        | e :: tl ->
+            let best =
+              if e.key < best.key || (e.key = best.key && e.seq < best.seq)
+              then e
+              else best
+            in
+            go best tl
+      in
+      go e0 rest
+
+(* Find the calendar minimum: the (key, seq)-least entry of the first
+   day >= cur_day with one. Requires nsize > 0. Does not commit the day
+   advance — [pop_entry] does, so a peek never moves [cur_day] and
+   monotonic engine pushes never hit the out-of-order rebuild. *)
+let scan q =
+  let fuel = ref (q.mask + 1) in
+  let rec go day =
+    let b = day land q.mask in
+    match bucket_min q.buckets.(b) with
+    | Some e when e.key asr q.wbits = day -> (day, b, e)
+    | _ ->
+        decr fuel;
+        (* Every calendar entry has day in [cur_day, cur_day + nbuckets),
+           so a full lap without a hit means a broken invariant. *)
+        assert (!fuel >= 0);
+        go (day + 1)
+  in
+  go q.cur_day
+
+let remove_entry e lst =
+  let rec go acc = function
+    | [] -> assert false
+    | x :: tl -> if x == e then List.rev_append acc tl else go (x :: acc) tl
+  in
+  go [] lst
+
+(* Overflow wins key ties: a same-key pair split across calendar and
+   overflow always has the overflow entry pushed first (the window only
+   grows between rebuilds, and rebuilds keep equal keys — equal days —
+   together), hence the smaller seq. *)
+let overflow_first q cal_key =
+  match Heap.peek_key q.overflow with Some k -> k <= cal_key | None -> false
+
+let pop_entry q =
+  if q.size = 0 then invalid_arg "Sim.Calqueue.pop: queue is empty";
+  if q.nsize = 0 then rebuild q ~extra:None;
+  let day, b, e = scan q in
+  q.cur_day <- day;
+  q.size <- q.size - 1;
+  if overflow_first q e.key then begin
+    let he = Heap.pop_entry q.overflow in
+    { key = he.Heap.key; seq = he.Heap.seq; value = he.Heap.value }
+  end
+  else begin
+    q.buckets.(b) <- remove_entry e q.buckets.(b);
+    q.nsize <- q.nsize - 1;
+    let nb = q.mask + 1 in
+    if q.nsize < nb / 8 && nb > min_buckets then rebuild q ~extra:None;
+    e
+  end
+
+let pop q =
+  let e = pop_entry q in
+  (e.key, e.seq, e.value)
+
+let peek_key q =
+  if q.size = 0 then None
+  else begin
+    if q.nsize = 0 then rebuild q ~extra:None;
+    let _, _, e = scan q in
+    Some (if overflow_first q e.key then Option.get (Heap.peek_key q.overflow)
+          else e.key)
+  end
+
+let clear q =
+  Array.fill q.buckets 0 (Array.length q.buckets) [];
+  Heap.clear q.overflow;
+  q.nsize <- 0;
+  q.size <- 0;
+  q.cur_day <- 0

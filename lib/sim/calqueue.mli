@@ -1,0 +1,49 @@
+(** Bucketed calendar queue keyed by [(key, seq)] pairs.
+
+    A calendar queue (Brown 1988) hashes each pending entry into a
+    bucket by [key / width mod nbuckets] — a "day on a calendar" — and
+    pops by scanning forward from the current day, so push and pop are
+    O(1) when the bucket width tracks the average key spacing. Entries
+    beyond one calendar year land in a binary-heap overflow far-list
+    ({!Heap}) and migrate into the calendar when it drains down to them.
+
+    The structure preserves the {e exact} [(key, seq)] total order of
+    {!Heap}: among equal keys, entries pop in ascending [seq]
+    (insertion) order. The engine's differential tests pin this, so the
+    binary heap and the calendar queue are interchangeable without
+    changing simulated behavior.
+
+    Bucket count and width resize lazily: when occupancy drifts far
+    from ~1 entry/bucket the queue rebuilds itself from the observed
+    key span. Keys may arrive below the current calendar position
+    (never the case inside the engine, which asserts monotonic
+    schedules); that triggers a full rebuild rather than an error, so
+    standalone use remains correct, merely slower. *)
+
+type 'a t
+
+(** Entries are exposed read-only so {!pop_entry} can hand back the
+    record allocated at push time without re-boxing it into a tuple. *)
+type 'a entry = private { key : int; seq : int; value : 'a }
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push q ~key ~seq v] inserts [v] with priority [(key, seq)].
+    [key] and [seq] must be non-negative. *)
+val push : 'a t -> key:int -> seq:int -> 'a -> unit
+
+(** [pop q] removes and returns the minimum element.
+    @raise Invalid_argument if the queue is empty. *)
+val pop : 'a t -> int * int * 'a
+
+(** [pop_entry q] removes and returns the minimum element as the entry
+    record it was stored under — no fresh allocation on the pop side.
+    @raise Invalid_argument if the queue is empty. *)
+val pop_entry : 'a t -> 'a entry
+
+(** [peek_key q] returns the minimum key without removing it. *)
+val peek_key : 'a t -> int option
+
+val clear : 'a t -> unit

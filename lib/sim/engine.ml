@@ -1,20 +1,35 @@
 type event = ..
 type ext = ..
 
+type queue = Binheap | Calendar
+
+(* One concrete arm per queue implementation (rather than a record of
+   closures) so the run loop and schedule_at dispatch with a single
+   match and then run monomorphic, inlinable queue code. *)
+type q = H of (unit -> unit) Heap.t | C of (unit -> unit) Calqueue.t
+
 type t = {
   mutable now : Time.t;
   mutable seq : int;
   mutable processed : int;
   mutable stopped : bool;
-  queue : (unit -> unit) Heap.t;
+  queue : q;
   mutable sink : (Time.t -> event -> unit) option;
   mutable exts : ext list;
 }
 
 type timer = { mutable cancelled : bool }
 
-let create () =
-  { now = Time.zero; seq = 0; processed = 0; stopped = false; queue = Heap.create ();
+let default = ref Calendar
+let set_default_queue k = default := k
+let default_queue () = !default
+
+let create ?queue () =
+  let kind = match queue with Some k -> k | None -> !default in
+  let queue =
+    match kind with Binheap -> H (Heap.create ()) | Calendar -> C (Calqueue.create ())
+  in
+  { now = Time.zero; seq = 0; processed = 0; stopped = false; queue;
     sink = None; exts = [] }
 
 let now t = t.now
@@ -32,12 +47,20 @@ let rec find_opt f = function
   | [] -> None
   | x :: rest -> ( match f x with Some _ as r -> r | None -> find_opt f rest)
 
+(* Linear walk, deliberately unmemoised: [exts] only ever holds a
+   handful of entries (today a single [Obs.Registry.Registry]; tracing
+   buffers attach through [set_sink] instead), and every [find_ext]
+   call site runs at component construction time, never inside the
+   event loop. test_engine's "find_ext" case pins the recency order
+   this walk provides. *)
 let find_ext t f = find_opt f t.exts
 
 let schedule_at t time f =
   assert (time >= t.now);
   t.seq <- t.seq + 1;
-  Heap.push t.queue ~key:time ~seq:t.seq f
+  match t.queue with
+  | H h -> Heap.push h ~key:time ~seq:t.seq f
+  | C c -> Calqueue.push c ~key:time ~seq:t.seq f
 
 let schedule_in t delay f =
   assert (delay >= 0);
@@ -52,20 +75,40 @@ let cancel timer = timer.cancelled <- true
 
 let stop t = t.stopped <- true
 
+(* The two loop bodies are intentionally near-duplicates: each stays
+   monomorphic in its queue type and consumes the entry record the
+   queue allocated at push time ([pop_entry]), so a popped event costs
+   no tuple re-boxing. [until = None] becomes a [max_int] bound — keys
+   are simulated times and never reach it. *)
 let run ?until ?(max_events = max_int) t =
   t.stopped <- false;
-  let continue () =
-    (not t.stopped)
-    &&
-    match Heap.peek_key t.queue with
-    | None -> false
-    | Some key -> ( match until with None -> true | Some bound -> key <= bound)
-  in
-  while continue () do
-    let time, _, f = Heap.pop t.queue in
-    t.now <- time;
-    t.processed <- t.processed + 1;
-    if t.processed > max_events then
-      failwith (Printf.sprintf "Engine.run: exceeded %d events" max_events);
-    f ()
-  done
+  let bound = match until with None -> max_int | Some b -> b in
+  match t.queue with
+  | H h ->
+      let continue () =
+        (not t.stopped)
+        && (match Heap.peek_key h with None -> false | Some key -> key <= bound)
+      in
+      while continue () do
+        let e = Heap.pop_entry h in
+        t.now <- e.Heap.key;
+        t.processed <- t.processed + 1;
+        if t.processed > max_events then
+          failwith (Printf.sprintf "Engine.run: exceeded %d events" max_events);
+        e.Heap.value ()
+      done
+  | C c ->
+      let continue () =
+        (not t.stopped)
+        && (match Calqueue.peek_key c with
+           | None -> false
+           | Some key -> key <= bound)
+      in
+      while continue () do
+        let e = Calqueue.pop_entry c in
+        t.now <- e.Calqueue.key;
+        t.processed <- t.processed + 1;
+        if t.processed > max_events then
+          failwith (Printf.sprintf "Engine.run: exceeded %d events" max_events);
+        e.Calqueue.value ()
+      done

@@ -18,7 +18,23 @@ type ext = ..
 
 type t
 
-val create : unit -> t
+(** Event-queue implementation. [Calendar] ({!Calqueue}) is the default
+    and the fast path; [Binheap] ({!Heap}) is the reference the
+    differential tests compare against. Both realise the same
+    [(time, seq)] total order, so runs are bit-identical either way. *)
+type queue = Binheap | Calendar
+
+(** [create ()] uses the process-wide default queue (see
+    {!set_default_queue}); pass [?queue] to pin one explicitly. *)
+val create : ?queue:queue -> unit -> t
+
+(** Queue used by [create] when [?queue] is omitted. Initially
+    [Calendar]. The setter exists so differential tests can rerun a
+    whole simulation stack — which creates engines internally — on the
+    reference heap without threading a parameter through every layer. *)
+val set_default_queue : queue -> unit
+
+val default_queue : unit -> queue
 
 (** Current simulated time. *)
 val now : t -> Time.t
@@ -72,5 +88,8 @@ val emit : t -> event -> unit
 val add_ext : t -> ext -> unit
 
 (** [find_ext t f] returns the first attached extension [f] recognises
-    (most recently added first). *)
+    (most recently added first). The lookup is a plain list walk and
+    deliberately unmemoised: [exts] stays tiny (a single metrics
+    registry today) and call sites run at component construction, not
+    inside the event loop. *)
 val find_ext : t -> (ext -> 'a option) -> 'a option

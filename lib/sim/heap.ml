@@ -41,8 +41,8 @@ let push h ~key ~seq value =
   up h.size;
   h.size <- h.size + 1
 
-let pop h =
-  if h.size = 0 then raise Not_found;
+let pop_entry h =
+  if h.size = 0 then invalid_arg "Sim.Heap.pop: heap is empty";
   let top = h.data.(0) in
   h.size <- h.size - 1;
   if h.size > 0 then begin
@@ -68,7 +68,11 @@ let pop h =
   (* Vacated slot: index [size] in the shrink case, the root when the
      heap just emptied. *)
   h.data.(h.size) <- filler ();
-  (top.key, top.seq, top.value)
+  top
+
+let pop h =
+  let e = pop_entry h in
+  (e.key, e.seq, e.value)
 
 let peek_key h = if h.size = 0 then None else Some h.data.(0).key
 

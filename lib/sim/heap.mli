@@ -1,9 +1,17 @@
 (** Array-based binary min-heap keyed by [(key, seq)] pairs.
 
     [seq] breaks ties so that elements with equal keys pop in insertion
-    order, which keeps event processing deterministic. *)
+    order, which keeps event processing deterministic.
+
+    This is the reference priority queue: {!Calqueue} must agree with it
+    on the exact pop order (the engine's differential tests pin this),
+    and it serves as the overflow far-list inside the calendar queue. *)
 
 type 'a t
+
+(** Heap entries are exposed read-only so {!pop_entry} can hand back the
+    record allocated at push time without re-boxing it into a tuple. *)
+type 'a entry = private { key : int; seq : int; value : 'a }
 
 val create : unit -> 'a t
 val length : 'a t -> int
@@ -13,8 +21,13 @@ val is_empty : 'a t -> bool
 val push : 'a t -> key:int -> seq:int -> 'a -> unit
 
 (** [pop h] removes and returns the minimum element.
-    @raise Not_found if the heap is empty. *)
+    @raise Invalid_argument if the heap is empty. *)
 val pop : 'a t -> int * int * 'a
+
+(** [pop_entry h] removes and returns the minimum element as the entry
+    record it was stored under — no fresh allocation on the pop side.
+    @raise Invalid_argument if the heap is empty. *)
+val pop_entry : 'a t -> 'a entry
 
 (** [peek_key h] returns the minimum key without removing it. *)
 val peek_key : 'a t -> int option

@@ -2,6 +2,7 @@ module E = Sim.Engine
 module L = Interconnect.Layout
 module F = Interconnect.Fabric
 module MC = Interconnect.Msg_class
+module DS = Interconnect.Destset
 
 (* Per-block token state of one cache line (or of memory's home entry).
    Invariant: resident cache lines have tokens >= 1; owner => valid. *)
@@ -117,6 +118,12 @@ type t = {
   pseq : int array;  (* next activation sequence number, per proc *)
   ema_mem : Sim.Stat.Ema.t;
   ema_all : Sim.Stat.Ema.t;
+  (* Broadcast destination sets, precomputed once so the hot send paths
+     pass ready-made bitmasks to [Fabric.send_set]. *)
+  persistent_sets : DS.t array;  (* per node: every node but itself *)
+  l1_sets : DS.t array;  (* per cmp: its L1 nodes *)
+  l1_minus_self : DS.t array;  (* per node: own chip's L1s minus itself *)
+  caches_minus_self : DS.t array;  (* per node: all caches minus itself *)
   (* --- recovery state (all idle when [recovery = None]) --- *)
   recovery : Recovery.params option;
   cur_epoch : (Cache.Addr.t, int) Hashtbl.t;  (* authoritative epoch, bumped at mint *)
@@ -145,10 +152,6 @@ let local_l1_bit t id =
   | L.L1d { proc; _ } -> 1 lsl proc
   | L.L1i { proc; _ } -> 1 lsl (t.layout.L.procs_per_cmp + proc)
   | L.L2 _ | L.Mem _ -> 0
-
-let l1s_of_bits t cmp bits =
-  let l1s = L.l1s_of_cmp t.layout cmp in
-  List.filteri (fun i _ -> bits land (1 lsl i) <> 0) l1s
 
 let home_mem t addr = L.mem t.layout ~cmp:(Cache.Addr.home_cmp ~ncmp:t.cfg.Mcmp.Config.ncmp addr)
 
@@ -465,8 +468,7 @@ let has_marked_for t node addr =
       | None -> false)
     node.ptable
 
-let persistent_targets t node =
-  List.filter (fun id -> id <> node.id) (L.all_caches t.layout @ L.all_mems t.layout)
+let persistent_targets t node = t.persistent_sets.(node.id)
 
 let rec broadcast_transient t node m ~force_external =
   let addr = m.m_addr in
@@ -475,18 +477,14 @@ let rec broadcast_transient t node m ~force_external =
   let msg scope = Msg.Transient { addr; requester = node.id; rw; scope; force_external; hint } in
   if t.policy.Policy.hierarchical then begin
     let cmp = node_cmp node in
-    let dsts =
-      List.filter (fun id -> id <> node.id) (L.l1s_of_cmp t.layout cmp)
-      @ [ home_l2 t ~cmp addr ]
-    in
-    F.send t.fabric ~src:node.id ~dsts ~cls:MC.Request ~bytes:t.cfg.ctrl_bytes (msg `Local)
+    let dsts = DS.add (home_l2 t ~cmp addr) t.l1_minus_self.(node.id) in
+    F.send_set t.fabric ~src:node.id ~dsts ~cls:MC.Request ~bytes:t.cfg.ctrl_bytes (msg `Local)
   end
   else begin
     (* Flat TokenB-style global broadcast (ablation). *)
-    let dsts =
-      List.filter (fun id -> id <> node.id) (L.all_caches t.layout) @ [ home_mem t addr ]
-    in
-    F.send t.fabric ~src:node.id ~dsts ~cls:MC.Request ~bytes:t.cfg.ctrl_bytes (msg `External)
+    let dsts = DS.add (home_mem t addr) t.caches_minus_self.(node.id) in
+    F.send_set t.fabric ~src:node.id ~dsts ~cls:MC.Request ~bytes:t.cfg.ctrl_bytes
+      (msg `External)
   end
 
 and arm_timer t node m =
@@ -578,7 +576,7 @@ and start_persistent t node m =
         Some
           { pe_addr = m.m_addr; pe_rw = m.m_rw; pe_l1 = node.id; pe_marked = false;
             pe_expires = 0 };
-      F.send t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
+      F.send_set t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
         ~bytes:t.cfg.ctrl_bytes
         (Msg.P_activate { addr = m.m_addr; proc; l1 = node.id; rw = m.m_rw; seq })
     end
@@ -645,7 +643,7 @@ and deactivate t node m =
     Array.iter
       (function Some e when e.pe_addr = m.m_addr -> e.pe_marked <- true | Some _ | None -> ())
       node.ptable;
-    F.send t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
+    F.send_set t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
       ~bytes:t.cfg.ctrl_bytes
       (Msg.P_deactivate { addr = m.m_addr; proc; seq });
     persistent_check t node m.m_addr
@@ -696,7 +694,7 @@ and recovery_tick t p =
           (fun addr (proc, l1, rw) ->
             live := true;
             let seq = try Hashtbl.find node.parb_epoch addr with Not_found -> 0 in
-            F.send t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
+            F.send_set t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
               ~bytes:t.cfg.ctrl_bytes
               (Msg.P_activate { addr; proc; l1; rw; seq }))
           node.parb_active)
@@ -711,7 +709,7 @@ and refresh_activation t node m =
     (* Per-processor transactions are serial, so the outstanding
        activation's sequence number is always the last one issued. *)
     let proc = proc_of_node t node in
-    F.send t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
+    F.send_set t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
       ~bytes:t.cfg.ctrl_bytes
       (Msg.P_activate
          { addr = m.m_addr; proc; l1 = node.id; rw = m.m_rw; seq = t.pseq.(proc) - 1 })
@@ -804,16 +802,17 @@ let escalate_external t node ~addr ~requester ~rw ~hint ~full =
     | Some c when t.policy.Policy.multicast && (not full) && c <> my_cmp -> [ c ]
     | Some _ | None -> List.init t.cfg.ncmp (fun c -> c)
   in
-  let remote_dsts =
-    List.concat_map
-      (fun cmp ->
-        if cmp = my_cmp then []
-        else if t.policy.Policy.filter then [ home_l2 t ~cmp addr ]
-        else home_l2 t ~cmp addr :: L.l1s_of_cmp t.layout cmp)
+  let dsts =
+    List.fold_left
+      (fun acc cmp ->
+        if cmp = my_cmp then acc
+        else
+          let acc = DS.add (home_l2 t ~cmp addr) acc in
+          if t.policy.Policy.filter then acc else DS.union acc t.l1_sets.(cmp))
+      (DS.singleton (home_mem t addr))
       chips
   in
-  let dsts = home_mem t addr :: remote_dsts in
-  F.send t.fabric ~src:node.id ~dsts ~cls:MC.Request ~bytes:t.cfg.ctrl_bytes
+  F.send_set t.fabric ~src:node.id ~dsts ~cls:MC.Request ~bytes:t.cfg.ctrl_bytes
     (Msg.Transient { addr; requester; rw; scope = `External; force_external = false; hint = None })
 
 let handle_transient_l1 t node ~addr ~requester ~rw =
@@ -841,9 +840,12 @@ let handle_transient_l2 t node ~addr ~requester ~rw ~scope ~force_external ~hint
     && L.cmp_of t.layout requester <> node_cmp node
   then begin
     let meta = get_meta node addr in
-    let dsts = l1s_of_bits t (node_cmp node) meta.filter_sharers in
-    if dsts <> [] then
-      F.send t.fabric ~src:node.id ~dsts ~cls:MC.Request ~bytes:t.cfg.ctrl_bytes
+    (* Sharer-bitmap bit [i] is node [first_l1 + i] (see [local_l1_bit]),
+       so the bitmap lifts straight into a destination mask. *)
+    let base = L.l1d t.layout ~cmp:(node_cmp node) ~proc:0 in
+    let dsts = DS.of_bitfield ~bits:meta.filter_sharers ~base in
+    if not (DS.is_empty dsts) then
+      F.send_set t.fabric ~src:node.id ~dsts ~cls:MC.Request ~bytes:t.cfg.ctrl_bytes
         (Msg.Transient { addr; requester; rw; scope = `External; force_external; hint = None })
   end;
   E.schedule_in t.engine t.cfg.l2_latency (fun () ->
@@ -928,7 +930,7 @@ let arb_activate t node addr (proc, l1, rw, rid) =
   Hashtbl.replace node.parb_epoch addr epoch;
   Hashtbl.replace node.parb_active addr (proc, l1, rw);
   Hashtbl.replace node.arb_active_rid addr rid;
-  F.send t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
+  F.send_set t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
     ~bytes:t.cfg.ctrl_bytes
     (Msg.P_activate { addr; proc; l1; rw; seq = epoch });
   persistent_check t node addr
@@ -973,7 +975,7 @@ let handle_arb_done t node ~addr ~proc ~rid =
         Hashtbl.remove node.parb_active addr;
         Hashtbl.remove node.arb_active_rid addr;
         let epoch = try Hashtbl.find node.arb_epoch_ctr addr with Not_found -> 0 in
-        F.send t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
+        F.send_set t.fabric ~src:node.id ~dsts:(persistent_targets t node) ~cls:MC.Persistent
           ~bytes:t.cfg.ctrl_bytes
           (Msg.P_deactivate { addr; proc; seq = epoch });
         (match arb_pop_fresh node (arb_queue node addr) with
@@ -1385,6 +1387,10 @@ let create ?recovery policy engine cfg traffic rng counters =
   let nodes =
     Array.init (L.node_count layout) (fun id -> make_node layout cfg policy rng id)
   in
+  let nnodes = L.node_count layout in
+  let all_nodes_set = L.all_nodes_set layout in
+  let all_caches_set = L.all_caches_set layout in
+  let l1_sets = Array.init layout.L.ncmp (fun cmp -> L.l1s_of_cmp_set layout cmp) in
   let t =
     {
       engine;
@@ -1400,6 +1406,11 @@ let create ?recovery policy engine cfg traffic rng counters =
       pseq = Array.make (L.nprocs layout) 0;
       ema_mem = Sim.Stat.Ema.create ~alpha:0.2 ~init:200.;
       ema_all = Sim.Stat.Ema.create ~alpha:0.2 ~init:200.;
+      persistent_sets = Array.init nnodes (fun id -> DS.remove id all_nodes_set);
+      l1_sets;
+      l1_minus_self =
+        Array.init nnodes (fun id -> DS.remove id l1_sets.(L.cmp_of layout id));
+      caches_minus_self = Array.init nnodes (fun id -> DS.remove id all_caches_set);
       recovery;
       cur_epoch = Hashtbl.create 64;
       recreating = Hashtbl.create 8;

@@ -1,0 +1,154 @@
+module Q = Sim.Calqueue
+
+let drain_keys q =
+  let rec go acc = if Q.is_empty q then List.rev acc else let k, _, _ = Q.pop q in go (k :: acc) in
+  go []
+
+let test_empty () =
+  let q = Q.create () in
+  Alcotest.(check bool) "empty" true (Q.is_empty q);
+  Alcotest.(check (option int)) "peek" None (Q.peek_key q);
+  Alcotest.check_raises "pop" (Invalid_argument "Sim.Calqueue.pop: queue is empty")
+    (fun () -> ignore (Q.pop q))
+
+let test_ordering () =
+  let q = Q.create () in
+  List.iteri (fun i k -> Q.push q ~key:k ~seq:i k) [ 5; 3; 9; 1; 7; 3; 0 ];
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 3; 3; 5; 7; 9 ] (drain_keys q)
+
+let test_fifo_ties () =
+  let q = Q.create () in
+  List.iteri (fun i v -> Q.push q ~key:42 ~seq:i v) [ "a"; "b"; "c"; "d" ];
+  let rec drain acc =
+    if Q.is_empty q then List.rev acc else let _, _, v = Q.pop q in drain (v :: acc)
+  in
+  Alcotest.(check (list string)) "insertion order" [ "a"; "b"; "c"; "d" ] (drain [])
+
+let test_pop_entry () =
+  let q = Q.create () in
+  Q.push q ~key:7 ~seq:0 "x";
+  let e = Q.pop_entry q in
+  Alcotest.(check int) "key" 7 e.Q.key;
+  Alcotest.(check int) "seq" 0 e.Q.seq;
+  Alcotest.(check string) "value" "x" e.Q.value
+
+let test_clear () =
+  let q = Q.create () in
+  for i = 0 to 99 do Q.push q ~key:(i * 1000) ~seq:i i done;
+  Alcotest.(check int) "length" 100 (Q.length q);
+  Q.clear q;
+  Alcotest.(check bool) "cleared" true (Q.is_empty q);
+  Q.push q ~key:5 ~seq:100 5;
+  Alcotest.(check (option int)) "usable after clear" (Some 5) (Q.peek_key q)
+
+(* Wide key spans force entries into the overflow far-list; monotonic
+   pops then migrate them back. Also covers the resize rebuilds: 5000
+   entries grow the bucket array well past its initial 64. *)
+let test_overflow_migration () =
+  let q = Q.create () in
+  let n = 5000 in
+  for i = 0 to n - 1 do
+    Q.push q ~key:(i * 7919 mod 1000 * 1_000_000) ~seq:i ()
+  done;
+  let keys = drain_keys q in
+  Alcotest.(check int) "all popped" n (List.length keys);
+  Alcotest.(check bool) "sorted" true (List.sort compare keys = keys)
+
+(* The engine peeks (run ~until) without popping; a peek must not
+   disturb the order seen by later pushes at smaller keys. *)
+let test_peek_then_smaller_push () =
+  let q = Q.create () in
+  Q.push q ~key:1_000_000 ~seq:0 "far";
+  Alcotest.(check (option int)) "peek far" (Some 1_000_000) (Q.peek_key q);
+  Q.push q ~key:10 ~seq:1 "near";
+  Alcotest.(check (option int)) "near first" (Some 10) (Q.peek_key q);
+  let _, _, v = Q.pop q in
+  Alcotest.(check string) "near pops first" "near" v;
+  let _, _, v = Q.pop q in
+  Alcotest.(check string) "far second" "far" v
+
+(* Same reference-model property the heap has: random push/pop/clear
+   interleavings must match a sorted-(key, seq) list exactly, including
+   seq tie-breaks. Keys are drawn from a few narrow and wide ranges so
+   both dense buckets and the overflow path are exercised. *)
+type op = Push of int | Pop | Clear
+
+let gen_ops =
+  let open QCheck.Gen in
+  let key =
+    frequency
+      [ (4, int_range 0 7); (4, int_range 0 500); (2, int_range 0 10_000_000) ]
+  in
+  list_size (int_range 0 300)
+    (frequency [ (6, map (fun k -> Push k) key); (3, return Pop); (1, return Clear) ])
+
+let prop_model =
+  QCheck.Test.make ~name:"push/pop/clear interleavings match sorted model" ~count:300
+    (QCheck.make gen_ops)
+    (fun ops ->
+      let q = Q.create () in
+      let model = ref [] (* sorted by (key, seq) *) in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Push k ->
+            Q.push q ~key:k ~seq:!seq (k, !seq);
+            model :=
+              List.sort
+                (fun (k1, s1) (k2, s2) -> compare (k1, s1) (k2, s2))
+                ((k, !seq) :: !model);
+            incr seq
+          | Pop -> (
+            match !model with
+            | [] ->
+              ok := !ok && Q.is_empty q;
+              if not (Q.is_empty q) then ignore (Q.pop q)
+            | m :: rest ->
+              let k, s, v = Q.pop q in
+              ok := !ok && (k, s) = m && v = m;
+              model := rest)
+          | Clear ->
+            Q.clear q;
+            model := [])
+        ops;
+      !ok
+      && Q.length q = List.length !model
+      && Q.peek_key q = (match !model with [] -> None | (k, _) :: _ -> Some k))
+
+(* Differential against the reference binary heap: identical (key, seq,
+   value) pop streams on random monotonic-ish workloads — the exact
+   property the engine swap relies on. *)
+let prop_vs_heap =
+  QCheck.Test.make ~name:"pop stream identical to Sim.Heap" ~count:200
+    QCheck.(list (pair (int_range 0 100_000) (int_range 0 3)))
+    (fun pushes ->
+      let q = Q.create () and h = Sim.Heap.create () in
+      List.iteri
+        (fun i (k, dup) ->
+          (* duplicate keys amplify tie-break coverage *)
+          let k = if dup = 0 then k / 2 * 2 else k in
+          Q.push q ~key:k ~seq:i i;
+          Sim.Heap.push h ~key:k ~seq:i i)
+        pushes;
+      let rec drain acc =
+        if Q.is_empty q then List.rev acc else drain (Q.pop q :: acc)
+      in
+      let rec drain_h acc =
+        if Sim.Heap.is_empty h then List.rev acc else drain_h (Sim.Heap.pop h :: acc)
+      in
+      drain [] = drain_h [])
+
+let tests =
+  [
+    Alcotest.test_case "empty queue" `Quick test_empty;
+    Alcotest.test_case "pop ordering" `Quick test_ordering;
+    Alcotest.test_case "FIFO on equal keys" `Quick test_fifo_ties;
+    Alcotest.test_case "pop_entry exposes stored entry" `Quick test_pop_entry;
+    Alcotest.test_case "length and clear" `Quick test_clear;
+    Alcotest.test_case "overflow far-list migration" `Quick test_overflow_migration;
+    Alcotest.test_case "peek then smaller push" `Quick test_peek_then_smaller_push;
+    QCheck_alcotest.to_alcotest prop_model;
+    QCheck_alcotest.to_alcotest prop_vs_heap;
+  ]

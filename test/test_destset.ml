@@ -1,0 +1,178 @@
+module DS = Interconnect.Destset
+
+let to_l = DS.to_list
+
+let test_of_list_dedup () =
+  let s = DS.of_list [ 3; 1; 3; 2; 1 ] in
+  Alcotest.(check (list int)) "sorted unique" [ 1; 2; 3 ] (to_l s);
+  Alcotest.(check int) "cardinal" 3 (DS.cardinal s);
+  Alcotest.(check bool) "mem" true (DS.mem 2 s);
+  Alcotest.(check bool) "not mem" false (DS.mem 4 s)
+
+let test_mask_wide_boundary () =
+  (match DS.of_list [ 62 ] with
+  | DS.Mask _ -> ()
+  | DS.Wide _ -> Alcotest.fail "62 should fit in a mask");
+  (match DS.of_list [ 63 ] with
+  | DS.Wide _ -> ()
+  | DS.Mask _ -> Alcotest.fail "63 must fall back to wide");
+  (* mixed: one oversized id forces the whole set wide, content kept *)
+  let s = DS.of_list [ 70; 2; 70; 5 ] in
+  Alcotest.(check (list int)) "wide content" [ 2; 5; 70 ] (to_l s);
+  Alcotest.(check bool) "wide equals mask-range twin" true
+    (DS.equal (DS.of_list [ 2; 5 ]) (DS.remove 70 s))
+
+let test_add_remove_union () =
+  let s = DS.add 4 (DS.singleton 9) in
+  Alcotest.(check (list int)) "add" [ 4; 9 ] (to_l s);
+  Alcotest.(check (list int)) "remove" [ 9 ] (to_l (DS.remove 4 s));
+  Alcotest.(check (list int)) "remove absent" [ 4; 9 ] (to_l (DS.remove 7 s));
+  Alcotest.(check (list int)) "union" [ 1; 4; 9 ] (to_l (DS.union s (DS.singleton 1)));
+  Alcotest.(check bool) "empty" true (DS.is_empty DS.empty)
+
+let test_of_bitfield () =
+  Alcotest.(check (list int)) "shifted bits" [ 10; 12 ]
+    (to_l (DS.of_bitfield ~bits:0b101 ~base:10));
+  Alcotest.(check bool) "empty bits" true (DS.is_empty (DS.of_bitfield ~bits:0 ~base:10));
+  (* bits landing past the mask range go wide, same content *)
+  let s = DS.of_bitfield ~bits:0b11 ~base:62 in
+  Alcotest.(check (list int)) "wide bits" [ 62; 63 ] (to_l s)
+
+let test_bit_iteration () =
+  let asc = ref [] and desc = ref [] in
+  DS.iter_bits_asc (fun i -> asc := i :: !asc) 0b101010;
+  DS.iter_bits_desc (fun i -> desc := i :: !desc) 0b101010;
+  Alcotest.(check (list int)) "ascending" [ 1; 3; 5 ] (List.rev !asc);
+  Alcotest.(check (list int)) "descending" [ 5; 3; 1 ] (List.rev !desc);
+  Alcotest.(check int) "lsb" 0b10 (DS.lsb 0b101010);
+  Alcotest.(check int) "msb" 0b100000 (DS.msb 0b101010);
+  Alcotest.(check int) "bit_index" 5 (DS.bit_index 0b100000)
+
+(* ---- Fabric send_set behavior ---- *)
+
+let make_fabric ?(jitter = 0) ?(seed = 1) layout =
+  let engine = Sim.Engine.create () in
+  let traffic = Interconnect.Traffic.create () in
+  let params = { Interconnect.Fabric.default_params with jitter } in
+  let fabric = Interconnect.Fabric.create engine layout params traffic (Sim.Rng.create seed) in
+  (engine, traffic, fabric)
+
+let layout4 () = Interconnect.Layout.create ~ncmp:4 ~procs_per_cmp:4 ~banks_per_cmp:4
+
+(* 8 CMPs x (8 L1 + 4 L2 + mem) = 104 nodes: beyond bitmask range. *)
+let layout_big () = Interconnect.Layout.create ~ncmp:8 ~procs_per_cmp:4 ~banks_per_cmp:4
+
+let test_send_set_excludes_src () =
+  let l = layout4 () in
+  let engine, _, fabric = make_fabric l in
+  let deliveries = ref [] in
+  Interconnect.Fabric.set_handler fabric (fun ~dst () -> deliveries := dst :: !deliveries);
+  let src = Interconnect.Layout.l1d l ~cmp:0 ~proc:0 in
+  Interconnect.Fabric.send_set fabric ~src ~dsts:(DS.of_list [ src; src + 1; src + 2 ])
+    ~cls:Interconnect.Msg_class.Request ~bytes:8 ();
+  Sim.Engine.run engine;
+  Alcotest.(check (list int)) "self excluded" [ src + 1; src + 2 ]
+    (List.sort compare !deliveries)
+
+let test_send_set_local_remote_split () =
+  let l = layout4 () in
+  let engine, traffic, fabric = make_fabric l in
+  let deliveries = ref 0 in
+  Interconnect.Fabric.set_handler fabric (fun ~dst:_ () -> incr deliveries);
+  let src = Interconnect.Layout.l2 l ~cmp:0 ~bank:0 in
+  (* 2 local L1s + all 8 L1s of chip 2: the remote site's link must be
+     crossed once, locals stay on-chip. *)
+  let dsts =
+    DS.union
+      (DS.of_list [ src - 2; src - 1 ])
+      (Interconnect.Layout.l1s_of_cmp_set l 2)
+  in
+  Interconnect.Fabric.send_set fabric ~src ~dsts ~cls:Interconnect.Msg_class.Request
+    ~bytes:8 ();
+  Sim.Engine.run engine;
+  Alcotest.(check int) "deliveries" 10 !deliveries;
+  Alcotest.(check int) "one link crossing" 8 (Interconnect.Traffic.inter_total traffic);
+  (* 2 local copies + exit hop + 8 remote entry hops *)
+  Alcotest.(check int) "intra hops" (8 * 11) (Interconnect.Traffic.intra_total traffic)
+
+(* Run the same send list through the legacy list path on one fabric
+   and [send_set] on an identically-seeded twin; collect (msg, dst,
+   arrival time) triples from both. *)
+let run_twin ?(jitter = 0) layout sends =
+  let collect send_fn =
+    let engine, traffic, fabric = make_fabric ~jitter layout in
+    let log = ref [] in
+    Interconnect.Fabric.set_handler fabric (fun ~dst msg ->
+        log := (msg, dst, Sim.Engine.now engine) :: !log);
+    List.iteri (fun i dsts -> send_fn fabric i dsts) sends;
+    Sim.Engine.run engine;
+    ( List.sort compare !log,
+      Interconnect.Fabric.delivered fabric,
+      Interconnect.Traffic.intra_total traffic,
+      Interconnect.Traffic.inter_total traffic )
+  in
+  let by_list =
+    collect (fun fabric i (src, dsts) ->
+        Interconnect.Fabric.send fabric ~src ~dsts ~cls:Interconnect.Msg_class.Request
+          ~bytes:8 i)
+  in
+  let by_set =
+    collect (fun fabric i (src, dsts) ->
+        Interconnect.Fabric.send_set fabric ~src ~dsts:(DS.of_list dsts)
+          ~cls:Interconnect.Msg_class.Request ~bytes:8 i)
+  in
+  (by_list, by_set)
+
+let test_wide_fallback () =
+  (* On a 104-node layout every destset routes through the list path;
+     results must match the legacy send exactly. *)
+  let l = layout_big () in
+  let n = Interconnect.Layout.node_count l in
+  Alcotest.(check bool) "layout exceeds mask range" true (n > DS.max_direct);
+  let sends =
+    [ (0, [ 1; 2; 70; 103; 70 ]); (99, [ 0; 5; 99; 101 ]); (64, List.init 20 (fun i -> i * 5)) ]
+  in
+  let by_list, by_set = run_twin l sends in
+  Alcotest.(check bool) "big-layout fallback matches legacy send" true (by_list = by_set)
+
+let prop_send_set_equiv =
+  (* jitter = 0: per-copy times depend only on the destination set, not
+     on iteration order, so list and mask paths must agree exactly on
+     every (msg, dst, time) triple and every byte counter. *)
+  QCheck.Test.make
+    ~name:"send_set = send on random destination sets (jitter 0)" ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 1 15)
+        (pair (int_range 0 51) (list_of_size (Gen.int_range 0 10) (int_range 0 51))))
+    (fun sends ->
+      let by_list, by_set = run_twin (layout4 ()) sends in
+      by_list = by_set)
+
+let prop_send_set_equiv_jitter =
+  (* With jitter on, rng draw order matters; on a 2-CMP layout (at most
+     one remote site per send) the mask path's iteration order matches
+     the legacy path draw for draw, so even jittered times are
+     identical. *)
+  QCheck.Test.make
+    ~name:"send_set = send draw-for-draw on 2 CMPs (jitter on)" ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 1 15)
+        (pair (int_range 0 13) (list_of_size (Gen.int_range 0 8) (int_range 0 13))))
+    (fun sends ->
+      let layout2 = Interconnect.Layout.create ~ncmp:2 ~procs_per_cmp:2 ~banks_per_cmp:2 in
+      let by_list, by_set = run_twin ~jitter:(Sim.Time.ps 500) layout2 sends in
+      by_list = by_set)
+
+let tests =
+  [
+    Alcotest.test_case "of_list dedups and sorts" `Quick test_of_list_dedup;
+    Alcotest.test_case "mask/wide boundary at 63" `Quick test_mask_wide_boundary;
+    Alcotest.test_case "add/remove/union" `Quick test_add_remove_union;
+    Alcotest.test_case "of_bitfield" `Quick test_of_bitfield;
+    Alcotest.test_case "bit iteration helpers" `Quick test_bit_iteration;
+    Alcotest.test_case "send_set excludes source" `Quick test_send_set_excludes_src;
+    Alcotest.test_case "send_set local/remote split" `Quick test_send_set_local_remote_split;
+    Alcotest.test_case "wide fallback on >63-node layout" `Quick test_wide_fallback;
+    QCheck_alcotest.to_alcotest prop_send_set_equiv;
+    QCheck_alcotest.to_alcotest prop_send_set_equiv_jitter;
+  ]

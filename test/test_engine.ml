@@ -64,6 +64,63 @@ let test_max_events () =
     (Failure "Engine.run: exceeded 100 events")
     (fun () -> Sim.Engine.run ~max_events:100 e)
 
+(* find_ext is a linear walk over a list that stays tiny (a single
+   metrics registry in practice); this pins the contract that walk
+   provides: recognizer-driven lookup, most recently added first. *)
+type Sim.Engine.ext += A of int | B of string
+
+let test_find_ext () =
+  let e = Sim.Engine.create () in
+  Alcotest.(check (option int)) "empty" None
+    (Sim.Engine.find_ext e (function A n -> Some n | _ -> None));
+  Sim.Engine.add_ext e (A 1);
+  Sim.Engine.add_ext e (B "x");
+  Alcotest.(check (option int)) "by recognizer" (Some 1)
+    (Sim.Engine.find_ext e (function A n -> Some n | _ -> None));
+  Alcotest.(check (option string)) "other recognizer" (Some "x")
+    (Sim.Engine.find_ext e (function B s -> Some s | _ -> None));
+  Sim.Engine.add_ext e (A 2);
+  Alcotest.(check (option int)) "most recent first" (Some 2)
+    (Sim.Engine.find_ext e (function A n -> Some n | _ -> None))
+
+(* The calendar queue must drive the engine exactly like the reference
+   binary heap: a self-scheduling cascade (each event reschedules with
+   pseudo-random delays, including zero-delay ties) must execute in the
+   identical order on both. *)
+let run_cascade kind =
+  let e = Sim.Engine.create ~queue:kind () in
+  let rng = Sim.Rng.create 42 in
+  let log = ref [] in
+  let next_id = ref 0 in
+  let rec spawn depth =
+    let id = !next_id in
+    incr next_id;
+    Sim.Engine.schedule_in e
+      (Sim.Time.ps (Sim.Rng.int rng 5000))
+      (fun () ->
+        log := (id, Sim.Engine.now e) :: !log;
+        if depth < 12 then
+          for _ = 1 to 1 + Sim.Rng.int rng 2 do
+            spawn (depth + 1)
+          done)
+  in
+  for _ = 1 to 8 do
+    spawn 0
+  done;
+  Sim.Engine.run e;
+  (List.rev !log, Sim.Engine.events_processed e, Sim.Engine.now e)
+
+let test_queue_differential () =
+  let cal_log, cal_n, cal_t = run_cascade Sim.Engine.Calendar in
+  let heap_log, heap_n, heap_t = run_cascade Sim.Engine.Binheap in
+  Alcotest.(check int) "event counts" heap_n cal_n;
+  Alcotest.(check int) "final clocks" heap_t cal_t;
+  Alcotest.(check bool) "identical event order" true (cal_log = heap_log)
+
+let test_default_queue () =
+  Alcotest.(check bool) "calendar by default" true
+    (Sim.Engine.default_queue () = Sim.Engine.Calendar)
+
 let test_time_units () =
   Alcotest.(check int) "us" (Sim.Time.ns 1000) (Sim.Time.us 1);
   Alcotest.(check int) "ns" (Sim.Time.ps 1000) (Sim.Time.ns 1);
@@ -79,5 +136,8 @@ let tests =
     Alcotest.test_case "stop" `Quick test_stop;
     Alcotest.test_case "timer cancellation" `Quick test_timer_cancel;
     Alcotest.test_case "max_events guard" `Quick test_max_events;
+    Alcotest.test_case "find_ext recognizer lookup" `Quick test_find_ext;
+    Alcotest.test_case "calendar vs heap queue differential" `Quick test_queue_differential;
+    Alcotest.test_case "default queue is calendar" `Quick test_default_queue;
     Alcotest.test_case "time unit conversions" `Quick test_time_units;
   ]

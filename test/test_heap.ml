@@ -2,7 +2,8 @@ let test_empty () =
   let h = Sim.Heap.create () in
   Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h);
   Alcotest.(check (option int)) "peek" None (Sim.Heap.peek_key h);
-  Alcotest.check_raises "pop" Not_found (fun () -> ignore (Sim.Heap.pop h))
+  Alcotest.check_raises "pop" (Invalid_argument "Sim.Heap.pop: heap is empty") (fun () ->
+      ignore (Sim.Heap.pop h))
 
 let test_ordering () =
   let h = Sim.Heap.create () in

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "tokencmp"
     [
       ("heap", Test_heap.tests);
+      ("calqueue", Test_calqueue.tests);
       ("rng", Test_rng.tests);
       ("engine", Test_engine.tests);
       ("stat", Test_stat.tests);
@@ -9,6 +10,7 @@ let () =
       ("obs", Test_obs.tests);
       ("cache", Test_cache.tests);
       ("interconnect", Test_interconnect.tests);
+      ("destset", Test_destset.tests);
       ("workload", Test_workload.tests);
       ("token", Test_token.tests);
       ("token-fsm", Test_token_fsm.tests);

@@ -828,6 +828,80 @@ let faultrate () =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* Chaos sweep: partition duration vs runtime                          *)
+
+let chaos () =
+  progress "[chaos] partition-duration cost sweep...\n%!";
+  hr "Chaos sweep: partition duration vs runtime (token recovery vs directory)";
+  print_endline
+    "A 2-region partition opens at 5us and heals after the given\n\
+     duration. TokenCMP runs the full recovery stack (reliable\n\
+     transport with adaptive RTT-based timeouts + token recreation)\n\
+     against the hard partition; DirectoryCMP cannot survive message\n\
+     loss, so it takes the loss-free brownout rendition of the same\n\
+     plan. Every run must retire all requests after the heal.";
+  let durations_us = if !quick then [ 0; 25; 50 ] else [ 0; 12; 25; 50; 100 ] in
+  let sweep_seeds = if !quick then [ 1; 2 ] else [ 1; 2; 3 ] in
+  let nseeds = float_of_int (List.length sweep_seeds) in
+  let measure ~directory dur =
+    let chaos =
+      if dur = 0 then None
+      else Some (Fault.Chaos.split ~at:(Sim.Time.us 5) ~duration:(Sim.Time.us dur) ())
+    in
+    let outcomes =
+      List.map
+        (fun seed ->
+          if directory then
+            Fault.Torture.run ?chaos
+              (Fault.Torture.Directory { dram_directory = true })
+              ~spec:Fault.Spec.none ~seed
+          else
+            Fault.Torture.run ~recover:true ~adaptive:true ?chaos
+              (Fault.Torture.Token Token.Policy.dst1) ~spec:Fault.Spec.none ~seed)
+        sweep_seeds
+    in
+    let clean =
+      List.for_all
+        (fun o ->
+          match Fault.Torture.verdict o with
+          | Fault.Torture.Clean | Fault.Torture.Survived_partition -> true
+          | _ -> false)
+        outcomes
+    in
+    let runtime =
+      List.fold_left (fun a o -> a +. Sim.Time.to_ns o.Fault.Torture.runtime) 0. outcomes
+      /. nseeds
+    in
+    let retrans = List.fold_left (fun a o -> a + o.Fault.Torture.retransmits) 0 outcomes in
+    (dur, runtime, retrans, clean)
+  in
+  let protocols =
+    [ ("token-dst1+recovery", false); (Directory.Protocol.name ~dram_directory:true, true) ]
+  in
+  Printf.printf "%-24s %12s %12s %9s %12s %s\n" "protocol" "partition_us" "runtime_ns"
+    "slowdown" "retransmits" "verdict";
+  J.List
+    (List.concat_map
+       (fun (name, directory) ->
+         let rows = List.map (measure ~directory) durations_us in
+         let base = match rows with (_, rt, _, _) :: _ -> rt | [] -> 1. in
+         List.map
+           (fun (dur, rt, rx, clean) ->
+             Printf.printf "%-24s %12d %12.0f %9.2f %12d %s\n" name dur rt (rt /. base) rx
+               (if clean then "clean" else "NOT CLEAN");
+             J.Obj
+               [
+                 ("protocol", J.String name);
+                 ("partition_us", J.Int dur);
+                 ("runtime_ns", J.Float rt);
+                 ("slowdown", J.Float (rt /. base));
+                 ("retransmits", J.Int rx);
+                 ("clean", J.Bool clean);
+               ])
+           rows)
+       protocols)
+
+(* ------------------------------------------------------------------ *)
 (* Perf: simulation-kernel hot-path throughput                         *)
 
 (* Wall clocks of the sections already run in this invocation, filled
@@ -973,6 +1047,7 @@ let sections =
     ("micro", micro);
     ("trace", trace);
     ("faultrate", faultrate);
+    ("chaos", chaos);
     (* keep perf last: it rolls up the wall clocks of the sections
        above when a full run is requested *)
     ("perf", perf);

@@ -5,6 +5,7 @@
      run             one simulation (protocol x workload), full statistics
      sweep           locking contention sweep across protocols
      torture         randomized fault-injection campaigns (--recover for the recovery stack)
+     chaos           link-outage campaigns: flapping links, region partitions, brownouts
      faultrate       recovery-mode cost vs token-drop probability
      trace           traced simulation: span breakdown + Perfetto export
      check           model-check the substrate and the flat directory *)
@@ -270,7 +271,7 @@ let torture_cmd =
     let on_outcome i o =
       let v = Fault.Torture.verdict o in
       (match v with
-      | Fault.Torture.Clean -> ()
+      | Fault.Torture.Clean | Fault.Torture.Survived_partition -> ()
       | Fault.Torture.Detected -> incr detected
       | Fault.Torture.Failed _ ->
         incr failures;
@@ -334,6 +335,120 @@ let torture_cmd =
     Term.(
       const run $ runs_arg $ seed_arg $ jobs_arg $ tiny_arg $ drop_arg $ drop_tokens_arg
       $ recover_arg $ verbose_arg)
+
+(* ---- chaos ---- *)
+
+let chaos_cmd =
+  let runs_arg =
+    Arg.(value & opt int 8 & info [ "runs" ] ~docv:"N" ~doc:"Randomized runs per campaign.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "duration" ] ~docv:"US"
+          ~doc:"Partition duration in microseconds (0 disables the partition).")
+  in
+  let flaps_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "flaps" ] ~docv:"N" ~doc:"Flapping link pairs (0 disables flapping).")
+  in
+  let directory_arg =
+    Arg.(
+      value & flag
+      & info [ "directory" ]
+          ~doc:
+            "Target the directory protocols instead: the campaign runs the loss-free \
+             brownout rendition of the plan (DirectoryCMP cannot survive message loss).")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every run, not only failures.")
+  in
+  let run runs seed jobs tiny duration flaps directory verbose =
+    let config = if tiny then Mcmp.Config.tiny else Mcmp.Config.default in
+    let jobs = resolve_jobs jobs in
+    let base = if flaps > 0 then Fault.Chaos.flaky ~links:flaps () else Fault.Chaos.none in
+    let chaos =
+      if duration > 0 then
+        { base with
+          Fault.Chaos.partition_at = Some (Sim.Time.us 5);
+          partition_duration = Sim.Time.us duration }
+      else base
+    in
+    if not (Fault.Chaos.active chaos) then begin
+      print_endline "chaos: nothing to do (no partition, no flaps)";
+      exit 0
+    end;
+    let targets, recover, adaptive =
+      if directory then
+        ([ Fault.Torture.Directory { dram_directory = true } ], false, false)
+      else ([ Fault.Torture.Token Token.Policy.dst1; Fault.Torture.Token Token.Policy.arb0 ],
+            true, true)
+    in
+    let survived = ref 0 and detected = ref 0 and failures = ref 0 in
+    let invariant_broken = ref false and liveness_broken = ref false in
+    Format.printf "chaos: %d runs over %d targets, base seed %d, plan %a%s%s@." runs
+      (List.length targets) seed Fault.Chaos.pp chaos
+      (if recover then ", recover+adaptive" else ", brownout")
+      (if jobs > 1 then Printf.sprintf ", %d jobs" jobs else "");
+    let on_outcome i o =
+      let v = Fault.Torture.verdict o in
+      (match v with
+      | Fault.Torture.Clean -> ()
+      | Fault.Torture.Survived_partition -> incr survived
+      | Fault.Torture.Detected -> incr detected
+      | Fault.Torture.Failed _ ->
+        incr failures;
+        if
+          List.exists
+            (fun r ->
+              match r.Fault.Report.kind with Fault.Report.Invariant _ -> true | _ -> false)
+            o.Fault.Torture.reports
+        then invariant_broken := true
+        else liveness_broken := true);
+      match v with
+      | Fault.Torture.Failed _ ->
+        Format.printf "run %3d: @[<v>%a@]@." i Fault.Torture.pp_outcome o;
+        List.iter (fun r -> Format.printf "  %a@." Fault.Report.pp r) o.Fault.Torture.reports;
+        Format.printf "reproduce: tokencmp chaos --runs %d --seed %d --duration %d --flaps %d%s%s@."
+          runs seed duration flaps
+          (if tiny then " --tiny" else "")
+          (if directory then " --directory" else "")
+      | _ -> if verbose then Format.printf "run %3d: @[<v>%a@]@." i Fault.Torture.pp_outcome o
+    in
+    let outcomes =
+      Fault.Torture.campaign ~config ~runs ~jobs ~recover ~adaptive ~chaos ~targets ~seed
+        ~on_outcome ()
+    in
+    Printf.printf "%d runs: %d survived partition, %d clean, %d detected, %d failed\n"
+      (List.length outcomes)
+      !survived
+      (List.length outcomes - !survived - !detected - !failures)
+      !detected !failures;
+    (* Exit codes match torture: 0 = survived/clean, 1 = invariant
+       violation, 2 = watchdog/liveness timeout (livelock). *)
+    if !invariant_broken then begin
+      print_endline "exit: invariant violation (1)";
+      exit 1
+    end
+    else if !liveness_broken then begin
+      print_endline "exit: watchdog/liveness timeout (2)";
+      exit 2
+    end
+    else print_endline "exit: clean (0)"
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Link-outage chaos campaign: flapping links and a 2-region partition with a \
+          scheduled heal against the token recovery stack (reliable transport with \
+          adaptive RTT-based timeouts, token recreation). Pass criterion: every request \
+          retires after the heal with zero violations. With $(b,--directory), the \
+          loss-free brownout rendition runs against DirectoryCMP. Exit codes: 0 \
+          survived/clean, 1 invariant violation, 2 watchdog/liveness timeout.")
+    Term.(
+      const run $ runs_arg $ seed_arg $ jobs_arg $ tiny_arg $ duration_arg $ flaps_arg
+      $ directory_arg $ verbose_arg)
 
 (* ---- faultrate ---- *)
 
@@ -538,4 +653,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "tokencmp" ~doc)
-          [ list_cmd; run_cmd; sweep_cmd; torture_cmd; faultrate_cmd; trace_cmd; check_cmd ]))
+          [ list_cmd; run_cmd; sweep_cmd; torture_cmd; chaos_cmd; faultrate_cmd; trace_cmd;
+            check_cmd ]))

@@ -1,0 +1,203 @@
+module E = Sim.Engine
+module F = Interconnect.Fabric
+module L = Interconnect.Layout
+module DS = Interconnect.Destset
+
+type burst = {
+  burst_at : Sim.Time.t;
+  burst_duration : Sim.Time.t;
+  burst_drop_prob : float;
+  burst_latency_mult : float;
+}
+
+type spec = {
+  flap_links : int;
+  flap_cycles : int;
+  flap_start : Sim.Time.t;
+  flap_down : Sim.Time.t;
+  flap_period : Sim.Time.t;
+  partition_at : Sim.Time.t option;
+  partition_duration : Sim.Time.t;
+  bursts : burst list;
+  brownout : bool;
+  brownout_mult : float;
+}
+
+let none =
+  {
+    flap_links = 0;
+    flap_cycles = 0;
+    flap_start = Sim.Time.us 2;
+    flap_down = Sim.Time.us 5;
+    flap_period = Sim.Time.us 12;
+    partition_at = None;
+    partition_duration = Sim.Time.zero;
+    bursts = [];
+    brownout = false;
+    brownout_mult = 8.;
+  }
+
+let flaky ?(links = 1) ?(cycles = 3) ?(start = Sim.Time.us 2) ?(down = Sim.Time.us 5)
+    ?(period = Sim.Time.us 12) () =
+  if down >= period then invalid_arg "Chaos.flaky: down time must be shorter than the period";
+  { none with flap_links = links; flap_cycles = cycles; flap_start = start;
+    flap_down = down; flap_period = period }
+
+let split ?(at = Sim.Time.us 5) ~duration () =
+  { none with partition_at = Some at; partition_duration = duration }
+
+let burst_loss ?(at = Sim.Time.us 3) ?(duration = Sim.Time.us 4) ?(prob = 0.3)
+    ?(latency_mult = 4.) () =
+  {
+    none with
+    bursts =
+      [
+        {
+          burst_at = at;
+          burst_duration = duration;
+          burst_drop_prob = prob;
+          burst_latency_mult = latency_mult;
+        };
+      ];
+  }
+
+let brownout_of ?mult spec =
+  {
+    spec with
+    brownout = true;
+    brownout_mult = (match mult with Some m -> m | None -> spec.brownout_mult);
+  }
+
+let active s =
+  (s.flap_links > 0 && s.flap_cycles > 0) || s.partition_at <> None || s.bursts <> []
+
+let has_partition s = s.partition_at <> None
+
+(* Longest continuous impairment of any single link — what a liveness
+   watchdog must be willing to wait out on top of recovery latency. *)
+let max_outage s =
+  let flap = if s.flap_links > 0 && s.flap_cycles > 0 then s.flap_down else Sim.Time.zero in
+  let part = match s.partition_at with Some _ -> s.partition_duration | None -> Sim.Time.zero in
+  let burst =
+    List.fold_left (fun acc b -> max acc b.burst_duration) Sim.Time.zero s.bursts
+  in
+  max flap (max part burst)
+
+(* Latest scheduled heal — after this the network is whole again and
+   convergence is owed. *)
+let horizon s =
+  let flap =
+    if s.flap_links > 0 && s.flap_cycles > 0 then
+      s.flap_start + ((s.flap_cycles - 1) * s.flap_period) + s.flap_down
+    else Sim.Time.zero
+  in
+  let part =
+    match s.partition_at with Some at -> at + s.partition_duration | None -> Sim.Time.zero
+  in
+  let burst =
+    List.fold_left (fun acc b -> max acc (b.burst_at + b.burst_duration)) Sim.Time.zero
+      s.bursts
+  in
+  max flap (max part burst)
+
+type stats = {
+  mutable flap_downs : int;
+  mutable partitions : int;
+  mutable heals : int;
+  mutable bursts_applied : int;
+}
+
+(* Canonical 2-region split: low-numbered CMPs vs high-numbered, as
+   node-id region masks (what Fabric.partition takes). *)
+let split_regions layout =
+  let half = layout.L.ncmp / 2 in
+  let nodes = L.all_nodes layout in
+  let low, high = List.partition (fun n -> L.cmp_of layout n < half) nodes in
+  [ DS.of_list low; DS.of_list high ]
+
+let pp fmt s =
+  let part =
+    match s.partition_at with
+    | Some at ->
+      Format.asprintf " partition@%a+%a" Sim.Time.pp at Sim.Time.pp s.partition_duration
+    | None -> ""
+  in
+  Format.fprintf fmt "flaps=%dx%d%s bursts=%d%s" s.flap_links s.flap_cycles part
+    (List.length s.bursts)
+    (if s.brownout then " brownout" else "")
+
+let pp_stats fmt st =
+  Format.fprintf fmt "flap-downs=%d partitions=%d heals=%d bursts=%d" st.flap_downs
+    st.partitions st.heals st.bursts_applied
+
+let install ~seed ~spec engine fabric =
+  let stats = { flap_downs = 0; partitions = 0; heals = 0; bursts_applied = 0 } in
+  if active spec then begin
+    (* Dedicated chaos stream (same discipline as the crash scheduler):
+       installing a plan draws nothing from the protocol's, the fault
+       plan's or the fabric's streams, so chaos on/off leaves every
+       other draw identical. *)
+    let rng = Sim.Rng.create ((seed * 48_271) + 1_013) in
+    F.enable_outages fabric (Sim.Rng.split rng);
+    let lay = F.layout fabric in
+    let ncmp = lay.L.ncmp in
+    if ncmp > 1 then begin
+      let impaired =
+        if spec.brownout then
+          F.Link_degraded { latency_mult = spec.brownout_mult; drop_prob = 0. }
+        else F.Link_down
+      in
+      let all_links state =
+        for a = 0 to ncmp - 1 do
+          for b = 0 to ncmp - 1 do
+            if a <> b then F.set_link_state fabric ~src_site:a ~dst_site:b state
+          done
+        done
+      in
+      for _ = 1 to spec.flap_links do
+        let a = Sim.Rng.int rng ncmp in
+        let b = (a + 1 + Sim.Rng.int rng (ncmp - 1)) mod ncmp in
+        for c = 0 to spec.flap_cycles - 1 do
+          let t0 = spec.flap_start + (c * spec.flap_period) in
+          E.schedule_at engine t0 (fun () ->
+              stats.flap_downs <- stats.flap_downs + 1;
+              F.set_link_state fabric ~src_site:a ~dst_site:b impaired;
+              F.set_link_state fabric ~src_site:b ~dst_site:a impaired);
+          E.schedule_at engine (t0 + spec.flap_down) (fun () ->
+              stats.heals <- stats.heals + 1;
+              F.set_link_state fabric ~src_site:a ~dst_site:b F.Link_up;
+              F.set_link_state fabric ~src_site:b ~dst_site:a F.Link_up)
+        done
+      done;
+      (match spec.partition_at with
+      | Some at ->
+        let regions = split_regions lay in
+        E.schedule_at engine at (fun () ->
+            stats.partitions <- stats.partitions + 1;
+            F.partition ~state:impaired fabric regions);
+        E.schedule_at engine (at + spec.partition_duration) (fun () ->
+            stats.heals <- stats.heals + 1;
+            F.heal fabric)
+      | None -> ());
+      List.iter
+        (fun b ->
+          (* Correlated loss: every inter-site link degrades at once.
+             The closing heal is global, by design — bursts model a
+             fabric-wide episode, not a per-link fault. *)
+          let state =
+            F.Link_degraded
+              {
+                latency_mult = b.burst_latency_mult;
+                drop_prob = (if spec.brownout then 0. else b.burst_drop_prob);
+              }
+          in
+          E.schedule_at engine b.burst_at (fun () ->
+              stats.bursts_applied <- stats.bursts_applied + 1;
+              all_links state);
+          E.schedule_at engine (b.burst_at + b.burst_duration) (fun () ->
+              stats.heals <- stats.heals + 1;
+              F.heal fabric))
+        spec.bursts
+    end
+  end;
+  stats

@@ -1,0 +1,107 @@
+(** Chaos plans: scheduled network-level outage campaigns.
+
+    Where {!Plan} perturbs individual message copies (i.i.d. drops,
+    delays, duplicates), a chaos plan drives the fabric's {e link
+    outage model} ({!Interconnect.Fabric.set_link_state}) through
+    scheduled transitions: flapping links, region partitions with a
+    scheduled heal, and correlated burst loss. The two compose — a
+    fault plan speaks per copy, the link state applies on top.
+
+    Determinism discipline: {!install} seeds a dedicated rng stream
+    (link picks, degraded-loss draws), so arming a chaos plan draws
+    nothing from the protocol's, the fault plan's or the fabric's
+    streams — chaos on/off leaves every other draw identical, and a
+    plan whose first transition lies beyond the run's end changes
+    nothing at all. *)
+
+type burst = {
+  burst_at : Sim.Time.t;
+  burst_duration : Sim.Time.t;
+  burst_drop_prob : float;  (** per-copy loss on every inter-site link *)
+  burst_latency_mult : float;  (** latency multiplier while the burst lasts *)
+}
+
+type spec = {
+  flap_links : int;  (** how many site pairs flap (picked from the chaos stream) *)
+  flap_cycles : int;  (** down/up cycles per flapping link *)
+  flap_start : Sim.Time.t;
+  flap_down : Sim.Time.t;  (** time down per cycle *)
+  flap_period : Sim.Time.t;  (** cycle length (down + up) *)
+  partition_at : Sim.Time.t option;  (** 2-region split start *)
+  partition_duration : Sim.Time.t;
+  bursts : burst list;
+  brownout : bool;
+      (** degrade instead of cutting: links go [Link_degraded] (loss-free,
+          [brownout_mult] x latency) rather than [Link_down] — the only
+          chaos a protocol without reliable transport can survive *)
+  brownout_mult : float;
+}
+
+(** No chaos at all ([active none = false]). *)
+val none : spec
+
+(** [flaky ()] — [links] site pairs go down for [down] out of every
+    [period], [cycles] times, starting at [start].
+    @raise Invalid_argument if [down >= period]. *)
+val flaky :
+  ?links:int ->
+  ?cycles:int ->
+  ?start:Sim.Time.t ->
+  ?down:Sim.Time.t ->
+  ?period:Sim.Time.t ->
+  unit ->
+  spec
+
+(** [split ~duration ()] — a 2-region partition (low-numbered CMPs vs
+    high-numbered) from [at] until [at + duration], then a scheduled
+    heal. *)
+val split : ?at:Sim.Time.t -> duration:Sim.Time.t -> unit -> spec
+
+(** [burst_loss ()] — every inter-site link degrades at once for
+    [duration]: [prob] per-copy loss and [latency_mult] x latency. *)
+val burst_loss :
+  ?at:Sim.Time.t ->
+  ?duration:Sim.Time.t ->
+  ?prob:float ->
+  ?latency_mult:float ->
+  unit ->
+  spec
+
+(** The loss-free rendition of a plan: every Down becomes a
+    [brownout_mult] x-latency degrade and burst loss drops to zero.
+    What directory targets take in place of a hard partition. *)
+val brownout_of : ?mult:float -> spec -> spec
+
+(** Whether the plan schedules any transition at all. *)
+val active : spec -> bool
+
+val has_partition : spec -> bool
+
+(** Longest continuous impairment of any single link — what a liveness
+    watchdog must be willing to out-wait on top of recovery latency. *)
+val max_outage : spec -> Sim.Time.t
+
+(** Latest scheduled heal; after this the network is whole and
+    convergence is owed. *)
+val horizon : spec -> Sim.Time.t
+
+type stats = {
+  mutable flap_downs : int;
+  mutable partitions : int;
+  mutable heals : int;
+  mutable bursts_applied : int;
+}
+
+(** The canonical 2-region node-mask split of a layout (low CMPs /
+    high CMPs) — exposed for tests and custom partitions. *)
+val split_regions : Interconnect.Layout.t -> Interconnect.Destset.t list
+
+(** [install ~seed ~spec engine fabric] arms the fabric's outage model
+    (dedicated rng stream derived from [seed]) and schedules every
+    transition. Returns the live counters the scheduled transitions
+    update. A plan with [active spec = false] arms nothing. *)
+val install :
+  seed:int -> spec:spec -> Sim.Engine.t -> 'msg Interconnect.Fabric.t -> stats
+
+val pp : Format.formatter -> spec -> unit
+val pp_stats : Format.formatter -> stats -> unit

@@ -22,6 +22,8 @@ type outcome = {
   events : int;
   recovered : Token.Protocol.recovery_stats option;
   retransmits : int;
+  chaos : Chaos.stats option;
+  link_downtime : Sim.Time.t;
 }
 
 (* Per-target control surface beyond the protocol handle. *)
@@ -30,16 +32,62 @@ type ctl = {
   c_restart : int -> unit;
   c_recovery : unit -> Token.Protocol.recovery_stats option;
   c_retransmits : unit -> int;
+  c_chaos : Chaos.stats option;
+  c_downtime : unit -> Sim.Time.t;
 }
+
+(* Adaptive-timeout configuration for [run ~adaptive]: the fabric RTT
+   estimator's parameters, and the scale mapping its largest per-link
+   RTO to the token recreation timeout. Their product bounds the
+   adaptive recreation wait — what the watchdog must budget for. *)
+let adaptive_rtt_params = Interconnect.Rtt.default_params
+let adaptive_recreation_scale = 16.
+
+let adaptive_recreation_ceiling =
+  Sim.Time.mul_f adaptive_rtt_params.Interconnect.Rtt.ceiling adaptive_recreation_scale
+
+(* The watchdog margin a run actually attaches: the base widened, if
+   needed, to out-wait the longest legitimate stall — a full chaos
+   outage followed by worst-case recovery, which in adaptive mode is
+   bounded by the recreation source's ceiling, NOT the static
+   recreation constant the source replaced. Recomputing here (rather
+   than trusting the static default margin) is what keeps adaptive
+   mode from silently out-waiting the watchdog. *)
+let effective_margin ~base ~recover ~adaptive ?chaos ~watchdog_interval
+    ~no_progress_windows ~starvation_bound () =
+  let longest_stall =
+    let outage = match chaos with Some c -> Chaos.max_outage c | None -> Sim.Time.zero in
+    let recovery_worst =
+      if recover then
+        Token.Recovery.worst_case_latency
+          ?recreation_timeout:(if adaptive then Some adaptive_recreation_ceiling else None)
+          Token.Recovery.default
+      else Sim.Time.zero
+    in
+    outage + recovery_worst
+  in
+  if longest_stall = Sim.Time.zero then base
+  else begin
+    let np_total = Sim.Time.to_ns watchdog_interval *. float_of_int no_progress_windows in
+    let tightest = Float.min np_total (Sim.Time.to_ns starvation_bound) in
+    Float.max base (1.25 *. Sim.Time.to_ns longest_stall /. tightest)
+  end
 
 let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
     ?(trace_capacity = 512) ?(monitor_interval = Sim.Time.ns 500)
     ?(watchdog_interval = Sim.Time.ns 20_000) ?(no_progress_windows = 5)
     ?(starvation_bound = Sim.Time.ns 200_000) ?(max_events = 20_000_000)
-    ?(recover = false) ?watchdog_margin target ~spec ~seed =
+    ?(recover = false) ?(adaptive = false) ?chaos ?watchdog_margin target ~spec ~seed =
   (match target with
   | Directory _ when recover ->
     invalid_arg "Torture.run: recovery mode is a token-protocol feature"
+  | _ -> ());
+  if adaptive && not recover then
+    invalid_arg "Torture.run: adaptive timeouts ride on the recovery stack";
+  (match (target, chaos) with
+  | Token _, Some c when Chaos.active c && (not c.Chaos.brownout) && not recover ->
+    invalid_arg
+      "Torture.run: hard chaos (down links) on a token target requires recovery mode"
   | _ -> ());
   let engine = E.create () in
   let buf = Obs.Buffer.create ~capacity:trace_capacity () in
@@ -70,20 +118,32 @@ let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
         Token.Protocol.create_instrumented ?recovery policy engine config traffic rng
           counters
       in
-      F.set_fault_injector i.Token.Protocol.i_fabric (Plan.token_injector plan);
+      let fab = i.Token.Protocol.i_fabric in
+      F.set_fault_injector fab (Plan.token_injector plan);
       if recover then begin
         (* Reliable transport draws its retransmit jitter from its own
            split stream; the plan's schedule is untouched. *)
-        F.enable_reliability i.Token.Protocol.i_fabric (Sim.Rng.split rng);
-        F.set_give_up_handler i.Token.Protocol.i_fabric (fun ~src ~dst ~cls _msg ->
+        F.enable_reliability fab (Sim.Rng.split rng);
+        F.set_give_up_handler fab (fun ~src ~dst ~cls _msg ->
             report
               {
                 Report.at = E.now engine;
                 kind =
                   Report.Retransmit_exhausted
                     { src; dst; cls; attempts = F.default_reliability.F.max_retrans };
-              })
+              });
+        if adaptive then begin
+          F.enable_adaptive_timeouts ~params:adaptive_rtt_params fab;
+          i.Token.Protocol.i_set_recreation_source
+            (Some
+               (fun () -> Sim.Time.mul_f (F.max_rto fab) adaptive_recreation_scale))
+        end
       end;
+      let chaos_stats =
+        match chaos with
+        | Some c when Chaos.active c -> Some (Chaos.install ~seed ~spec:c engine fab)
+        | _ -> None
+      in
       ( i.Token.Protocol.i_handle,
         i.Token.Protocol.i_probe,
         i.Token.Protocol.i_dump,
@@ -91,14 +151,26 @@ let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
           c_crash = i.Token.Protocol.i_crash;
           c_restart = i.Token.Protocol.i_restart;
           c_recovery = (fun () -> if recover then Some (i.Token.Protocol.i_recovery ()) else None);
-          c_retransmits = (fun () -> F.retransmits i.Token.Protocol.i_fabric);
+          c_retransmits = (fun () -> F.retransmits fab);
+          c_chaos = chaos_stats;
+          c_downtime = (fun () -> F.link_downtime fab);
         } )
     | Directory { dram_directory } ->
       let i =
         Directory.Protocol.create_instrumented ~dram_directory () engine config traffic rng
           counters
       in
-      F.set_fault_injector i.Directory.Protocol.i_fabric (Plan.directory_injector plan);
+      let fab = i.Directory.Protocol.i_fabric in
+      F.set_fault_injector fab (Plan.directory_injector plan);
+      (* Directory messages cannot be lost, so its chaos is the
+         loss-free brownout rendition — the same discipline as
+         Spec.delay_only for per-copy faults. *)
+      let chaos_stats =
+        match chaos with
+        | Some c when Chaos.active c ->
+          Some (Chaos.install ~seed ~spec:(Chaos.brownout_of c) engine fab)
+        | _ -> None
+      in
       ( i.Directory.Protocol.i_handle,
         i.Directory.Protocol.i_probe,
         i.Directory.Protocol.i_dump,
@@ -107,6 +179,8 @@ let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
           c_restart = (fun _ -> ());
           c_recovery = (fun () -> None);
           c_retransmits = (fun () -> 0);
+          c_chaos = chaos_stats;
+          c_downtime = (fun () -> F.link_downtime fab);
         } )
   in
   let values = Mcmp.Values.create () in
@@ -147,8 +221,12 @@ let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
         (fun () -> ctl.c_restart victim)
     done
   end;
-  let margin =
+  let base_margin =
     match watchdog_margin with Some m -> m | None -> if recover then 2.5 else 1.0
+  in
+  let margin =
+    effective_margin ~base:base_margin ~recover ~adaptive ?chaos ~watchdog_interval
+      ~no_progress_windows ~starvation_bound ()
   in
   let mon =
     Monitor.attach engine ~probe ~plan ~interval:monitor_interval ~running ~report
@@ -187,9 +265,11 @@ let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
     events = E.events_processed engine;
     recovered = ctl.c_recovery ();
     retransmits = ctl.c_retransmits ();
+    chaos = ctl.c_chaos;
+    link_downtime = ctl.c_downtime ();
   }
 
-type verdict = Clean | Detected | Failed of string
+type verdict = Clean | Survived_partition | Detected | Failed of string
 
 let verdict o =
   let has_invariant =
@@ -200,6 +280,11 @@ let verdict o =
   let fatal = List.exists (fun r -> Report.severity r = `Fatal) o.reports in
   let corrupted = o.spec.Spec.duplicate_tokens && o.stats.Plan.token_dups > 0 in
   let unrecoverable = o.stats.Plan.drops_unrecoverable > 0 in
+  (* A partitioned run that fails to finish is a livelock — the network
+     healed (every partition schedules its heal) and convergence was
+     owed; one that retires everything violation-free genuinely
+     survived the partition. *)
+  let partitioned = match o.chaos with Some s -> s.Chaos.partitions > 0 | None -> false in
   if corrupted then
     if has_invariant then Detected
     else Failed "token-minting duplicate was injected but no invariant violation reported"
@@ -207,12 +292,18 @@ let verdict o =
   else if unrecoverable then
     if o.reports = [] then Failed "unrecoverable drop silently absorbed"
     else Detected
-  else if fatal then Failed "liveness failure without an unsurvivable fault"
-  else if not o.completed then Failed "run did not complete"
+  else if fatal then
+    if partitioned then Failed "livelock: did not converge after partition heal"
+    else Failed "liveness failure without an unsurvivable fault"
+  else if not o.completed then
+    if partitioned then Failed "livelock: did not converge after partition heal"
+    else Failed "run did not complete"
+  else if partitioned then Survived_partition
   else Clean
 
 let pp_verdict fmt = function
   | Clean -> Format.pp_print_string fmt "clean"
+  | Survived_partition -> Format.pp_print_string fmt "survived-partition"
   | Detected -> Format.pp_print_string fmt "detected"
   | Failed msg -> Format.fprintf fmt "FAILED: %s" msg
 
@@ -220,11 +311,16 @@ let pp_outcome fmt o =
   Format.fprintf fmt "%-22s seed=%-6d %a  ops=%d runtime=%a events=%d [%a]@,  plan: %a"
     (target_name o.target) o.seed pp_verdict (verdict o) o.ops Sim.Time.pp o.runtime
     o.events Plan.pp_stats o.stats Spec.pp o.spec;
-  match o.recovered with
+  (match o.recovered with
   | Some rs ->
     Format.fprintf fmt "@,  recovery: recreations=%d epoch-bumps=%d stale-discards=%d crashes=%d retransmits=%d"
       rs.Token.Protocol.rs_recreations rs.Token.Protocol.rs_epoch_bumps
       rs.Token.Protocol.rs_stale_discards rs.Token.Protocol.rs_crashes o.retransmits
+  | None -> ());
+  match o.chaos with
+  | Some cs ->
+    Format.fprintf fmt "@,  chaos: %a downtime=%a" Chaos.pp_stats cs Sim.Time.pp
+      o.link_downtime
   | None -> ()
 
 (* Per-run spec derivation must not depend on list evaluation order.
@@ -241,7 +337,7 @@ let spec_for rng ~drop_mode ~drop_tokens ~recover target =
     else spec
 
 let campaign ?config ?(runs = 100) ?(jobs = 1) ?(drop_mode = false) ?(drop_tokens = false)
-    ?(recover = false) ~targets ~seed ?on_outcome () =
+    ?(recover = false) ?(adaptive = false) ?chaos ~targets ~seed ?on_outcome () =
   if targets = [] then invalid_arg "Torture.campaign: no targets";
   if recover && List.exists (function Directory _ -> true | Token _ -> false) targets then
     invalid_arg "Torture.campaign: recovery campaigns take token targets only";
@@ -260,7 +356,7 @@ let campaign ?config ?(runs = 100) ?(jobs = 1) ?(drop_mode = false) ?(drop_token
   if jobs <= 1 then
     List.map
       (fun (i, target, spec) ->
-        let o = run ?config ~recover target ~spec ~seed:(seed + i) in
+        let o = run ?config ~recover ~adaptive ?chaos target ~spec ~seed:(seed + i) in
         (match on_outcome with Some f -> f i o | None -> ());
         o)
       tasks
@@ -269,7 +365,8 @@ let campaign ?config ?(runs = 100) ?(jobs = 1) ?(drop_mode = false) ?(drop_token
       Par.Pool.map ~jobs
         ~label:(fun _ (i, target, _) ->
           Printf.sprintf "torture run %d: %s seed=%d" i (target_name target) (seed + i))
-        (fun (i, target, spec) -> run ?config ~recover target ~spec ~seed:(seed + i))
+        (fun (i, target, spec) ->
+          run ?config ~recover ~adaptive ?chaos target ~spec ~seed:(seed + i))
         tasks
     in
     (match on_outcome with Some f -> List.iteri f outcomes | None -> ());

@@ -19,6 +19,35 @@ val default_targets : target list
     run against (the directory protocol has no recovery layer). *)
 val token_targets : target list
 
+(** Adaptive-timeout configuration used by [run ~adaptive:true]: the
+    fabric RTT-estimator parameters, and the scale mapping the largest
+    per-link RTO to the token recreation timeout. Their product —
+    {!adaptive_recreation_ceiling} — bounds the adaptive recreation
+    wait and is what liveness margins budget for. *)
+val adaptive_rtt_params : Interconnect.Rtt.params
+
+val adaptive_recreation_scale : float
+val adaptive_recreation_ceiling : Sim.Time.t
+
+(** The watchdog margin a run actually attaches: [base] (the
+    [watchdog_margin] argument or its default) widened, if needed, so
+    the scaled no-progress and starvation bounds out-wait the longest
+    legitimate stall — the chaos plan's {!Chaos.max_outage} plus
+    {!Token.Recovery.worst_case_latency}, the latter computed against
+    {!adaptive_recreation_ceiling} when [adaptive] (not the static
+    recreation constant an adaptive run no longer uses). Exposed so
+    tests can pin that the adaptive ceiling is actually budgeted. *)
+val effective_margin :
+  base:float ->
+  recover:bool ->
+  adaptive:bool ->
+  ?chaos:Chaos.spec ->
+  watchdog_interval:Sim.Time.t ->
+  no_progress_windows:int ->
+  starvation_bound:Sim.Time.t ->
+  unit ->
+  float
+
 type outcome = {
   seed : int;
   spec : Spec.t;
@@ -37,6 +66,12 @@ type outcome = {
   recovered : Token.Protocol.recovery_stats option;
       (** recovery-layer activity; [Some] only for recovery-mode runs *)
   retransmits : int;  (** reliable-transport retransmissions (recovery mode) *)
+  chaos : Chaos.stats option;
+      (** link-outage campaign counters; [Some] only when an active
+          chaos plan was installed *)
+  link_downtime : Sim.Time.t;
+      (** cumulative per-link Down time accumulated by the fabric's
+          outage model (zero when no chaos ran) *)
 }
 
 (** [recover] (token targets only; [Invalid_argument] on directory
@@ -49,9 +84,26 @@ type outcome = {
     — the pass criterion flips from "detect the loss" to "survive it:
     zero violations, every request retires, slowdown bounded".
 
-    [watchdog_margin] overrides the {!Watchdog.attach} margin; the
-    default (2.5 in recovery mode, 1.0 otherwise) keeps the scaled
-    starvation bound above {!Token.Recovery.worst_case_latency}. *)
+    [adaptive] (requires [recover]) replaces the fixed retransmission
+    timeout with the fabric's per-link RTT estimator
+    ({!Interconnect.Fabric.enable_adaptive_timeouts}) and installs an
+    adaptive token-recreation source: the largest per-link RTO scaled
+    by a fixed factor, so recreation waits track observed network
+    conditions instead of a static constant.
+
+    [chaos] installs a link-outage campaign ({!Chaos.install}) on the
+    fabric. Hard chaos (down links) on a token target requires
+    [recover]; directory targets automatically take the loss-free
+    {!Chaos.brownout_of} rendition, the same discipline as
+    {!Spec.delay_only}.
+
+    [watchdog_margin] overrides the {e base} {!Watchdog.attach} margin
+    (default 2.5 in recovery mode, 1.0 otherwise). The margin actually
+    attached is then widened, if needed, to out-wait the longest
+    legitimate stall: the chaos plan's {!Chaos.max_outage} plus
+    {!Token.Recovery.worst_case_latency} — computed against the
+    adaptive recreation source's {e ceiling} when [adaptive] is set,
+    not the static constant it replaced. *)
 val run :
   ?config:Mcmp.Config.t ->
   ?nlocks:int ->
@@ -63,6 +115,8 @@ val run :
   ?starvation_bound:Sim.Time.t ->
   ?max_events:int ->
   ?recover:bool ->
+  ?adaptive:bool ->
+  ?chaos:Chaos.spec ->
   ?watchdog_margin:float ->
   target ->
   spec:Spec.t ->
@@ -73,13 +127,17 @@ val run :
     survivable:
 
     - [Clean]: completed, nothing to report;
+    - [Survived_partition]: clean {e and} the run rode out at least one
+      region partition — every request retired after the heal with zero
+      violations;
     - [Detected]: an injected unsurvivable fault (token-carrying drop,
       token-minting duplicate) was correctly caught and reported;
     - [Failed _]: a genuine robustness bug — an invariant broke under
       survivable faults, a liveness failure without an unsurvivable
-      fault, an unsurvivable fault that went unreported, or a silent
-      hang. *)
-type verdict = Clean | Detected | Failed of string
+      fault, an unsurvivable fault that went unreported, a silent hang,
+      or (under a partition, whose heal is always scheduled) a livelock
+      that failed to converge after the network healed. *)
+type verdict = Clean | Survived_partition | Detected | Failed of string
 
 val verdict : outcome -> verdict
 val pp_verdict : Format.formatter -> verdict -> unit
@@ -102,7 +160,11 @@ val pp_outcome : Format.formatter -> outcome -> unit
     [recover] runs every task in recovery mode ([Invalid_argument] if
     [targets] includes a directory protocol): specs gain token-carrying
     drops plus two crash/restart cycles, and a clean verdict means the
-    storm was {e survived} rather than detected. *)
+    storm was {e survived} rather than detected.
+
+    [adaptive] and [chaos] are passed through to every {!run} — a
+    campaign with a partitioning chaos plan expects
+    [Survived_partition] verdicts, not [Clean]. *)
 val campaign :
   ?config:Mcmp.Config.t ->
   ?runs:int ->
@@ -110,6 +172,8 @@ val campaign :
   ?drop_mode:bool ->
   ?drop_tokens:bool ->
   ?recover:bool ->
+  ?adaptive:bool ->
+  ?chaos:Chaos.spec ->
   targets:target list ->
   seed:int ->
   ?on_outcome:(int -> outcome -> unit) ->

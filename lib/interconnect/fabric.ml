@@ -54,6 +54,31 @@ type 'msg rel = {
   mutable r_give_up : (src:int -> dst:int -> cls:Msg_class.t -> 'msg -> unit) option;
 }
 
+type link_state =
+  | Link_up
+  | Link_degraded of { latency_mult : float; drop_prob : float }
+  | Link_down
+
+(* Outage-model state: one link_state per ordered site pair, mutated by
+   Fabric.set_link_state / partition / heal. The rng is a dedicated
+   stream (degraded-link drop draws only) so arming the model never
+   perturbs a fault plan's or the fabric's own sequences. *)
+type outage = {
+  o_rng : Sim.Rng.t;
+  o_state : link_state array;
+  o_down_since : Sim.Time.t array;  (* valid while the link is down *)
+  mutable o_links_down : int;
+  mutable o_downtime : Sim.Time.t;  (* of links already healed *)
+  mutable o_drops : int;  (* copies lost to down/degraded links *)
+  mutable o_transitions : int;
+}
+
+(* Adaptive-timeout state: one RTT estimator per ordered site pair
+   (diagonal = on-chip traffic), fed with every observed delivery
+   latency; the reliable transport's backoff base becomes the link's
+   current RTO instead of the fixed [retrans_timeout]. *)
+type adaptive = { a_params : Rtt.params; a_est : Rtt.t array }
+
 type 'msg t = {
   engine : Sim.Engine.t;
   layout : Layout.t;
@@ -78,6 +103,8 @@ type 'msg t = {
   mutable port_busy_total : Sim.Time.t; (* serialization time ever claimed on ports *)
   mutable link_busy_total : Sim.Time.t; (* ... on inter-site links *)
   mutable rel : 'msg rel option;
+  mutable outage : outage option;
+  mutable adaptive : adaptive option;
 }
 
 let register ?(prefix = "fabric.") registry t =
@@ -142,6 +169,8 @@ let create engine layout params traffic rng =
       port_busy_total = Sim.Time.zero;
       link_busy_total = Sim.Time.zero;
       rel = None;
+      outage = None;
+      adaptive = None;
     }
   in
   (* Self-register occupancy/utilization samplers when the engine
@@ -192,7 +221,189 @@ let fault t ~src ~dst ~cls action =
     Sim.Engine.emit t.engine
       (Obs.Event.Fault_action { src; dst; cls = Msg_class.to_string cls; action })
 
+(* ------------------------------------------------------------------ *)
+(* Link outage model                                                   *)
+
+let link_index t ~src_site ~dst_site = (src_site * t.layout.Layout.ncmp) + dst_site
+
+let check_site t name s =
+  if s < 0 || s >= t.layout.Layout.ncmp then
+    invalid_arg (Printf.sprintf "Fabric.%s: site %d out of range" name s)
+
+let outage_downtime t o =
+  (* Accumulated downtime of healed links plus the in-progress downtime
+     of links currently down. *)
+  let now = Sim.Engine.now t.engine in
+  let acc = ref o.o_downtime in
+  Array.iteri
+    (fun i st -> match st with Link_down -> acc := !acc + (now - o.o_down_since.(i)) | _ -> ())
+    o.o_state;
+  !acc
+
+let enable_outages t rng =
+  let n = t.layout.Layout.ncmp * t.layout.Layout.ncmp in
+  let o =
+    {
+      o_rng = rng;
+      o_state = Array.make n Link_up;
+      o_down_since = Array.make n Sim.Time.zero;
+      o_links_down = 0;
+      o_downtime = Sim.Time.zero;
+      o_drops = 0;
+      o_transitions = 0;
+    }
+  in
+  t.outage <- Some o;
+  match Obs.Registry.of_engine t.engine with
+  | Some registry ->
+    let module R = Obs.Registry in
+    R.register_int registry "fabric.links_down" (fun () -> o.o_links_down);
+    R.register_float registry "fabric.link_downtime_ns" (fun () ->
+        Sim.Time.to_ns (outage_downtime t o));
+    R.register_int registry "fabric.outage_drops" (fun () -> o.o_drops);
+    R.register_int registry "fabric.link_transitions" (fun () -> o.o_transitions)
+  | None -> ()
+
+let outages_enabled t = t.outage <> None
+
+let set_link_state t ~src_site ~dst_site state =
+  match t.outage with
+  | None -> invalid_arg "Fabric.set_link_state: outages not enabled"
+  | Some o ->
+    check_site t "set_link_state" src_site;
+    check_site t "set_link_state" dst_site;
+    if src_site = dst_site then
+      invalid_arg "Fabric.set_link_state: on-chip crossbar has no link state";
+    let i = link_index t ~src_site ~dst_site in
+    let prev = o.o_state.(i) in
+    if prev <> state then begin
+      let now = Sim.Engine.now t.engine in
+      o.o_transitions <- o.o_transitions + 1;
+      (match prev with
+      | Link_down ->
+        o.o_links_down <- o.o_links_down - 1;
+        o.o_downtime <- o.o_downtime + (now - o.o_down_since.(i))
+      | Link_up | Link_degraded _ -> ());
+      (match state with
+      | Link_down ->
+        o.o_links_down <- o.o_links_down + 1;
+        o.o_down_since.(i) <- now
+      | Link_up | Link_degraded _ -> ());
+      o.o_state.(i) <- state;
+      if Sim.Engine.tracing t.engine then
+        Sim.Engine.emit t.engine
+          (match state with
+          | Link_down -> Obs.Event.Link_down { src_site; dst_site }
+          | Link_degraded { latency_mult; drop_prob } ->
+            Obs.Event.Link_degraded { src_site; dst_site; latency_mult; drop_prob }
+          | Link_up -> Obs.Event.Link_healed { src_site; dst_site })
+    end
+
+let link_state t ~src_site ~dst_site =
+  match t.outage with
+  | None -> Link_up
+  | Some o ->
+    check_site t "link_state" src_site;
+    check_site t "link_state" dst_site;
+    o.o_state.(link_index t ~src_site ~dst_site)
+
+(* Map Destset region masks to site sets, then cut every link between
+   sites in different regions. Sites absent from all regions keep their
+   links; a site listed in two regions counts as the later one. *)
+let partition ?(state = Link_down) t regions =
+  if t.outage = None then invalid_arg "Fabric.partition: outages not enabled";
+  let ncmp = t.layout.Layout.ncmp in
+  let region_of_site = Array.make ncmp (-1) in
+  List.iteri
+    (fun ri ds ->
+      List.iter
+        (fun node -> region_of_site.(t.cmp_arr.(node)) <- ri)
+        (Destset.to_list ds))
+    regions;
+  for a = 0 to ncmp - 1 do
+    for b = 0 to ncmp - 1 do
+      if
+        a <> b
+        && region_of_site.(a) >= 0
+        && region_of_site.(b) >= 0
+        && region_of_site.(a) <> region_of_site.(b)
+      then set_link_state t ~src_site:a ~dst_site:b state
+    done
+  done
+
+let heal t =
+  if t.outage = None then invalid_arg "Fabric.heal: outages not enabled";
+  let ncmp = t.layout.Layout.ncmp in
+  for a = 0 to ncmp - 1 do
+    for b = 0 to ncmp - 1 do
+      if a <> b then set_link_state t ~src_site:a ~dst_site:b Link_up
+    done
+  done
+
+let links_down t = match t.outage with Some o -> o.o_links_down | None -> 0
+let outage_drops t = match t.outage with Some o -> o.o_drops | None -> 0
+let link_transitions t = match t.outage with Some o -> o.o_transitions | None -> 0
+
+let link_downtime t =
+  match t.outage with Some o -> outage_downtime t o | None -> Sim.Time.zero
+
+(* Outage verdict for one copy. On-chip traffic never crosses a link;
+   degraded-link loss draws from the outage model's dedicated stream. *)
+let outage_action t o ~src ~dst =
+  let ss = t.cmp_arr.(src) and ds = t.cmp_arr.(dst) in
+  if ss = ds then Pass
+  else
+    match o.o_state.(link_index t ~src_site:ss ~dst_site:ds) with
+    | Link_up -> Pass
+    | Link_down ->
+      o.o_drops <- o.o_drops + 1;
+      Drop
+    | Link_degraded { latency_mult; drop_prob } ->
+      if drop_prob > 0. && Sim.Rng.float o.o_rng 1.0 < drop_prob then begin
+        o.o_drops <- o.o_drops + 1;
+        Drop
+      end
+      else if latency_mult > 1.0 then
+        Delay (Sim.Time.mul_f t.params.inter_latency (latency_mult -. 1.0))
+      else Pass
+
+(* Effective per-copy verdict: the fault plan speaks first (so its rng
+   stream sees the same offer sequence whether or not outages are
+   armed), then the link state is applied to the surviving copy. A
+   degraded link's extra latency stacks on a plan delay; a duplicate's
+   second copy rides the link un-delayed (the type cannot express
+   both). Consulted afresh on every retransmit attempt, so a heal lets
+   queued retransmits through. *)
+let consult t ~src ~dst ~cls msg =
+  let v =
+    match t.injector with
+    | Some inject -> inject ~now:(Sim.Engine.now t.engine) ~src ~dst ~cls msg
+    | None -> Pass
+  in
+  match t.outage with
+  | None -> v
+  | Some o -> (
+    match v with
+    | Drop -> Drop
+    | _ -> (
+      match outage_action t o ~src ~dst with
+      | Drop -> Drop
+      | Pass -> v
+      | Delay d -> (
+        match v with
+        | Pass -> Delay d
+        | Delay d2 -> Delay (d + d2)
+        | (Duplicate _ | Drop) as v -> v)
+      | Duplicate _ -> v))
+
+(* ------------------------------------------------------------------ *)
+
 let schedule_delivery t ~src ~cls time dst msg =
+  (match t.adaptive with
+  | Some a ->
+    let i = link_index t ~src_site:t.cmp_arr.(src) ~dst_site:t.cmp_arr.(dst) in
+    Rtt.observe a.a_est.(i) (max 0 (time - Sim.Engine.now t.engine))
+  | None -> ());
   Sim.Engine.schedule_at t.engine time (fun () ->
       t.delivered <- t.delivered + 1;
       if Sim.Engine.tracing t.engine then
@@ -215,16 +426,26 @@ let next_seq rel ~src ~dst =
   Hashtbl.replace rel.r_seq k (n + 1);
   n
 
-let rel_backoff rel ~attempt =
+(* The backoff base is the fixed [retrans_timeout], or — with adaptive
+   timeouts enabled — the link's current estimated RTO. The jitter draw
+   order per attempt is identical either way, so flipping adaptive mode
+   never changes how many values the reliability stream produces. *)
+let rel_backoff t rel ~src ~dst ~attempt =
+  let base =
+    match t.adaptive with
+    | None -> rel.rp.retrans_timeout
+    | Some a ->
+      Rtt.rto a.a_est.(link_index t ~src_site:t.cmp_arr.(src) ~dst_site:t.cmp_arr.(dst))
+  in
   let rec pow acc n = if n <= 0 then acc else pow (acc * rel.rp.retrans_backoff) (n - 1) in
   let jitter =
     if rel.rp.retrans_jitter = 0 then 0
     else Sim.Rng.int rel.r_rng (rel.rp.retrans_jitter + 1)
   in
-  (rel.rp.retrans_timeout * pow 1 (attempt - 1)) + jitter
+  (base * pow 1 (attempt - 1)) + jitter
 
-let rec rel_attempt t rel inject ~src ~dst ~cls ~seq ~flight ~attempt time msg =
-  match inject ~now:(Sim.Engine.now t.engine) ~src ~dst ~cls msg with
+let rec rel_attempt t rel ~src ~dst ~cls ~seq ~flight ~attempt time msg =
+  match consult t ~src ~dst ~cls msg with
   | Pass -> schedule_delivery t ~src ~cls time dst msg
   | Delay extra ->
     fault t ~src ~dst ~cls "delay";
@@ -252,9 +473,9 @@ let rec rel_attempt t rel inject ~src ~dst ~cls ~seq ~flight ~attempt time msg =
       if Sim.Engine.tracing t.engine then
         Sim.Engine.emit t.engine
           (Obs.Event.Retransmit { src; dst; cls = Msg_class.to_string cls; attempt });
-      let wait = rel_backoff rel ~attempt in
+      let wait = rel_backoff t rel ~src ~dst ~attempt in
       Sim.Engine.schedule_at t.engine (time + wait) (fun () ->
-          rel_attempt t rel inject ~src ~dst ~cls ~seq ~flight ~attempt:(attempt + 1)
+          rel_attempt t rel ~src ~dst ~cls ~seq ~flight ~attempt:(attempt + 1)
             (Sim.Engine.now t.engine + flight) msg)
     end
 
@@ -267,16 +488,16 @@ let deliver_at t ~src ~cls ~bytes time dst msg =
     Sim.Engine.emit t.engine
       (Obs.Event.Msg_send
          { src; dst; cls = Msg_class.to_string cls; bytes; label = t.msg_label msg });
-  match t.injector with
-  | None -> schedule_delivery t ~src ~cls time dst msg
-  | Some inject -> (
+  match (t.injector, t.outage) with
+  | None, None -> schedule_delivery t ~src ~cls time dst msg
+  | _ -> (
     match t.rel with
     | Some rel ->
       let seq = next_seq rel ~src ~dst in
       let flight = max 0 (time - Sim.Engine.now t.engine) in
-      rel_attempt t rel inject ~src ~dst ~cls ~seq ~flight ~attempt:1 time msg
+      rel_attempt t rel ~src ~dst ~cls ~seq ~flight ~attempt:1 time msg
     | None -> (
-      match inject ~now:(Sim.Engine.now t.engine) ~src ~dst ~cls msg with
+      match consult t ~src ~dst ~cls msg with
       | Pass -> schedule_delivery t ~src ~cls time dst msg
       | Delay extra ->
         fault t ~src ~dst ~cls "delay";
@@ -320,6 +541,39 @@ let set_give_up_handler t f =
 let retransmits t = match t.rel with Some r -> r.r_retransmits | None -> 0
 let absorbed_duplicates t = match t.rel with Some r -> r.r_absorbed | None -> 0
 let retrans_exhausted t = match t.rel with Some r -> r.r_exhausted | None -> 0
+
+let enable_adaptive_timeouts ?(params = Rtt.default_params) t =
+  if t.rel = None then
+    invalid_arg "Fabric.enable_adaptive_timeouts: reliability not enabled";
+  let n = t.layout.Layout.ncmp * t.layout.Layout.ncmp in
+  let a = { a_params = params; a_est = Array.init n (fun _ -> Rtt.create params) } in
+  t.adaptive <- Some a;
+  match Obs.Registry.of_engine t.engine with
+  | Some registry ->
+    let module R = Obs.Registry in
+    R.register_float registry "fabric.rto_max_ns" (fun () ->
+        Array.fold_left (fun acc e -> Float.max acc (Sim.Time.to_ns (Rtt.rto e))) 0. a.a_est);
+    R.register_int registry "fabric.rtt_samples" (fun () ->
+        Array.fold_left (fun acc e -> acc + Rtt.samples e) 0 a.a_est)
+  | None -> ()
+
+let adaptive t = t.adaptive <> None
+
+let adaptive_ceiling t =
+  match t.adaptive with Some a -> Some a.a_params.Rtt.ceiling | None -> None
+
+let rto t ~src_site ~dst_site =
+  match t.adaptive with
+  | None -> invalid_arg "Fabric.rto: adaptive timeouts not enabled"
+  | Some a ->
+    check_site t "rto" src_site;
+    check_site t "rto" dst_site;
+    Rtt.rto a.a_est.(link_index t ~src_site ~dst_site)
+
+let max_rto t =
+  match t.adaptive with
+  | None -> invalid_arg "Fabric.max_rto: adaptive timeouts not enabled"
+  | Some a -> Array.fold_left (fun acc e -> max acc (Rtt.rto e)) 0 a.a_est
 
 (* Reference list-based multicast: kept both as the fallback for
    configurations too large for bitmasks and as the oracle the destset

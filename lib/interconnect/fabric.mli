@@ -105,6 +105,99 @@ val retransmits : 'msg t -> int
 val absorbed_duplicates : 'msg t -> int
 val retrans_exhausted : 'msg t -> int
 
+(** {2 Link outage model}
+
+    Opt-in per-link state machine over the ordered inter-site links.
+    A [Link_down] link loses every copy offered to it; a
+    [Link_degraded] link loses each copy with [drop_prob] (drawn from
+    the outage model's dedicated rng stream) and charges survivors
+    [latency_mult] x the inter-site latency as extra delay. On-chip
+    traffic (including a chip's own memory controller) never crosses a
+    link and is unaffected.
+
+    The state is consulted on {e every} delivery attempt — including
+    reliable-transport retransmits — so a heal lets queued retransmits
+    through, and an outage alone (no fault injector installed) already
+    drops traffic. With outages never enabled the send path is
+    unchanged and no randomness is drawn. *)
+
+type link_state =
+  | Link_up
+  | Link_degraded of { latency_mult : float; drop_prob : float }
+  | Link_down
+
+(** [enable_outages t rng] arms the model with every link up. [rng]
+    should be a stream split off for this purpose. Registers
+    [fabric.links_down] / [fabric.link_downtime_ns] /
+    [fabric.outage_drops] / [fabric.link_transitions] samplers when the
+    engine carries a metrics registry. *)
+val enable_outages : 'msg t -> Sim.Rng.t -> unit
+
+val outages_enabled : 'msg t -> bool
+
+(** Transition one ordered link; emits {!Obs.Event.Link_down} /
+    [Link_degraded] / [Link_healed] on tracing runs and accounts
+    downtime. No-op if the link is already in [state].
+    @raise Invalid_argument without {!enable_outages}, on a bad site,
+    or on the diagonal (on-chip traffic has no link state). *)
+val set_link_state : 'msg t -> src_site:int -> dst_site:int -> link_state -> unit
+
+(** Current state ([Link_up] when outages are not enabled). *)
+val link_state : 'msg t -> src_site:int -> dst_site:int -> link_state
+
+(** [partition t regions] cuts every link between sites that fall in
+    different region masks (node-id {!Destset}s, mapped to their
+    sites); sites in no region keep their links. [state] defaults to
+    [Link_down]; pass a [Link_degraded] to model a brownout partition
+    instead of a hard split.
+    @raise Invalid_argument without {!enable_outages}. *)
+val partition : ?state:link_state -> 'msg t -> Destset.t list -> unit
+
+(** Return every link to [Link_up].
+    @raise Invalid_argument without {!enable_outages}. *)
+val heal : 'msg t -> unit
+
+val links_down : 'msg t -> int
+
+(** Total time spent down, summed over links (in-progress outages
+    included). *)
+val link_downtime : 'msg t -> Sim.Time.t
+
+(** Copies lost to down or degraded links (also counted in
+    {!dropped}). *)
+val outage_drops : 'msg t -> int
+
+val link_transitions : 'msg t -> int
+
+(** {2 Adaptive timeouts}
+
+    Opt-in replacement of the reliable transport's fixed
+    [retrans_timeout] with a per-link RTT-estimator RTO ({!Rtt}): every
+    scheduled delivery feeds its link's estimator, and retransmission
+    backoff multiplies the link's current [Rtt.rto] instead of the
+    constant. The per-attempt jitter draw order is unchanged, so
+    enabling adaptive mode never changes how many values the
+    reliability stream produces. Registers [fabric.rto_max_ns] /
+    [fabric.rtt_samples] samplers when the engine carries a registry.
+    @raise Invalid_argument if reliability is not enabled. *)
+val enable_adaptive_timeouts : ?params:Rtt.params -> 'msg t -> unit
+
+val adaptive : 'msg t -> bool
+
+(** The estimator ceiling when adaptive mode is on — what liveness
+    margins must budget for (see
+    {!Token.Recovery.worst_case_latency}). *)
+val adaptive_ceiling : 'msg t -> Sim.Time.t option
+
+(** Current RTO of one ordered site-pair link.
+    @raise Invalid_argument if adaptive mode is off. *)
+val rto : 'msg t -> src_site:int -> dst_site:int -> Sim.Time.t
+
+(** Largest current RTO over all links — the conservative base for
+    timeouts that must out-wait any single link.
+    @raise Invalid_argument if adaptive mode is off. *)
+val max_rto : 'msg t -> Sim.Time.t
+
 (** Label messages in trace events (defaults to the empty string; the
     message class always accompanies it). *)
 val set_msg_label : 'msg t -> ('msg -> string) -> unit

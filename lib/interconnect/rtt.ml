@@ -1,0 +1,55 @@
+type params = {
+  alpha : float;
+  beta : float;
+  k : float;
+  floor : Sim.Time.t;
+  ceiling : Sim.Time.t;
+}
+
+let default_params =
+  {
+    alpha = 0.125;
+    beta = 0.25;
+    k = 4.0;
+    floor = Sim.Time.ns 300;
+    ceiling = Sim.Time.ns 5_000;
+  }
+
+type t = {
+  p : params;
+  mutable srtt : float;  (* picoseconds *)
+  mutable rttvar : float;
+  mutable nsamples : int;
+}
+
+let create p =
+  if p.alpha <= 0. || p.alpha > 1. || p.beta <= 0. || p.beta > 1. then
+    invalid_arg "Rtt.create: gains must be in (0, 1]";
+  if p.floor > p.ceiling then invalid_arg "Rtt.create: floor exceeds ceiling";
+  { p; srtt = 0.; rttvar = 0.; nsamples = 0 }
+
+(* Jacobson/Karels as in RFC 6298: the first sample seeds the filters,
+   later samples update the deviation before the mean (the deviation
+   must see the pre-update srtt). *)
+let observe t sample =
+  let r = float_of_int (max 0 sample) in
+  if t.nsamples = 0 then begin
+    t.srtt <- r;
+    t.rttvar <- r /. 2.
+  end
+  else begin
+    t.rttvar <- ((1. -. t.p.beta) *. t.rttvar) +. (t.p.beta *. Float.abs (t.srtt -. r));
+    t.srtt <- ((1. -. t.p.alpha) *. t.srtt) +. (t.p.alpha *. r)
+  end;
+  t.nsamples <- t.nsamples + 1
+
+let rto t =
+  if t.nsamples = 0 then t.p.floor
+  else
+    let raw = int_of_float (Float.round (t.srtt +. (t.p.k *. t.rttvar))) in
+    max t.p.floor (min t.p.ceiling raw)
+
+let srtt t = int_of_float (Float.round t.srtt)
+let rttvar t = int_of_float (Float.round t.rttvar)
+let samples t = t.nsamples
+let params t = t.p

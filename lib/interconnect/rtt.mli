@@ -1,0 +1,45 @@
+(** TCP-RTO-style adaptive timeout estimator (RFC 6298 / Jacobson).
+
+    One estimator tracks one link's observed delivery latency as an
+    exponentially-weighted mean ([srtt]) and mean deviation ([rttvar]);
+    {!rto} is [srtt + k * rttvar] clamped into [floor, ceiling]. The
+    fabric keeps one per ordered site pair when adaptive timeouts are
+    enabled ({!Fabric.enable_adaptive_timeouts}), so retransmission
+    backs off against what the link is {e actually} doing — a degraded
+    link inflates samples and the timeout follows, instead of a fixed
+    constant retransmitting into a brownout.
+
+    The estimator draws no randomness and is pure bookkeeping: creating
+    or feeding one can never perturb a seeded run's rng streams. *)
+
+type params = {
+  alpha : float;  (** srtt gain (RFC 6298: 1/8) *)
+  beta : float;  (** rttvar gain (RFC 6298: 1/4) *)
+  k : float;  (** deviation multiplier (RFC 6298: 4) *)
+  floor : Sim.Time.t;  (** minimum returned timeout *)
+  ceiling : Sim.Time.t;
+      (** maximum returned timeout — the bound liveness watchdogs must
+          budget for (see {!Token.Recovery.worst_case_latency}) *)
+}
+
+(** [floor] matches {!Fabric.default_reliability}'s fixed
+    [retrans_timeout] (300 ns), so an unfed estimator behaves exactly
+    like the static transport. *)
+val default_params : params
+
+type t
+
+(** @raise Invalid_argument on gains outside (0, 1] or floor > ceiling. *)
+val create : params -> t
+
+(** Feed one observed delivery latency. *)
+val observe : t -> Sim.Time.t -> unit
+
+(** Current retransmission timeout: [floor] until the first sample,
+    then [srtt + k * rttvar] clamped into [floor, ceiling]. *)
+val rto : t -> Sim.Time.t
+
+val srtt : t -> Sim.Time.t
+val rttvar : t -> Sim.Time.t
+val samples : t -> int
+val params : t -> params

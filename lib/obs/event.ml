@@ -71,6 +71,20 @@ type Sim.Engine.event +=
   | Node_restart of { node : int }
       (** The crashed cache rejoined empty and re-issued its pending
           request. *)
+  | Link_down of { src_site : int; dst_site : int }
+      (** Outage model: the ordered inter-site link went down; copies
+          offered to it are lost until it heals. *)
+  | Link_degraded of {
+      src_site : int;
+      dst_site : int;
+      latency_mult : float;
+      drop_prob : float;
+    }
+      (** Outage model: the link entered a brownout — surviving copies
+          pay [latency_mult] x the inter-site latency and each copy is
+          lost with [drop_prob]. *)
+  | Link_healed of { src_site : int; dst_site : int }
+      (** Outage model: the link returned to full service. *)
 
 let describe at ev =
   let ns = Sim.Time.to_ns at in
@@ -126,6 +140,12 @@ let describe at ev =
     Some (p "%.1fns stale-discard node=%d addr=%#x epoch=%d" ns e.node e.addr e.epoch)
   | Node_crash e -> Some (p "%.1fns node-crash node=%d" ns e.node)
   | Node_restart e -> Some (p "%.1fns node-restart node=%d" ns e.node)
+  | Link_down e -> Some (p "%.1fns link-down %d->%d" ns e.src_site e.dst_site)
+  | Link_degraded e ->
+    Some
+      (p "%.1fns link-degraded %d->%d latency x%.1f drop=%.2f" ns e.src_site e.dst_site
+         e.latency_mult e.drop_prob)
+  | Link_healed e -> Some (p "%.1fns link-healed %d->%d" ns e.src_site e.dst_site)
   | _ -> None
 
 let to_json at ev =
@@ -195,4 +215,13 @@ let to_json at ev =
     base "stale_discard" [ ("node", i e.node); ("addr", i e.addr); ("epoch", i e.epoch) ]
   | Node_crash e -> base "node_crash" [ ("node", i e.node) ]
   | Node_restart e -> base "node_restart" [ ("node", i e.node) ]
+  | Link_down e ->
+    base "link_down" [ ("src_site", i e.src_site); ("dst_site", i e.dst_site) ]
+  | Link_degraded e ->
+    base "link_degraded"
+      [ ("src_site", i e.src_site); ("dst_site", i e.dst_site);
+        ("latency_mult", Tcjson.Float e.latency_mult);
+        ("drop_prob", Tcjson.Float e.drop_prob) ]
+  | Link_healed e ->
+    base "link_healed" [ ("src_site", i e.src_site); ("dst_site", i e.dst_site) ]
   | _ -> None

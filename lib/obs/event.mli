@@ -58,6 +58,14 @@ type Sim.Engine.event +=
   | Stale_discard of { node : int; addr : int; epoch : int }
   | Node_crash of { node : int }
   | Node_restart of { node : int }
+  | Link_down of { src_site : int; dst_site : int }
+  | Link_degraded of {
+      src_site : int;
+      dst_site : int;
+      latency_mult : float;
+      drop_prob : float;
+    }
+  | Link_healed of { src_site : int; dst_site : int }
 
 (** One-line human rendering; [None] for constructors this library does
     not know about. *)

@@ -126,6 +126,9 @@ type t = {
   caches_minus_self : DS.t array;  (* per node: all caches minus itself *)
   (* --- recovery state (all idle when [recovery = None]) --- *)
   recovery : Recovery.params option;
+  mutable rec_timeout_src : (unit -> Sim.Time.t) option;
+      (* adaptive recreation timeout (e.g. scaled fabric RTO); None
+         keeps the static [recreation_timeout] and bit-identical runs *)
   cur_epoch : (Cache.Addr.t, int) Hashtbl.t;  (* authoritative epoch, bumped at mint *)
   recreating : (Cache.Addr.t, rec_state) Hashtbl.t;  (* home-memory collect phase *)
   mutable tick_on : bool;  (* recovery refresh tick currently armed *)
@@ -500,10 +503,17 @@ and arm_rec_timer t node m =
   match t.recovery with
   | Some p ->
     (match m.m_rec_timer with Some ti -> E.cancel ti | None -> ());
+    (* An adaptive source replaces the static constant outright (that
+       is the point: scale with observed conditions, down as well as
+       up), floored at [bump_retry] so a cold estimator cannot spin the
+       recreation ask. *)
+    let timeout =
+      match t.rec_timeout_src with
+      | Some f -> max p.Recovery.bump_retry (f ())
+      | None -> p.Recovery.recreation_timeout
+    in
     m.m_rec_timer <-
-      Some
-        (E.timer_in t.engine p.Recovery.recreation_timeout (fun () ->
-             request_recreation t node m))
+      Some (E.timer_in t.engine timeout (fun () -> request_recreation t node m))
   | None -> ()
 
 and request_recreation t node m =
@@ -1412,6 +1422,7 @@ let create ?recovery policy engine cfg traffic rng counters =
         Array.init nnodes (fun id -> DS.remove id l1_sets.(L.cmp_of layout id));
       caches_minus_self = Array.init nnodes (fun id -> DS.remove id all_caches_set);
       recovery;
+      rec_timeout_src = None;
       cur_epoch = Hashtbl.create 64;
       recreating = Hashtbl.create 8;
       tick_on = false;
@@ -1701,6 +1712,7 @@ type instrumented = {
   i_crash : int -> unit;
   i_restart : int -> unit;
   i_recovery : unit -> recovery_stats;
+  i_set_recreation_source : (unit -> Sim.Time.t) option -> unit;
 }
 
 let create_instrumented ?recovery policy engine cfg traffic rng counters =
@@ -1722,4 +1734,5 @@ let create_instrumented ?recovery policy engine cfg traffic rng counters =
           rs_stale_discards = t.stale_discards;
           rs_crashes = t.crashes;
         });
+    i_set_recreation_source = (fun f -> t.rec_timeout_src <- f);
   }

@@ -13,8 +13,12 @@ let default =
     lease = Sim.Time.ns 30_000;
   }
 
-let worst_case_latency ?(max_down = Sim.Time.ns 20_000) ?(rounds = 2) p =
-  rounds * (p.recreation_timeout + max_down + (3 * p.bump_retry) + p.lease)
+let worst_case_latency ?(max_down = Sim.Time.ns 20_000) ?(rounds = 2) ?recreation_timeout
+    p =
+  let rt =
+    match recreation_timeout with Some r -> max r p.bump_retry | None -> p.recreation_timeout
+  in
+  rounds * (rt + max_down + (3 * p.bump_retry) + p.lease)
 
 let pp fmt p =
   Format.fprintf fmt "recreation=%a bump-retry=%a refresh=%a lease=%a" Sim.Time.pp

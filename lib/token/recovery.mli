@@ -29,7 +29,19 @@ val default : params
     recreations, each preceded by a starvation timeout and possibly
     waiting out a crashed cache ([max_down]) plus bump retries and a
     lease expiry. {!Fault.Watchdog} margins must exceed this so a
-    legitimately-recovering run is never flagged as livelocked. *)
-val worst_case_latency : ?max_down:Sim.Time.t -> ?rounds:int -> params -> Sim.Time.t
+    legitimately-recovering run is never flagged as livelocked.
+
+    [recreation_timeout] overrides the static [p.recreation_timeout]
+    term (floored at [bump_retry], matching the protocol's own floor) —
+    required when an adaptive recreation source is installed
+    ({!Protocol.instrumented.i_set_recreation_source}): the watchdog
+    must budget for the source's {e ceiling}, not the static constant
+    the adaptive mode no longer uses. *)
+val worst_case_latency :
+  ?max_down:Sim.Time.t ->
+  ?rounds:int ->
+  ?recreation_timeout:Sim.Time.t ->
+  params ->
+  Sim.Time.t
 
 val pp : Format.formatter -> params -> unit

@@ -1,0 +1,411 @@
+(* Partition tolerance: the link outage model, the adaptive RTT/RTO
+   estimator, and chaos campaigns driving both through the torture
+   harness. *)
+
+module F = Interconnect.Fabric
+module L = Interconnect.Layout
+module Rtt = Interconnect.Rtt
+
+let ns = Sim.Time.ns
+let us = Sim.Time.us
+
+(* ---- RTT estimator (RFC 6298 shape) ---- *)
+
+let test_rtt_estimator () =
+  let est = Rtt.create Rtt.default_params in
+  (* Unfed, the RTO is the floor — i.e. exactly the fixed
+     retrans_timeout, so adaptive transport behaves like static
+     transport until it has seen traffic. *)
+  Alcotest.(check int) "rto before any sample is the floor"
+    Rtt.default_params.Rtt.floor (Rtt.rto est);
+  Alcotest.(check int) "no samples" 0 (Rtt.samples est);
+  (* First sample seeds srtt = r, rttvar = r/2: rto = r + 4*(r/2) = 3r. *)
+  Rtt.observe est (ns 1_000);
+  Alcotest.(check int) "first-sample rto = 3r" (ns 3_000) (Rtt.rto est);
+  (* Second identical sample: rttvar = 0.75 * (r/2), srtt unchanged,
+     rto = r + 4 * 0.375r = 2.5r. *)
+  Rtt.observe est (ns 1_000);
+  Alcotest.(check int) "steady sample shrinks variance" (ns 2_500) (Rtt.rto est);
+  Alcotest.(check int) "two samples" 2 (Rtt.samples est)
+
+let test_rtt_clamping () =
+  let est = Rtt.create Rtt.default_params in
+  Rtt.observe est (us 100);
+  Alcotest.(check int) "huge RTT clamps to the ceiling"
+    Rtt.default_params.Rtt.ceiling (Rtt.rto est);
+  let est = Rtt.create Rtt.default_params in
+  for _ = 1 to 50 do
+    Rtt.observe est (ns 10)
+  done;
+  Alcotest.(check int) "tiny RTTs clamp to the floor"
+    Rtt.default_params.Rtt.floor (Rtt.rto est)
+
+let test_rtt_invalid_params () =
+  let bad p = match Rtt.create p with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "alpha out of range" true
+    (bad { Rtt.default_params with Rtt.alpha = 0. });
+  Alcotest.(check bool) "floor above ceiling" true
+    (bad { Rtt.default_params with Rtt.floor = us 10; ceiling = us 1 })
+
+(* ---- fabric link outage model ---- *)
+
+let layout () = L.create ~ncmp:4 ~procs_per_cmp:4 ~banks_per_cmp:4
+
+let make_fabric ?(lay = layout ()) () =
+  let engine = Sim.Engine.create () in
+  let traffic = Interconnect.Traffic.create () in
+  let params = { F.default_params with F.jitter = 0 } in
+  let fabric = F.create engine lay params traffic (Sim.Rng.create 1) in
+  (engine, lay, fabric)
+
+let test_outage_requires_enable () =
+  let _, _, fabric = make_fabric () in
+  Alcotest.(check bool) "outages off by default" false (F.outages_enabled fabric);
+  Alcotest.(check bool) "up without the model" true
+    (F.link_state fabric ~src_site:0 ~dst_site:1 = F.Link_up);
+  Alcotest.(check bool) "set_link_state without enable rejected" true
+    (match F.set_link_state fabric ~src_site:0 ~dst_site:1 F.Link_down with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_down_link_drops () =
+  let engine, l, fabric = make_fabric () in
+  F.enable_outages fabric (Sim.Rng.create 2);
+  let delivered = ref 0 in
+  F.set_handler fabric (fun ~dst:_ () -> incr delivered);
+  F.set_link_state fabric ~src_site:0 ~dst_site:1 F.Link_down;
+  let src = L.l1d l ~cmp:0 ~proc:0 in
+  F.send_one fabric ~src ~dst:(L.l2 l ~cmp:1 ~bank:0) ~cls:Interconnect.Msg_class.Request
+    ~bytes:8 ();
+  (* The reverse direction and on-chip traffic are unaffected. *)
+  F.send_one fabric ~src:(L.l2 l ~cmp:1 ~bank:0) ~dst:src ~cls:Interconnect.Msg_class.Request
+    ~bytes:8 ();
+  F.send_one fabric ~src ~dst:(L.l2 l ~cmp:0 ~bank:1) ~cls:Interconnect.Msg_class.Request
+    ~bytes:8 ();
+  Sim.Engine.run engine;
+  Alcotest.(check int) "only the down direction lost" 2 !delivered;
+  Alcotest.(check int) "outage drop counted" 1 (F.outage_drops fabric);
+  Alcotest.(check int) "also a fabric drop" 1 (F.dropped fabric);
+  Alcotest.(check int) "one link down" 1 (F.links_down fabric)
+
+let test_degraded_link_latency () =
+  let engine, l, fabric = make_fabric () in
+  F.enable_outages fabric (Sim.Rng.create 3);
+  F.set_link_state fabric ~src_site:0 ~dst_site:1
+    (F.Link_degraded { latency_mult = 3.0; drop_prob = 0. });
+  let arrival = ref (-1) in
+  F.set_handler fabric (fun ~dst:_ () -> arrival := Sim.Engine.now engine);
+  F.send_one fabric ~src:(L.l1d l ~cmp:0 ~proc:0) ~dst:(L.l2 l ~cmp:1 ~bank:0)
+    ~cls:Interconnect.Msg_class.Request ~bytes:8 ();
+  Sim.Engine.run engine;
+  (* Fault-free inter-site arrival for this path is 24625 ps (pinned in
+     test_interconnect); a 3x degrade adds 2 extra inter_latency = 40 ns. *)
+  Alcotest.(check int) "degraded latency stacks on the link"
+    (Sim.Time.ps 24_625 + ns 40) !arrival
+
+let test_degraded_link_loss () =
+  let engine, l, fabric = make_fabric () in
+  F.enable_outages fabric (Sim.Rng.create 4);
+  F.set_link_state fabric ~src_site:0 ~dst_site:1
+    (F.Link_degraded { latency_mult = 1.0; drop_prob = 1.0 });
+  let delivered = ref 0 in
+  F.set_handler fabric (fun ~dst:_ () -> incr delivered);
+  F.send_one fabric ~src:(L.l1d l ~cmp:0 ~proc:0) ~dst:(L.l2 l ~cmp:1 ~bank:0)
+    ~cls:Interconnect.Msg_class.Request ~bytes:8 ();
+  Sim.Engine.run engine;
+  Alcotest.(check int) "drop_prob=1 loses every copy" 0 !delivered;
+  Alcotest.(check int) "counted as outage drop" 1 (F.outage_drops fabric)
+
+let test_partition_heal_helpers () =
+  let engine, l, fabric = make_fabric () in
+  F.enable_outages fabric (Sim.Rng.create 5);
+  let regions = Fault.Chaos.split_regions l in
+  Alcotest.(check int) "two regions" 2 (List.length regions);
+  F.partition fabric regions;
+  let state a b = F.link_state fabric ~src_site:a ~dst_site:b in
+  Alcotest.(check bool) "cross-region cut" true (state 0 2 = F.Link_down);
+  Alcotest.(check bool) "cut is bidirectional" true (state 3 1 = F.Link_down);
+  Alcotest.(check bool) "intra-region link stays up" true (state 0 1 = F.Link_up);
+  Alcotest.(check bool) "intra-region link stays up (high)" true (state 2 3 = F.Link_up);
+  (* 2 sites x 2 sites x both directions. *)
+  Alcotest.(check int) "eight links down" 8 (F.links_down fabric);
+  F.heal fabric;
+  Alcotest.(check int) "heal restores everything" 0 (F.links_down fabric);
+  Alcotest.(check bool) "healed link up" true (state 0 2 = F.Link_up);
+  (* Downtime accounting: down from t=0 until a heal at 100 ns. *)
+  F.set_link_state fabric ~src_site:0 ~dst_site:1 F.Link_down;
+  Sim.Engine.schedule_at engine (ns 100) (fun () ->
+      F.set_link_state fabric ~src_site:0 ~dst_site:1 F.Link_up);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "downtime accounted" (ns 100) (F.link_downtime fabric);
+  Alcotest.(check bool) "transitions counted" true (F.link_transitions fabric >= 10)
+
+(* ---- reliable transport over a Down link that heals late
+   (satellite: retransmit exhaustion must not resurrect after heal) ---- *)
+
+let test_exhaustion_then_heal_no_resurrection () =
+  let engine, l, fabric = make_fabric () in
+  let rel =
+    { F.retrans_timeout = ns 100; retrans_backoff = 2; max_retrans = 3;
+      retrans_jitter = Sim.Time.zero }
+  in
+  F.enable_reliability ~params:rel fabric (Sim.Rng.create 6);
+  F.enable_outages fabric (Sim.Rng.create 7);
+  let gave_up = ref 0 in
+  F.set_give_up_handler fabric (fun ~src:_ ~dst:_ ~cls:_ msg -> gave_up := msg);
+  let deliveries = ref [] in
+  F.set_handler fabric (fun ~dst:_ msg -> deliveries := msg :: !deliveries);
+  F.set_link_state fabric ~src_site:0 ~dst_site:1 F.Link_down;
+  let src = L.l1d l ~cmp:0 ~proc:0 and dst = L.l2 l ~cmp:1 ~bank:0 in
+  (* Frame 1 exhausts its budget (retransmits end by ~1 us) long before
+     the heal at 5 us; the heal must not resurrect it. *)
+  F.send_one fabric ~src ~dst ~cls:Interconnect.Msg_class.Request ~bytes:8 1;
+  Sim.Engine.schedule_at engine (us 5) (fun () -> F.heal fabric);
+  Sim.Engine.schedule_at engine (us 6) (fun () ->
+      F.send_one fabric ~src ~dst ~cls:Interconnect.Msg_class.Request ~bytes:8 2);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "budget exhausted once" 1 (F.retrans_exhausted fabric);
+  Alcotest.(check int) "give-up handler saw frame 1" 1 !gave_up;
+  Alcotest.(check int) "retransmits capped" rel.F.max_retrans (F.retransmits fabric);
+  Alcotest.(check (list int)) "frame 1 stays dead; post-heal frame 2 delivers" [ 2 ]
+    !deliveries
+
+(* ---- reliable transport over the Wide (>63-node) destination path
+   (satellite: Mask and Wide fallback behave identically) ---- *)
+
+let reliable_broadcast lay =
+  let engine, l, fabric = make_fabric ~lay () in
+  F.enable_reliability fabric (Sim.Rng.create 8);
+  (* Per (destination, frame) copy: first offer dropped, the retransmit
+     duplicated, anything later passes — exercising retransmission and
+     duplicate absorption on every copy of the broadcast. *)
+  let offers = Hashtbl.create 256 in
+  F.set_fault_injector fabric (fun ~now:_ ~src:_ ~dst ~cls:_ msg ->
+      let k = (dst, msg) in
+      let n = 1 + (try Hashtbl.find offers k with Not_found -> 0) in
+      Hashtbl.replace offers k n;
+      match n with 1 -> F.Drop | 2 -> F.Duplicate (ns 10) | _ -> F.Pass);
+  let received = Hashtbl.create 256 in
+  F.set_handler fabric (fun ~dst msg ->
+      Hashtbl.replace received (dst, msg)
+        (1 + try Hashtbl.find received (dst, msg) with Not_found -> 0));
+  let src = L.l1d l ~cmp:0 ~proc:0 in
+  F.send_set fabric ~src ~dsts:(L.all_nodes_set l) ~cls:Interconnect.Msg_class.Request
+    ~bytes:8 0;
+  Sim.Engine.run engine;
+  let ndsts = L.node_count l - 1 in
+  let exactly_once = ref true in
+  Hashtbl.iter (fun _ n -> if n <> 1 then exactly_once := false) received;
+  Alcotest.(check int) "every destination reached" ndsts (Hashtbl.length received);
+  Alcotest.(check bool) "each exactly once" true !exactly_once;
+  Alcotest.(check int) "one retransmit per copy" ndsts (F.retransmits fabric);
+  Alcotest.(check int) "one duplicate absorbed per copy" ndsts
+    (F.absorbed_duplicates fabric)
+
+let test_reliability_wide_destsets () =
+  (* 8 CMPs x (2*4 L1 + 4 L2 + mem) = 104 nodes: above Destset.max_direct,
+     so the broadcast takes the Wide fallback. The 52-node layout pins
+     the Mask path under the identical storm. *)
+  let wide = L.create ~ncmp:8 ~procs_per_cmp:4 ~banks_per_cmp:4 in
+  Alcotest.(check bool) "layout exceeds the mask range" true
+    (L.node_count wide > Interconnect.Destset.max_direct);
+  reliable_broadcast (layout ());
+  reliable_broadcast wide
+
+(* ---- chaos plans ---- *)
+
+let test_chaos_spec () =
+  Alcotest.(check bool) "none is inactive" false (Fault.Chaos.active Fault.Chaos.none);
+  let s = Fault.Chaos.split ~at:(us 5) ~duration:(us 50) () in
+  Alcotest.(check bool) "split is active" true (Fault.Chaos.active s);
+  Alcotest.(check bool) "split partitions" true (Fault.Chaos.has_partition s);
+  Alcotest.(check int) "max outage is the partition" (us 50) (Fault.Chaos.max_outage s);
+  Alcotest.(check int) "horizon is the heal" (us 55) (Fault.Chaos.horizon s);
+  let f = Fault.Chaos.flaky ~links:2 ~cycles:3 ~start:(us 2) ~down:(us 5) ~period:(us 12) () in
+  Alcotest.(check int) "flap outage" (us 5) (Fault.Chaos.max_outage f);
+  Alcotest.(check int) "flap horizon" (us 31) (Fault.Chaos.horizon f);
+  Alcotest.(check bool) "down >= period rejected" true
+    (match Fault.Chaos.flaky ~down:(us 12) ~period:(us 12) () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let b = Fault.Chaos.brownout_of (Fault.Chaos.burst_loss ()) in
+  Alcotest.(check bool) "brownout flag" true b.Fault.Chaos.brownout
+
+(* A chaos plan whose first transition lies beyond the end of the run
+   must leave the simulation bit-identical: installing it draws from a
+   dedicated stream and the armed outage model (all links up) is
+   transparent. *)
+let test_chaos_gating_deterministic () =
+  let spec = Fault.Spec.with_drops ~tokens:true ~prob:0.02 Fault.Spec.default in
+  let base =
+    Fault.Torture.run ~recover:true (Fault.Torture.Token Token.Policy.dst1) ~spec ~seed:11
+  in
+  let dormant = Fault.Chaos.flaky ~start:(Sim.Time.us 100_000) () in
+  let armed =
+    Fault.Torture.run ~recover:true ~chaos:dormant
+      (Fault.Torture.Token Token.Policy.dst1) ~spec ~seed:11
+  in
+  Alcotest.(check int) "runtime identical" base.Fault.Torture.runtime
+    armed.Fault.Torture.runtime;
+  Alcotest.(check int) "ops identical" base.Fault.Torture.ops armed.Fault.Torture.ops;
+  Alcotest.(check int) "retransmits identical" base.Fault.Torture.retransmits
+    armed.Fault.Torture.retransmits;
+  Alcotest.(check bool) "chaos stats attached but idle" true
+    (match armed.Fault.Torture.chaos with
+    | Some s -> s.Fault.Chaos.partitions = 0 && s.Fault.Chaos.flap_downs = 0
+    | None -> false);
+  Alcotest.(check int) "no link ever went down" 0
+    (Sim.Time.ps 0 + armed.Fault.Torture.link_downtime)
+
+(* Acceptance (tentpole): a token-with-recovery run rides out a hard
+   2-region partition with a scheduled heal — every request retires
+   with zero violations, and the verdict distinguishes that from a
+   plain clean run. *)
+let test_partition_survival () =
+  let chaos = Fault.Chaos.split ~at:(us 5) ~duration:(us 50) () in
+  let spec = Fault.Spec.with_drops ~tokens:true ~prob:0.01 Fault.Spec.default in
+  for seed = 1 to 3 do
+    let o =
+      Fault.Torture.run ~recover:true ~adaptive:true ~chaos
+        (Fault.Torture.Token Token.Policy.dst1) ~spec ~seed
+    in
+    (match Fault.Torture.verdict o with
+    | Fault.Torture.Survived_partition -> ()
+    | v ->
+      Alcotest.failf "seed %d: expected survived-partition, got %a" seed
+        Fault.Torture.pp_verdict v);
+    Alcotest.(check bool) "all requests retired" true o.Fault.Torture.completed;
+    Alcotest.(check bool) "no invariant violations" true
+      (not
+         (List.exists
+            (fun r ->
+              match r.Fault.Report.kind with Fault.Report.Invariant _ -> true | _ -> false)
+            o.Fault.Torture.reports));
+    (match o.Fault.Torture.chaos with
+    | Some s ->
+      Alcotest.(check int) "one partition" 1 s.Fault.Chaos.partitions;
+      Alcotest.(check bool) "heal fired" true (s.Fault.Chaos.heals >= 1)
+    | None -> Alcotest.fail "chaos stats missing");
+    Alcotest.(check bool) "links accumulated downtime" true
+      (o.Fault.Torture.link_downtime > Sim.Time.zero)
+  done
+
+(* Hard chaos (down links) needs the recovery stack on token targets;
+   adaptive timeouts need recovery. *)
+let test_chaos_validation () =
+  let invalid f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "hard chaos without recovery rejected" true
+    (invalid (fun () ->
+         Fault.Torture.run
+           ~chaos:(Fault.Chaos.split ~duration:(us 10) ())
+           (Fault.Torture.Token Token.Policy.dst1) ~spec:Fault.Spec.default ~seed:1));
+  Alcotest.(check bool) "adaptive without recovery rejected" true
+    (invalid (fun () ->
+         Fault.Torture.run ~adaptive:true (Fault.Torture.Token Token.Policy.dst1)
+           ~spec:Fault.Spec.default ~seed:1))
+
+(* Directory targets take the loss-free brownout rendition of the plan
+   and must still retire everything (delay-only discipline). *)
+let test_directory_brownout () =
+  let chaos = Fault.Chaos.split ~at:(us 5) ~duration:(us 20) () in
+  let o =
+    Fault.Torture.run ~chaos
+      (Fault.Torture.Directory { dram_directory = true })
+      ~spec:(Fault.Spec.delay_only Fault.Spec.default) ~seed:3
+  in
+  Alcotest.(check bool) "completed through the brownout" true o.Fault.Torture.completed;
+  (match Fault.Torture.verdict o with
+  | Fault.Torture.Survived_partition -> ()
+  | v -> Alcotest.failf "expected survived-partition, got %a" Fault.Torture.pp_verdict v);
+  Alcotest.(check int) "nothing dropped by the outage model" 0
+    (match o.Fault.Torture.chaos with Some _ -> 0 | None -> 1)
+
+(* Satellite: the watchdog margin must budget for the *adaptive*
+   recreation ceiling, not the static constant the adaptive source
+   replaced. With torture defaults (20 us x 5 windows, 200 us
+   starvation bound) the static default margin of 2.5 covers only
+   250 us of stall, while adaptive worst-case recovery is 290 us — the
+   bug this recomputation fixes. *)
+let test_margin_covers_adaptive_ceiling () =
+  let watchdog_interval = ns 20_000 and no_progress_windows = 5
+  and starvation_bound = ns 200_000 in
+  let margin ~adaptive =
+    Fault.Torture.effective_margin ~base:2.5 ~recover:true ~adaptive ~watchdog_interval
+      ~no_progress_windows ~starvation_bound ()
+  in
+  let static_worst = Token.Recovery.worst_case_latency Token.Recovery.default in
+  let adaptive_worst =
+    Token.Recovery.worst_case_latency
+      ~recreation_timeout:Fault.Torture.adaptive_recreation_ceiling Token.Recovery.default
+  in
+  Alcotest.(check bool) "adaptive ceiling raises worst-case recovery" true
+    (adaptive_worst > static_worst);
+  (* The tightest scaled bound under the static default margin. *)
+  let np_total = Sim.Time.mul_f watchdog_interval (float_of_int no_progress_windows) in
+  let static_budget = Sim.Time.mul_f (min np_total starvation_bound) 2.5 in
+  Alcotest.(check bool) "static 2.5 margin cannot out-wait adaptive recovery" true
+    (static_budget < adaptive_worst);
+  (* Non-adaptive recovery stays at the pinned default margin... *)
+  Alcotest.(check (float 1e-9)) "static margin unchanged" 2.5 (margin ~adaptive:false);
+  (* ...while the adaptive margin is recomputed to cover the ceiling. *)
+  let m = margin ~adaptive:true in
+  Alcotest.(check bool) "adaptive margin widened" true (m > 2.5);
+  let budget = Sim.Time.mul_f (min np_total starvation_bound) m in
+  Alcotest.(check bool) "recomputed margin out-waits adaptive recovery" true
+    (budget >= adaptive_worst);
+  (* End to end: an adaptive recovery run under a drop storm completes
+     without the watchdog misfiring on a legitimate recovery wait. *)
+  let spec = Fault.Spec.with_drops ~tokens:true ~prob:0.03 Fault.Spec.default in
+  let o =
+    Fault.Torture.run ~recover:true ~adaptive:true
+      (Fault.Torture.Token Token.Policy.dst1) ~spec ~seed:17
+  in
+  match Fault.Torture.verdict o with
+  | Fault.Torture.Clean -> ()
+  | v -> Alcotest.failf "adaptive run not clean: %a" Fault.Torture.pp_verdict v
+
+(* Campaign-level passthrough: a small chaos campaign over token
+   targets comes back all survived. *)
+let test_chaos_campaign () =
+  let chaos = Fault.Chaos.split ~at:(us 5) ~duration:(us 25) () in
+  let outcomes =
+    Fault.Torture.campaign ~config:Mcmp.Config.tiny ~runs:4 ~recover:true ~adaptive:true
+      ~chaos
+      ~targets:[ Fault.Torture.Token Token.Policy.dst1; Fault.Torture.Token Token.Policy.arb0 ]
+      ~seed:2026 ()
+  in
+  Alcotest.(check int) "ran all 4" 4 (List.length outcomes);
+  List.iter
+    (fun o ->
+      match Fault.Torture.verdict o with
+      | Fault.Torture.Survived_partition | Fault.Torture.Detected -> ()
+      | v ->
+        Alcotest.failf "seed %d: %a" o.Fault.Torture.seed Fault.Torture.pp_verdict v)
+    outcomes
+
+let tests =
+  [
+    Alcotest.test_case "rtt estimator follows RFC 6298" `Quick test_rtt_estimator;
+    Alcotest.test_case "rtt rto clamps to floor and ceiling" `Quick test_rtt_clamping;
+    Alcotest.test_case "rtt invalid params rejected" `Quick test_rtt_invalid_params;
+    Alcotest.test_case "outage model is opt-in" `Quick test_outage_requires_enable;
+    Alcotest.test_case "down link drops copies" `Quick test_down_link_drops;
+    Alcotest.test_case "degraded link stacks latency" `Quick test_degraded_link_latency;
+    Alcotest.test_case "degraded link loses copies" `Quick test_degraded_link_loss;
+    Alcotest.test_case "partition and heal helpers" `Quick test_partition_heal_helpers;
+    Alcotest.test_case "exhausted frame not resurrected by heal" `Quick
+      test_exhaustion_then_heal_no_resurrection;
+    Alcotest.test_case "reliable transport over Wide destsets" `Slow
+      test_reliability_wide_destsets;
+    Alcotest.test_case "chaos spec constructors" `Quick test_chaos_spec;
+    Alcotest.test_case "dormant chaos leaves runs bit-identical" `Slow
+      test_chaos_gating_deterministic;
+    Alcotest.test_case "partition survived and converged after heal" `Slow
+      test_partition_survival;
+    Alcotest.test_case "chaos/adaptive validation" `Quick test_chaos_validation;
+    Alcotest.test_case "directory rides out a brownout partition" `Slow
+      test_directory_brownout;
+    Alcotest.test_case "watchdog margin covers the adaptive ceiling" `Slow
+      test_margin_covers_adaptive_ceiling;
+    Alcotest.test_case "chaos campaign survives" `Slow test_chaos_campaign;
+  ]

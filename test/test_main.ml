@@ -21,6 +21,7 @@ let () =
       ("random-programs", Test_random.tests);
       ("integration", Test_integration.tests);
       ("fault", Test_fault.tests);
+      ("chaos", Test_chaos.tests);
       ("par", Test_par.tests);
       ("golden", Test_golden.tests);
       ("misc", Test_misc.tests);

@@ -631,8 +631,38 @@ let check_cmd =
       value & opt int 2_000_000
       & info [ "max-states" ] ~docv:"N" ~doc:"State-count safety limit.")
   in
-  let run max_states =
-    let rows = Tokencmp.Experiments.model_checking ~max_states () in
+  let store_arg =
+    Arg.(
+      value
+      & opt (enum [ ("exact", Mc.Explore.Exact); ("compact", Mc.Explore.Compact) ])
+          Mc.Explore.Exact
+      & info [ "store" ] ~docv:"STORE"
+          ~doc:
+            "Visited-set representation: $(b,exact) keys every full state (sound, \
+             memory-hungry), $(b,compact) keys 60-bit fingerprints (Cleary/bit-state \
+             style; a vanishingly small, reported collision probability can hide \
+             states).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Expand BFS frontiers across N domains (0 = all cores; default \
+             $(b,TOKENCMP_JOBS) or serial). Stats are identical to the serial run.")
+  in
+  let sym_arg =
+    Arg.(
+      value & flag
+      & info [ "no-sym" ]
+          ~doc:
+            "Disable symmetry reduction (canonicalization of interchangeable caches). \
+             Only configurations with 4+ caches have interchangeable nodes, so the \
+             default configs are unaffected either way.")
+  in
+  let run max_states store jobs no_sym =
+    let jobs = Par.Pool.resolve_jobs ?requested:jobs () in
+    let rows = Tokencmp.Experiments.model_checking ~max_states ~store ~jobs ~sym:(not no_sym) () in
     let failed = ref false in
     List.iter
       (fun (name, s, loc) ->
@@ -646,7 +676,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Model-check the substrate variants and the flat directory.")
-    Term.(const run $ max_states_arg)
+    Term.(const run $ max_states_arg $ store_arg $ jobs_arg $ sym_arg)
 
 let () =
   let doc = "TokenCMP: M-CMP cache coherence with flat correctness (HPCA 2005 reproduction)" in

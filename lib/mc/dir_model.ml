@@ -251,7 +251,60 @@ let normalize_serials p s =
   in
   normalize_txns { s with cs; net = norm_net net }
 
-let flat p : (module Explore.MODEL) =
+(* Caches other than the designated writer (0) and reader (1) are
+   interchangeable; the directory/memory is the home and has no index
+   in [cs]. *)
+let movable p = List.init (max 0 (p.caches - 2)) (fun i -> i + 2)
+
+let apply_perm p f s =
+  let permute_positions l =
+    match l with
+    | [] -> []
+    | hd :: _ ->
+      let out = Array.make p.caches hd in
+      List.iteri (fun i x -> out.(f i) <- x) l;
+      Array.to_list out
+  in
+  let fbits bits =
+    List.fold_left
+      (fun acc i -> acc lor (1 lsl f i))
+      0
+      (bits_to_list bits p.caches)
+  in
+  let fmsg = function
+    | GetS { src } -> GetS { src = f src }
+    | GetM { src } -> GetM { src = f src }
+    | DataS r -> DataS { r with dst = f r.dst }
+    | DataE r -> DataE { r with dst = f r.dst }
+    | FwdS r -> FwdS { r with dst = f r.dst; req = f r.req }
+    | FwdM r -> FwdM { r with dst = f r.dst; req = f r.req }
+    | Inv { dst; req } -> Inv { dst = f dst; req = f req }
+    | InvAck { dst } -> InvAck { dst = f dst }
+    | AckCount r -> AckCount { r with dst = f r.dst }
+    | Unblock r -> Unblock { r with src = f r.src }
+    | WbReq r -> WbReq { r with src = f r.src }
+    | WbGrant r -> WbGrant { r with dst = f r.dst }
+    | WbCancel r -> WbCancel { r with dst = f r.dst }
+    | WbData r -> WbData { r with src = f r.src }
+  in
+  {
+    s with
+    cs = permute_positions s.cs;
+    dir =
+      {
+        s.dir with
+        owner = Option.map f s.dir.owner;
+        sharers = fbits s.dir.sharers;
+        cur = Option.map (fun (c, t) -> (f c, t)) s.dir.cur;
+        defer = List.map fmsg s.dir.defer;  (* FIFO: order is meaningful, keep it *)
+        wb_from = Option.map f s.dir.wb_from;
+      };
+    net = norm_net (List.map fmsg s.net);
+  }
+
+let canonicalize p = Symmetry.canonical ~apply:(apply_perm p) ~movable:(movable p)
+
+let flat_sym p : (module Explore.MODEL with type state = state) =
   (module struct
     type nonrec state = state
 
@@ -528,6 +581,7 @@ let flat p : (module Explore.MODEL) =
       else Ok ()
 
     let goal s = s.reqs = [ 2; 2 ]
+    let canonicalize = canonicalize p
 
     let pp fmt s =
       let st_name = function I -> "I" | S -> "S" | O -> "O" | E -> "E" | M -> "M" in
@@ -576,6 +630,8 @@ let flat p : (module Explore.MODEL) =
             | WbData { src; ver; valid } -> Printf.sprintf "WbData(%d,v=%d,valid=%b)" src ver valid))
         s.net
   end)
+
+let flat p = (flat_sym p :> (module Explore.MODEL))
 
 let fallback_loc = function `Token -> 330 | `Directory -> 390 | `Recovery -> 280
 

@@ -20,6 +20,17 @@ val default_params : params
 
 val flat : params -> (module Explore.MODEL)
 
+(** {2 Symmetry-reduction internals} — see {!Token_model} for the
+    contract; caches other than writer (0) and reader (1) are
+    interchangeable. *)
+
+type state
+
+val flat_sym : params -> (module Explore.MODEL with type state = state)
+val movable : params -> int list
+val apply_perm : params -> (int -> int) -> state -> state
+val canonicalize : params -> state -> state
+
 (** Non-comment source lines of the given model implementations, the
     rough complexity metric the paper reports for its TLA+ specs. *)
 val model_loc : [ `Token | `Directory | `Recovery ] -> int

@@ -7,7 +7,10 @@ module type MODEL = sig
   val invariant : state -> (unit, string) result
   val goal : state -> bool
   val pp : Format.formatter -> state -> unit
+  val canonicalize : state -> state
 end
+
+type store = Exact | Compact
 
 type stats = {
   states : int;
@@ -20,160 +23,439 @@ type stats = {
   doomed_example : string list option;
   goals : int;
   truncated : bool;
+  collision_bound : float;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Growable flat arrays: the per-state bookkeeping never boxes per
+   entry, so a multi-million-state run costs a few machine words per
+   state instead of a hashtable bucket chain. *)
+
+type 'a buf = { mutable arr : 'a array; mutable n : int; dummy : 'a }
+
+let buf_create dummy = { arr = Array.make 1024 dummy; n = 0; dummy }
+
+let buf_push b v =
+  if b.n = Array.length b.arr then begin
+    let bigger = Array.make (2 * b.n) b.dummy in
+    Array.blit b.arr 0 bigger 0 b.n;
+    b.arr <- bigger
+  end;
+  b.arr.(b.n) <- v;
+  b.n <- b.n + 1
+
+(* ------------------------------------------------------------------ *)
+(* Open-addressing fingerprint table: visited states live as int
+   fingerprints in two flat arrays, resized by re-bucketing the stored
+   keys (no state re-hashing, unlike [Hashtbl]). In [Exact] mode a key
+   match is confirmed against the interned state; in [Compact] mode the
+   fingerprint alone decides, Cleary/bit-state style. *)
+
+module Tbl = struct
+  type t = {
+    mutable keys : int array;  (* fingerprint + 1; 0 = empty slot *)
+    mutable vals : int array;  (* state id *)
+    mutable mask : int;
+    mutable used : int;
+  }
+
+  let create () =
+    let cap = 1 lsl 16 in
+    { keys = Array.make cap 0; vals = Array.make cap 0; mask = cap - 1; used = 0 }
+
+  (* Fibonacci-style multiplicative mixing keeps linear probing healthy
+     even though exact-mode keys only populate the low 30 bits. *)
+  let slot t key = (key * 0x2545F4914F6CDD1D) land t.mask
+
+  let insert_raw t key v =
+    let i = ref (slot t key) in
+    while t.keys.(!i) <> 0 do
+      i := (!i + 1) land t.mask
+    done;
+    t.keys.(!i) <- key;
+    t.vals.(!i) <- v
+
+  let grow t =
+    let old_keys = t.keys and old_vals = t.vals in
+    let cap = 2 * Array.length old_keys in
+    t.keys <- Array.make cap 0;
+    t.vals <- Array.make cap 0;
+    t.mask <- cap - 1;
+    Array.iteri (fun i k -> if k <> 0 then insert_raw t k old_vals.(i)) old_keys
+
+  (* [find t key eq st] returns the id bound to [key] (with [eq id st]
+     confirming the binding), or -1. *)
+  let find t key eq st =
+    let i = ref (slot t key) in
+    let res = ref (-1) in
+    (try
+       while true do
+         let k = t.keys.(!i) in
+         if k = 0 then raise Exit;
+         if k = key && eq t.vals.(!i) st then begin
+           res := t.vals.(!i);
+           raise Exit
+         end;
+         i := (!i + 1) land t.mask
+       done
+     with Exit -> ());
+    !res
+
+  let add t key v =
+    if 4 * (t.used + 1) > 3 * (t.mask + 1) then grow t;
+    insert_raw t key v;
+    t.used <- t.used + 1
+end
+
+let two_pow_60 = 1.152921504606846976e18
 
 module Make (M : MODEL) = struct
   (* The default polymorphic hash samples only ~10 nodes of a value,
      which collides catastrophically on deep protocol states. *)
-  module H = Hashtbl.Make (struct
-    type t = M.state
+  let hash30 s = Hashtbl.hash_param 512 512 s
 
-    let equal = ( = )
-    let hash s = Hashtbl.hash_param 512 512 s
-  end)
+  (* Two independently seeded traversals give a 60-bit fingerprint for
+     the compacted store; the collision-probability bound in [stats]
+     assumes these behave as a uniform 60-bit hash. *)
+  let fingerprint s =
+    let h1 = Hashtbl.seeded_hash_param 512 512 0x9e3779b9 s in
+    let h2 = Hashtbl.seeded_hash_param 512 512 0x85ebca6b s in
+    (h1 lsl 30) lor h2
 
-  let run ?(max_states = 2_000_000) () =
-    let ids : int H.t = H.create 65_536 in
-    let preds : (int * string) option array ref = ref (Array.make 1024 None) in
-    let depth = ref (Array.make 1024 0) in
-    let is_goal = ref (Array.make 1024 false) in
-    let rev : int list array ref = ref (Array.make 1024 []) in
-    let count = ref 0 in
-    let transitions = ref 0 in
-    let diameter = ref 0 in
-    let violation = ref None in
-    let violation_state = ref None in
-    let violation_path = ref [] in
-    let truncated = ref false in
-    let grow () =
-      let n = Array.length !preds in
-      if !count >= n then begin
-        let extend arr default =
-          let bigger = Array.make (2 * n) default in
-          Array.blit arr 0 bigger 0 n;
-          bigger
-        in
-        preds := extend !preds None;
-        depth := extend !depth 0;
-        is_goal := extend !is_goal false;
-        rev := extend !rev []
-      end
-    in
-    let queue = Queue.create () in
-    let intern ~pred state =
-      match H.find_opt ids state with
-      | Some id -> Some id
-      | None ->
-        if !count >= max_states then begin
-          truncated := true;
-          None
-        end
-        else begin
-          let id = !count in
-          incr count;
-          grow ();
-          H.add ids state id;
-          !preds.(id) <- pred;
-          (!depth).(id) <- (match pred with Some (p, _) -> (!depth).(p) + 1 | None -> 0);
-          if (!depth).(id) > !diameter then diameter := (!depth).(id);
-          (!is_goal).(id) <- M.goal state;
-          Queue.push (id, state) queue;
-          Some id
-        end
-    in
-    let trace_to id =
-      let rec climb id acc =
-        match !preds.(id) with
-        | None -> acc
-        | Some (p, label) -> climb p (label :: acc)
+  let zero_stats =
+    {
+      states = 0;
+      transitions = 0;
+      diameter = 0;
+      violation = None;
+      violation_state = None;
+      violation_path = [];
+      doomed = 0;
+      doomed_example = None;
+      goals = 0;
+      truncated = false;
+      collision_bound = 0.;
+    }
+
+  let run ?(max_states = 2_000_000) ?(store = Exact) ?(jobs = 1) ?(sym = true) () =
+    let canon = if sym then M.canonicalize else fun s -> s in
+    match M.initial with
+    | [] -> zero_stats
+    | first_initial :: _ ->
+      let keep_states = store = Exact in
+      let key_of = match store with Exact -> fun s -> hash30 s + 1 | Compact -> fun s -> fingerprint s + 1 in
+      (* visited set *)
+      let tbl = Tbl.create () in
+      (* per-state bookkeeping, id-indexed; [states] is only populated
+         in [Exact] mode — the compacted store never retains a state
+         after its frontier entry is expanded *)
+      let states = buf_create (canon first_initial) in
+      let pred_id = buf_create (-1) in
+      let pred_label = buf_create "" in
+      let depth = buf_create 0 in
+      let goal_flag = buf_create false in
+      (* reverse edges as a flat pair buffer, built into CSR form for
+         the liveness pass; a list-per-state representation costs 3
+         words per edge and shreds the minor heap at scale *)
+      let edge_child = buf_create 0 in
+      let edge_parent = buf_create 0 in
+      (* transition labels repeat heavily; interning them keeps one
+         copy per distinct label instead of one per state *)
+      let label_pool : (string, string) Hashtbl.t = Hashtbl.create 256 in
+      let intern_label l =
+        match Hashtbl.find_opt label_pool l with
+        | Some l' -> l'
+        | None ->
+          Hashtbl.add label_pool l l;
+          l
       in
-      climb id []
-    in
-    List.iter (fun s -> ignore (intern ~pred:None s)) M.initial;
-    let rec loop () =
-      if !violation = None then
-        match Queue.take_opt queue with
-        | None -> ()
-        | Some (id, state) ->
-          (match M.invariant state with
+      let eq =
+        match store with
+        | Compact -> fun _ _ -> true
+        | Exact -> fun id st -> states.arr.(id) = st
+      in
+      let count = ref 0 in
+      let transitions = ref 0 in
+      let diameter = ref 0 in
+      let violation = ref None in
+      let violation_state = ref None in
+      let violation_path = ref [] in
+      let truncated = ref false in
+      let fresh = ref false in
+      let initial_by_id = ref [] in
+      (* Intern a canonical state; returns its id or -1 when the state
+         budget is exhausted. [fresh] reports first-time discovery. *)
+      let intern ~pred ~label ~key state =
+        match Tbl.find tbl key eq state with
+        | id when id >= 0 ->
+          fresh := false;
+          id
+        | _ ->
+          if !count >= max_states then begin
+            truncated := true;
+            fresh := false;
+            -1
+          end
+          else begin
+            let id = !count in
+            incr count;
+            Tbl.add tbl key id;
+            if keep_states then buf_push states state;
+            buf_push pred_id pred;
+            buf_push pred_label (if pred < 0 then "" else intern_label label);
+            let d = if pred < 0 then 0 else depth.arr.(pred) + 1 in
+            buf_push depth d;
+            if d > !diameter then diameter := d;
+            buf_push goal_flag (M.goal state);
+            fresh := true;
+            id
+          end
+      in
+      let record_edge ~child ~parent =
+        buf_push edge_child child;
+        buf_push edge_parent parent
+      in
+      let trace_to id =
+        let rec climb id acc =
+          let p = pred_id.arr.(id) in
+          if p < 0 then acc else climb p (pred_label.arr.(id) :: acc)
+        in
+        climb id []
+      in
+      let render s = Format.asprintf "%a" M.pp s in
+      let path_ids id =
+        let rec climb i acc =
+          let p = pred_id.arr.(i) in
+          if p < 0 then i :: acc else climb p (i :: acc)
+        in
+        climb id []
+      in
+      (* Path rendering: O(path) via the id-indexed side array in exact
+         mode; forward re-execution from the initial state in compact
+         mode (the store holds fingerprints only). *)
+      let render_path id violating_state =
+        let ids = path_ids id in
+        match store with
+        | Exact -> List.map (fun i -> render states.arr.(i)) ids
+        | Compact -> (
+          match ids with
+          | [] -> []
+          | [ _ ] -> [ render violating_state ]
+          | root :: rest ->
+            let cur = ref (List.assoc root !initial_by_id) in
+            let out = ref [ render !cur ] in
+            let ok = ref true in
+            List.iter
+              (fun next_id ->
+                if !ok then begin
+                  let label = pred_label.arr.(next_id) in
+                  match
+                    List.find_opt
+                      (fun (l, s') ->
+                        l = label
+                        &&
+                        let c = canon s' in
+                        Tbl.find tbl (key_of c) eq c = next_id)
+                      (M.next !cur)
+                  with
+                  | Some (_, s') ->
+                    cur := canon s';
+                    out := render !cur :: !out
+                  | None ->
+                    ok := false;
+                    out := "<state unrecoverable>" :: !out
+                end
+                else out := "<state unrecoverable>" :: !out)
+              rest;
+            List.rev !out)
+      in
+      let record_violation id state reason =
+        violation := Some (reason, trace_to id);
+        violation_state := Some (render state);
+        violation_path := render_path id state
+      in
+      (* seed the frontier with the canonical initial states *)
+      let init_frontier = ref [] in
+      List.iter
+        (fun s ->
+          let c = canon s in
+          let id = intern ~pred:(-1) ~label:"" ~key:(key_of c) c in
+          if id >= 0 && !fresh then begin
+            initial_by_id := (id, c) :: !initial_by_id;
+            init_frontier := (id, c) :: !init_frontier
+          end)
+        M.initial;
+      let init_frontier = List.rev !init_frontier in
+      (* Expand one frontier state, interning its successors (the
+         deterministic "merge" step shared by the serial and parallel
+         drivers). Appends fresh states to [push]. *)
+      let expand_into ~push (id, state) =
+        if !violation = None then
+          match M.invariant state with
+          | Error reason -> record_violation id state reason
           | Ok () ->
             List.iter
               (fun (label, succ) ->
                 incr transitions;
-                match intern ~pred:(Some (id, label)) succ with
-                | Some sid -> (!rev).(sid) <- id :: (!rev).(sid)
-                | None -> ())
+                let c = canon succ in
+                let sid = intern ~pred:id ~label ~key:(key_of c) c in
+                if sid >= 0 then begin
+                  record_edge ~child:sid ~parent:id;
+                  if !fresh then push (sid, c)
+                end)
               (M.next state)
-          | Error reason ->
-            violation := Some (reason, trace_to id);
-            violation_state := Some (Format.asprintf "%a" M.pp state);
-            (* recover the states along the path for diagnosis *)
-            let path_ids =
-              let rec climb i acc =
-                match !preds.(i) with None -> i :: acc | Some (p, _) -> climb p (i :: acc)
-              in
-              climb id []
-            in
-            let by_id = Hashtbl.create (List.length path_ids) in
-            List.iter (fun i -> Hashtbl.replace by_id i None) path_ids;
-            H.iter
-              (fun st i -> if Hashtbl.mem by_id i then Hashtbl.replace by_id i (Some st))
-              ids;
-            violation_path :=
-              List.map
-                (fun i ->
-                  match Hashtbl.find by_id i with
-                  | Some st -> Format.asprintf "%a" M.pp st
-                  | None -> "<state missing>")
-                path_ids);
-          loop ()
-    in
-    loop ();
-    (* Liveness proxy: backward reachability from goal states. *)
-    let n = !count in
-    let can_reach = Array.make n false in
-    let goals = ref 0 in
-    let stack = Stack.create () in
-    for id = 0 to n - 1 do
-      if (!is_goal).(id) then begin
-        incr goals;
-        if not can_reach.(id) then begin
-          can_reach.(id) <- true;
-          Stack.push id stack
-        end
+      in
+      (* Merge a precomputed expansion (from a worker domain) in the
+         same order [expand_into] would have produced. *)
+      let merge_into ~push (id, state) result =
+        if !violation = None then
+          match result with
+          | Error reason -> record_violation id state reason
+          | Ok succs ->
+            List.iter
+              (fun (label, c, key) ->
+                incr transitions;
+                let sid = intern ~pred:id ~label ~key c in
+                if sid >= 0 then begin
+                  record_edge ~child:sid ~parent:id;
+                  if !fresh then push (sid, c)
+                end)
+              succs
+      in
+      (* Pure per-state expansion work, safe to run on a worker domain:
+         successor generation, canonicalization and fingerprinting.
+         Interning stays on the calling domain, in frontier order, so
+         parallel stats are identical to the serial run. *)
+      let expand_pure (_, state) =
+        match M.invariant state with
+        | Error reason -> Error reason
+        | Ok () ->
+          Ok
+            (List.map
+               (fun (label, succ) ->
+                 let c = canon succ in
+                 (label, c, key_of c))
+               (M.next state))
+      in
+      let rec chunk ~size = function
+        | [] -> []
+        | xs ->
+          let rec take n acc = function
+            | rest when n = 0 -> (List.rev acc, rest)
+            | [] -> (List.rev acc, [])
+            | x :: rest -> take (n - 1) (x :: acc) rest
+          in
+          let c, rest = take size [] xs in
+          c :: chunk ~size rest
+      in
+      if jobs <= 1 then begin
+        (* serial: plain FIFO — identical visit order to a
+           level-synchronous sweep, without the level bookkeeping *)
+        let queue = Queue.create () in
+        List.iter (fun item -> Queue.push item queue) init_frontier;
+        let push item = Queue.push item queue in
+        let continue = ref true in
+        while !continue do
+          match Queue.take_opt queue with
+          | None -> continue := false
+          | Some item ->
+            expand_into ~push item;
+            if !violation <> None then continue := false
+        done
       end
-    done;
-    while not (Stack.is_empty stack) do
-      let id = Stack.pop stack in
-      List.iter
-        (fun p ->
-          if not can_reach.(p) then begin
-            can_reach.(p) <- true;
-            Stack.push p stack
-          end)
-        (!rev).(id)
-    done;
-    let doomed = ref 0 in
-    let doomed_example = ref None in
-    if !goals > 0 then
+      else begin
+        (* parallel: expand whole BFS levels across domains, then merge
+           serially in frontier order *)
+        let level = ref init_frontier in
+        while !level <> [] && !violation = None do
+          let items = !level in
+          let nitems = List.length items in
+          let acc = ref [] in
+          let push item = acc := item :: !acc in
+          if nitems < 4 * jobs then List.iter (expand_into ~push) items
+          else begin
+            let size = (nitems + jobs - 1) / jobs in
+            let chunks = chunk ~size items in
+            let results = Par.Pool.map ~jobs (fun c -> List.map expand_pure c) chunks in
+            List.iter2
+              (fun chunk_items chunk_results ->
+                List.iter2 (fun item r -> merge_into ~push item r) chunk_items chunk_results)
+              chunks results
+          end;
+          level := List.rev !acc
+        done
+      end;
+      (* Liveness proxy: backward reachability from goal states over
+         the reverse edges, materialized in CSR form. *)
+      let n = !count in
+      let m = edge_child.n in
+      let deg = Array.make (n + 1) 0 in
+      for e = 0 to m - 1 do
+        let c = edge_child.arr.(e) in
+        deg.(c + 1) <- deg.(c + 1) + 1
+      done;
+      for i = 1 to n do
+        deg.(i) <- deg.(i) + deg.(i - 1)
+      done;
+      let adj = Array.make m 0 in
+      let cursor = Array.copy deg in
+      for e = 0 to m - 1 do
+        let c = edge_child.arr.(e) in
+        adj.(cursor.(c)) <- edge_parent.arr.(e);
+        cursor.(c) <- cursor.(c) + 1
+      done;
+      let can_reach = Bytes.make (max n 1) '\000' in
+      let goals = ref 0 in
+      let stack = buf_create 0 in
       for id = 0 to n - 1 do
-        if not can_reach.(id) then begin
-          incr doomed;
-          if !doomed_example = None then doomed_example := Some (trace_to id)
+        if goal_flag.arr.(id) then begin
+          incr goals;
+          if Bytes.get can_reach id = '\000' then begin
+            Bytes.set can_reach id '\001';
+            buf_push stack id
+          end
         end
       done;
-    {
-      states = n;
-      transitions = !transitions;
-      diameter = !diameter;
-      violation = !violation;
-      violation_state = !violation_state;
-      violation_path = !violation_path;
-      doomed = !doomed;
-      doomed_example = !doomed_example;
-      goals = !goals;
-      truncated = !truncated;
-    }
+      while stack.n > 0 do
+        stack.n <- stack.n - 1;
+        let id = stack.arr.(stack.n) in
+        for e = deg.(id) to deg.(id + 1) - 1 do
+          let p = adj.(e) in
+          if Bytes.get can_reach p = '\000' then begin
+            Bytes.set can_reach p '\001';
+            buf_push stack p
+          end
+        done
+      done;
+      let doomed = ref 0 in
+      let doomed_example = ref None in
+      if !goals > 0 then
+        for id = 0 to n - 1 do
+          if Bytes.get can_reach id = '\000' then begin
+            incr doomed;
+            if !doomed_example = None then doomed_example := Some (trace_to id)
+          end
+        done;
+      let collision_bound =
+        match store with
+        | Exact -> 0.
+        | Compact ->
+          let nf = float_of_int n in
+          Float.min 1. (nf *. (nf -. 1.) /. 2. /. two_pow_60)
+      in
+      {
+        states = n;
+        transitions = !transitions;
+        diameter = !diameter;
+        violation = !violation;
+        violation_state = !violation_state;
+        violation_path = !violation_path;
+        doomed = !doomed;
+        doomed_example = !doomed_example;
+        goals = !goals;
+        truncated = !truncated;
+        collision_bound;
+      }
 end
 
 let pp_stats fmt s =

@@ -7,7 +7,27 @@
     state remains reachable, i.e. the protocol has no doomed states.
     Under weak fairness of message delivery this implies the paper's
     "eventually all requests are satisfied" property on these finite
-    graphs. *)
+    graphs.
+
+    Three orthogonal scale-up levers, all validated to produce stats
+    identical to the exact serial sweep on closed graphs:
+    - {b symmetry reduction}: states are interned through the model's
+      {!MODEL.canonicalize} (identity for models without symmetry), so
+      configurations that differ only by a permutation of
+      interchangeable nodes collapse into one representative;
+    - {b compacted visited sets} ({!Compact}): the visited set stores
+      60-bit fingerprints instead of full states, Cleary/bit-state
+      style; the frontier carries states explicitly, so no state is
+      retained after expansion. Two distinct states may collide with
+      probability bounded by {!stats.collision_bound} (reported per
+      run), in which case part of the graph is silently skipped —
+      verification verdicts should be confirmed in {!Exact} mode;
+    - {b parallel frontier expansion} ([jobs > 1]): successor
+      generation, canonicalization and fingerprinting for each BFS
+      level fan out across domains ([Par.Pool]); interning happens on
+      the calling domain in frontier order, so the resulting stats are
+      bit-identical to the serial run. Requires the model's functions
+      to be pure (all models in this library are). *)
 
 module type MODEL = sig
   type state
@@ -27,7 +47,22 @@ module type MODEL = sig
 
   (** Render a state (used in violation reports). *)
   val pp : Format.formatter -> state -> unit
+
+  (** Symmetry reduction hook: map a state to the canonical
+      representative of its orbit under interchangeable-node
+      permutation. Use the identity if the model has no symmetry (or
+      none worth exploiting). Must be idempotent, must commute with
+      {!next} up to relabeling, and must preserve {!invariant} and
+      {!goal} verdicts. *)
+  val canonicalize : state -> state
 end
+
+(** Visited-set representation. [Exact] keys the set by full states
+    (the historical semantics; states are retained for the run's
+    lifetime). [Compact] keys it by 60-bit fingerprints and never
+    retains states — memory drops from hundreds of bytes to ~25 bytes
+    per state, at the cost of a bounded hash-collision probability. *)
+type store = Exact | Compact
 
 type stats = {
   states : int;
@@ -43,10 +78,20 @@ type stats = {
       (** transition trace to the first doomed state found *)
   goals : int;  (** reachable goal states *)
   truncated : bool;  (** hit [max_states] before closing the graph *)
+  collision_bound : float;
+      (** upper bound on the probability that any two distinct states
+          shared a fingerprint ([Compact] store only; 0 for [Exact]) *)
 }
 
 module Make (M : MODEL) : sig
-  val run : ?max_states:int -> unit -> stats
+  (** [run ()] explores the model breadth-first. [store] selects the
+      visited-set representation (default {!Exact}), [jobs] the number
+      of domains expanding each BFS level (default 1, serial), [sym]
+      whether {!MODEL.canonicalize} is applied (default [true]; set
+      [false] to measure the unreduced graph). All combinations
+      produce identical stats on closed graphs (modulo
+      {!stats.collision_bound} for [Compact]). *)
+  val run : ?max_states:int -> ?store:store -> ?jobs:int -> ?sym:bool -> unit -> stats
 end
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -109,7 +109,35 @@ let policy_sends p s =
   done;
   !moves
 
-let model p : (module Explore.MODEL) =
+(* Caches other than the designated writer (0) and reader (1) are
+   interchangeable; memory (the last index) is the home node. *)
+let movable p = List.init (max 0 (p.caches - 2)) (fun i -> i + 2)
+
+let apply_perm p f s =
+  let n = nnodes p in
+  let permute_positions len l =
+    match l with
+    | [] -> []
+    | hd :: _ ->
+      let out = Array.make len hd in
+      List.iteri (fun i x -> out.(f i) <- x) l;
+      Array.to_list out
+  in
+  let fmsg = function
+    | Tok r -> Tok { r with dst = f r.dst }
+    | Bump { dst } -> Bump { dst = f dst }
+    | Ack { src } -> Ack { src = f src }
+  in
+  {
+    s with
+    nodes = permute_positions n s.nodes;
+    acks = permute_positions p.caches s.acks;
+    net = norm_net (List.map fmsg s.net);
+  }
+
+let canonicalize p = Symmetry.canonical ~apply:(apply_perm p) ~movable:(movable p)
+
+let model_sym p : (module Explore.MODEL with type state = state) =
   (module struct
     type nonrec state = state
 
@@ -323,6 +351,7 @@ let model p : (module Explore.MODEL) =
       else Ok ()
 
     let goal s = s.reqs = [ 2; 2 ]
+    let canonicalize = canonicalize p
 
     let pp fmt s =
       Format.fprintf fmt "written=%d reqs=%s lost=%b(%d tok,own=%b) destroyed=%d minted=%b@."
@@ -345,3 +374,5 @@ let model p : (module Explore.MODEL) =
             | Ack { src } -> Printf.sprintf "Ack(src=%d)" src))
         s.net
   end)
+
+let model p = (model_sym p :> (module Explore.MODEL))

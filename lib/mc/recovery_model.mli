@@ -32,3 +32,14 @@ type params = {
 val default_params : params
 
 val model : params -> (module Explore.MODEL)
+
+(** {2 Symmetry-reduction internals} — see {!Token_model} for the
+    contract; caches other than writer (0) and reader (1) are
+    interchangeable. *)
+
+type state
+
+val model_sym : params -> (module Explore.MODEL with type state = state)
+val movable : params -> int list
+val apply_perm : params -> (int -> int) -> state -> state
+val canonicalize : params -> state -> state

@@ -1,0 +1,27 @@
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x -> List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) xs)))
+      xs
+
+let mappings movable =
+  List.map
+    (fun perm ->
+      let assoc = List.combine movable perm in
+      fun i -> match List.assoc_opt i assoc with Some j -> j | None -> i)
+    (permutations movable)
+
+let canonical ~apply ~movable =
+  match movable with
+  | [] | [ _ ] -> fun s -> s
+  | _ ->
+    (* the identity is among the mappings, so the orbit minimum is
+       never worse than the input state itself *)
+    let maps = mappings movable in
+    fun s ->
+      List.fold_left
+        (fun best f ->
+          let cand = apply f s in
+          if compare cand best < 0 then cand else best)
+        s maps

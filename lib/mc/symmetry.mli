@@ -1,0 +1,28 @@
+(** Node-permutation symmetry for the protocol models.
+
+    The models designate a writer (node 0), a reader (node 1) and a
+    home/memory node; every other cache is interchangeable — its index
+    carries no meaning. A state is canonicalized by applying every
+    permutation of the interchangeable indices (remapping both node
+    sub-state positions and the indices embedded in in-flight
+    messages) and keeping the structurally smallest result, so the
+    explorer interns one representative per orbit. Exact up to the
+    orbit — no abstraction is involved, hence verdicts are preserved.
+
+    The permutation groups here are tiny (at most a handful of
+    interchangeable nodes), so brute-force orbit enumeration is both
+    simple and cheap; with fewer than two interchangeable indices
+    canonicalization is the identity and costs nothing. *)
+
+(** All orderings of a list. *)
+val permutations : 'a list -> 'a list list
+
+(** All bijections on [movable] (identity elsewhere), as functions. *)
+val mappings : int list -> (int -> int) list
+
+(** [canonical ~apply ~movable] builds a canonicalizer from a
+    permutation action [apply f s] (remap every node index [i] in [s]
+    to [f i], re-normalizing any sorted collections). The result picks
+    the minimum of the orbit under polymorphic [compare]; it is
+    idempotent and constant on orbits. *)
+val canonical : apply:((int -> int) -> 'a -> 'a) -> movable:int list -> 'a -> 'a

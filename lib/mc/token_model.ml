@@ -129,7 +129,39 @@ let persistent_forward p s ~node ~req =
     else None
   end
 
-let make variant p : (module Explore.MODEL) =
+(* Caches other than the designated writer (0) and reader (1) are
+   interchangeable; memory (the last index) is the home node. *)
+let movable p = List.init (max 0 (p.caches - 2)) (fun i -> i + 2)
+
+let apply_perm p f s =
+  let n = nnodes p in
+  let permute_positions l =
+    match l with
+    | [] -> []
+    | hd :: _ ->
+      let out = Array.make n hd in
+      List.iteri (fun i x -> out.(f i) <- x) l;
+      Array.to_list out
+  in
+  let fmsg = function
+    | Tok r -> Tok { r with dst = f r.dst }
+    | Act { dst; req } -> Act { dst = f dst; req = f req }
+    | Deact { dst; req } -> Deact { dst = f dst; req = f req }
+    | Arb_req { req } -> Arb_req { req = f req }
+    | Arb_done { req } -> Arb_done { req = f req }
+  in
+  {
+    s with
+    nodes = permute_positions s.nodes;
+    tables = permute_positions s.tables;
+    node_active = List.map (Option.map f) (permute_positions s.node_active);
+    arb_queue = List.map f s.arb_queue;
+    net = norm_net (List.map fmsg s.net);
+  }
+
+let canonicalize p = Symmetry.canonical ~apply:(apply_perm p) ~movable:(movable p)
+
+let make variant p : (module Explore.MODEL with type state = state) =
   (module struct
     type nonrec state = state
 
@@ -343,6 +375,7 @@ let make variant p : (module Explore.MODEL) =
       else Ok ()
 
     let goal s = s.reqs = [ 2; 2 ]
+    let canonicalize = canonicalize p
 
     let pp fmt s =
       Format.fprintf fmt "written=%d reqs=%s@." s.written
@@ -362,6 +395,7 @@ let make variant p : (module Explore.MODEL) =
         | Arb_done { req } -> Printf.sprintf "ArbDone(%d)" req)) s.net
   end)
 
-let safety p = make Safety p
-let distributed p = make Distributed p
-let arbiter p = make Arbiter p
+let model variant p = make variant p
+let safety p = (make Safety p :> (module Explore.MODEL))
+let distributed p = (make Distributed p :> (module Explore.MODEL))
+let arbiter p = (make Arbiter p :> (module Explore.MODEL))

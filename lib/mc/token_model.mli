@@ -33,3 +33,28 @@ val default_params : params
 val safety : params -> (module Explore.MODEL)
 val distributed : params -> (module Explore.MODEL)
 val arbiter : params -> (module Explore.MODEL)
+
+(** {2 Symmetry-reduction internals}
+
+    Exposed (with [state] kept abstract) so the canonicalization
+    properties — idempotence, permutation invariance, verdict
+    preservation — can be tested from outside against states reached
+    through {!Explore.MODEL.next}. *)
+
+type state
+type variant = Safety | Distributed | Arbiter
+
+(** Same models as {!safety}/{!distributed}/{!arbiter}, with the state
+    type exposed for the test hooks below. *)
+val model : variant -> params -> (module Explore.MODEL with type state = state)
+
+(** Interchangeable node indices (caches other than writer/reader). *)
+val movable : params -> int list
+
+(** Remap every node index [i] to [f i] ([f] must be a bijection fixing
+    writer, reader and memory). *)
+val apply_perm : params -> (int -> int) -> state -> state
+
+(** Minimum of the orbit under {!apply_perm} over {!movable}
+    permutations — the [canonicalize] the models install. *)
+val canonicalize : params -> state -> state

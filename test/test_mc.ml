@@ -1,7 +1,7 @@
 (* The explicit-state model checker and the Section 5 protocol models. *)
 
 (* A toy counter model for the explorer itself. *)
-let counter_model ~bound ~bug : (module Mc.Explore.MODEL) =
+let counter_model ?(bug_at = 3) ~bound ~bug () : (module Mc.Explore.MODEL) =
   (module struct
     type state = int
 
@@ -11,33 +11,34 @@ let counter_model ~bound ~bug : (module Mc.Explore.MODEL) =
     let next s =
       if s >= bound then [] else [ ("inc", s + 1) ] @ if s > 0 then [ ("dec", s - 1) ] else []
 
-    let invariant s = if bug && s = 3 then Error "hit three" else Ok ()
+    let invariant s = if bug && s = bug_at then Error "hit the bug" else Ok ()
     let goal s = s = bound
     let pp = Format.pp_print_int
+    let canonicalize s = s
   end)
 
-let run m ?(max_states = 1_000_000) () =
+let run ?(max_states = 1_000_000) ?store ?jobs ?sym m () =
   let module M = (val m : Mc.Explore.MODEL) in
   let module R = Mc.Explore.Make (M) in
-  R.run ~max_states ()
+  R.run ~max_states ?store ?jobs ?sym ()
 
 let test_explorer_counts () =
-  let s = run (counter_model ~bound:10 ~bug:false) () in
+  let s = run (counter_model ~bound:10 ~bug:false ()) () in
   Alcotest.(check int) "states" 11 s.Mc.Explore.states;
   Alcotest.(check int) "diameter" 10 s.Mc.Explore.diameter;
   Alcotest.(check int) "goal reachable from everywhere" 0 s.Mc.Explore.doomed;
   Alcotest.(check bool) "no violation" true (s.Mc.Explore.violation = None)
 
 let test_explorer_finds_violation () =
-  let s = run (counter_model ~bound:10 ~bug:true) () in
+  let s = run (counter_model ~bound:10 ~bug:true ()) () in
   match s.Mc.Explore.violation with
   | Some (reason, trace) ->
-    Alcotest.(check string) "reason" "hit three" reason;
+    Alcotest.(check string) "reason" "hit the bug" reason;
     Alcotest.(check (list string)) "shortest trace" [ "inc"; "inc"; "inc" ] trace
   | None -> Alcotest.fail "violation not found"
 
 let test_explorer_truncation () =
-  let s = run (counter_model ~bound:1000 ~bug:false) ~max_states:10 () in
+  let s = run (counter_model ~bound:1000 ~bug:false ()) ~max_states:10 () in
   Alcotest.(check bool) "truncated" true s.Mc.Explore.truncated;
   Alcotest.(check int) "states capped" 10 s.Mc.Explore.states
 
@@ -57,6 +58,7 @@ let test_doomed_detection () =
       let invariant _ = Ok ()
       let goal s = s = 1
       let pp = Format.pp_print_int
+      let canonicalize s = s
     end)
   in
   let s = run m () in
@@ -84,9 +86,10 @@ let test_token_arb_model () =
   Alcotest.(check bool) "goals reached" true (s.Mc.Explore.goals > 0);
   Alcotest.(check int) "no doomed states" 0 s.Mc.Explore.doomed
 
+let dir2 = { Mc.Dir_model.caches = 2; max_writes = 2; net_cap = 4 }
+
 let test_dir_model () =
-  let p = { Mc.Dir_model.caches = 2; max_writes = 2; net_cap = 4 } in
-  let s = run (Mc.Dir_model.flat p) () in
+  let s = run (Mc.Dir_model.flat dir2) () in
   Alcotest.(check bool) "invariants hold" true (s.Mc.Explore.violation = None);
   Alcotest.(check bool) "goals reached" true (s.Mc.Explore.goals > 0);
   Alcotest.(check int) "no doomed states" 0 s.Mc.Explore.doomed
@@ -127,6 +130,224 @@ let test_model_loc_metric () =
   let r = Mc.Dir_model.model_loc `Recovery in
   Alcotest.(check bool) "positive" true (t > 0 && d > 0 && r > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Exact-mode pinning: the engine restructure (open-addressing store,
+   CSR reverse edges, id-indexed path reconstruction) must not change
+   a single number of the historical exact serial semantics. Counts
+   pinned from the pre-restructure checker. *)
+
+let check_counts name (exp_states, exp_trans, exp_diam, exp_goals, exp_doomed) s =
+  Alcotest.(check int) (name ^ " states") exp_states s.Mc.Explore.states;
+  Alcotest.(check int) (name ^ " transitions") exp_trans s.Mc.Explore.transitions;
+  Alcotest.(check int) (name ^ " diameter") exp_diam s.Mc.Explore.diameter;
+  Alcotest.(check int) (name ^ " goals") exp_goals s.Mc.Explore.goals;
+  Alcotest.(check int) (name ^ " doomed") exp_doomed s.Mc.Explore.doomed;
+  Alcotest.(check bool) (name ^ " closed") false s.Mc.Explore.truncated;
+  Alcotest.(check bool) (name ^ " no violation") true (s.Mc.Explore.violation = None);
+  Alcotest.(check (float 0.)) (name ^ " exact has no collision risk") 0.
+    s.Mc.Explore.collision_bound
+
+let test_exact_stats_pinned_small () =
+  check_counts "tok-safety-micro" (984, 6289, 11, 0, 0) (run (Mc.Token_model.safety micro) ());
+  check_counts "dir-2c" (403, 825, 17, 29, 0) (run (Mc.Dir_model.flat dir2) ())
+
+let test_exact_stats_pinned_big () =
+  check_counts "tok-dst-micro" (123929, 777046, 24, 45178, 0)
+    (run (Mc.Token_model.distributed micro) ());
+  check_counts "recovery-default" (133284, 756330, 24, 12646, 0)
+    (run (Mc.Recovery_model.model Mc.Recovery_model.default_params) ())
+
+(* ------------------------------------------------------------------ *)
+(* Differential suite: on every small config, the compacted store and
+   the parallel frontier (and their combination) must report stats
+   identical to the exact serial baseline — the model-checking
+   analogue of the golden suite. *)
+
+let check_same_stats name (a : Mc.Explore.stats) (b : Mc.Explore.stats) =
+  Alcotest.(check int) (name ^ " states") a.states b.states;
+  Alcotest.(check int) (name ^ " transitions") a.transitions b.transitions;
+  Alcotest.(check int) (name ^ " diameter") a.diameter b.diameter;
+  Alcotest.(check int) (name ^ " goals") a.goals b.goals;
+  Alcotest.(check int) (name ^ " doomed") a.doomed b.doomed;
+  Alcotest.(check bool) (name ^ " truncated") a.truncated b.truncated;
+  Alcotest.(check bool) (name ^ " violation") true (a.violation = b.violation);
+  Alcotest.(check bool) (name ^ " violation state") true
+    (a.violation_state = b.violation_state);
+  Alcotest.(check bool) (name ^ " doomed example") true (a.doomed_example = b.doomed_example)
+
+let differential name m =
+  let base = run m ~store:Mc.Explore.Exact ~jobs:1 () in
+  check_same_stats (name ^ " compact==exact") base
+    (run m ~store:Mc.Explore.Compact ~jobs:1 ());
+  check_same_stats (name ^ " parallel==serial") base (run m ~store:Mc.Explore.Exact ~jobs:3 ());
+  check_same_stats (name ^ " compact+parallel==exact serial") base
+    (run m ~store:Mc.Explore.Compact ~jobs:2 ())
+
+let test_differential_small () =
+  differential "counter" (counter_model ~bound:10 ~bug:false ());
+  differential "counter-bug" (counter_model ~bound:10 ~bug:true ());
+  differential "tok-safety" (Mc.Token_model.safety micro);
+  differential "dir-2c" (Mc.Dir_model.flat dir2)
+
+let test_differential_big () =
+  differential "tok-dst" (Mc.Token_model.distributed micro);
+  differential "recovery" (Mc.Recovery_model.model Mc.Recovery_model.default_params)
+
+let test_differential_truncated () =
+  (* truncation must bite at the same state in every mode *)
+  let m = counter_model ~bound:1000 ~bug:false () in
+  let base = run m ~max_states:100 () in
+  check_same_stats "truncated compact" base
+    (run m ~max_states:100 ~store:Mc.Explore.Compact ());
+  check_same_stats "truncated parallel" base (run m ~max_states:100 ~jobs:2 ())
+
+let test_collision_bound_reported () =
+  let s = run (Mc.Token_model.distributed micro) ~store:Mc.Explore.Compact () in
+  Alcotest.(check bool) "positive" true (s.Mc.Explore.collision_bound > 0.);
+  Alcotest.(check bool) "tiny at this scale" true (s.Mc.Explore.collision_bound < 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Violation-path reconstruction: a deep violation must render every
+   state along the path (regression for the O(states x path) full-table
+   scan this used to be), in exact mode via the id-indexed side array
+   and in compact mode via forward replay from the initial state. *)
+
+let test_deep_violation_path () =
+  let m = counter_model ~bound:100 ~bug:true ~bug_at:50 () in
+  let s = run m () in
+  let expected = List.init 51 string_of_int in
+  Alcotest.(check (list string)) "every state rendered" expected s.Mc.Explore.violation_path;
+  Alcotest.(check bool) "violating state rendered" true
+    (s.Mc.Explore.violation_state = Some "50");
+  let c = run m ~store:Mc.Explore.Compact () in
+  Alcotest.(check (list string)) "compact replay path" expected c.Mc.Explore.violation_path;
+  let p = run m ~jobs:2 () in
+  Alcotest.(check (list string)) "parallel path" expected p.Mc.Explore.violation_path
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization properties. States are sampled through the models'
+   own [next] so every tested state is reachable. *)
+
+let sample (type s) (module M : Mc.Explore.MODEL with type state = s) n =
+  let seen = ref [] in
+  let frontier = Queue.create () in
+  List.iter (fun s -> Queue.push s frontier) M.initial;
+  while List.length !seen < n && not (Queue.is_empty frontier) do
+    let s = Queue.pop frontier in
+    if not (List.mem s !seen) then begin
+      seen := s :: !seen;
+      List.iter (fun (_, s') -> Queue.push s' frontier) (M.next s)
+    end
+  done;
+  !seen
+
+let sym_tp = { Mc.Token_model.caches = 4; tokens = 5; max_writes = 1; net_cap = 2 }
+let sym_dp = { Mc.Dir_model.caches = 4; max_writes = 1; net_cap = 3 }
+let sym_rp = { Mc.Recovery_model.caches = 4; tokens = 4; max_writes = 1; net_cap = 2 }
+
+let canon_properties name states ~canonicalize ~apply_perm ~mappings ~invariant ~goal =
+  List.iter
+    (fun s ->
+      let c = canonicalize s in
+      Alcotest.(check bool) (name ^ " idempotent") true (canonicalize c = c);
+      Alcotest.(check bool) (name ^ " preserves invariant verdict") true
+        (Result.is_ok (invariant c) = Result.is_ok (invariant s));
+      Alcotest.(check bool) (name ^ " preserves goal verdict") true (goal c = goal s);
+      List.iter
+        (fun f ->
+          Alcotest.(check bool) (name ^ " invariant under permutation") true
+            (canonicalize (apply_perm f s) = c))
+        mappings)
+    states
+
+let test_canon_properties_token () =
+  let module M = (val Mc.Token_model.model Mc.Token_model.Distributed sym_tp) in
+  canon_properties "token"
+    (sample (module M) 150)
+    ~canonicalize:(Mc.Token_model.canonicalize sym_tp)
+    ~apply_perm:(Mc.Token_model.apply_perm sym_tp)
+    ~mappings:(Mc.Symmetry.mappings (Mc.Token_model.movable sym_tp))
+    ~invariant:M.invariant ~goal:M.goal
+
+let test_canon_properties_dir () =
+  let module M = (val Mc.Dir_model.flat_sym sym_dp) in
+  canon_properties "dir"
+    (sample (module M) 150)
+    ~canonicalize:(Mc.Dir_model.canonicalize sym_dp)
+    ~apply_perm:(Mc.Dir_model.apply_perm sym_dp)
+    ~mappings:(Mc.Symmetry.mappings (Mc.Dir_model.movable sym_dp))
+    ~invariant:M.invariant ~goal:M.goal
+
+let test_canon_properties_recovery () =
+  let module M = (val Mc.Recovery_model.model_sym sym_rp) in
+  canon_properties "recovery"
+    (sample (module M) 150)
+    ~canonicalize:(Mc.Recovery_model.canonicalize sym_rp)
+    ~apply_perm:(Mc.Recovery_model.apply_perm sym_rp)
+    ~mappings:(Mc.Symmetry.mappings (Mc.Recovery_model.movable sym_rp))
+    ~invariant:M.invariant ~goal:M.goal
+
+let test_canon_identity_on_2c () =
+  (* with two caches there are no interchangeable nodes: the reduced
+     run must equal the unreduced run exactly *)
+  let m = Mc.Token_model.distributed micro in
+  check_same_stats "2c sym==nosym" (run m ~sym:false ()) (run m ~sym:true ());
+  Alcotest.(check bool) "movable empty" true (Mc.Token_model.movable micro = [])
+
+let test_canon_reduces_4c () =
+  (* with two interchangeable caches the reduction must shrink the
+     graph (and never grow it), preserving the verdicts *)
+  let m = Mc.Token_model.safety sym_tp in
+  let off = run m ~sym:false () in
+  let on = run m ~sym:true () in
+  Alcotest.(check bool) "reduced is strictly smaller" true
+    (on.Mc.Explore.states < off.Mc.Explore.states);
+  Alcotest.(check bool) "same verdict" true
+    (off.Mc.Explore.violation = None && on.Mc.Explore.violation = None);
+  Alcotest.(check bool) "both closed" true
+    ((not on.Mc.Explore.truncated) && not off.Mc.Explore.truncated)
+
+(* A symmetric toy model with a planted violation: the engine must find
+   the same violation at the same depth with and without reduction. *)
+let pair_model ~bound ~bug_sum : (module Mc.Explore.MODEL) =
+  (module struct
+    type state = int * int
+
+    let name = "pair"
+    let initial = [ (0, 0) ]
+
+    let next (a, b) =
+      (if a < bound then [ ("incA", (a + 1, b)) ] else [])
+      @ if b < bound then [ ("incB", (a, b + 1)) ] else []
+
+    let invariant (a, b) = if a + b = bug_sum then Error "bad sum" else Ok ()
+    let goal (a, b) = a = bound && b = bound
+    let pp fmt (a, b) = Format.fprintf fmt "(%d,%d)" a b
+    let canonicalize (a, b) = if a <= b then (a, b) else (b, a)
+  end)
+
+let test_canon_preserves_violation () =
+  let off = run (pair_model ~bound:6 ~bug_sum:5) ~sym:false () in
+  let on = run (pair_model ~bound:6 ~bug_sum:5) ~sym:true () in
+  (match (off.Mc.Explore.violation, on.Mc.Explore.violation) with
+  | Some (r1, t1), Some (r2, t2) ->
+    Alcotest.(check string) "same reason" r1 r2;
+    Alcotest.(check int) "same depth" (List.length t1) (List.length t2)
+  | _ -> Alcotest.fail "violation lost by reduction");
+  Alcotest.(check bool) "reduced graph is smaller" true
+    (on.Mc.Explore.states < off.Mc.Explore.states)
+
+let test_symmetry_helpers () =
+  let perms = Mc.Symmetry.permutations [ 1; 2; 3 ] in
+  Alcotest.(check int) "3! orderings" 6 (List.length perms);
+  Alcotest.(check int) "all distinct" 6 (List.length (List.sort_uniq compare perms));
+  let maps = Mc.Symmetry.mappings [ 4; 7 ] in
+  Alcotest.(check bool) "identity included" true
+    (List.exists (fun f -> f 4 = 4 && f 7 = 7) maps);
+  Alcotest.(check bool) "swap included" true
+    (List.exists (fun f -> f 4 = 7 && f 7 = 4) maps);
+  Alcotest.(check bool) "fixes others" true (List.for_all (fun f -> f 0 = 0 && f 9 = 9) maps)
+
 let tests =
   [
     Alcotest.test_case "explorer counts a line graph" `Quick test_explorer_counts;
@@ -142,4 +363,27 @@ let tests =
     Alcotest.test_case "activation variants both close" `Slow test_dst_cheaper_than_arb;
     Alcotest.test_case "safety-only model is smallest" `Slow test_safety_model_smallest;
     Alcotest.test_case "model LoC metric" `Quick test_model_loc_metric;
+    Alcotest.test_case "exact-mode stats pinned (small models)" `Quick
+      test_exact_stats_pinned_small;
+    Alcotest.test_case "exact-mode stats pinned (big models)" `Slow test_exact_stats_pinned_big;
+    Alcotest.test_case "differential: compact/parallel == exact serial (small)" `Quick
+      test_differential_small;
+    Alcotest.test_case "differential: compact/parallel == exact serial (big)" `Slow
+      test_differential_big;
+    Alcotest.test_case "differential: truncation point identical" `Quick
+      test_differential_truncated;
+    Alcotest.test_case "compact store reports collision bound" `Slow
+      test_collision_bound_reported;
+    Alcotest.test_case "deep violation path renders every state" `Quick
+      test_deep_violation_path;
+    Alcotest.test_case "canonicalization properties (token)" `Quick test_canon_properties_token;
+    Alcotest.test_case "canonicalization properties (directory)" `Quick
+      test_canon_properties_dir;
+    Alcotest.test_case "canonicalization properties (recovery)" `Quick
+      test_canon_properties_recovery;
+    Alcotest.test_case "canonicalize is identity on 2-cache configs" `Slow
+      test_canon_identity_on_2c;
+    Alcotest.test_case "symmetry shrinks a 4-cache graph" `Quick test_canon_reduces_4c;
+    Alcotest.test_case "reduction preserves violations" `Quick test_canon_preserves_violation;
+    Alcotest.test_case "symmetry helpers" `Quick test_symmetry_helpers;
   ]

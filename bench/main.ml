@@ -790,6 +790,155 @@ let trace () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Coherence profiler                                                  *)
+
+(* Profiles the locking micro-benchmark under TokenCMP and DirectoryCMP
+   and cross-checks the profiler's guarantees:
+     - per-class miss counts sum to the miss total and class histogram
+       mass equals the overall histogram mass (single-funnel exactness),
+     - hop attribution sums to the span-summary total,
+     - the Perfetto export (spans + counter tracks) validates and
+       round-trips,
+     - instrumentation does not perturb simulated outcomes, and its
+       wall-clock overhead is reported for the CI budget check.
+   Any failed guarantee exits non-zero. *)
+let profile () =
+  progress "[profile] coherence profiler: token vs directory miss mix...\n%!";
+  hr "Coherence profile: miss classes, hop attribution, counter tracks";
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "[profile] FAILED: %s\n%!" s;
+        exit 1)
+      fmt
+  in
+  let config = Mcmp.Config.tiny in
+  let nprocs = Mcmp.Config.nprocs config in
+  let wl =
+    { (Workload.Locking.default ~nlocks:8) with Workload.Locking.acquires = acquires () }
+  in
+  (* [Locking.programs] closes over shared mutable state, so each run
+     needs a fresh instance for identical behavior. *)
+  let programs () = Workload.Locking.programs wl ~seed:1 ~nprocs in
+  let protos = [ P.token Token.Policy.dst1; P.directory ] in
+  let reports =
+    List.map
+      (fun proto ->
+        let r =
+          Tokencmp.Profiler.profile ~config ~protocol:proto ~programs:(programs ())
+            ~seed:1 ()
+        in
+        let rc = r.Tokencmp.Profiler.reconciliation in
+        if not rc.Tokencmp.Profiler.classes_exact then
+          fail "%s: class decomposition does not reconcile (%d classified vs %d misses)"
+            proto.P.name rc.Tokencmp.Profiler.class_count_total
+            rc.Tokencmp.Profiler.misses;
+        if not rc.Tokencmp.Profiler.spans_exact then
+          fail "%s: span accounting not exact (%d spans + %d dropped vs %d misses)"
+            proto.P.name rc.Tokencmp.Profiler.spans rc.Tokencmp.Profiler.dropped_spans
+            rc.Tokencmp.Profiler.misses;
+        let att = r.Tokencmp.Profiler.attribution in
+        let span_total = r.Tokencmp.Profiler.span_summary.Obs.Span.total_ns in
+        let rel =
+          abs_float (att.Obs.Span.att_total_ns -. span_total) /. Float.max 1. span_total
+        in
+        if rel > 1e-6 then
+          fail "%s: attribution total %.3f ns vs span total %.3f ns" proto.P.name
+            att.Obs.Span.att_total_ns span_total;
+        if r.Tokencmp.Profiler.nsamples = 0 then
+          fail "%s: sampler recorded no counter-track samples" proto.P.name;
+        (match Obs.Perfetto.validate r.Tokencmp.Profiler.perfetto with
+        | Ok () -> ()
+        | Error e -> fail "%s: perfetto validation: %s" proto.P.name e);
+        (match J.parse (J.to_string r.Tokencmp.Profiler.perfetto) with
+        | Ok round when J.equal round r.Tokencmp.Profiler.perfetto -> ()
+        | Ok _ -> fail "%s: perfetto JSON did not round-trip" proto.P.name
+        | Error e -> fail "%s: perfetto re-parse: %s" proto.P.name e);
+        (proto, r))
+      protos
+  in
+  (* Instrumentation must not perturb simulated outcomes... *)
+  List.iter
+    (fun ((proto : P.t), (r : Tokencmp.Profiler.t)) ->
+      let plain = Mcmp.Runner.run ~config proto.P.builder ~programs:(programs ()) ~seed:1 in
+      if Sim.Time.to_ns plain.Mcmp.Runner.runtime <> r.Tokencmp.Profiler.runtime_ns then
+        fail "%s: instrumented runtime differs from plain run" proto.P.name;
+      if plain.Mcmp.Runner.ops <> r.Tokencmp.Profiler.ops then
+        fail "%s: instrumented ops differ from plain run" proto.P.name;
+      if
+        plain.Mcmp.Runner.counters.Mcmp.Counters.l1_misses
+        <> r.Tokencmp.Profiler.l1_misses
+      then fail "%s: instrumented miss count differs from plain run" proto.P.name)
+    reports;
+  (* ...and its wall-clock cost is bounded (CI budgets the ratio). *)
+  let time_run thunk =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (thunk ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let proto = P.token Token.Policy.dst1 in
+  let plain_s =
+    time_run (fun () ->
+        Mcmp.Runner.run ~config proto.P.builder ~programs:(programs ()) ~seed:1)
+  in
+  let instrumented_s =
+    (* Ring sized to the run: the budget measures per-event recording
+       cost, not the one-time allocation of an oversized buffer. *)
+    time_run (fun () ->
+        let buffer = Obs.Buffer.create ~capacity:65_536 () in
+        let registry = Obs.Registry.create () in
+        Mcmp.Runner.run ~config ~registry ~buffer ~sample_period:(Sim.Time.ns 1_000)
+          proto.P.builder ~programs:(programs ()) ~seed:1)
+  in
+  let overhead = instrumented_s /. Float.max 1e-9 plain_s in
+  List.iter
+    (fun ((proto : P.t), (r : Tokencmp.Profiler.t)) ->
+      Printf.printf "%s: %d misses --" proto.P.name r.Tokencmp.Profiler.l1_misses;
+      List.iter
+        (fun (row : Tokencmp.Profiler.class_row) ->
+          if row.Tokencmp.Profiler.count > 0 then
+            Printf.printf " %s %d (%.0f%%)"
+              (Obs.Event.cause_to_string row.Tokencmp.Profiler.cause)
+              row.Tokencmp.Profiler.count
+              (100. *. row.Tokencmp.Profiler.share))
+        r.Tokencmp.Profiler.classes;
+      Printf.printf "\n";
+      let a = r.Tokencmp.Profiler.attribution in
+      Printf.printf
+        "  attribution: mem %.0f + queue %.0f + flight %.0f + protocol %.0f = %.0f ns\n"
+        a.Obs.Span.att_mem_ns a.Obs.Span.att_queue_ns a.Obs.Span.att_flight_ns
+        a.Obs.Span.att_proto_ns a.Obs.Span.att_total_ns)
+    reports;
+  Printf.printf "instrumentation overhead: %.2fx wall clock (plain %.4fs, full %.4fs)\n"
+    overhead plain_s instrumented_s;
+  (* Committed trajectory data: the full reports minus the bulky
+     registry snapshot and sample series (deterministic without them). *)
+  let trimmed (r : Tokencmp.Profiler.t) =
+    match Tokencmp.Profiler.to_json r with
+    | J.Obj fields ->
+      J.Obj
+        (List.filter (fun (k, _) -> k <> "metrics" && k <> "sample_series") fields)
+    | other -> other
+  in
+  J.Obj
+    [
+      ( "protocols",
+        J.Obj (List.map (fun ((p : P.t), r) -> (p.P.name, trimmed r)) reports) );
+      ( "overhead",
+        J.Obj
+          [
+            ("plain_s", J.Float plain_s);
+            ("instrumented_s", J.Float instrumented_s);
+            ("ratio", J.Float overhead);
+          ] );
+      ("noninvasive", J.Bool true);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Fault-rate sweep (recovery mode)                                    *)
 
 let faultrate () =
@@ -1080,6 +1229,7 @@ let sections =
     ("scale", scale);
     ("micro", micro);
     ("trace", trace);
+    ("profile", profile);
     ("faultrate", faultrate);
     ("chaos", chaos);
     (* keep perf last: it rolls up the wall clocks of the sections

@@ -623,6 +623,97 @@ let trace_cmd =
       const run $ protocol_arg $ workload_arg $ seed_arg $ tiny_arg $ out_arg
       $ capacity_arg)
 
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let workload_arg =
+    Arg.(
+      value & opt string "locking:8"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:"Workload: locking:N, barrier, prodcons, oltp, apache, specjbb.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "tokencmp.profile.json"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"JSON report output path.")
+  in
+  let md_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "markdown" ] ~docv:"FILE"
+          ~doc:"Also write the rendered markdown report to FILE.")
+  in
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Also write the Perfetto trace (spans + counter tracks) to FILE.")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Event ring capacity; oldest events are dropped beyond it.")
+  in
+  let period_arg =
+    Arg.(
+      value & opt int 1_000
+      & info [ "sample-period" ] ~docv:"NS"
+          ~doc:"Counter-track sampling cadence in simulated nanoseconds.")
+  in
+  let topk_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "top" ] ~docv:"K" ~doc:"Depth of the hot/contended block tables.")
+  in
+  let run protocol workload seed tiny out md trace capacity period top_k =
+    let config = config_of_tiny tiny in
+    if period <= 0 then begin
+      prerr_endline "profile: --sample-period must be positive";
+      exit 2
+    end;
+    match workload_programs ~config ~seed workload with
+    | Error e ->
+      prerr_endline e;
+      exit 2
+    | Ok programs ->
+      let report =
+        Tokencmp.Profiler.profile ~config ~capacity ~sample_period:(Sim.Time.ns period)
+          ~top_k ~protocol ~programs ~seed ()
+      in
+      print_string (Tokencmp.Profiler.to_markdown report);
+      (match Obs.Perfetto.validate report.Tokencmp.Profiler.perfetto with
+      | Ok () -> ()
+      | Error e ->
+        Printf.eprintf "profile: trace validation failed: %s\n" e;
+        exit 1);
+      Tcjson.write_file out (Tokencmp.Profiler.to_json report);
+      Printf.printf "wrote %s\n" out;
+      (match md with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        output_string oc (Tokencmp.Profiler.to_markdown report);
+        close_out oc;
+        Printf.printf "wrote %s\n" file);
+      (match trace with
+      | None -> ()
+      | Some file ->
+        Tcjson.write_file file report.Tokencmp.Profiler.perfetto;
+        Printf.printf "wrote %s (open in https://ui.perfetto.dev)\n" file);
+      if not report.Tokencmp.Profiler.completed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one fully instrumented simulation and print the coherence profile: miss \
+          classification with per-class latency, hop-level critical-path attribution \
+          (overall and p99 tail), hot/contended blocks, time-series counter tracks and \
+          an exact reconciliation block.")
+    Term.(
+      const run $ protocol_arg $ workload_arg $ seed_arg $ tiny_arg $ out_arg $ md_arg
+      $ trace_arg $ capacity_arg $ period_arg $ topk_arg)
+
 (* ---- check ---- *)
 
 let check_cmd =
@@ -684,4 +775,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "tokencmp" ~doc)
           [ list_cmd; run_cmd; sweep_cmd; torture_cmd; chaos_cmd; faultrate_cmd; trace_cmd;
-            check_cmd ]))
+            profile_cmd; check_cmd ]))

@@ -1,0 +1,353 @@
+module J = Json
+
+type class_row = {
+  cause : Obs.Event.cause;
+  count : int;
+  share : float;
+  mean_ns : float;
+  p50_ns : int;
+  p99_ns : int;
+  p99_clamped : bool;
+  class_total_ns : float;
+}
+
+type block_row = {
+  block_addr : int;
+  block_misses : int;
+  block_total_ns : float;
+  block_retries : int;
+  block_persistent : int;
+}
+
+type reconciliation = {
+  misses : int;
+  class_count_total : int;
+  class_mass_ns : float;
+  histogram_mass_ns : float;
+  welford_mass_ns : float;
+  spans : int;
+  incomplete : int;
+  dropped_spans : int;
+  buffer_dropped : int;
+  classes_exact : bool;
+  spans_exact : bool;
+}
+
+type t = {
+  protocol : string;
+  seed : int;
+  runtime_ns : float;
+  completed : bool;
+  ops : int;
+  events : int;
+  l1_misses : int;
+  classes : class_row list;
+  hot_blocks : block_row list;
+  contended_blocks : block_row list;
+  attribution : Obs.Span.attribution;
+  tail : (float * Obs.Span.attribution) option;
+  span_summary : Obs.Span.summary;
+  nsamples : int;
+  sample_series : Json.t;
+  reconciliation : reconciliation;
+  metrics : Json.t;
+  perfetto : Json.t;
+}
+
+let class_rows counters =
+  let total =
+    List.fold_left
+      (fun acc c -> acc + Mcmp.Counters.cause_count counters c)
+      0 Obs.Event.all_causes
+  in
+  List.map
+    (fun cause ->
+      let count = Mcmp.Counters.cause_count counters cause in
+      let h = Mcmp.Counters.cause_histogram counters cause in
+      {
+        cause;
+        count;
+        share = (if total = 0 then 0. else float_of_int count /. float_of_int total);
+        mean_ns = Sim.Stat.Histogram.mean h;
+        p50_ns = Sim.Stat.Histogram.percentile h 50.;
+        p99_ns = Sim.Stat.Histogram.percentile h 99.;
+        p99_clamped = Sim.Stat.Histogram.percentile_clamped h 99.;
+        class_total_ns = float_of_int (Sim.Stat.Histogram.total h);
+      })
+    Obs.Event.all_causes
+
+let block_rows ~top_k spans =
+  let by_addr = Hashtbl.create 256 in
+  List.iter
+    (fun (s : Obs.Span.t) ->
+      match Obs.Span.total_ns s with
+      | None -> ()
+      | Some total ->
+        let row =
+          match Hashtbl.find_opt by_addr s.Obs.Span.addr with
+          | Some r -> r
+          | None ->
+            let r =
+              ref
+                {
+                  block_addr = s.Obs.Span.addr;
+                  block_misses = 0;
+                  block_total_ns = 0.;
+                  block_retries = 0;
+                  block_persistent = 0;
+                }
+            in
+            Hashtbl.add by_addr s.Obs.Span.addr r;
+            r
+        in
+        row :=
+          {
+            !row with
+            block_misses = !row.block_misses + 1;
+            block_total_ns = !row.block_total_ns +. total;
+            block_retries = !row.block_retries + s.Obs.Span.retries;
+            block_persistent =
+              (!row.block_persistent + if s.Obs.Span.persistent then 1 else 0);
+          })
+    spans;
+  let rows = Hashtbl.fold (fun _ r acc -> !r :: acc) by_addr [] in
+  let top cmp =
+    let sorted =
+      List.sort
+        (fun a b ->
+          let c = cmp a b in
+          if c <> 0 then c else compare a.block_addr b.block_addr)
+        rows
+    in
+    List.filteri (fun i _ -> i < top_k) sorted
+  in
+  ( top (fun a b -> compare b.block_misses a.block_misses),
+    top (fun a b -> compare b.block_total_ns a.block_total_ns) )
+
+let profile ?(config = Mcmp.Config.tiny) ?(capacity = 1_000_000)
+    ?(sample_period = Sim.Time.ns 1_000) ?(top_k = 8)
+    ~(protocol : Protocols.t) ~programs ~seed () =
+  let buffer = Obs.Buffer.create ~capacity () in
+  let registry = Obs.Registry.create () in
+  let r =
+    Mcmp.Runner.run ~config ~registry ~buffer ~sample_period protocol.Protocols.builder
+      ~programs ~seed
+  in
+  let c = r.Mcmp.Runner.counters in
+  let spans, dropped_spans = Obs.Span.assemble_full buffer in
+  let span_summary = Obs.Span.summarize ~dropped_spans spans in
+  let attribution, tail = Obs.Span.attribution spans in
+  let hot_blocks, contended_blocks = block_rows ~top_k spans in
+  let classes = class_rows c in
+  let w = c.Mcmp.Counters.miss_latency in
+  let misses = Sim.Stat.Welford.count w in
+  let class_count_total = List.fold_left (fun acc row -> acc + row.count) 0 classes in
+  let class_mass_ns =
+    List.fold_left (fun acc row -> acc +. row.class_total_ns) 0. classes
+  in
+  let histogram_mass_ns =
+    float_of_int (Sim.Stat.Histogram.total c.Mcmp.Counters.miss_histogram)
+  in
+  let reconciliation =
+    {
+      misses;
+      class_count_total;
+      class_mass_ns;
+      histogram_mass_ns;
+      welford_mass_ns = float_of_int misses *. Sim.Stat.Welford.mean w;
+      spans = span_summary.Obs.Span.spans;
+      incomplete = span_summary.Obs.Span.incomplete;
+      dropped_spans;
+      buffer_dropped = Obs.Buffer.dropped buffer;
+      classes_exact =
+        class_count_total = misses && class_mass_ns = histogram_mass_ns;
+      spans_exact =
+        span_summary.Obs.Span.spans + dropped_spans = misses
+        && Obs.Buffer.dropped buffer = 0;
+    }
+  in
+  let samples =
+    match r.Mcmp.Runner.sampler with Some s -> Obs.Sampler.samples s | None -> []
+  in
+  let perfetto =
+    Obs.Perfetto.export ~process_name:protocol.Protocols.name ~samples buffer
+  in
+  {
+    protocol = protocol.Protocols.name;
+    seed;
+    runtime_ns = Sim.Time.to_ns r.Mcmp.Runner.runtime;
+    completed = r.Mcmp.Runner.completed;
+    ops = r.Mcmp.Runner.ops;
+    events = r.Mcmp.Runner.events;
+    l1_misses = c.Mcmp.Counters.l1_misses;
+    classes;
+    hot_blocks;
+    contended_blocks;
+    attribution;
+    tail;
+    span_summary;
+    nsamples = List.length samples;
+    sample_series =
+      (match r.Mcmp.Runner.sampler with
+      | Some s -> Obs.Sampler.to_json s
+      | None -> J.List []);
+    reconciliation;
+    metrics = Obs.Registry.snapshot registry;
+    perfetto;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let attribution_json (a : Obs.Span.attribution) =
+  J.Obj
+    [
+      ("spans", J.Int a.Obs.Span.att_spans);
+      ("mem_ns", J.Float a.Obs.Span.att_mem_ns);
+      ("queue_ns", J.Float a.Obs.Span.att_queue_ns);
+      ("flight_ns", J.Float a.Obs.Span.att_flight_ns);
+      ("proto_ns", J.Float a.Obs.Span.att_proto_ns);
+      ("total_ns", J.Float a.Obs.Span.att_total_ns);
+    ]
+
+let block_json b =
+  J.Obj
+    [
+      ("addr", J.Int b.block_addr);
+      ("misses", J.Int b.block_misses);
+      ("total_ns", J.Float b.block_total_ns);
+      ("retries", J.Int b.block_retries);
+      ("persistent", J.Int b.block_persistent);
+    ]
+
+let to_json t =
+  J.Obj
+    [
+      ("protocol", J.String t.protocol);
+      ("seed", J.Int t.seed);
+      ("runtime_ns", J.Float t.runtime_ns);
+      ("completed", J.Bool t.completed);
+      ("ops", J.Int t.ops);
+      ("events", J.Int t.events);
+      ("l1_misses", J.Int t.l1_misses);
+      ( "classes",
+        J.Obj
+          (List.map
+             (fun row ->
+               ( Obs.Event.cause_to_string row.cause,
+                 J.Obj
+                   [
+                     ("count", J.Int row.count);
+                     ("share", J.Float row.share);
+                     ("mean_ns", J.Float row.mean_ns);
+                     ("p50_ns", J.Int row.p50_ns);
+                     ("p99_ns", J.Int row.p99_ns);
+                     ("p99_clamped", J.Bool row.p99_clamped);
+                     ("total_ns", J.Float row.class_total_ns);
+                   ] ))
+             t.classes) );
+      ("hot_blocks", J.List (List.map block_json t.hot_blocks));
+      ("contended_blocks", J.List (List.map block_json t.contended_blocks));
+      ("attribution", attribution_json t.attribution);
+      ( "p99_tail",
+        match t.tail with
+        | None -> J.Null
+        | Some (threshold, a) ->
+          J.Obj [ ("threshold_ns", J.Float threshold); ("attribution", attribution_json a) ]
+      );
+      ( "spans",
+        J.Obj
+          [
+            ("completed", J.Int t.span_summary.Obs.Span.spans);
+            ("incomplete", J.Int t.span_summary.Obs.Span.incomplete);
+            ("dropped", J.Int t.span_summary.Obs.Span.dropped_spans);
+            ("request_total_ns", J.Float t.span_summary.Obs.Span.request_total_ns);
+            ("fill_total_ns", J.Float t.span_summary.Obs.Span.fill_total_ns);
+            ("total_ns", J.Float t.span_summary.Obs.Span.total_ns);
+          ] );
+      ("samples", J.Int t.nsamples);
+      ("sample_series", t.sample_series);
+      ( "reconciliation",
+        let r = t.reconciliation in
+        J.Obj
+          [
+            ("misses", J.Int r.misses);
+            ("class_count_total", J.Int r.class_count_total);
+            ("class_mass_ns", J.Float r.class_mass_ns);
+            ("histogram_mass_ns", J.Float r.histogram_mass_ns);
+            ("welford_mass_ns", J.Float r.welford_mass_ns);
+            ("spans", J.Int r.spans);
+            ("incomplete", J.Int r.incomplete);
+            ("dropped_spans", J.Int r.dropped_spans);
+            ("buffer_dropped", J.Int r.buffer_dropped);
+            ("classes_exact", J.Bool r.classes_exact);
+            ("spans_exact", J.Bool r.spans_exact);
+          ] );
+      ("metrics", t.metrics);
+    ]
+
+let pct x = 100. *. x
+
+let to_markdown t =
+  let b = Buffer.create 4096 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  p "# Coherence profile: %s (seed %d)\n\n" t.protocol t.seed;
+  p "- runtime: %.1f ns (%s)\n" t.runtime_ns
+    (if t.completed then "completed" else "DID NOT COMPLETE");
+  p "- ops: %d, engine events: %d, L1 misses: %d\n" t.ops t.events t.l1_misses;
+  p "- time-series samples: %d\n\n" t.nsamples;
+  p "## Miss classification\n\n";
+  p "| class | count | share | mean ns | p50 ns | p99 ns |\n";
+  p "|---|---:|---:|---:|---:|---:|\n";
+  List.iter
+    (fun row ->
+      p "| %s | %d | %.1f%% | %.1f | %d | %d%s |\n"
+        (Obs.Event.cause_to_string row.cause)
+        row.count (pct row.share) row.mean_ns row.p50_ns row.p99_ns
+        (if row.p99_clamped then "+" else ""))
+    t.classes;
+  p "\n(a trailing `+` marks a clamped percentile: the histogram tail\n";
+  p "overflowed, so the value is a lower bound)\n\n";
+  p "## Critical-path attribution\n\n";
+  p "| window | spans | mem ns | queue ns | flight ns | protocol ns | total ns |\n";
+  p "|---|---:|---:|---:|---:|---:|---:|\n";
+  let att label (a : Obs.Span.attribution) =
+    p "| %s | %d | %.1f | %.1f | %.1f | %.1f | %.1f |\n" label a.Obs.Span.att_spans
+      a.Obs.Span.att_mem_ns a.Obs.Span.att_queue_ns a.Obs.Span.att_flight_ns
+      a.Obs.Span.att_proto_ns a.Obs.Span.att_total_ns
+  in
+  att "all misses" t.attribution;
+  (match t.tail with
+  | Some (threshold, a) -> att (Printf.sprintf "p99 tail (>= %.1f ns)" threshold) a
+  | None -> ());
+  p "\n";
+  let block_table title rows =
+    p "## %s\n\n" title;
+    p "| block | misses | total ns | retries | persistent |\n";
+    p "|---|---:|---:|---:|---:|\n";
+    List.iter
+      (fun r ->
+        p "| 0x%x | %d | %.1f | %d | %d |\n" r.block_addr r.block_misses r.block_total_ns
+          r.block_retries r.block_persistent)
+      rows;
+    p "\n"
+  in
+  block_table "Hot blocks (by miss count)" t.hot_blocks;
+  block_table "Contended blocks (by total latency)" t.contended_blocks;
+  let r = t.reconciliation in
+  p "## Reconciliation\n\n";
+  p "- misses (Welford): %d; class counts sum: %d; spans: %d completed,\n" r.misses
+    r.class_count_total r.spans;
+  p "  %d incomplete, %d dropped (ring wrap)\n" r.incomplete r.dropped_spans;
+  p "- class histogram mass: %.0f ns vs overall histogram %.0f ns (Welford %.1f ns)\n"
+    r.class_mass_ns r.histogram_mass_ns r.welford_mass_ns;
+  p "- class decomposition exact: %b; span accounting exact: %b\n" r.classes_exact
+    r.spans_exact;
+  if r.buffer_dropped > 0 then
+    p "- WARNING: trace ring dropped %d events; span-level numbers are approximate\n"
+      r.buffer_dropped;
+  if r.dropped_spans > 0 then
+    p "- WARNING: %d retires had no matching issue; their latency is in the\n\
+      \  Welford but in no span\n"
+      r.dropped_spans;
+  Buffer.contents b

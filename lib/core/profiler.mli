@@ -1,0 +1,87 @@
+(** Coherence profiler: one instrumented run (trace buffer + metrics
+    registry + periodic sampler) distilled into a miss-classification,
+    hop-attribution and hot-block report.
+
+    The per-class decomposition comes from {!Mcmp.Counters.record_miss}
+    (the single funnel every protocol feeds), so class counts sum to
+    the miss total and class histogram mass equals the overall
+    histogram mass {e exactly}. Span-level numbers come from the trace
+    buffer and reconcile exactly when the ring did not wrap; the
+    [reconciliation] block says which guarantee held. *)
+
+type class_row = {
+  cause : Obs.Event.cause;
+  count : int;
+  share : float;  (** of all classified misses; 0 when there are none *)
+  mean_ns : float;
+  p50_ns : int;
+  p99_ns : int;
+  p99_clamped : bool;  (** histogram tail clamped: p99 is a lower bound *)
+  class_total_ns : float;  (** histogram mass (ns, integer-truncated) *)
+}
+
+type block_row = {
+  block_addr : int;
+  block_misses : int;  (** completed spans touching the block *)
+  block_total_ns : float;  (** summed span latency *)
+  block_retries : int;
+  block_persistent : int;  (** spans that escalated to a persistent request *)
+}
+
+type reconciliation = {
+  misses : int;  (** Welford sample count (retired misses) *)
+  class_count_total : int;  (** sum of per-class counts *)
+  class_mass_ns : float;  (** sum of per-class histogram totals *)
+  histogram_mass_ns : float;  (** overall miss histogram total *)
+  welford_mass_ns : float;  (** count x mean, float-accurate *)
+  spans : int;
+  incomplete : int;
+  dropped_spans : int;  (** retires whose issue was lost (ring wrap) *)
+  buffer_dropped : int;  (** raw events lost to ring wrap *)
+  classes_exact : bool;  (** class counts and mass reconcile exactly *)
+  spans_exact : bool;  (** spans + dropped = misses, nothing lost *)
+}
+
+type t = {
+  protocol : string;
+  seed : int;
+  runtime_ns : float;
+  completed : bool;
+  ops : int;
+  events : int;
+  l1_misses : int;
+  classes : class_row list;  (** in {!Obs.Event.all_causes} order *)
+  hot_blocks : block_row list;  (** top-K by miss count *)
+  contended_blocks : block_row list;  (** top-K by total latency *)
+  attribution : Obs.Span.attribution;  (** over all completed spans *)
+  tail : (float * Obs.Span.attribution) option;
+      (** p99 threshold (ns) and the attribution of spans at or above it *)
+  span_summary : Obs.Span.summary;
+  nsamples : int;  (** time-series samples recorded *)
+  sample_series : Json.t;  (** {!Obs.Sampler.to_json} *)
+  reconciliation : reconciliation;
+  metrics : Json.t;  (** registry snapshot at end of run *)
+  perfetto : Json.t;  (** trace with span slices and counter tracks *)
+}
+
+(** Run [protocol] once under full instrumentation and build the
+    report. [capacity] sizes the trace ring (default one million
+    events — enough that tiny-config runs never wrap), [sample_period]
+    the counter-track cadence (default 1 us of simulated time), [top_k]
+    the hot/contended block table depth (default 8). *)
+val profile :
+  ?config:Mcmp.Config.t ->
+  ?capacity:int ->
+  ?sample_period:Sim.Time.t ->
+  ?top_k:int ->
+  protocol:Protocols.t ->
+  programs:(proc:int -> Workload.Program.t) ->
+  seed:int ->
+  unit ->
+  t
+
+(** Deterministic JSON of everything except [perfetto] (written
+    separately — it dwarfs the report). *)
+val to_json : t -> Json.t
+
+val to_markdown : t -> string

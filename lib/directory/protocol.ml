@@ -61,6 +61,7 @@ type l2_wb = { mutable wb_dirty : bool; mutable wb_stale : bool }
 type mshr = {
   m_addr : Cache.Addr.t;
   m_rw : [ `R | `W ];
+  m_upgrade : bool;  (* write miss on a line already present read-only *)
   m_commit : unit -> unit;
   m_issued : Sim.Time.t;
   m_tid : int;  (* transaction id for trace spans; unused by the protocol *)
@@ -411,6 +412,13 @@ and l1_handle_data t node addr ~excl ~dirty ~origin ~unblock =
     | Some m when m.m_addr = addr -> m
     | Some _ | None -> assert false
   in
+  (* Runs at delivery time, so this response marker lands at the exact
+     instant the fabric's hop record says the data arrived — that
+     match is what charges the hop's queue/flight to the span. *)
+  if E.tracing t.engine then
+    E.emit t.engine
+      (Obs.Event.Req_response
+         { tid = m.m_tid; node = node.id; src = home_l2 t ~cmp:(node_cmp node) addr });
   node.mshr <- None;
   let st =
     if excl then if m.m_rw = `W || dirty then M else Es
@@ -423,8 +431,17 @@ and l1_handle_data t node addr ~excl ~dirty ~origin ~unblock =
   end;
   let c = t.counters in
   let lat_ns = Sim.Time.to_ns (now t - m.m_issued) in
-  Sim.Stat.Welford.add c.Mcmp.Counters.miss_latency lat_ns;
-  Sim.Stat.Histogram.add c.Mcmp.Counters.miss_histogram (int_of_float lat_ns);
+  (* Upgrade outranks the fill origin: a write miss on a resident line
+     is a permission fetch even when acks come from another chip. *)
+  let cause =
+    if m.m_upgrade then Obs.Event.Upgrade
+    else
+      match origin with
+      | Msg.Chip -> Obs.Event.Sharing_local
+      | Msg.Remote -> Obs.Event.Sharing_remote
+      | Msg.Memdram -> Obs.Event.Cold
+  in
+  Mcmp.Counters.record_miss c ~cause lat_ns;
   (match origin with
   | Msg.Chip -> c.Mcmp.Counters.l2_local_fills <- c.Mcmp.Counters.l2_local_fills + 1
   | Msg.Remote -> c.Mcmp.Counters.remote_fills <- c.Mcmp.Counters.remote_fills + 1
@@ -439,7 +456,7 @@ and l1_handle_data t node addr ~excl ~dirty ~origin ~unblock =
              | Msg.Chip -> Obs.Event.Fill_l2
              | Msg.Remote -> Obs.Event.Fill_remote
              | Msg.Memdram -> Obs.Event.Fill_memory);
-           retries = 0; persistent = false });
+           cause; retries = 0; persistent = false });
   (* Only transaction grants hold the block busy at the L2; a direct
      response must not emit an unblock that could clear an unrelated
      in-flight transaction. *)
@@ -463,6 +480,13 @@ and maybe_complete_local t node addr =
     then begin
       tr.lt_done <- true;
       let excl = tr.lt_excl in
+      (* Origin stays Memdram exactly when the home memory served the
+         data after its DRAM wait, so charge that wait to the span. *)
+      if E.tracing t.engine && tr.lt_origin = Msg.Memdram then
+        E.emit t.engine
+          (Obs.Event.Mem_hop
+             { requester = tr.lt_l1;
+               ns = Sim.Time.to_ns t.cfg.Mcmp.Config.dram_latency });
       send1 t ~src:node.id ~dst:tr.lt_l1 ~cls:MC.Response_data ~bytes:(datab t)
         (Msg.L1_data
            { addr; excl; dirty = tr.lt_dirty; origin = tr.lt_origin; unblock = true });
@@ -1027,7 +1051,8 @@ let access t ~proc ~kind addr ~commit =
         assert (node.mshr = None);
         let tid = t.counters.Mcmp.Counters.l1_misses in
         node.mshr <-
-          Some { m_addr = addr; m_rw = (if write then `W else `R); m_commit = commit;
+          Some { m_addr = addr; m_rw = (if write then `W else `R);
+                 m_upgrade = line <> None && write; m_commit = commit;
                  m_issued = now t; m_tid = tid; m_proc = proc };
         if E.tracing t.engine then
           E.emit t.engine
@@ -1085,6 +1110,11 @@ let builder ?migratory ~dram_directory () : Mcmp.Protocol.builder =
     }
   in
   F.set_handler fabric (fun ~dst msg -> handle t ~dst msg);
+  (match Obs.Registry.of_engine engine with
+  | Some reg ->
+    Obs.Registry.register_int reg "directory.outstanding_misses" (fun () ->
+        Array.fold_left (fun acc n -> if n.mshr = None then acc else acc + 1) 0 t.nodes)
+  | None -> ());
   {
     Mcmp.Protocol.name = name ~dram_directory;
     access = (fun ~proc ~kind addr ~commit -> access t ~proc ~kind addr ~commit);

@@ -20,6 +20,8 @@ type outcome = {
   ops : int;
   runtime : Sim.Time.t;
   events : int;
+  misses : int;
+  spans : Obs.Span.summary;
   recovered : Token.Protocol.recovery_stats option;
   retransmits : int;
   chaos : Chaos.stats option;
@@ -245,6 +247,8 @@ let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
   let reports = List.rev !reports in
   let completed = !remaining = 0 in
   let keep_evidence = reports <> [] || not completed in
+  let span_list, dropped_spans = Obs.Span.assemble_full buf in
+  let spans = Obs.Span.summarize ~dropped_spans span_list in
   {
     seed;
     spec;
@@ -263,6 +267,8 @@ let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
     ops = List.fold_left (fun acc c -> acc + Mcmp.Core.ops_committed c) 0 cores;
     runtime = (if completed then !finish_time else E.now engine);
     events = E.events_processed engine;
+    misses = Sim.Stat.Welford.count counters.Mcmp.Counters.miss_latency;
+    spans;
     recovered = ctl.c_recovery ();
     retransmits = ctl.c_retransmits ();
     chaos = ctl.c_chaos;

@@ -63,6 +63,14 @@ type outcome = {
   ops : int;
   runtime : Sim.Time.t;
   events : int;
+  misses : int;  (** retired L1 misses (miss-latency sample count) *)
+  spans : Obs.Span.summary;
+      (** transaction-span accounting over the event ring: with a
+          large enough [trace_capacity] every retired miss has a span
+          ([spans + dropped_spans = misses], crash-interrupted
+          transactions counted incomplete); after ring wrap the
+          [dropped_spans] field says how many latency samples exist in
+          the counters but in no span *)
   recovered : Token.Protocol.recovery_stats option;
       (** recovery-layer activity; [Some] only for recovery-mode runs *)
   retransmits : int;  (** reliable-transport retransmissions (recovery mode) *)

@@ -102,6 +102,11 @@ type 'msg t = {
   mutable msg_label : 'msg -> string;
   mutable port_busy_total : Sim.Time.t; (* serialization time ever claimed on ports *)
   mutable link_busy_total : Sim.Time.t; (* ... on inter-site links *)
+  (* Scratch: contention wait of the most recent port/link claim, read
+     back by the send paths to decompose each copy's latency into
+     queueing vs flight for Net_hop events. Pure observation. *)
+  mutable last_port_wait : Sim.Time.t;
+  mutable last_link_wait : Sim.Time.t;
   mutable rel : 'msg rel option;
   mutable outage : outage option;
   mutable adaptive : adaptive option;
@@ -168,6 +173,8 @@ let create engine layout params traffic rng =
       msg_label = (fun _ -> "");
       port_busy_total = Sim.Time.zero;
       link_busy_total = Sim.Time.zero;
+      last_port_wait = Sim.Time.zero;
+      last_link_wait = Sim.Time.zero;
       rel = None;
       outage = None;
       adaptive = None;
@@ -200,6 +207,7 @@ let claim_port t node ser =
   let start = max now t.port_busy.(node) in
   t.port_busy.(node) <- start + ser;
   t.port_busy_total <- t.port_busy_total + ser;
+  t.last_port_wait <- start - now;
   start + ser
 
 (* Claim the global link between two sites: [ready] is when the message
@@ -209,6 +217,7 @@ let claim_link t ~src_site ~dst_site ~cls ~bytes ready ser =
   let start = max ready t.link_busy.(i) in
   t.link_busy.(i) <- start + ser;
   t.link_busy_total <- t.link_busy_total + ser;
+  t.last_link_wait <- start - ready;
   if Sim.Engine.tracing t.engine then
     Sim.Engine.emit t.engine
       (Obs.Event.Link_xfer
@@ -482,12 +491,21 @@ let rec rel_attempt t rel ~src ~dst ~cls ~seq ~flight ~attempt time msg =
 (* Injection point: every copy of every message passes through here
    once its fault-free arrival time is known. A fault plan may delay,
    drop or duplicate the copy; faults are emitted as structured events
-   so a violation dump shows exactly what the network did. *)
-let deliver_at t ~src ~cls ~bytes time dst msg =
-  if Sim.Engine.tracing t.engine then
+   so a violation dump shows exactly what the network did. [queue] is
+   the contention wait (busy port + busy link) already baked into
+   [time]; the rest of [time - now] is flight/serialization. *)
+let deliver_at t ~src ~cls ~bytes ~queue time dst msg =
+  if Sim.Engine.tracing t.engine then begin
     Sim.Engine.emit t.engine
       (Obs.Event.Msg_send
          { src; dst; cls = Msg_class.to_string cls; bytes; label = t.msg_label msg });
+    let flight = time - Sim.Engine.now t.engine - queue in
+    Sim.Engine.emit t.engine
+      (Obs.Event.Net_hop
+         { src; dst; cls = Msg_class.to_string cls;
+           queue_ns = Sim.Time.to_ns queue; flight_ns = Sim.Time.to_ns flight;
+           arrive = time })
+  end;
   match (t.injector, t.outage) with
   | None, None -> schedule_delivery t ~src ~cls time dst msg
   | _ -> (
@@ -595,22 +613,26 @@ let send_list t ~src ~dsts ~cls ~bytes msg =
       if src_onchip && d_onchip then begin
         Traffic.add_intra t.traffic cls bytes;
         let dep = claim_port t src (serialization p.intra_bytes_per_ns bytes) in
-        deliver_at t ~src ~cls ~bytes (dep + p.intra_latency + jitter t) d msg
+        deliver_at t ~src ~cls ~bytes ~queue:t.last_port_wait
+          (dep + p.intra_latency + jitter t) d msg
       end
       else if d_onchip then
         (* memory controller fanning back on-chip *)
         begin
           Traffic.add_intra t.traffic cls bytes;
-          deliver_at t ~src ~cls ~bytes (now + p.mem_link_latency + jitter t) d msg
+          deliver_at t ~src ~cls ~bytes ~queue:Sim.Time.zero
+            (now + p.mem_link_latency + jitter t) d msg
         end
       else begin
         (* cache -> local memory controller: off-chip pin traffic. *)
         Traffic.add_inter t.traffic cls bytes;
-        let dep =
-          if src_onchip then claim_port t src (serialization p.inter_bytes_per_ns bytes)
-          else now
+        let dep, queue =
+          if src_onchip then
+            let dep = claim_port t src (serialization p.inter_bytes_per_ns bytes) in
+            (dep, t.last_port_wait)
+          else (now, Sim.Time.zero)
         in
-        deliver_at t ~src ~cls ~bytes (dep + p.mem_link_latency + jitter t) d msg
+        deliver_at t ~src ~cls ~bytes ~queue (dep + p.mem_link_latency + jitter t) d msg
       end)
     local;
   (* Remote deliveries: exit hop once, then one global-link crossing per
@@ -623,6 +645,7 @@ let send_list t ~src ~dsts ~cls ~bytes msg =
       end
       else now + p.mem_link_latency
     in
+    let exit_wait = if src_onchip then t.last_port_wait else Sim.Time.zero in
     let by_site = Hashtbl.create 8 in
     List.iter
       (fun d ->
@@ -637,6 +660,7 @@ let send_list t ~src ~dsts ~cls ~bytes msg =
           claim_link t ~src_site ~dst_site:site ~cls ~bytes exit_ready ser
           + p.inter_latency
         in
+        let queue = exit_wait + t.last_link_wait in
         List.iter
           (fun d ->
             let entry =
@@ -646,7 +670,7 @@ let send_list t ~src ~dsts ~cls ~bytes msg =
               end
               else p.mem_link_latency
             in
-            deliver_at t ~src ~cls ~bytes (arrive + entry + jitter t) d msg)
+            deliver_at t ~src ~cls ~bytes ~queue (arrive + entry + jitter t) d msg)
           site_dsts)
       by_site
   end
@@ -681,19 +705,23 @@ let send_set t ~src ~dsts ~cls ~bytes msg =
         if src_onchip && d_onchip then begin
           Traffic.add_intra t.traffic cls bytes;
           let dep = claim_port t src (serialization p.intra_bytes_per_ns bytes) in
-          deliver_at t ~src ~cls ~bytes (dep + p.intra_latency + jitter t) d msg
+          deliver_at t ~src ~cls ~bytes ~queue:t.last_port_wait
+            (dep + p.intra_latency + jitter t) d msg
         end
         else if d_onchip then begin
           Traffic.add_intra t.traffic cls bytes;
-          deliver_at t ~src ~cls ~bytes (now + p.mem_link_latency + jitter t) d msg
+          deliver_at t ~src ~cls ~bytes ~queue:Sim.Time.zero
+            (now + p.mem_link_latency + jitter t) d msg
         end
         else begin
           Traffic.add_inter t.traffic cls bytes;
-          let dep =
-            if src_onchip then claim_port t src (serialization p.inter_bytes_per_ns bytes)
-            else now
+          let dep, queue =
+            if src_onchip then
+              let dep = claim_port t src (serialization p.inter_bytes_per_ns bytes) in
+              (dep, t.last_port_wait)
+            else (now, Sim.Time.zero)
           in
-          deliver_at t ~src ~cls ~bytes (dep + p.mem_link_latency + jitter t) d msg
+          deliver_at t ~src ~cls ~bytes ~queue (dep + p.mem_link_latency + jitter t) d msg
         end
       done;
       if remote <> 0 then begin
@@ -704,6 +732,7 @@ let send_set t ~src ~dsts ~cls ~bytes msg =
           end
           else now + p.mem_link_latency
         in
+        let exit_wait = if src_onchip then t.last_port_wait else Sim.Time.zero in
         (* Destination sites in ascending index order. The legacy path
            iterates a Hashtbl here — order unspecified — so this also
            retires that latent determinism hazard for ncmp >= 3. *)
@@ -716,6 +745,7 @@ let send_set t ~src ~dsts ~cls ~bytes msg =
               claim_link t ~src_site ~dst_site:site ~cls ~bytes exit_ready ser
               + p.inter_latency
             in
+            let queue = exit_wait + t.last_link_wait in
             (* Within a site, descending: the legacy path conses each
                site's destinations over an ascending scan, so it
                delivers (and draws jitter) highest-id first. *)
@@ -731,7 +761,7 @@ let send_set t ~src ~dsts ~cls ~bytes msg =
                 end
                 else p.mem_link_latency
               in
-              deliver_at t ~src ~cls ~bytes (arrive + entry + jitter t) d msg
+              deliver_at t ~src ~cls ~bytes ~queue (arrive + entry + jitter t) d msg
             done
           end
         done

@@ -15,6 +15,8 @@ type t = {
   mutable dir_indirections : int;
   miss_latency : Sim.Stat.Welford.t;
   miss_histogram : Sim.Stat.Histogram.t;
+  cause_counts : int array;
+  cause_latency : Sim.Stat.Histogram.t array;
 }
 
 let create () =
@@ -35,9 +37,27 @@ let create () =
     dir_indirections = 0;
     miss_latency = Sim.Stat.Welford.create ();
     miss_histogram = Sim.Stat.Histogram.create ~bucket:10 ~buckets:200;
+    cause_counts = Array.make Obs.Event.ncauses 0;
+    cause_latency =
+      Array.init Obs.Event.ncauses (fun _ ->
+          Sim.Stat.Histogram.create ~bucket:10 ~buckets:200);
   }
 
 let data_ops t = t.loads + t.stores + t.atomics
+
+(* The single funnel for miss-latency samples: every protocol
+   completion path calls this once, so the per-cause decomposition sums
+   to the Welford/overall histogram exactly by construction. *)
+let record_miss t ~cause lat_ns =
+  Sim.Stat.Welford.add t.miss_latency lat_ns;
+  let v = int_of_float lat_ns in
+  Sim.Stat.Histogram.add t.miss_histogram v;
+  let i = Obs.Event.cause_index cause in
+  t.cause_counts.(i) <- t.cause_counts.(i) + 1;
+  Sim.Stat.Histogram.add t.cause_latency.(i) v
+
+let cause_count t cause = t.cause_counts.(Obs.Event.cause_index cause)
+let cause_histogram t cause = t.cause_latency.(Obs.Event.cause_index cause)
 
 let merge ~into src =
   into.loads <- into.loads + src.loads;
@@ -55,7 +75,11 @@ let merge ~into src =
   into.writebacks <- into.writebacks + src.writebacks;
   into.dir_indirections <- into.dir_indirections + src.dir_indirections;
   Sim.Stat.Welford.merge ~into:into.miss_latency src.miss_latency;
-  Sim.Stat.Histogram.merge ~into:into.miss_histogram src.miss_histogram
+  Sim.Stat.Histogram.merge ~into:into.miss_histogram src.miss_histogram;
+  Array.iteri (fun i c -> into.cause_counts.(i) <- into.cause_counts.(i) + c) src.cause_counts;
+  Array.iteri
+    (fun i h -> Sim.Stat.Histogram.merge ~into:into.cause_latency.(i) h)
+    src.cause_latency
 
 let persistent_fraction t =
   if t.l1_misses = 0 then 0.
@@ -86,7 +110,17 @@ let register ?(prefix = "counters.") registry t =
       Sim.Stat.Welford.mean t.miss_latency);
   R.register_float registry (prefix ^ "miss_latency_ns.stddev") (fun () ->
       Sim.Stat.Welford.stddev t.miss_latency);
-  R.register_histogram registry (prefix ^ "miss_latency_ns") t.miss_histogram
+  R.register_histogram registry (prefix ^ "miss_latency_ns") t.miss_histogram;
+  List.iter
+    (fun cause ->
+      let name = Obs.Event.cause_to_string cause in
+      let i = Obs.Event.cause_index cause in
+      R.register_int registry (prefix ^ "miss_class." ^ name) (fun () ->
+          t.cause_counts.(i));
+      R.register_histogram registry
+        (prefix ^ "miss_class_ns." ^ name)
+        t.cause_latency.(i))
+    Obs.Event.all_causes
 
 let pp fmt t =
   Format.fprintf fmt

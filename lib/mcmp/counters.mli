@@ -17,11 +17,22 @@ type t = {
   mutable dir_indirections : int;  (** 3-hop directory transactions *)
   miss_latency : Sim.Stat.Welford.t;  (** ns *)
   miss_histogram : Sim.Stat.Histogram.t;  (** 10 ns buckets, for percentiles *)
+  cause_counts : int array;  (** indexed by {!Obs.Event.cause_index} *)
+  cause_latency : Sim.Stat.Histogram.t array;  (** same geometry as miss_histogram *)
 }
 
 val create : unit -> t
 
 val data_ops : t -> int
+
+(** [record_miss t ~cause lat_ns] is the single funnel for miss-latency
+    samples: it feeds [miss_latency], [miss_histogram] and the
+    per-cause count/histogram in one call, so the per-class
+    decomposition reconciles exactly with the overall statistics. *)
+val record_miss : t -> cause:Obs.Event.cause -> float -> unit
+
+val cause_count : t -> Obs.Event.cause -> int
+val cause_histogram : t -> Obs.Event.cause -> Sim.Stat.Histogram.t
 
 (** [merge ~into src] accumulates [src] into [into]: counters add,
     [miss_latency] combines via {!Sim.Stat.Welford.merge} and

@@ -7,9 +7,10 @@ type result = {
   counters : Counters.t;
   events : int;
   ops : int;
+  sampler : Obs.Sampler.t option;
 }
 
-let run ?(config = Config.default) ?registry ?buffer builder ~programs ~seed =
+let run ?(config = Config.default) ?registry ?buffer ?sample_period builder ~programs ~seed =
   (match Config.validate config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Runner.run: " ^ msg));
@@ -27,6 +28,14 @@ let run ?(config = Config.default) ?registry ?buffer builder ~programs ~seed =
       Interconnect.Traffic.register r traffic)
     registry;
   let protocol = builder engine config traffic rng counters in
+  (* The sampler arms after the builder so its timeline sees every
+     self-registered gauge; it needs a registry to read. *)
+  let sampler =
+    match (sample_period, registry) with
+    | Some period, Some r -> Some (Obs.Sampler.create engine r ~period)
+    | Some _, None -> invalid_arg "Runner.run: sample_period requires a registry"
+    | None, _ -> None
+  in
   let values = Values.create () in
   let nprocs = Config.nprocs config in
   let remaining = ref nprocs in
@@ -63,6 +72,7 @@ let run ?(config = Config.default) ?registry ?buffer builder ~programs ~seed =
     counters;
     events = Sim.Engine.events_processed engine;
     ops;
+    sampler;
   }
 
 let run_seeds ?(config = Config.default) builder ~programs ~seeds =

@@ -13,6 +13,7 @@ type result = {
   counters : Counters.t;
   events : int;
   ops : int;
+  sampler : Obs.Sampler.t option;  (** present iff [sample_period] was given *)
 }
 
 (** @param registry when given, attached to the engine and populated
@@ -20,11 +21,17 @@ type result = {
     protocol is built (snapshot it after [run] returns).
     @param buffer when given, installed as the engine's trace sink:
     the run records structured {!Obs.Event}s (tracing changes no
-    simulation outcome, only observation). *)
+    simulation outcome, only observation).
+    @param sample_period when given (requires [registry], else
+    [Invalid_argument]), a periodic {!Obs.Sampler} records every scalar
+    gauge on that cadence of simulated time — the profiler's
+    time-series counter tracks. Sampling adds timer events to the
+    engine, so [events] grows; simulated outcomes are unchanged. *)
 val run :
   ?config:Config.t ->
   ?registry:Obs.Registry.t ->
   ?buffer:Obs.Buffer.t ->
+  ?sample_period:Sim.Time.t ->
   Protocol.builder ->
   programs:(proc:int -> Workload.Program.t) ->
   seed:int ->

@@ -2,6 +2,44 @@ type rw = R | W
 type level = L1 | L2
 type fill = Fill_l2 | Fill_remote | Fill_memory
 
+type cause =
+  | Cold
+  | Sharing_local
+  | Sharing_remote
+  | Upgrade
+  | Persistent_escalation
+  | Recovery_delayed
+
+let ncauses = 6
+
+let cause_index = function
+  | Cold -> 0
+  | Sharing_local -> 1
+  | Sharing_remote -> 2
+  | Upgrade -> 3
+  | Persistent_escalation -> 4
+  | Recovery_delayed -> 5
+
+let cause_of_index = function
+  | 0 -> Cold
+  | 1 -> Sharing_local
+  | 2 -> Sharing_remote
+  | 3 -> Upgrade
+  | 4 -> Persistent_escalation
+  | 5 -> Recovery_delayed
+  | i -> invalid_arg (Printf.sprintf "Obs.Event.cause_of_index: %d" i)
+
+let all_causes =
+  [ Cold; Sharing_local; Sharing_remote; Upgrade; Persistent_escalation; Recovery_delayed ]
+
+let cause_to_string = function
+  | Cold -> "cold"
+  | Sharing_local -> "sharing_local"
+  | Sharing_remote -> "sharing_remote"
+  | Upgrade -> "upgrade"
+  | Persistent_escalation -> "persistent_escalation"
+  | Recovery_delayed -> "recovery_delayed"
+
 let rw_to_string = function R -> "R" | W -> "W"
 let level_to_string = function L1 -> "L1" | L2 -> "L2"
 
@@ -25,9 +63,27 @@ type Sim.Engine.event +=
       fill : fill;
       retries : int;
       persistent : bool;
+      cause : cause;
     }  (** The miss completed and the processor was released. *)
   | Req_reissue of { tid : int; node : int; addr : int; retry : int }
       (** A transient request timed out and was reissued. *)
+  | Net_hop of {
+      dst : int;
+      src : int;
+      cls : string;
+      queue_ns : float;
+      flight_ns : float;
+      arrive : Sim.Time.t;
+    }
+      (** Per-copy fabric timing decomposition: [queue_ns] is time spent
+          waiting for a busy injection port or inter-chip link,
+          [flight_ns] the remaining wire/serialization latency, and
+          [arrive] the delivery time at [dst]. Keyed by (dst, arrive) so
+          the span assembler can match the copy that satisfied a miss. *)
+  | Mem_hop of { requester : int; ns : float }
+      (** A memory controller spent [ns] (controller occupancy + DRAM)
+          producing the data/tokens it is about to send to [requester]'s
+          outstanding miss. *)
   | Lookup of { node : int; level : level; addr : int; hit : bool }
   | Msg_send of { src : int; dst : int; cls : string; bytes : int; label : string }
   | Msg_deliver of { src : int; dst : int; cls : string; label : string }
@@ -96,11 +152,17 @@ let describe at ev =
   | Req_response e -> Some (p "%.1fns response tid=%d node=%d src=%d" ns e.tid e.node e.src)
   | Req_retire e ->
     Some
-      (p "%.1fns retire tid=%d node=%d addr=%#x %s fill=%s retries=%d%s" ns e.tid e.node
-         e.addr (rw_to_string e.rw) (fill_to_string e.fill) e.retries
+      (p "%.1fns retire tid=%d node=%d addr=%#x %s fill=%s cause=%s retries=%d%s" ns e.tid
+         e.node e.addr (rw_to_string e.rw) (fill_to_string e.fill)
+         (cause_to_string e.cause) e.retries
          (if e.persistent then " persistent" else ""))
   | Req_reissue e ->
     Some (p "%.1fns reissue tid=%d node=%d addr=%#x retry=%d" ns e.tid e.node e.addr e.retry)
+  | Net_hop e ->
+    Some
+      (p "%.1fns net-hop %d->%d [%s] queue=%.1fns flight=%.1fns arrive=%.1fns" ns e.src
+         e.dst e.cls e.queue_ns e.flight_ns (Sim.Time.to_ns e.arrive))
+  | Mem_hop e -> Some (p "%.1fns mem-hop requester=%d %.1fns" ns e.requester e.ns)
   | Lookup e ->
     Some
       (p "%.1fns %s %s node=%d addr=%#x" ns (level_to_string e.level)
@@ -165,10 +227,17 @@ let to_json at ev =
     base "req_retire"
       [ ("tid", i e.tid); ("node", i e.node); ("proc", i e.proc); ("addr", i e.addr);
         ("rw", s (rw_to_string e.rw)); ("fill", s (fill_to_string e.fill));
-        ("retries", i e.retries); ("persistent", Tcjson.Bool e.persistent) ]
+        ("cause", s (cause_to_string e.cause)); ("retries", i e.retries);
+        ("persistent", Tcjson.Bool e.persistent) ]
   | Req_reissue e ->
     base "req_reissue"
       [ ("tid", i e.tid); ("node", i e.node); ("addr", i e.addr); ("retry", i e.retry) ]
+  | Net_hop e ->
+    base "net_hop"
+      [ ("src", i e.src); ("dst", i e.dst); ("cls", s e.cls);
+        ("queue_ns", Tcjson.Float e.queue_ns); ("flight_ns", Tcjson.Float e.flight_ns);
+        ("arrive_ns", Tcjson.Float (Sim.Time.to_ns e.arrive)) ]
+  | Mem_hop e -> base "mem_hop" [ ("requester", i e.requester); ("ns", Tcjson.Float e.ns) ]
   | Lookup e ->
     base "lookup"
       [ ("node", i e.node); ("level", s (level_to_string e.level)); ("addr", i e.addr);

@@ -17,6 +17,29 @@ type level = L1 | L2
     chip's cache, or memory. *)
 type fill = Fill_l2 | Fill_remote | Fill_memory
 
+(** Why a miss happened / why it cost what it did. Protocols tag every
+    retire with exactly one cause; when several apply the most specific
+    wins, in decreasing priority: recovery, persistent escalation,
+    upgrade, then the fill source (memory = cold, remote chip, local
+    chip sharing). *)
+type cause =
+  | Cold  (** filled from DRAM — first touch or capacity *)
+  | Sharing_local  (** data came from the local chip (L2 or sibling L1) *)
+  | Sharing_remote  (** data crossed the inter-chip fabric *)
+  | Upgrade  (** write to a line already held readable *)
+  | Persistent_escalation  (** transient retries exhausted; persistent request *)
+  | Recovery_delayed  (** recreation/crash-restart delayed the completion *)
+
+val ncauses : int
+val cause_index : cause -> int
+
+(** Inverse of {!cause_index}; raises [Invalid_argument] out of range. *)
+val cause_of_index : int -> cause
+
+(** All causes in {!cause_index} order. *)
+val all_causes : cause list
+
+val cause_to_string : cause -> string
 val rw_to_string : rw -> string
 val level_to_string : level -> string
 val fill_to_string : fill -> string
@@ -33,8 +56,18 @@ type Sim.Engine.event +=
       fill : fill;
       retries : int;
       persistent : bool;
+      cause : cause;
     }
   | Req_reissue of { tid : int; node : int; addr : int; retry : int }
+  | Net_hop of {
+      dst : int;
+      src : int;
+      cls : string;
+      queue_ns : float;
+      flight_ns : float;
+      arrive : Sim.Time.t;
+    }
+  | Mem_hop of { requester : int; ns : float }
   | Lookup of { node : int; level : level; addr : int; hit : bool }
   | Msg_send of { src : int; dst : int; cls : string; bytes : int; label : string }
   | Msg_deliver of { src : int; dst : int; cls : string; label : string }

@@ -24,8 +24,17 @@ let metadata ~name ~tid value =
 (* Links get tracks above any plausible node id. *)
 let link_tid_base = 100_000
 
+(* Counter events ("C") render as one named counter track per metric;
+   the value rides in args. *)
+let counter ~name ~ts v =
+  J.Obj
+    [ ("name", J.String name); ("ph", J.String "C"); ("pid", J.Int 0);
+      ("tid", J.Int 0); ("ts", J.Float ts);
+      ("args", J.Obj [ ("value", J.Float v) ]) ]
+
 let export ?(node_name = fun id -> Printf.sprintf "node%d" id)
-    ?(process_name = "tokencmp") ?(include_instants = true) ?(marks = []) buf =
+    ?(process_name = "tokencmp") ?(include_instants = true) ?(marks = [])
+    ?(samples = []) buf =
   let events = ref [] in
   let push e = events := e :: !events in
   let nodes = Hashtbl.create 64 in
@@ -55,6 +64,9 @@ let export ?(node_name = fun id -> Printf.sprintf "node%d" id)
             ("rw", J.String (Event.rw_to_string s.Span.rw));
             ("fill", J.String (match s.Span.fill with
                | Some f -> Event.fill_to_string f
+               | None -> "?"));
+            ("cause", J.String (match s.Span.cause with
+               | Some c -> Event.cause_to_string c
                | None -> "?"));
             ("retries", J.Int s.Span.retries);
             ("persistent", J.Bool s.Span.persistent) ]
@@ -140,6 +152,12 @@ let export ?(node_name = fun id -> Printf.sprintf "node%d" id)
     (fun (at, text) ->
       push (instant ~name:text ~tid:0 ~ts:(us_of_time at) ()))
     marks;
+  (* Counter tracks: one per sampled gauge, points at sample times. *)
+  List.iter
+    (fun s ->
+      let ts = us_of_time s.Sampler.at in
+      List.iter (fun (name, v) -> push (counter ~name ~ts v)) s.Sampler.values)
+    samples;
   (* Metadata last in construction, first in output. *)
   let meta =
     J.Obj
@@ -180,6 +198,16 @@ let validate json =
       let check_one i e =
         match (field "name" e, field "ph" e) with
         | Some (J.String _), Some (J.String "M") -> Ok ()
+        | Some (J.String _), Some (J.String "C") -> begin
+          (* Counter points: coordinates plus a numeric value in args. *)
+          match (num (field "pid" e), num (field "tid" e), num (field "ts" e)) with
+          | Some _, Some _, Some _ -> (
+            match field "args" e with
+            | Some args when (match num (field "value" args) with Some _ -> true | None -> false)
+              -> Ok ()
+            | _ -> err "event %d: C without numeric args.value" i)
+          | _ -> err "event %d: missing pid/tid/ts" i
+        end
         | Some (J.String _), Some (J.String (("i" | "X") as ph)) -> begin
           match (num (field "pid" e), num (field "tid" e), num (field "ts" e)) with
           | Some pid, Some tid, Some ts ->

@@ -14,17 +14,22 @@
     and fault/persistent markers are emitted — traces stay small on
     long runs.
     @param marks extra global instant events (e.g. invariant
-    violations) stamped onto track 0. *)
+    violations) stamped onto track 0.
+    @param samples periodic gauge samples from {!Sampler}, rendered as
+    Perfetto counter tracks ("C" events, one track per metric name)
+    next to the span tracks. *)
 val export :
   ?node_name:(int -> string) ->
   ?process_name:string ->
   ?include_instants:bool ->
   ?marks:(Sim.Time.t * string) list ->
+  ?samples:Sampler.sample list ->
   Buffer.t ->
   Tcjson.t
 
 (** Structural check used by tests and CI on exported documents:
     [traceEvents] exists, every event carries the fields its phase
-    requires, and complete ("X") slices nest properly per track (no
-    partial overlap). *)
+    requires ("C" counters need coordinates and a numeric
+    [args.value]), and complete ("X") slices nest properly per track
+    (no partial overlap). *)
 val validate : Tcjson.t -> (unit, string) result

@@ -27,15 +27,38 @@ let sorted t = List.sort (fun (a, _) (b, _) -> compare a b) t.metrics
 
 let names t = List.map fst (sorted t)
 
+(* Scalar gauges only, name-sorted: the sampler's view. Histograms are
+   cumulative distributions — they have no meaningful instantaneous
+   value, so time series skip them. *)
+let gauges t =
+  List.filter_map
+    (fun (name, m) ->
+      match m with
+      | Int_gauge f -> Some (name, float_of_int (f ()))
+      | Float_gauge f -> Some (name, f ())
+      | Histogram _ -> None)
+    (sorted t)
+
 let histogram_json h =
   let module H = Sim.Stat.Histogram in
+  (* Percentiles on a clamped tail report the last bucket's bound;
+     [clamped_percentiles] names the ones that lie, and [max] is the
+     true extreme. *)
+  let clamped =
+    List.filter_map
+      (fun (name, p) -> if H.percentile_clamped h p then Some (Tcjson.String name) else None)
+      [ ("p50", 50.); ("p90", 90.); ("p99", 99.) ]
+  in
   Tcjson.Obj
     [ ("count", Tcjson.Int (H.count h));
       ("total", Tcjson.Int (H.total h));
       ("mean", Tcjson.Float (H.mean h));
       ("p50", Tcjson.Int (H.percentile h 50.));
       ("p90", Tcjson.Int (H.percentile h 90.));
-      ("p99", Tcjson.Int (H.percentile h 99.)) ]
+      ("p99", Tcjson.Int (H.percentile h 99.));
+      ("overflow", Tcjson.Int (H.overflow h));
+      ("max", Tcjson.Int (H.max_value h));
+      ("clamped_percentiles", Tcjson.List clamped) ]
 
 let snapshot t =
   Tcjson.Obj

@@ -26,5 +26,12 @@ val of_engine : Sim.Engine.t -> t option
 (** Registered names, sorted. *)
 val names : t -> string list
 
-(** Histograms render as [{count; total; mean; p50; p90; p99}]. *)
+(** Instantaneous values of the scalar (int/float) gauges, name-sorted;
+    histograms are skipped. This is what the periodic {!Sampler} reads. *)
+val gauges : t -> (string * float) list
+
+(** Histograms render as [{count; total; mean; p50; p90; p99; overflow;
+    max; clamped_percentiles}] — [clamped_percentiles] lists which of
+    p50/p90/p99 landed in an overflowed last bucket and therefore
+    understate the true value ([max] is exact). *)
 val snapshot : t -> Tcjson.t

@@ -1,0 +1,44 @@
+(* Periodic time-series sampler: a self-rearming engine timer that
+   snapshots the registry's scalar gauges every [period]. Only armed
+   when explicitly created, so default runs never see its events; the
+   runner stops the engine when all processors finish, which also
+   retires the pending timer — a sampler cannot keep a run alive. *)
+
+type sample = { at : Sim.Time.t; values : (string * float) list }
+
+type t = {
+  engine : Sim.Engine.t;
+  registry : Registry.t;
+  period : Sim.Time.t;
+  mutable samples : sample list;  (* newest first *)
+  mutable nsamples : int;
+}
+
+let take t =
+  t.samples <- { at = Sim.Engine.now t.engine; values = Registry.gauges t.registry } :: t.samples;
+  t.nsamples <- t.nsamples + 1
+
+let rec arm t =
+  ignore
+    (Sim.Engine.timer_in t.engine t.period (fun () ->
+         take t;
+         arm t))
+
+let create ?(sample_at_start = true) engine registry ~period =
+  if Sim.Time.to_ns period <= 0. then invalid_arg "Obs.Sampler.create: period must be positive";
+  let t = { engine; registry; period; samples = []; nsamples = 0 } in
+  if sample_at_start then take t;
+  arm t;
+  t
+
+let samples t = List.rev t.samples
+let count t = t.nsamples
+
+let to_json t =
+  Tcjson.List
+    (List.map
+       (fun s ->
+         Tcjson.Obj
+           (("at_ns", Tcjson.Float (Sim.Time.to_ns s.at))
+           :: List.map (fun (name, v) -> (name, Tcjson.Float v)) s.values))
+       (samples t))

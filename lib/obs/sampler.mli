@@ -1,0 +1,26 @@
+(** Periodic time-series sampler: snapshots the registry's scalar
+    gauges on a fixed cadence of simulated time, producing counter
+    tracks for the Perfetto exporter ("C" events) and the profiler's
+    timeline. Never created on default runs — attaching one adds timer
+    events to the engine, so it is opt-in (trace/profile modes only).
+    The runner's stop-when-done semantics retire the pending timer, so
+    a sampler cannot keep a simulation alive. *)
+
+type t
+
+type sample = { at : Sim.Time.t; values : (string * float) list }
+
+(** [create engine registry ~period] arms the timer; every [period] of
+    simulated time it records {!Registry.gauges}. [sample_at_start]
+    (default true) also records one sample at creation time, so short
+    runs still produce a non-empty series. Raises [Invalid_argument]
+    on a non-positive period. *)
+val create : ?sample_at_start:bool -> Sim.Engine.t -> Registry.t -> period:Sim.Time.t -> t
+
+(** Samples in time order. *)
+val samples : t -> sample list
+
+val count : t -> int
+
+(** Deterministic JSON: a list of [{at_ns; <gauge>: value; ...}]. *)
+val to_json : t -> Tcjson.t

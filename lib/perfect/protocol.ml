@@ -12,6 +12,7 @@ type t = {
   counters : Mcmp.Counters.t;
   l1s : l1 array;  (* indexed by node id; only L1 slots used *)
   holders : (Cache.Addr.t, int list) Hashtbl.t;  (* L1 node ids caching the block *)
+  seen : (Cache.Addr.t, unit) Hashtbl.t;  (* blocks touched at least once, for miss classing *)
 }
 
 let holders t addr = try Hashtbl.find t.holders addr with Not_found -> []
@@ -68,6 +69,15 @@ let access t ~proc ~kind addr ~commit =
         t.counters.Mcmp.Counters.l1_misses <- t.counters.Mcmp.Counters.l1_misses + 1;
         let tid = t.counters.Mcmp.Counters.l1_misses in
         let rw = if write then Obs.Event.W else Obs.Event.R in
+        (* No remote chips and no DRAM here: a first-ever touch is cold,
+           a write miss on a resident read-only line is an upgrade, and
+           everything else is on-chip sharing. *)
+        let cause =
+          if not (Hashtbl.mem t.seen addr) then Obs.Event.Cold
+          else if write && Cache.Sarray.find l1.lines addr <> None then Obs.Event.Upgrade
+          else Obs.Event.Sharing_local
+        in
+        Hashtbl.replace t.seen addr ();
         if E.tracing t.engine then
           E.emit t.engine (Obs.Event.Req_issue { tid; node = l1id; proc; addr; rw });
         (* On-chip round trip to an infinite, always-hitting L2. *)
@@ -78,14 +88,13 @@ let access t ~proc ~kind addr ~commit =
         E.schedule_in t.engine miss_latency (fun () ->
             t.counters.Mcmp.Counters.l2_local_fills <-
               t.counters.Mcmp.Counters.l2_local_fills + 1;
-            Sim.Stat.Welford.add t.counters.Mcmp.Counters.miss_latency
-              (Sim.Time.to_ns miss_latency);
+            Mcmp.Counters.record_miss t.counters ~cause (Sim.Time.to_ns miss_latency);
             install t l1id addr ~writable:write;
             if E.tracing t.engine then
               E.emit t.engine
                 (Obs.Event.Req_retire
                    { tid; node = l1id; proc; addr; rw; fill = Obs.Event.Fill_l2;
-                     retries = 0; persistent = false });
+                     cause; retries = 0; persistent = false });
             commit ())
       end)
 
@@ -105,6 +114,7 @@ let builder : Mcmp.Protocol.builder =
                 Cache.Sarray.create ~sets:cfg.Mcmp.Config.l1_sets ~ways:cfg.Mcmp.Config.l1_ways;
             });
       holders = Hashtbl.create 4096;
+      seen = Hashtbl.create 4096;
     }
   in
   {

@@ -62,21 +62,36 @@ module Ema = struct
 end
 
 module Histogram = struct
-  type t = { bucket : int; counts : int array; mutable n : int; mutable total : int }
+  type t = {
+    bucket : int;
+    counts : int array;
+    mutable n : int;
+    mutable total : int;
+    mutable overflow : int;
+    mutable vmax : int;
+  }
 
   let create ~bucket ~buckets =
     assert (bucket > 0 && buckets > 0);
-    { bucket; counts = Array.make buckets 0; n = 0; total = 0 }
+    { bucket; counts = Array.make buckets 0; n = 0; total = 0; overflow = 0; vmax = 0 }
 
   let add t v =
     let v = max 0 v in
-    let i = min (v / t.bucket) (Array.length t.counts - 1) in
-    t.counts.(i) <- t.counts.(i) + 1;
+    let last = Array.length t.counts - 1 in
+    let i = v / t.bucket in
+    if i > last then begin
+      t.overflow <- t.overflow + 1;
+      t.counts.(last) <- t.counts.(last) + 1
+    end
+    else t.counts.(i) <- t.counts.(i) + 1;
+    if v > t.vmax then t.vmax <- v;
     t.n <- t.n + 1;
     t.total <- t.total + v
 
   let count t = t.n
   let total t = t.total
+  let overflow t = t.overflow
+  let max_value t = t.vmax
   let bucket_counts t = Array.copy t.counts
   let mean t = if t.n = 0 then 0. else float_of_int t.total /. float_of_int t.n
 
@@ -97,10 +112,20 @@ module Histogram = struct
       scan 0 0
     end
 
+  (* Upper bound representable without clamping: values at or above
+     this land in the last bucket and count as overflow. *)
+  let limit t = Array.length t.counts * t.bucket
+
+  (* A reported percentile is a lie when it sits in the last bucket and
+     clamped samples are known to have landed there. *)
+  let percentile_clamped t p = t.overflow > 0 && percentile t p >= limit t
+
   let merge ~into src =
     if src.bucket <> into.bucket || Array.length src.counts <> Array.length into.counts
     then invalid_arg "Histogram.merge: mismatched geometry";
     Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
     into.n <- into.n + src.n;
-    into.total <- into.total + src.total
+    into.total <- into.total + src.total;
+    into.overflow <- into.overflow + src.overflow;
+    if src.vmax > into.vmax then into.vmax <- src.vmax
 end

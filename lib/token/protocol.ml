@@ -51,6 +51,8 @@ type mshr = {
   mutable m_pending_persistent : bool;  (* blocked by marked entries *)
   mutable m_saw_mem : bool;
   mutable m_saw_remote : bool;
+  m_upgrade : bool;  (* write to a line already held readable *)
+  mutable m_recovery : bool;  (* recreation ask sent / crash-restart reissue *)
 }
 
 (* Distributed-activation table entry (one slot per processor). *)
@@ -392,6 +394,11 @@ let mem_respond t node ~addr ~requester ~rw =
   E.schedule_in t.engine delay (fun () ->
       let line = mem_line t node addr in
       if line.tokens > 0 then begin
+        (* The controller+DRAM occupancy just paid is on the requester's
+           critical path — attribute it to its open span. *)
+        if E.tracing t.engine then
+          E.emit t.engine
+            (Obs.Event.Mem_hop { requester; ns = Sim.Time.to_ns delay });
         let reply ~count ~owner ~data =
           take t node addr line ~count ~with_owner:owner;
           send_tokens t ~src:node.id ~dst:requester ~addr ~count ~owner ~data ~dirty:false
@@ -520,6 +527,7 @@ and request_recreation t node m =
   m.m_rec_timer <- None;
   match node.mshr with
   | Some m' when m' == m && (not node.down) && not (satisfied t node m) ->
+    m.m_recovery <- true;
     let addr = m.m_addr in
     F.send_one t.fabric ~src:node.id ~dst:(home_mem t addr) ~cls:MC.Persistent
       ~bytes:t.cfg.ctrl_bytes
@@ -608,8 +616,20 @@ and complete t node m =
   Sim.Stat.Ema.add t.ema_all lat_ns;
   if m.m_saw_mem then Sim.Stat.Ema.add t.ema_mem lat_ns;
   let c = t.counters in
-  Sim.Stat.Welford.add c.Mcmp.Counters.miss_latency lat_ns;
-  Sim.Stat.Histogram.add c.Mcmp.Counters.miss_histogram (int_of_float lat_ns);
+  (* Cause priority: the most specific condition wins. Recovery and
+     persistent escalation dominate because they, not the fill source,
+     explain the latency; upgrade beats sharing because the line was
+     already resident; otherwise classify by where the data came from
+     (memory = cold in a token protocol — nobody cached it). *)
+  let cause =
+    if m.m_recovery then Obs.Event.Recovery_delayed
+    else if m.m_persistent || m.m_counted then Obs.Event.Persistent_escalation
+    else if m.m_upgrade then Obs.Event.Upgrade
+    else if m.m_saw_mem then Obs.Event.Cold
+    else if m.m_saw_remote then Obs.Event.Sharing_remote
+    else Obs.Event.Sharing_local
+  in
+  Mcmp.Counters.record_miss c ~cause lat_ns;
   if m.m_saw_mem then c.Mcmp.Counters.mem_fills <- c.Mcmp.Counters.mem_fills + 1
   else if m.m_saw_remote then c.Mcmp.Counters.remote_fills <- c.Mcmp.Counters.remote_fills + 1
   else c.Mcmp.Counters.l2_local_fills <- c.Mcmp.Counters.l2_local_fills + 1;
@@ -622,7 +642,7 @@ and complete t node m =
              (if m.m_saw_mem then Obs.Event.Fill_memory
               else if m.m_saw_remote then Obs.Event.Fill_remote
               else Obs.Event.Fill_l2);
-           retries = m.m_retries; persistent = m.m_persistent });
+           retries = m.m_retries; persistent = m.m_persistent; cause });
   Cache.Sarray.touch node.lines m.m_addr;
   (match m.m_rw with
   | Msg.W ->
@@ -1252,6 +1272,11 @@ let access t ~proc ~kind addr ~commit =
         (* The post-increment miss count is unique per transaction within
            a run, so it doubles as the span-stitching transaction id. *)
         let tid = t.counters.Mcmp.Counters.l1_misses in
+        let upgrade =
+          match (line, rw) with
+          | Some l, Msg.W -> l.valid && l.tokens >= 1
+          | _ -> false
+        in
         let m =
           {
             m_addr = addr;
@@ -1267,6 +1292,8 @@ let access t ~proc ~kind addr ~commit =
             m_pending_persistent = false;
             m_saw_mem = false;
             m_saw_remote = false;
+            m_upgrade = upgrade;
+            m_recovery = false;
           }
         in
         node.mshr <- Some m;
@@ -1338,9 +1365,20 @@ let restart_node t id =
           m_pending_persistent = false;
           m_saw_mem = false;
           m_saw_remote = false;
+          m_upgrade = false;
+          m_recovery = true;
         }
       in
       node.mshr <- Some m;
+      (* Re-announce the transaction under the same tid: the span
+         assembler opens a fresh span whose issue..retire matches the
+         latency sample, and the crash-interrupted span stays counted
+         as incomplete — reconciliation never silently drifts. *)
+      if E.tracing t.engine then
+        E.emit t.engine
+          (Obs.Event.Req_issue
+             { tid; node = node.id; proc = proc_of_node t node; addr;
+               rw = (match rw with Msg.W -> Obs.Event.W | Msg.R -> Obs.Event.R) });
       issue t node m
     | Some _ | None -> node.pending_restart <- None
   end
@@ -1433,6 +1471,14 @@ let create ?recovery policy engine cfg traffic rng counters =
     }
   in
   F.set_handler fabric (fun ~dst msg -> handle t ~dst msg);
+  (match Obs.Registry.of_engine engine with
+  | Some reg ->
+    (* Instantaneous gauges for the profiler's time-series tracks. *)
+    Obs.Registry.register_int reg "token.outstanding_misses" (fun () ->
+        Array.fold_left (fun acc n -> if n.mshr = None then acc else acc + 1) 0 t.nodes);
+    Obs.Registry.register_int reg "token.tokens_inflight" (fun () ->
+        Hashtbl.fold (fun _ n acc -> acc + n) t.inflight 0)
+  | None -> ());
   (match (recovery, Obs.Registry.of_engine engine) with
   | Some _, Some reg ->
     Obs.Registry.register_int reg "token.recreations" (fun () -> t.recreations);

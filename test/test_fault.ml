@@ -357,6 +357,48 @@ let test_recovery_crash_restart_retires () =
   Alcotest.(check bool) "crashes actually fired" true (!crashes > 0);
   Alcotest.(check bool) "lost tokens were recreated" true (!recreations > 0)
 
+(* Profiler satellite: span accounting must stay exact under the full
+   recovery torture (drops + retransmissions + crash/restart). With a
+   wrap-proof ring, every miss-latency sample has a span or is counted
+   in dropped_spans, and crash-interrupted transactions show up as
+   incomplete spans — never as silently lost samples. *)
+let test_span_reconciliation_under_faults () =
+  let spec =
+    Fault.Spec.with_crashes ~count:2
+      (Fault.Spec.with_drops ~tokens:true ~prob:0.03 Fault.Spec.default)
+  in
+  for seed = 1 to 4 do
+    let o =
+      Fault.Torture.run ~recover:true ~trace_capacity:2_000_000
+        (Fault.Torture.Token Token.Policy.dst1) ~spec ~seed
+    in
+    (match Fault.Torture.verdict o with
+    | Fault.Torture.Clean -> ()
+    | v ->
+      Alcotest.failf "seed %d: expected survival, got %a" seed Fault.Torture.pp_verdict v);
+    let s = o.Fault.Torture.spans in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: every latency sample has a span" seed)
+      o.Fault.Torture.misses
+      (s.Obs.Span.spans + s.Obs.Span.dropped_spans);
+    (* A wrap-proof ring re-announces every restart, so nothing should
+       be dropped at all; interrupted transactions are incomplete. *)
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: wrap-proof ring drops nothing" seed)
+      0 s.Obs.Span.dropped_spans
+  done;
+  (* With a tiny ring the same run wraps: most samples fall outside
+     the retained window, and the accounting must say so (spans plus
+     counted drops short of the miss total) rather than pretend the
+     window was complete. *)
+  let o =
+    Fault.Torture.run ~recover:true ~trace_capacity:64
+      (Fault.Torture.Token Token.Policy.dst1) ~spec ~seed:1
+  in
+  let s = o.Fault.Torture.spans in
+  Alcotest.(check bool) "wrapped ring accounts for fewer samples" true
+    (s.Obs.Span.spans + s.Obs.Span.dropped_spans < o.Fault.Torture.misses)
+
 (* Retransmit-cap exhaustion must surface as a structured report, never
    an exception: at drop probability 1.0 no frame ever gets through, the
    transport gives up after its cap and the run fails cleanly. *)
@@ -422,6 +464,8 @@ let tests =
       test_recovery_survives_token_drops;
     Alcotest.test_case "crash/restart retires all requests" `Slow
       test_recovery_crash_restart_retires;
+    Alcotest.test_case "span reconciliation under recovery torture" `Slow
+      test_span_reconciliation_under_faults;
     Alcotest.test_case "retransmit exhaustion is a structured report" `Slow
       test_retransmit_exhaustion_structured;
     Alcotest.test_case "recovery campaign, all token targets" `Slow

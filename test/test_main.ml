@@ -24,5 +24,6 @@ let () =
       ("chaos", Test_chaos.tests);
       ("par", Test_par.tests);
       ("golden", Test_golden.tests);
+      ("profiler", Test_profiler.tests);
       ("misc", Test_misc.tests);
     ]

@@ -64,7 +64,8 @@ let test_span_assembly () =
   add 50
     (Obs.Event.Req_retire
        { tid = 1; node = 0; proc = 0; addr = 0x80; rw = Obs.Event.R;
-         fill = Obs.Event.Fill_remote; retries = 0; persistent = false });
+         fill = Obs.Event.Fill_remote; cause = Obs.Event.Sharing_remote; retries = 0;
+         persistent = false });
   (* tid 2 never retires: incomplete *)
   let spans = Obs.Span.assemble b in
   Alcotest.(check int) "two spans" 2 (List.length spans);
@@ -80,6 +81,150 @@ let test_span_assembly () =
   Alcotest.(check int) "incomplete" 1 sum.Obs.Span.incomplete;
   Alcotest.(check (float 1e-9)) "request total" 30. sum.Obs.Span.request_total_ns;
   Alcotest.(check (float 1e-9)) "fill total" 10. sum.Obs.Span.fill_total_ns
+
+let test_span_hops () =
+  let b = Obs.Buffer.create ~capacity:64 () in
+  let add at ev = Obs.Buffer.add b ~at:(Sim.Time.ns at) ev in
+  add 10
+    (Obs.Event.Req_issue { tid = 1; node = 0; proc = 0; addr = 0x80; rw = Obs.Event.R });
+  add 15 (Obs.Event.Mem_hop { requester = 0; ns = 80. });
+  (* A hop whose arrival matches no response marker: charged to the
+     protocol residual, not to the span's network phases. *)
+  add 30
+    (Obs.Event.Net_hop
+       { dst = 0; src = 7; cls = "data"; queue_ns = 9.; flight_ns = 9.;
+         arrive = Sim.Time.ns 30 });
+  (* The satisfying copy: hop arrival and response marker coincide. *)
+  add 40
+    (Obs.Event.Net_hop
+       { dst = 0; src = 3; cls = "data"; queue_ns = 5.; flight_ns = 12.;
+         arrive = Sim.Time.ns 40 });
+  add 40 (Obs.Event.Req_response { tid = 1; node = 0; src = 3 });
+  add 50
+    (Obs.Event.Req_retire
+       { tid = 1; node = 0; proc = 0; addr = 0x80; rw = Obs.Event.R;
+         fill = Obs.Event.Fill_memory; cause = Obs.Event.Cold; retries = 0;
+         persistent = false });
+  (* A retire with no matching issue: the ring wrapped past it. *)
+  add 60
+    (Obs.Event.Req_retire
+       { tid = 9; node = 2; proc = 2; addr = 0x99; rw = Obs.Event.W;
+         fill = Obs.Event.Fill_l2; cause = Obs.Event.Sharing_local; retries = 0;
+         persistent = false });
+  let spans, dropped = Obs.Span.assemble_full b in
+  Alcotest.(check int) "dropped retire counted" 1 dropped;
+  let s = List.hd spans in
+  Alcotest.(check bool) "cause recorded" true (s.Obs.Span.cause = Some Obs.Event.Cold);
+  Alcotest.(check (float 1e-9)) "mem hop" 80. s.Obs.Span.mem_ns;
+  Alcotest.(check (float 1e-9)) "queue from matched hop" 5. s.Obs.Span.queue_ns;
+  Alcotest.(check (float 1e-9)) "flight from matched hop" 12. s.Obs.Span.flight_ns;
+  Alcotest.(check (option (float 1e-9))) "proto = total - mem - queue - flight"
+    (Some (40. -. 80. -. 5. -. 12.))
+    (Obs.Span.proto_ns s);
+  let att, tail = Obs.Span.attribution spans in
+  Alcotest.(check int) "one attributed span" 1 att.Obs.Span.att_spans;
+  Alcotest.(check (float 1e-9)) "attribution sums to span total" 40.
+    att.Obs.Span.att_total_ns;
+  (match tail with
+  | Some (threshold, t) ->
+    Alcotest.(check (float 1e-9)) "tail threshold is the slowest span" 40. threshold;
+    Alcotest.(check int) "tail has the one span" 1 t.Obs.Span.att_spans
+  | None -> Alcotest.fail "expected a p99 tail");
+  let sum = Obs.Span.summarize ~dropped_spans:dropped spans in
+  Alcotest.(check int) "summary carries dropped spans" 1 sum.Obs.Span.dropped_spans
+
+let test_sampler () =
+  let engine = Sim.Engine.create () in
+  let registry = Obs.Registry.create () in
+  Obs.Registry.attach registry engine;
+  let x = ref 0 in
+  Obs.Registry.register_int registry "work.done" (fun () -> !x);
+  (* Histograms are not scalar gauges; the sampler must skip them. *)
+  Obs.Registry.register_histogram registry "work.hist"
+    (Sim.Stat.Histogram.create ~bucket:10 ~buckets:4);
+  Alcotest.check_raises "non-positive period rejected"
+    (Invalid_argument "Obs.Sampler.create: period must be positive") (fun () ->
+      ignore (Obs.Sampler.create engine registry ~period:Sim.Time.zero));
+  let sampler = Obs.Sampler.create engine registry ~period:(Sim.Time.ns 10) in
+  for i = 1 to 3 do
+    Sim.Engine.schedule_in engine (Sim.Time.ns (i * 10)) (fun () -> x := i)
+  done;
+  (* The sampler re-arms forever; a run needs the runner's stop (or an
+     explicit one) to retire the pending timer. *)
+  Sim.Engine.schedule_in engine (Sim.Time.ns 35) (fun () -> Sim.Engine.stop engine);
+  Sim.Engine.run engine;
+  let samples = Obs.Sampler.samples sampler in
+  Alcotest.(check bool) "several samples" true (List.length samples >= 3);
+  let at0 = (List.hd samples).Obs.Sampler.at in
+  Alcotest.(check bool) "samples at t=0 by default" true (at0 = Sim.Time.zero);
+  List.iter
+    (fun s ->
+      Alcotest.(check (list string)) "only scalar gauges" [ "work.done" ]
+        (List.map fst s.Obs.Sampler.values))
+    samples;
+  (* The series is monotone in time and tracks the gauge. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "time order" true (a.Obs.Sampler.at < b.Obs.Sampler.at);
+      monotone rest
+    | _ -> ()
+  in
+  monotone samples;
+  match Obs.Sampler.to_json sampler with
+  | J.List (_ :: _) -> ()
+  | _ -> Alcotest.fail "expected a non-empty JSON series"
+
+let test_counter_tracks () =
+  let b = Obs.Buffer.create ~capacity:8 () in
+  Obs.Buffer.add b ~at:(Sim.Time.ns 1) (lookup 0 0x40 true);
+  let samples =
+    [
+      { Obs.Sampler.at = Sim.Time.zero; values = [ ("m.x", 1.) ] };
+      { Obs.Sampler.at = Sim.Time.ns 10; values = [ ("m.x", 3.) ] };
+    ]
+  in
+  let json = Obs.Perfetto.export ~samples b in
+  (match Obs.Perfetto.validate json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "counter tracks must validate: %s" e);
+  let counters =
+    match J.member "traceEvents" json with
+    | Some (J.List evs) ->
+      List.filter
+        (fun ev -> J.member "ph" ev = Some (J.String "C"))
+        evs
+    | _ -> []
+  in
+  Alcotest.(check int) "one C event per sample" 2 (List.length counters);
+  List.iter
+    (fun ev ->
+      match J.member "args" ev with
+      | Some args ->
+        Alcotest.(check bool) "numeric value" true
+          (match J.member "value" args with
+          | Some (J.Float _) | Some (J.Int _) -> true
+          | _ -> false)
+      | None -> Alcotest.fail "C event without args")
+    counters;
+  (* A counter event without a numeric value must be rejected. *)
+  let bad =
+    J.Obj
+      [
+        ( "traceEvents",
+          J.List
+            [
+              J.Obj
+                [
+                  ("name", J.String "m.x"); ("ph", J.String "C"); ("pid", J.Int 0);
+                  ("tid", J.Int 0); ("ts", J.Float 0.);
+                  ("args", J.Obj [ ("value", J.String "oops") ]);
+                ];
+            ] );
+      ]
+  in
+  match Obs.Perfetto.validate bad with
+  | Ok () -> Alcotest.fail "non-numeric counter value must be rejected"
+  | Error _ -> ()
 
 let traced_run ?buffer ?registry () =
   let config = Mcmp.Config.tiny in
@@ -117,6 +262,42 @@ let test_reconciliation_and_export () =
   let wtotal = float_of_int (Sim.Stat.Welford.count w) *. Sim.Stat.Welford.mean w in
   Alcotest.(check bool) "latency mass reconciles" true
     (Float.abs (sum.Obs.Span.total_ns -. wtotal) <= 1e-6 *. Float.max 1. wtotal);
+  (* Miss classification: the per-cause decomposition is fed by the
+     same funnel as the Welford, so it reconciles exactly. *)
+  let c = r.Mcmp.Runner.counters in
+  let class_count =
+    List.fold_left
+      (fun acc cause -> acc + Mcmp.Counters.cause_count c cause)
+      0 Obs.Event.all_causes
+  in
+  Alcotest.(check int) "cause counts sum to misses" (Sim.Stat.Welford.count w)
+    class_count;
+  let class_mass =
+    List.fold_left
+      (fun acc cause ->
+        acc + Sim.Stat.Histogram.total (Mcmp.Counters.cause_histogram c cause))
+      0 Obs.Event.all_causes
+  in
+  Alcotest.(check int) "cause histogram mass equals overall histogram"
+    (Sim.Stat.Histogram.total c.Mcmp.Counters.miss_histogram)
+    class_mass;
+  (* Every retired span carries the cause its retire was tagged with. *)
+  List.iter
+    (fun s ->
+      if Obs.Span.completed s then
+        Alcotest.(check bool) "completed span has a cause" true
+          (s.Obs.Span.cause <> None))
+    spans;
+  (* Hop attribution sums to the span totals by construction. *)
+  let att, _tail = Obs.Span.attribution spans in
+  Alcotest.(check int) "attribution covers completed spans" sum.Obs.Span.spans
+    att.Obs.Span.att_spans;
+  Alcotest.(check bool) "attribution total equals span total" true
+    (Float.abs (att.Obs.Span.att_total_ns -. sum.Obs.Span.total_ns)
+    <= 1e-6 *. Float.max 1. sum.Obs.Span.total_ns);
+  Alcotest.(check bool) "network phases attributed" true
+    (att.Obs.Span.att_flight_ns > 0.);
+  Alcotest.(check bool) "dram access attributed" true (att.Obs.Span.att_mem_ns > 0.);
   (* Registered phase histograms appear in the snapshot. *)
   Obs.Span.register_phase_histograms registry (Obs.Span.phase_histograms spans);
   let snap = Obs.Registry.snapshot registry in
@@ -159,6 +340,9 @@ let tests =
     Alcotest.test_case "buffer attach and emit" `Quick test_buffer_attach;
     Alcotest.test_case "registry snapshot" `Quick test_registry;
     Alcotest.test_case "span assembly" `Quick test_span_assembly;
+    Alcotest.test_case "span hop attribution and dropped retires" `Quick test_span_hops;
+    Alcotest.test_case "periodic sampler" `Quick test_sampler;
+    Alcotest.test_case "perfetto counter tracks" `Quick test_counter_tracks;
     Alcotest.test_case "tracing does not perturb the run" `Quick test_tracing_noninvasive;
     Alcotest.test_case "spans reconcile with welford; export validates" `Quick
       test_reconciliation_and_export;

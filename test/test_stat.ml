@@ -79,6 +79,29 @@ let test_histogram_merge () =
     (Invalid_argument "Histogram.merge: mismatched geometry") (fun () ->
       Sim.Stat.Histogram.merge ~into:a mismatched)
 
+let test_histogram_overflow () =
+  let h = Sim.Stat.Histogram.create ~bucket:10 ~buckets:5 in
+  Alcotest.(check int) "limit" 50 (Sim.Stat.Histogram.limit h);
+  Alcotest.(check int) "no overflow yet" 0 (Sim.Stat.Histogram.overflow h);
+  List.iter (Sim.Stat.Histogram.add h) [ 5; 49 ];
+  Alcotest.(check int) "in-range samples don't overflow" 0 (Sim.Stat.Histogram.overflow h);
+  Alcotest.(check int) "max tracked" 49 (Sim.Stat.Histogram.max_value h);
+  Alcotest.(check bool) "p99 not clamped" false (Sim.Stat.Histogram.percentile_clamped h 99.);
+  List.iter (Sim.Stat.Histogram.add h) [ 50; 999 ];
+  Alcotest.(check int) "clamped samples counted" 2 (Sim.Stat.Histogram.overflow h);
+  Alcotest.(check int) "true max survives clamping" 999 (Sim.Stat.Histogram.max_value h);
+  Alcotest.(check int) "clamped samples land in last bucket" 50
+    (Sim.Stat.Histogram.percentile h 99.);
+  Alcotest.(check bool) "p99 clamped" true (Sim.Stat.Histogram.percentile_clamped h 99.);
+  Alcotest.(check bool) "p25 below the tail not clamped" false
+    (Sim.Stat.Histogram.percentile_clamped h 25.);
+  (* Merge propagates both the overflow count and the true max. *)
+  let b = Sim.Stat.Histogram.create ~bucket:10 ~buckets:5 in
+  Sim.Stat.Histogram.add b 1_234;
+  Sim.Stat.Histogram.merge ~into:h b;
+  Alcotest.(check int) "merged overflow" 3 (Sim.Stat.Histogram.overflow h);
+  Alcotest.(check int) "merged max" 1_234 (Sim.Stat.Histogram.max_value h)
+
 let prop_welford_mean =
   QCheck.Test.make ~name:"welford mean equals arithmetic mean" ~count:200
     QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
@@ -106,6 +129,7 @@ let tests =
     Alcotest.test_case "histogram percentile edges" `Quick test_percentile_edges;
     Alcotest.test_case "welford merge" `Quick test_welford_merge;
     Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    Alcotest.test_case "histogram overflow and true max" `Quick test_histogram_overflow;
     QCheck_alcotest.to_alcotest prop_welford_mean;
     QCheck_alcotest.to_alcotest prop_variance_nonneg;
   ]

@@ -1085,6 +1085,75 @@ let chaos () =
        protocols)
 
 (* ------------------------------------------------------------------ *)
+(* Forensics: counterexample shrink cost                               *)
+
+(* Shrink cost of the two planted counterexamples the test suite pins:
+   a token-drop detection (ddmin proper does the work) and a chaos
+   partition livelock (the empty-schedule pre-test short-circuits).
+   What the trajectory tracks: candidate simulations per shrink, the
+   reduction ratio, and wall clock — the price of a 1-minimal repro. *)
+let forensics () =
+  progress "[forensics] counterexample shrink cost...\n%!";
+  hr "Forensics: ddmin shrink cost on the planted counterexamples";
+  print_endline
+    "Each planted failure is bundled and shrunk to a 1-minimal fault\n\
+     schedule. Candidates run in parallel (-j) with submission-order\n\
+     determinism; candidate counts are identical at any job count.";
+  let cases =
+    [
+      ( "token-drop-detected",
+        Fault.Torture.default_params,
+        Fault.Torture.Token Token.Policy.dst1,
+        Fault.Spec.with_drops ~tokens:true ~prob:0.02 Fault.Spec.default,
+        23 );
+      ( "partition-livelock",
+        {
+          Fault.Torture.default_params with
+          Fault.Torture.p_recover = true;
+          p_chaos =
+            Some (Fault.Chaos.split ~at:(Sim.Time.us 5) ~duration:(Sim.Time.us 400) ());
+        },
+        Fault.Torture.Token Token.Policy.dst1,
+        Fault.Spec.default,
+        1 );
+    ]
+  in
+  Printf.printf "%-22s %9s %8s %11s %9s %7s %8s\n" "case" "schedule" "minimal"
+    "candidates" "failing" "rounds" "wall_s";
+  J.List
+    (List.map
+       (fun (name, params, target, spec, seed) ->
+         let o = Fault.Torture.run_with params target ~spec ~seed in
+         let b = Forensics.Bundle.make ~params o in
+         match Forensics.Shrink.run ~jobs:!jobs b with
+         | Error e ->
+           Printf.printf "%-22s shrink failed: %s\n" name e;
+           J.Obj [ ("case", J.String name); ("error", J.String e) ]
+         | Ok r ->
+           let st = r.Forensics.Shrink.r_stats in
+           let original = r.Forensics.Shrink.r_original_events in
+           let minimal = List.length r.Forensics.Shrink.r_schedule in
+           Printf.printf "%-22s %9d %8d %11d %9d %7d %8.2f\n" name original minimal
+             st.Forensics.Shrink.s_candidates st.Forensics.Shrink.s_failing
+             st.Forensics.Shrink.s_rounds st.Forensics.Shrink.s_wall_s;
+           J.Obj
+             [
+               ("case", J.String name);
+               ("verdict",
+                J.String
+                  (Format.asprintf "%a" Fault.Torture.pp_verdict
+                     (Fault.Torture.verdict r.Forensics.Shrink.r_outcome)));
+               ("original_events", J.Int original);
+               ("minimal_events", J.Int minimal);
+               ("candidate_runs", J.Int st.Forensics.Shrink.s_candidates);
+               ("failing_candidates", J.Int st.Forensics.Shrink.s_failing);
+               ("ddmin_rounds", J.Int st.Forensics.Shrink.s_rounds);
+               ("shape_trials", J.Int st.Forensics.Shrink.s_shape_trials);
+               ("wall_clock_s", J.Float st.Forensics.Shrink.s_wall_s);
+             ])
+       cases)
+
+(* ------------------------------------------------------------------ *)
 (* Perf: simulation-kernel hot-path throughput                         *)
 
 (* Wall clocks of the sections already run in this invocation, filled
@@ -1232,6 +1301,7 @@ let sections =
     ("profile", profile);
     ("faultrate", faultrate);
     ("chaos", chaos);
+    ("forensics", forensics);
     (* keep perf last: it rolls up the wall clocks of the sections
        above when a full run is requested *)
     ("perf", perf);

@@ -8,7 +8,9 @@
      chaos           link-outage campaigns: flapping links, region partitions, brownouts
      faultrate       recovery-mode cost vs token-drop probability
      trace           traced simulation: span breakdown + Perfetto export
-     check           model-check the substrate and the flat directory *)
+     check           model-check the substrate and the flat directory
+     replay          re-run a *.repro.json bundle, verify bit-identical reproduction
+     shrink          ddmin a failing bundle to a 1-minimal fault schedule *)
 
 open Cmdliner
 
@@ -114,8 +116,7 @@ let run_cmd =
              mean +/- CI instead of one full report.")
   in
   let print_one workload r =
-    Format.printf "workload: %s, seed %d (reproduce with --seed %d)@." workload
-      r.Mcmp.Runner.seed r.Mcmp.Runner.seed;
+    Format.printf "workload: %s, seed %d@." workload r.Mcmp.Runner.seed;
     Format.printf "measured runtime: %a (total %a)@." Sim.Time.pp r.Mcmp.Runner.runtime
       Sim.Time.pp r.Mcmp.Runner.total_runtime;
     Format.printf "completed: %b, events: %d, ops: %d@." r.Mcmp.Runner.completed
@@ -149,6 +150,14 @@ let run_cmd =
         Mcmp.Runner.run ~config protocol.Tokencmp.Protocols.builder ~programs ~seed
     in
     Format.printf "protocol: %s@." protocol.Tokencmp.Protocols.name;
+    (* The complete command line, so console output alone is actionable. *)
+    Format.printf "reproduce: tokencmp run -p %s -w %s %s-j %d%s@."
+      protocol.Tokencmp.Protocols.name workload
+      (match seeds with
+      | [] -> Printf.sprintf "--seed %d " seed
+      | ss -> Printf.sprintf "--seeds %s " (String.concat "," (List.map string_of_int ss)))
+      jobs
+      (if tiny then " --tiny" else "");
     match seeds with
     | [] ->
       let r = one seed in
@@ -263,6 +272,17 @@ let torture_cmd =
     let detected = ref 0 in
     let invariant_broken = ref false in
     let liveness_broken = ref false in
+    (* The exact recipe campaign hands to every run: what a repro
+       bundle must record for replay to be bit-identical. *)
+    let bundle_params =
+      { Fault.Torture.default_params with p_config = config; p_recover = recover }
+    in
+    let repro_line =
+      Printf.sprintf "tokencmp torture --runs %d --seed %d -j %d%s%s%s" runs seed jobs
+        (if tiny then " --tiny" else "")
+        (if drop_tokens then " --drop-tokens" else if drop_mode then " --drop-mode" else "")
+        (if recover then " --recover" else "")
+    in
     Printf.printf "torture: %d runs over %d targets, base seed %d%s%s%s\n%!" runs
       (List.length targets) seed
       (if recover then ", recover" else "")
@@ -283,6 +303,15 @@ let torture_cmd =
             o.Fault.Torture.reports
         then invariant_broken := true
         else liveness_broken := true);
+      (* Non-clean verdict: serialize the complete run recipe so the
+         failure replays and shrinks offline. *)
+      (match v with
+      | Fault.Torture.Detected | Fault.Torture.Failed _ ->
+        let file = Printf.sprintf "torture-run%d.repro.json" i in
+        Forensics.Bundle.write_file file (Forensics.Bundle.make ~params:bundle_params o);
+        Format.printf "run %3d: repro bundle %s (tokencmp replay %s; tokencmp shrink %s)@."
+          i file file file
+      | _ -> ());
       match v with
       | Fault.Torture.Failed _ ->
         Format.printf "run %3d: @[<v>%a@]@." i Fault.Torture.pp_outcome o;
@@ -295,10 +324,7 @@ let torture_cmd =
           Format.printf "--- evidence trace written to %s (load in Perfetto) ---@." file);
         if o.Fault.Torture.dump <> "" then
           Format.printf "--- protocol state ---@.%s" o.Fault.Torture.dump;
-        Format.printf "reproduce: tokencmp torture --runs %d --seed %d%s%s%s@." runs seed
-          (if tiny then " --tiny" else "")
-          (if drop_tokens then " --drop-tokens" else if drop_mode then " --drop-mode" else "")
-          (if recover then " --recover" else "")
+        Format.printf "reproduce: %s@." repro_line
       | Fault.Torture.Detected when verbose ->
         Format.printf "run %3d: @[<v>%a@]@." i Fault.Torture.pp_outcome o
       | _ ->
@@ -312,6 +338,7 @@ let torture_cmd =
       (List.length outcomes)
       (List.length outcomes - !detected - !failures)
       !detected !failures;
+    Printf.printf "reproduce: %s\n" repro_line;
     (* Exit codes: 0 = clean/survived, 1 = invariant violation,
        2 = watchdog/liveness timeout. *)
     if !invariant_broken then begin
@@ -387,6 +414,20 @@ let chaos_cmd =
     in
     let survived = ref 0 and detected = ref 0 and failures = ref 0 in
     let invariant_broken = ref false and liveness_broken = ref false in
+    let bundle_params =
+      { Fault.Torture.default_params with
+        p_config = config;
+        p_recover = recover;
+        p_adaptive = adaptive;
+        p_chaos = Some chaos
+      }
+    in
+    let repro_line =
+      Printf.sprintf "tokencmp chaos --runs %d --seed %d -j %d --duration %d --flaps %d%s%s"
+        runs seed jobs duration flaps
+        (if tiny then " --tiny" else "")
+        (if directory then " --directory" else "")
+    in
     Format.printf "chaos: %d runs over %d targets, base seed %d, plan %a%s%s@." runs
       (List.length targets) seed Fault.Chaos.pp chaos
       (if recover then ", recover+adaptive" else ", brownout")
@@ -406,14 +447,18 @@ let chaos_cmd =
             o.Fault.Torture.reports
         then invariant_broken := true
         else liveness_broken := true);
+      (match v with
+      | Fault.Torture.Detected | Fault.Torture.Failed _ ->
+        let file = Printf.sprintf "chaos-run%d.repro.json" i in
+        Forensics.Bundle.write_file file (Forensics.Bundle.make ~params:bundle_params o);
+        Format.printf "run %3d: repro bundle %s (tokencmp replay %s; tokencmp shrink %s)@."
+          i file file file
+      | _ -> ());
       match v with
       | Fault.Torture.Failed _ ->
         Format.printf "run %3d: @[<v>%a@]@." i Fault.Torture.pp_outcome o;
         List.iter (fun r -> Format.printf "  %a@." Fault.Report.pp r) o.Fault.Torture.reports;
-        Format.printf "reproduce: tokencmp chaos --runs %d --seed %d --duration %d --flaps %d%s%s@."
-          runs seed duration flaps
-          (if tiny then " --tiny" else "")
-          (if directory then " --directory" else "")
+        Format.printf "reproduce: %s@." repro_line
       | _ -> if verbose then Format.printf "run %3d: @[<v>%a@]@." i Fault.Torture.pp_outcome o
     in
     let outcomes =
@@ -425,6 +470,7 @@ let chaos_cmd =
       !survived
       (List.length outcomes - !survived - !detected - !failures)
       !detected !failures;
+    Printf.printf "reproduce: %s\n" repro_line;
     (* Exit codes match torture: 0 = survived/clean, 1 = invariant
        violation, 2 = watchdog/liveness timeout (livelock). *)
     if !invariant_broken then begin
@@ -493,7 +539,23 @@ let faultrate_cmd =
           let clean =
             List.for_all (fun o -> Fault.Torture.verdict o = Fault.Torture.Clean) outcomes
           in
-          if not clean then failed := true;
+          if not clean then begin
+            failed := true;
+            List.iter
+              (fun o ->
+                if Fault.Torture.verdict o <> Fault.Torture.Clean then begin
+                  let file =
+                    Printf.sprintf "faultrate-p%g-seed%d.repro.json" prob
+                      o.Fault.Torture.seed
+                  in
+                  Forensics.Bundle.write_file file
+                    (Forensics.Bundle.make
+                       ~params:{ Fault.Torture.default_params with p_recover = true }
+                       o);
+                  Printf.printf "repro bundle %s (tokencmp replay %s)\n" file file
+                end)
+              outcomes
+          end;
           let runtime =
             List.fold_left
               (fun a o -> a +. Sim.Time.to_ns o.Fault.Torture.runtime)
@@ -769,10 +831,144 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Model-check the substrate variants and the flat directory.")
     Term.(const run $ max_states_arg $ store_arg $ jobs_arg $ sym_arg)
 
+(* ---- replay ---- *)
+
+let bundle_pos_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"BUNDLE" ~doc:"A *.repro.json bundle written by torture/chaos/shrink.")
+
+let replay_cmd =
+  let run file =
+    match Forensics.Bundle.read_file file with
+    | Error msg ->
+      Printf.eprintf "replay: %s\n" msg;
+      exit 4
+    | Ok b ->
+      let open Forensics in
+      Format.printf "replaying %s: %s seed=%d%s@." file
+        (Fault.Torture.target_name b.Bundle.target)
+        b.Bundle.seed
+        (match b.Bundle.params.Fault.Torture.p_script with
+        | Some evs -> Printf.sprintf " (scripted, %d events)" (List.length evs)
+        | None -> " (stochastic)");
+      (match Replay.check b with
+      | Replay.Reproduced o ->
+        let v = Fault.Torture.verdict o in
+        Format.printf "reproduced bit-identically: %a@." Fault.Torture.pp_verdict v;
+        Format.printf "  %a@." Bundle.pp_digest b.Bundle.recorded;
+        exit (Replay.exit_code_of_verdict v)
+      | Replay.Diverged { expected; got; _ } ->
+        Format.printf "DIVERGED from recorded run:@.";
+        Format.printf "  recorded: %a@." Bundle.pp_digest expected;
+        Format.printf "  got:      %a@." Bundle.pp_digest got;
+        exit 3)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-run a repro bundle deterministically and verify the recorded outcome \
+          reproduces bit-identically (verdict, ops, events, runtime, misses, report \
+          kinds). Exit codes: the recorded verdict's code (0 clean/survived, 1 \
+          invariant/detected, 2 liveness) when reproduced, 3 on divergence, 4 on a \
+          malformed bundle.")
+    Term.(const run $ bundle_pos_arg)
+
+(* ---- shrink ---- *)
+
+let shrink_cmd =
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Minimal bundle output path (default: BUNDLE with .min.repro.json).")
+  in
+  let trace_out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Perfetto trace of the minimized run (default: BUNDLE with .min.trace.json).")
+  in
+  let no_shape_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shape" ]
+          ~doc:"Skip machine-shape shrinking (keep the original CMP/processor counts).")
+  in
+  let assert_max_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "assert-max-schedule" ] ~docv:"N"
+          ~doc:"Exit 1 unless the minimal schedule has at most N events (CI gate).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress shrink progress lines.")
+  in
+  let derive file suffix =
+    let base =
+      match Filename.chop_suffix_opt ~suffix:".repro.json" file with
+      | Some b -> b
+      | None -> file
+    in
+    base ^ suffix
+  in
+  let run file jobs no_shape out trace_out assert_max quiet =
+    let jobs = resolve_jobs jobs in
+    match Forensics.Bundle.read_file file with
+    | Error msg ->
+      Printf.eprintf "shrink: %s\n" msg;
+      exit 4
+    | Ok b -> (
+      let log = if quiet then fun _ -> () else fun s -> Printf.printf "%s\n%!" s in
+      match Forensics.Shrink.run ~jobs ~shrink_shape:(not no_shape) ~log b with
+      | Error msg ->
+        Printf.eprintf "shrink: %s\n" msg;
+        exit 4
+      | Ok r ->
+        let open Forensics in
+        print_string (Shrink.report r);
+        let out = match out with Some o -> o | None -> derive file ".min.repro.json" in
+        Bundle.write_file out r.Shrink.r_bundle;
+        Printf.printf "wrote %s (verify with: tokencmp replay %s)\n" out out;
+        (match r.Shrink.r_outcome.Fault.Torture.trace with
+        | Tcjson.Null -> ()
+        | trace ->
+          let tf =
+            (* Name the trace after the bundle actually written. *)
+            match trace_out with
+            | Some f -> f
+            | None -> (
+              match Filename.chop_suffix_opt ~suffix:".repro.json" out with
+              | Some base -> base ^ ".trace.json"
+              | None -> out ^ ".trace.json")
+          in
+          Tcjson.write_file tf trace;
+          Printf.printf "wrote %s (minimized run, load in Perfetto)\n" tf);
+        (match assert_max with
+        | Some n when List.length r.Shrink.r_schedule > n ->
+          Printf.printf "shrink: minimal schedule has %d events, budget was %d\n"
+            (List.length r.Shrink.r_schedule) n;
+          exit 1
+        | _ -> ()))
+  in
+  Cmd.v
+    (Cmd.info "shrink"
+       ~doc:
+         "Delta-debug a failing repro bundle down to a 1-minimal fault schedule \
+          (ddmin over the materialized fault events, composed with horizon truncation \
+          and machine-shape shrinking), then write the minimal scripted bundle, a \
+          human-readable forensics report and a Perfetto trace of the minimized run. \
+          Candidate schedules are evaluated in parallel with $(b,-j); the result is \
+          identical for any value.")
+    Term.(
+      const run $ bundle_pos_arg $ jobs_arg $ no_shape_arg $ out_arg $ trace_out_arg
+      $ assert_max_arg $ quiet_arg)
+
 let () =
   let doc = "TokenCMP: M-CMP cache coherence with flat correctness (HPCA 2005 reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "tokencmp" ~doc)
           [ list_cmd; run_cmd; sweep_cmd; torture_cmd; chaos_cmd; faultrate_cmd; trace_cmd;
-            profile_cmd; check_cmd ]))
+            profile_cmd; check_cmd; replay_cmd; shrink_cmd ]))

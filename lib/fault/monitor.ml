@@ -9,9 +9,18 @@ type t = {
   mutable checks : int;
 }
 
+(* An invariant violation is blamed on the most recent destructive
+   plan event: the only faults the protocol is not expected to absorb
+   are token drops (without recovery) and token-minting duplicates, so
+   when the periodic check trips, the last such injection is the
+   forensic cause. *)
 let emit_violations t vs =
+  let blame = Option.map Report.blame_of_event (Plan.last_destructive t.plan) in
   List.iter
-    (fun v -> t.report { Report.at = Sim.Engine.now t.engine; kind = Report.Invariant v })
+    (fun v ->
+      t.report
+        { Report.at = Sim.Engine.now t.engine;
+          kind = Report.Invariant { violation = v; blame } })
     vs
 
 (* Unrecoverable injected drops surface as reports exactly once each. *)

@@ -1,5 +1,7 @@
+type blame = { b_index : int; b_at : Sim.Time.t }
+
 type kind =
-  | Invariant of Mcmp.Violation.t
+  | Invariant of { violation : Mcmp.Violation.t; blame : blame option }
   | Unrecoverable_drop of Plan.drop_record
   | No_progress of { window : Sim.Time.t; mode : [ `Deadlock | `Livelock ] }
   | Starvation of Mcmp.Probe.outstanding
@@ -8,9 +10,17 @@ type kind =
       dst : int;
       cls : Interconnect.Msg_class.t;
       attempts : int;
+      blame : blame option;
     }
 
 type t = { at : Sim.Time.t; kind : kind }
+
+let blame_of_event (e : Plan.event) = { b_index = e.Plan.ev_index; b_at = e.Plan.ev_time }
+
+let blame r =
+  match r.kind with
+  | Invariant { blame; _ } | Retransmit_exhausted { blame; _ } -> blame
+  | Unrecoverable_drop _ | No_progress _ | Starvation _ -> None
 
 let severity r =
   match r.kind with
@@ -20,9 +30,15 @@ let severity r =
   | Starvation _ -> `Fatal
   | Retransmit_exhausted _ -> `Fatal
 
+let pp_blame fmt = function
+  | None -> ()
+  | Some b -> Format.fprintf fmt " (blame: plan event #%d at %a)" b.b_index Sim.Time.pp b.b_at
+
 let pp fmt r =
   match r.kind with
-  | Invariant v -> Format.fprintf fmt "%a: INVARIANT %a" Sim.Time.pp r.at Mcmp.Violation.pp v
+  | Invariant { violation; blame } ->
+    Format.fprintf fmt "%a: INVARIANT %a%a" Sim.Time.pp r.at Mcmp.Violation.pp violation
+      pp_blame blame
   | Unrecoverable_drop d ->
     Format.fprintf fmt "%a: FAULT %a" Sim.Time.pp r.at Plan.pp_drop_record d
   | No_progress { window; mode } ->
@@ -31,11 +47,11 @@ let pp fmt r =
       Sim.Time.pp window
   | Starvation o ->
     Format.fprintf fmt "%a: STARVATION %a" Sim.Time.pp r.at Mcmp.Probe.pp_outstanding o
-  | Retransmit_exhausted { src; dst; cls; attempts } ->
-    Format.fprintf fmt "%a: RETRANSMIT-EXHAUSTED %d->%d [%s] after %d attempts" Sim.Time.pp
+  | Retransmit_exhausted { src; dst; cls; attempts; blame } ->
+    Format.fprintf fmt "%a: RETRANSMIT-EXHAUSTED %d->%d [%s] after %d attempts%a" Sim.Time.pp
       r.at src dst
       (Interconnect.Msg_class.to_string cls)
-      attempts
+      attempts pp_blame blame
 
 let to_string r = Format.asprintf "%a" pp r
 
@@ -57,11 +73,18 @@ let to_json r =
        J.String (match severity r with `Fatal -> "fatal" | `Expected -> "expected"));
       ("detail", J.String (to_string r)) ]
   in
+  let blame_fields = function
+    | None -> []
+    | Some b ->
+      [ ("blame_plan_index", J.Int b.b_index); ("blame_at_ps", J.Int b.b_at) ]
+  in
   let extra =
     match r.kind with
+    | Invariant { blame; _ } -> blame_fields blame
     | No_progress { window; _ } -> [ ("window_ns", J.Float (Sim.Time.to_ns window)) ]
-    | Retransmit_exhausted { src; dst; attempts; _ } ->
+    | Retransmit_exhausted { src; dst; attempts; blame; _ } ->
       [ ("src", J.Int src); ("dst", J.Int dst); ("attempts", J.Int attempts) ]
+      @ blame_fields blame
     | _ -> []
   in
   J.Obj (base @ extra)

@@ -1,7 +1,15 @@
 (** Structured result of a detected problem during a torture run. *)
 
+(** Cross-link from a verdict back to the fault schedule: the plan
+    event (by offer index + sim timestamp) forensically blamed for
+    causing this report. Filled by the torture harness from
+    {!Plan.last_destructive} / {!Plan.last_drop_on}; [None] when no
+    plan event is a plausible cause (e.g. chaos-induced failures). *)
+type blame = { b_index : int; b_at : Sim.Time.t }
+
 type kind =
-  | Invariant of Mcmp.Violation.t  (** safety: a monitor/protocol check failed *)
+  | Invariant of { violation : Mcmp.Violation.t; blame : blame option }
+      (** safety: a monitor/protocol check failed *)
   | Unrecoverable_drop of Plan.drop_record
       (** an injected token-carrying drop — expected to appear whenever
           the plan's corruption mode fired; its {e absence} after such
@@ -18,12 +26,18 @@ type kind =
       dst : int;
       cls : Interconnect.Msg_class.t;
       attempts : int;
+      blame : blame option;
     }
       (** reliable transport gave up on a link after its retransmit cap
           — the network is lossier than the recovery layer was
           provisioned for *)
 
 type t = { at : Sim.Time.t; kind : kind }
+
+val blame_of_event : Plan.event -> blame
+
+(** The blame cross-link, if this report kind carries one. *)
+val blame : t -> blame option
 
 (** [`Expected] marks reports that injected unsurvivable faults are
     {e supposed} to produce (detection working as intended); [`Fatal]
@@ -33,7 +47,12 @@ val severity : t -> [ `Fatal | `Expected ]
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+(** Stable short name of the report kind ("invariant", "livelock",
+    "retransmit-exhausted", ...) — what bundles and JSON dumps key on. *)
+val kind_name : t -> string
+
 (** Structured rendering: [at_ns], [kind], [severity], [detail], plus
-    kind-specific fields. Shared by torture evidence dumps and the
-    bench JSON emitter. *)
+    kind-specific fields (including [blame_plan_index]/[blame_at_ps]
+    when a blame cross-link is present). Shared by torture evidence
+    dumps and the bench JSON emitter. *)
 val to_json : t -> Tcjson.t

@@ -26,6 +26,8 @@ type outcome = {
   retransmits : int;
   chaos : Chaos.stats option;
   link_downtime : Sim.Time.t;
+  plan_events : Plan.event list;
+  plan_offers : int;
 }
 
 (* Per-target control surface beyond the protocol handle. *)
@@ -75,11 +77,45 @@ let effective_margin ~base ~recover ~adaptive ?chaos ~watchdog_interval
     Float.max base (1.25 *. Sim.Time.to_ns longest_stall /. tightest)
   end
 
-let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
-    ?(trace_capacity = 512) ?(monitor_interval = Sim.Time.ns 500)
-    ?(watchdog_interval = Sim.Time.ns 20_000) ?(no_progress_windows = 5)
-    ?(starvation_bound = Sim.Time.ns 200_000) ?(max_events = 20_000_000)
-    ?(recover = false) ?(adaptive = false) ?chaos ?watchdog_margin target ~spec ~seed =
+(* The complete run recipe minus (target, spec, seed): everything a
+   repro bundle must capture for a replay to be bit-identical. *)
+type run_params = {
+  p_config : Mcmp.Config.t;
+  p_nlocks : int;
+  p_acquires : int;
+  p_trace_capacity : int;
+  p_monitor_interval : Sim.Time.t;
+  p_watchdog_interval : Sim.Time.t;
+  p_no_progress_windows : int;
+  p_starvation_bound : Sim.Time.t;
+  p_max_events : int;
+  p_recover : bool;
+  p_adaptive : bool;
+  p_chaos : Chaos.spec option;
+  p_watchdog_margin : float option;
+  p_script : Plan.event list option;
+}
+
+let default_params =
+  {
+    p_config = Mcmp.Config.tiny;
+    p_nlocks = 4;
+    p_acquires = 30;
+    p_trace_capacity = 512;
+    p_monitor_interval = Sim.Time.ns 500;
+    p_watchdog_interval = Sim.Time.ns 20_000;
+    p_no_progress_windows = 5;
+    p_starvation_bound = Sim.Time.ns 200_000;
+    p_max_events = 20_000_000;
+    p_recover = false;
+    p_adaptive = false;
+    p_chaos = None;
+    p_watchdog_margin = None;
+    p_script = None;
+  }
+
+let run_with p target ~spec ~seed =
+  let recover = p.p_recover and adaptive = p.p_adaptive and chaos = p.p_chaos in
   (match target with
   | Directory _ when recover ->
     invalid_arg "Torture.run: recovery mode is a token-protocol feature"
@@ -91,8 +127,9 @@ let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
     invalid_arg
       "Torture.run: hard chaos (down links) on a token target requires recovery mode"
   | _ -> ());
+  let config = p.p_config in
   let engine = E.create () in
-  let buf = Obs.Buffer.create ~capacity:trace_capacity () in
+  let buf = Obs.Buffer.create ~capacity:p.p_trace_capacity () in
   Obs.Buffer.attach buf engine;
   let registry = Obs.Registry.create () in
   Obs.Registry.attach registry engine;
@@ -103,7 +140,9 @@ let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
   Interconnect.Traffic.register registry traffic;
   let layout = Mcmp.Config.layout config in
   let plan =
-    Plan.create ~recovery:recover ~seed ~nodes:(Interconnect.Layout.node_count layout) spec
+    Plan.create ~recovery:recover ?script:p.p_script ~seed
+      ~nodes:(Interconnect.Layout.node_count layout)
+      spec
   in
   let reports = ref [] in
   let report r =
@@ -132,7 +171,15 @@ let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
                 Report.at = E.now engine;
                 kind =
                   Report.Retransmit_exhausted
-                    { src; dst; cls; attempts = F.default_reliability.F.max_retrans };
+                    {
+                      src;
+                      dst;
+                      cls;
+                      attempts = F.default_reliability.F.max_retrans;
+                      blame =
+                        Option.map Report.blame_of_event
+                          (Plan.last_drop_on plan ~src ~dst);
+                    };
               });
         if adaptive then begin
           F.enable_adaptive_timeouts ~params:adaptive_rtt_params fab;
@@ -196,7 +243,12 @@ let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
       E.stop engine
     end
   in
-  let lcfg = { (Workload.Locking.default ~nlocks) with acquires; warmup_acquires = 5 } in
+  let lcfg =
+    { (Workload.Locking.default ~nlocks:p.p_nlocks) with
+      acquires = p.p_acquires;
+      warmup_acquires = 5
+    }
+  in
   let programs = Workload.Locking.programs lcfg ~seed ~nprocs in
   let cores =
     List.init nprocs (fun proc ->
@@ -224,24 +276,36 @@ let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
     done
   end;
   let base_margin =
-    match watchdog_margin with Some m -> m | None -> if recover then 2.5 else 1.0
+    match p.p_watchdog_margin with Some m -> m | None -> if recover then 2.5 else 1.0
   in
   let margin =
-    effective_margin ~base:base_margin ~recover ~adaptive ?chaos ~watchdog_interval
-      ~no_progress_windows ~starvation_bound ()
+    effective_margin ~base:base_margin ~recover ~adaptive ?chaos
+      ~watchdog_interval:p.p_watchdog_interval
+      ~no_progress_windows:p.p_no_progress_windows
+      ~starvation_bound:p.p_starvation_bound ()
   in
   let mon =
-    Monitor.attach engine ~probe ~plan ~interval:monitor_interval ~running ~report
+    Monitor.attach engine ~probe ~plan ~interval:p.p_monitor_interval ~running ~report
   in
   let _wd =
-    Watchdog.attach ~margin engine ~probe ~counters ~interval:watchdog_interval
-      ~no_progress_windows ~starvation_bound ~running ~report
+    Watchdog.attach ~margin engine ~probe ~counters ~interval:p.p_watchdog_interval
+      ~no_progress_windows:p.p_no_progress_windows
+      ~starvation_bound:p.p_starvation_bound ~running ~report
       ~on_stall:(fun () -> E.stop engine)
   in
   List.iter Mcmp.Core.start cores;
-  (try E.run ~max_events engine with
+  (try E.run ~max_events:p.p_max_events engine with
   | Mcmp.Violation.Invariant_violation v ->
-    report { Report.at = E.now engine; kind = Report.Invariant v }
+    report
+      {
+        Report.at = E.now engine;
+        kind =
+          Report.Invariant
+            {
+              violation = v;
+              blame = Option.map Report.blame_of_event (Plan.last_destructive plan);
+            };
+      }
   | Failure _ -> () (* max_events safety valve: surfaces as an incomplete run *));
   Monitor.check mon;
   let reports = List.rev !reports in
@@ -273,7 +337,37 @@ let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
     retransmits = ctl.c_retransmits ();
     chaos = ctl.c_chaos;
     link_downtime = ctl.c_downtime ();
+    (* The materialized fault schedule rides along only when the run is
+       worth dissecting — same gate as the trace/dump evidence, and it
+       covers every non-clean verdict (each implies a report or an
+       incomplete run). *)
+    plan_events = (if keep_evidence then Plan.events plan else []);
+    plan_offers = Plan.offers plan;
   }
+
+let run ?(config = Mcmp.Config.tiny) ?(nlocks = 4) ?(acquires = 30)
+    ?(trace_capacity = 512) ?(monitor_interval = Sim.Time.ns 500)
+    ?(watchdog_interval = Sim.Time.ns 20_000) ?(no_progress_windows = 5)
+    ?(starvation_bound = Sim.Time.ns 200_000) ?(max_events = 20_000_000)
+    ?(recover = false) ?(adaptive = false) ?chaos ?watchdog_margin target ~spec ~seed =
+  run_with
+    {
+      p_config = config;
+      p_nlocks = nlocks;
+      p_acquires = acquires;
+      p_trace_capacity = trace_capacity;
+      p_monitor_interval = monitor_interval;
+      p_watchdog_interval = watchdog_interval;
+      p_no_progress_windows = no_progress_windows;
+      p_starvation_bound = starvation_bound;
+      p_max_events = max_events;
+      p_recover = recover;
+      p_adaptive = adaptive;
+      p_chaos = chaos;
+      p_watchdog_margin = watchdog_margin;
+      p_script = None;
+    }
+    target ~spec ~seed
 
 type verdict = Clean | Survived_partition | Detected | Failed of string
 

@@ -80,6 +80,12 @@ type outcome = {
   link_downtime : Sim.Time.t;
       (** cumulative per-link Down time accumulated by the fabric's
           outage model (zero when no chaos ran) *)
+  plan_events : Plan.event list;
+      (** the materialized fault schedule (every non-Pass plan
+          decision, oldest first); captured only on evidence — same
+          gate as [trace]/[dump], which covers every non-clean verdict *)
+  plan_offers : int;
+      (** total plan decision points the run consulted *)
 }
 
 (** [recover] (token targets only; [Invalid_argument] on directory
@@ -130,6 +136,38 @@ val run :
   spec:Spec.t ->
   seed:int ->
   outcome
+
+(** The complete run recipe minus (target, spec, seed), reified so
+    repro bundles can serialize it and replays can re-run it without
+    threading thirteen optional arguments around. [run] is
+    [run_with] over [default_params] with the optionals folded in.
+
+    [p_script] puts the fault plan in scripted mode
+    ({!Plan.create}[ ?script]): the recipe's RNG-drawn schedule is
+    replaced by an explicit event list — the forensics shrinker's
+    candidate evaluation path. *)
+type run_params = {
+  p_config : Mcmp.Config.t;
+  p_nlocks : int;
+  p_acquires : int;
+  p_trace_capacity : int;
+  p_monitor_interval : Sim.Time.t;
+  p_watchdog_interval : Sim.Time.t;
+  p_no_progress_windows : int;
+  p_starvation_bound : Sim.Time.t;
+  p_max_events : int;
+  p_recover : bool;
+  p_adaptive : bool;
+  p_chaos : Chaos.spec option;
+  p_watchdog_margin : float option;
+  p_script : Plan.event list option;
+}
+
+(** [run]'s defaults as a record: tiny config, 4 locks, 30 acquires,
+    no recovery/chaos/script. *)
+val default_params : run_params
+
+val run_with : run_params -> target -> spec:Spec.t -> seed:int -> outcome
 
 (** Judgement of one outcome against what its fault plan made
     survivable:

@@ -1,0 +1,388 @@
+module J = Tcjson
+module T = Fault.Torture
+module MC = Interconnect.Msg_class
+
+let schema_version = 1
+let kind_tag = "tokencmp-repro"
+
+type digest = {
+  d_verdict : T.verdict;
+  d_ops : int;
+  d_events : int;
+  d_runtime : Sim.Time.t;
+  d_misses : int;
+  d_reports : string list;
+}
+
+type t = {
+  target : T.target;
+  seed : int;
+  spec : Fault.Spec.t;
+  params : T.run_params;
+  recorded : digest;
+}
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+(* ---- outcome digest ---------------------------------------------- *)
+
+let report_kinds (o : T.outcome) =
+  List.map (fun r -> Fault.Report.kind_name r) o.T.reports
+
+let digest_of_outcome (o : T.outcome) =
+  {
+    d_verdict = T.verdict o;
+    d_ops = o.T.ops;
+    d_events = o.T.events;
+    d_runtime = o.T.runtime;
+    d_misses = o.T.misses;
+    d_reports = report_kinds o;
+  }
+
+let digest_matches d o = d = digest_of_outcome o
+
+let make ~params (o : T.outcome) =
+  {
+    target = o.T.target;
+    seed = o.T.seed;
+    spec = o.T.spec;
+    params;
+    recorded = digest_of_outcome o;
+  }
+
+(* ---- serialization ----------------------------------------------- *)
+
+let verdict_to_json = function
+  | T.Clean -> J.Obj [ ("kind", J.String "clean") ]
+  | T.Survived_partition -> J.Obj [ ("kind", J.String "survived-partition") ]
+  | T.Detected -> J.Obj [ ("kind", J.String "detected") ]
+  | T.Failed msg -> J.Obj [ ("kind", J.String "failed"); ("msg", J.String msg) ]
+
+let spec_to_json (s : Fault.Spec.t) =
+  J.Obj
+    [ ("delay_prob", J.Float s.Fault.Spec.delay_prob);
+      ("delay_min_ps", J.Int s.Fault.Spec.delay_min);
+      ("delay_max_ps", J.Int s.Fault.Spec.delay_max);
+      ("reorder_prob", J.Float s.Fault.Spec.reorder_prob);
+      ("reorder_max_ps", J.Int s.Fault.Spec.reorder_max);
+      ("dup_prob", J.Float s.Fault.Spec.dup_prob);
+      ("stall_prob", J.Float s.Fault.Spec.stall_prob);
+      ("stall_nodes", J.Int s.Fault.Spec.stall_nodes);
+      ("stall_len_ps", J.Int s.Fault.Spec.stall_len);
+      ("stall_period_ps", J.Int s.Fault.Spec.stall_period);
+      ("drop_prob", J.Float s.Fault.Spec.drop_prob);
+      ("drop_tokens", J.Bool s.Fault.Spec.drop_tokens);
+      ("duplicate_tokens", J.Bool s.Fault.Spec.duplicate_tokens);
+      ("crashes", J.Int s.Fault.Spec.crashes);
+      ("crash_down_ps", J.Int s.Fault.Spec.crash_down) ]
+
+let burst_to_json (b : Fault.Chaos.burst) =
+  J.Obj
+    [ ("at_ps", J.Int b.Fault.Chaos.burst_at);
+      ("duration_ps", J.Int b.Fault.Chaos.burst_duration);
+      ("drop_prob", J.Float b.Fault.Chaos.burst_drop_prob);
+      ("latency_mult", J.Float b.Fault.Chaos.burst_latency_mult) ]
+
+let chaos_to_json (c : Fault.Chaos.spec) =
+  J.Obj
+    [ ("flap_links", J.Int c.Fault.Chaos.flap_links);
+      ("flap_cycles", J.Int c.Fault.Chaos.flap_cycles);
+      ("flap_start_ps", J.Int c.Fault.Chaos.flap_start);
+      ("flap_down_ps", J.Int c.Fault.Chaos.flap_down);
+      ("flap_period_ps", J.Int c.Fault.Chaos.flap_period);
+      ("partition_at_ps",
+       match c.Fault.Chaos.partition_at with None -> J.Null | Some t -> J.Int t);
+      ("partition_duration_ps", J.Int c.Fault.Chaos.partition_duration);
+      ("bursts", J.List (List.map burst_to_json c.Fault.Chaos.bursts));
+      ("brownout", J.Bool c.Fault.Chaos.brownout);
+      ("brownout_mult", J.Float c.Fault.Chaos.brownout_mult) ]
+
+(* The CLI exposes exactly two machine shapes; the bundle records which
+   base the run used plus the three shape dimensions the shrinker is
+   allowed to cut, so a shrunk machine round-trips exactly. Custom
+   configs beyond (base, ncmp, procs_per_cmp, l2_banks) are not
+   representable — [config_to_json] snaps to the nearer base. *)
+let config_base (c : Mcmp.Config.t) =
+  if c.Mcmp.Config.l1_sets = Mcmp.Config.tiny.Mcmp.Config.l1_sets then "tiny" else "default"
+
+let config_of_base = function
+  | "tiny" -> Mcmp.Config.tiny
+  | "default" -> Mcmp.Config.default
+  | b -> fail "unknown config base %S" b
+
+let config_to_json (c : Mcmp.Config.t) =
+  J.Obj
+    [ ("base", J.String (config_base c));
+      ("ncmp", J.Int c.Mcmp.Config.ncmp);
+      ("procs_per_cmp", J.Int c.Mcmp.Config.procs_per_cmp);
+      ("l2_banks", J.Int c.Mcmp.Config.l2_banks) ]
+
+let cls_to_string = MC.to_string
+
+let cls_of_string s =
+  match List.find_opt (fun c -> MC.to_string c = s) MC.all with
+  | Some c -> c
+  | None -> fail "unknown message class %S" s
+
+let action_fields = function
+  | Fault.Plan.Drop_copy -> [ ("action", J.String "drop") ]
+  | Fault.Plan.Delay_copy d -> [ ("action", J.String "delay"); ("arg_ps", J.Int d) ]
+  | Fault.Plan.Duplicate_copy d ->
+    [ ("action", J.String "duplicate"); ("arg_ps", J.Int d) ]
+
+let event_to_json (e : Fault.Plan.event) =
+  J.Obj
+    ([ ("index", J.Int e.Fault.Plan.ev_index);
+       ("at_ps", J.Int e.Fault.Plan.ev_time);
+       ("src", J.Int e.Fault.Plan.ev_src);
+       ("dst", J.Int e.Fault.Plan.ev_dst);
+       ("cls", J.String (cls_to_string e.Fault.Plan.ev_cls));
+       ("label", J.String e.Fault.Plan.ev_label) ]
+    @ action_fields e.Fault.Plan.ev_action
+    @ [ ("destructive", J.Bool e.Fault.Plan.ev_destructive) ])
+
+let params_to_json (p : T.run_params) =
+  J.Obj
+    [ ("config", config_to_json p.T.p_config);
+      ("nlocks", J.Int p.T.p_nlocks);
+      ("acquires", J.Int p.T.p_acquires);
+      ("trace_capacity", J.Int p.T.p_trace_capacity);
+      ("monitor_interval_ps", J.Int p.T.p_monitor_interval);
+      ("watchdog_interval_ps", J.Int p.T.p_watchdog_interval);
+      ("no_progress_windows", J.Int p.T.p_no_progress_windows);
+      ("starvation_bound_ps", J.Int p.T.p_starvation_bound);
+      ("max_events", J.Int p.T.p_max_events);
+      ("recover", J.Bool p.T.p_recover);
+      ("adaptive", J.Bool p.T.p_adaptive);
+      ("chaos", match p.T.p_chaos with None -> J.Null | Some c -> chaos_to_json c);
+      ("watchdog_margin",
+       match p.T.p_watchdog_margin with None -> J.Null | Some m -> J.Float m);
+      ("script",
+       match p.T.p_script with
+       | None -> J.Null
+       | Some evs -> J.List (List.map event_to_json evs)) ]
+
+let digest_to_json d =
+  J.Obj
+    [ ("verdict", verdict_to_json d.d_verdict);
+      ("ops", J.Int d.d_ops);
+      ("events", J.Int d.d_events);
+      ("runtime_ps", J.Int d.d_runtime);
+      ("misses", J.Int d.d_misses);
+      ("reports", J.List (List.map (fun k -> J.String k) d.d_reports)) ]
+
+let to_json b =
+  J.Obj
+    [ ("schema_version", J.Int schema_version);
+      ("kind", J.String kind_tag);
+      ("target", J.String (T.target_name b.target));
+      ("seed", J.Int b.seed);
+      ("spec", spec_to_json b.spec);
+      ("params", params_to_json b.params);
+      ("recorded", digest_to_json b.recorded) ]
+
+(* ---- deserialization --------------------------------------------- *)
+
+let field j k =
+  match J.member k j with Some v -> v | None -> fail "missing field %S" k
+
+let get_int j k =
+  match field j k with
+  | J.Int i -> i
+  | J.Float f when Float.is_integer f -> int_of_float f
+  | _ -> fail "field %S: expected int" k
+
+let get_float j k =
+  match field j k with
+  | J.Float f -> f
+  | J.Int i -> float_of_int i
+  | _ -> fail "field %S: expected float" k
+
+let get_bool j k =
+  match field j k with J.Bool b -> b | _ -> fail "field %S: expected bool" k
+
+let get_string j k =
+  match field j k with J.String s -> s | _ -> fail "field %S: expected string" k
+
+let get_list j k =
+  match field j k with J.List l -> l | _ -> fail "field %S: expected list" k
+
+let target_of_string s =
+  match String.index_opt s ':' with
+  | Some _ when String.length s > 6 && String.sub s 0 6 = "token:" -> (
+    let name = String.sub s 6 (String.length s - 6) in
+    match Token.Policy.by_name name with
+    | Some p -> T.Token p
+    | None -> fail "unknown token policy %S" name)
+  | _ ->
+    if s = Directory.Protocol.name ~dram_directory:true then
+      T.Directory { dram_directory = true }
+    else if s = Directory.Protocol.name ~dram_directory:false then
+      T.Directory { dram_directory = false }
+    else fail "unknown target %S" s
+
+let verdict_of_json j =
+  match get_string j "kind" with
+  | "clean" -> T.Clean
+  | "survived-partition" -> T.Survived_partition
+  | "detected" -> T.Detected
+  | "failed" -> T.Failed (get_string j "msg")
+  | k -> fail "unknown verdict kind %S" k
+
+let spec_of_json j : Fault.Spec.t =
+  {
+    delay_prob = get_float j "delay_prob";
+    delay_min = get_int j "delay_min_ps";
+    delay_max = get_int j "delay_max_ps";
+    reorder_prob = get_float j "reorder_prob";
+    reorder_max = get_int j "reorder_max_ps";
+    dup_prob = get_float j "dup_prob";
+    stall_prob = get_float j "stall_prob";
+    stall_nodes = get_int j "stall_nodes";
+    stall_len = get_int j "stall_len_ps";
+    stall_period = get_int j "stall_period_ps";
+    drop_prob = get_float j "drop_prob";
+    drop_tokens = get_bool j "drop_tokens";
+    duplicate_tokens = get_bool j "duplicate_tokens";
+    crashes = get_int j "crashes";
+    crash_down = get_int j "crash_down_ps";
+  }
+
+let burst_of_json j : Fault.Chaos.burst =
+  {
+    burst_at = get_int j "at_ps";
+    burst_duration = get_int j "duration_ps";
+    burst_drop_prob = get_float j "drop_prob";
+    burst_latency_mult = get_float j "latency_mult";
+  }
+
+let chaos_of_json j : Fault.Chaos.spec =
+  {
+    flap_links = get_int j "flap_links";
+    flap_cycles = get_int j "flap_cycles";
+    flap_start = get_int j "flap_start_ps";
+    flap_down = get_int j "flap_down_ps";
+    flap_period = get_int j "flap_period_ps";
+    partition_at =
+      (match field j "partition_at_ps" with
+      | J.Null -> None
+      | J.Int t -> Some t
+      | _ -> fail "partition_at_ps: expected int or null");
+    partition_duration = get_int j "partition_duration_ps";
+    bursts = List.map burst_of_json (get_list j "bursts");
+    brownout = get_bool j "brownout";
+    brownout_mult = get_float j "brownout_mult";
+  }
+
+let config_of_json j =
+  let base = config_of_base (get_string j "base") in
+  {
+    base with
+    Mcmp.Config.ncmp = get_int j "ncmp";
+    procs_per_cmp = get_int j "procs_per_cmp";
+    l2_banks = get_int j "l2_banks";
+  }
+
+let event_of_json j : Fault.Plan.event =
+  {
+    ev_index = get_int j "index";
+    ev_time = get_int j "at_ps";
+    ev_src = get_int j "src";
+    ev_dst = get_int j "dst";
+    ev_cls = cls_of_string (get_string j "cls");
+    ev_label = get_string j "label";
+    ev_action =
+      (match get_string j "action" with
+      | "drop" -> Fault.Plan.Drop_copy
+      | "delay" -> Fault.Plan.Delay_copy (get_int j "arg_ps")
+      | "duplicate" -> Fault.Plan.Duplicate_copy (get_int j "arg_ps")
+      | a -> fail "unknown action %S" a);
+    ev_destructive = get_bool j "destructive";
+  }
+
+let params_of_json j : T.run_params =
+  {
+    p_config = config_of_json (field j "config");
+    p_nlocks = get_int j "nlocks";
+    p_acquires = get_int j "acquires";
+    p_trace_capacity = get_int j "trace_capacity";
+    p_monitor_interval = get_int j "monitor_interval_ps";
+    p_watchdog_interval = get_int j "watchdog_interval_ps";
+    p_no_progress_windows = get_int j "no_progress_windows";
+    p_starvation_bound = get_int j "starvation_bound_ps";
+    p_max_events = get_int j "max_events";
+    p_recover = get_bool j "recover";
+    p_adaptive = get_bool j "adaptive";
+    p_chaos =
+      (match field j "chaos" with J.Null -> None | c -> Some (chaos_of_json c));
+    p_watchdog_margin =
+      (match field j "watchdog_margin" with
+      | J.Null -> None
+      | J.Float m -> Some m
+      | J.Int m -> Some (float_of_int m)
+      | _ -> fail "watchdog_margin: expected float or null");
+    p_script =
+      (match field j "script" with
+      | J.Null -> None
+      | J.List evs -> Some (List.map event_of_json evs)
+      | _ -> fail "script: expected list or null");
+  }
+
+let digest_of_json j =
+  {
+    d_verdict = verdict_of_json (field j "verdict");
+    d_ops = get_int j "ops";
+    d_events = get_int j "events";
+    d_runtime = get_int j "runtime_ps";
+    d_misses = get_int j "misses";
+    d_reports =
+      List.map
+        (function J.String s -> s | _ -> fail "reports: expected strings")
+        (get_list j "reports");
+  }
+
+let of_json j =
+  try
+    (match J.member "kind" j with
+    | Some (J.String k) when k = kind_tag -> ()
+    | Some (J.String k) -> fail "not a repro bundle (kind %S)" k
+    | _ -> fail "not a repro bundle (no kind field)");
+    (match J.member "schema_version" j with
+    | Some (J.Int v) when v = schema_version -> ()
+    | Some (J.Int v) ->
+      fail "unsupported bundle schema version %d (this build reads %d)" v schema_version
+    | _ -> fail "missing schema_version");
+    Ok
+      {
+        target = target_of_string (get_string j "target");
+        seed = get_int j "seed";
+        spec = spec_of_json (field j "spec");
+        params = params_of_json (field j "params");
+        recorded = digest_of_json (field j "recorded");
+      }
+  with Malformed msg -> Error msg
+
+let write_file path b = J.write_file path (to_json b)
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+    match J.parse contents with
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | Ok j -> (
+      match of_json j with
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+      | Ok b -> Ok b))
+
+let pp_digest fmt d =
+  Format.fprintf fmt "verdict=%a ops=%d events=%d runtime=%a misses=%d reports=[%s]"
+    T.pp_verdict d.d_verdict d.d_ops d.d_events Sim.Time.pp d.d_runtime d.d_misses
+    (String.concat "," d.d_reports)

@@ -1,0 +1,24 @@
+(** Deterministic re-execution of a repro bundle.
+
+    [run] rebuilds the exact torture run the bundle describes —
+    stochastic when the bundle has no script (the recorded seed regrows
+    the identical fault schedule), scripted when it does (shrunk
+    bundles) — and [check] compares the fresh outcome against the
+    recorded digest. *)
+
+val run : Bundle.t -> Fault.Torture.outcome
+
+type check_result =
+  | Reproduced of Fault.Torture.outcome
+  | Diverged of {
+      outcome : Fault.Torture.outcome;
+      expected : Bundle.digest;
+      got : Bundle.digest;
+    }
+
+val check : Bundle.t -> check_result
+
+(** The torture CLI's exit-code convention: 0 = clean / survived
+    partition, 1 = invariant-class failure (detected corruption or a
+    genuine violation), 2 = liveness-class failure. *)
+val exit_code_of_verdict : Fault.Torture.verdict -> int

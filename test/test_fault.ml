@@ -129,7 +129,7 @@ let test_report_severity () =
   Alcotest.(check bool) "invariant is fatal" true
     (sev
        (Fault.Report.Invariant
-          (Mcmp.Violation.make ~kind:"k" ~time:at "d"))
+          { violation = Mcmp.Violation.make ~kind:"k" ~time:at "d"; blame = None })
     = `Fatal);
   Alcotest.(check bool) "no-progress is fatal" true
     (sev (Fault.Report.No_progress { window = ns 1000; mode = `Deadlock }) = `Fatal)

@@ -22,6 +22,7 @@ let () =
       ("integration", Test_integration.tests);
       ("fault", Test_fault.tests);
       ("chaos", Test_chaos.tests);
+      ("forensics", Test_forensics.tests);
       ("par", Test_par.tests);
       ("golden", Test_golden.tests);
       ("profiler", Test_profiler.tests);

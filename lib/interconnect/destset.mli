@@ -1,32 +1,38 @@
 (** Destination sets for fabric broadcasts.
 
-    Every supported configuration keeps node ids below {!max_direct}
-    (63 on a 64-bit host), so a destination set is normally a single
-    int bitmask: build, dedup, self-exclusion and local/remote
-    splitting are then bit operations with no allocation on the send
-    hot path. Configurations beyond that fall back to a sorted
-    duplicate-free list ([Wide]) and the fabric's list-based send.
+    An immutable multi-word bitset: a flat [int array] of 63-bit words,
+    bit [i mod 63] of word [i / 63] standing for node [i]. Any node
+    count is supported — there is no list fallback — and the
+    representation is canonical (trailing zero words trimmed, the empty
+    set is the empty array), so a configuration that fits one word
+    costs exactly what the historical single-int mask did: build,
+    dedup, membership and splitting are branch-free bit operations.
 
-    The representation is exposed concretely so {!Fabric.send_set} can
-    pattern-match [Mask] and work on the raw int. *)
+    Iteration is word-skip + Kernighan (lowest set bit first within a
+    word), giving ascending node order; every comparison is
+    int-specialized — no polymorphic [compare] anywhere. *)
 
-type t =
-  | Mask of int  (** bit [i] set = node [i] is a destination *)
-  | Wide of int list  (** sorted, duplicate-free; any id allowed *)
+type t
 
-(** Largest node count representable as a [Mask]: ids [0 .. 62]. *)
-val max_direct : int
+(** Bits per word: 63 on a 64-bit host (bit 62, OCaml's int sign bit,
+    is an ordinary position for the purely bitwise operations used). *)
+val word_bits : int
 
 val empty : t
 val is_empty : t -> bool
 val cardinal : t -> int
 val mem : int -> t -> bool
+
+(** @raise Invalid_argument on a negative id. *)
 val add : int -> t -> t
+
+(** Removing an absent id returns the set unchanged (physically). *)
 val remove : int -> t -> t
+
 val singleton : int -> t
 
-(** [of_list ids] builds a [Mask] when every id fits, else a [Wide].
-    Duplicates collapse either way. *)
+(** Duplicates collapse; no sort is performed (the bitset is its own
+    order). @raise Invalid_argument on a negative id. *)
 val of_list : int list -> t
 
 (** Ascending. *)
@@ -36,17 +42,34 @@ val union : t -> t -> t
 
 (** [of_bitfield ~bits ~base] is the set [{ base + i | bit i of bits }]
     — the shape of the protocols' L1 sharer bitmaps, whose bit [i]
-    stands for node [cmp * stride + i]. *)
+    stands for node [cmp * stride + i]. The field is spliced across at
+    most two words. *)
 val of_bitfield : bits:int -> base:int -> t
 
 (** [iter f s] applies [f] to each element in ascending order. *)
 val iter : (int -> unit) -> t -> unit
 
-(** Structural equality on the element sets (a [Mask] and a [Wide]
-    holding the same ids are equal). *)
+(** Highest-first — the order the fabric's legacy list path delivers
+    within one remote site. *)
+val iter_desc : (int -> unit) -> t -> unit
+
+(** Word-by-word int equality (canonical forms make this structural). *)
 val equal : t -> t -> bool
 
-(** {2 Raw bitmask helpers} — for callers matching [Mask] directly. *)
+(** {2 Raw word access} — for the fabric's zero-allocation send path. *)
+
+(** Number of 63-bit words. *)
+val nwords : t -> int
+
+(** [word s i] is word [i] (0-based); unchecked. *)
+val word : t -> int -> int
+
+(** The backing array itself. Callers must treat it as read-only —
+    mutating it breaks the immutability and canonicity invariants. *)
+val unsafe_words : t -> int array
+
+(** {2 Raw bitmask helpers} — single-word utilities shared with the
+    fabric and the protocols' sharer bitfields. *)
 
 (** [lsb m] isolates the lowest set bit ([m land (-m)]); 0 when [m = 0]. *)
 val lsb : int -> int

@@ -79,6 +79,23 @@ type outage = {
    current RTO instead of the fixed [retrans_timeout]. *)
 type adaptive = { a_params : Rtt.params; a_est : Rtt.t array }
 
+(* A pooled delivery: one preallocated cell per concurrently in-flight
+   message copy, each carrying a closure allocated once at cell
+   creation. Scheduling a delivery fills the mutable fields and hands
+   the engine [c_thunk] — no per-copy closure. Cells recycle through an
+   index-based free list threaded via [c_next]; a released cell's
+   [c_msg] keeps its last message reachable until reuse, which is
+   bounded by the pool size. *)
+type 'msg cell = {
+  c_idx : int;
+  mutable c_src : int;
+  mutable c_dst : int;
+  mutable c_cls : Msg_class.t;
+  mutable c_msg : 'msg;
+  mutable c_next : int;  (* free-list link; -1 terminates *)
+  c_thunk : unit -> unit;
+}
+
 type 'msg t = {
   engine : Sim.Engine.t;
   layout : Layout.t;
@@ -87,12 +104,16 @@ type 'msg t = {
   rng : Sim.Rng.t;
   (* Per-node layout lookups and per-site node masks, precomputed at
      creation so the send hot path never recomputes divisions or
-     allocates. [use_masks] is false when the node count exceeds
-     [Destset.max_direct]; [send_set] then falls back to the list path. *)
+     allocates. Site masks are multi-word {!Destset} words ([nwords]
+     per site, flattened site-major), so any node count takes the same
+     bit-operation path. *)
   cmp_arr : int array;
   is_cache_arr : bool array;
-  site_masks : int array;
-  use_masks : bool;
+  nwords : int;
+  site_words : int array;  (* site s, word w at [s * nwords + w] *)
+  mutable cells : 'msg cell array;
+  mutable free_cell : int;  (* head of the cell free list; -1 = empty *)
+  mutable pristine : bool;  (* no injector/outage/reliability ever armed *)
   mutable handler : dst:int -> 'msg -> unit;
   port_busy : Sim.Time.t array; (* per node, on-chip egress port *)
   link_busy : Sim.Time.t array; (* per ordered site pair *)
@@ -142,17 +163,14 @@ let create engine layout params traffic rng =
   let nnodes = Layout.node_count layout in
   let cmp_arr = Array.init nnodes (fun i -> Layout.cmp_of layout i) in
   let is_cache_arr = Array.init nnodes (fun i -> Layout.is_cache layout i) in
-  let use_masks = nnodes <= Destset.max_direct in
-  let site_masks =
-    if not use_masks then [||]
-    else begin
-      let sm = Array.make layout.Layout.ncmp 0 in
-      for i = 0 to nnodes - 1 do
-        sm.(cmp_arr.(i)) <- sm.(cmp_arr.(i)) lor (1 lsl i)
-      done;
-      sm
-    end
-  in
+  let nwords = ((nnodes - 1) / Destset.word_bits) + 1 in
+  let site_words = Array.make (layout.Layout.ncmp * nwords) 0 in
+  for s = 0 to layout.Layout.ncmp - 1 do
+    let ds = Layout.nodes_of_cmp_set layout s in
+    for w = 0 to Destset.nwords ds - 1 do
+      site_words.((s * nwords) + w) <- Destset.word ds w
+    done
+  done;
   let t =
     {
       engine;
@@ -162,8 +180,11 @@ let create engine layout params traffic rng =
       rng;
       cmp_arr;
       is_cache_arr;
-      site_masks;
-      use_masks;
+      nwords;
+      site_words;
+      cells = [||];
+      free_cell = -1;
+      pristine = true;
       handler = (fun ~dst:_ _ -> failwith "Fabric: handler not set");
       port_busy = Array.make (Layout.node_count layout) Sim.Time.zero;
       link_busy = Array.make (layout.Layout.ncmp * layout.Layout.ncmp) Sim.Time.zero;
@@ -188,8 +209,19 @@ let create engine layout params traffic rng =
   t
 
 let set_handler t h = t.handler <- h
-let set_fault_injector t i = t.injector <- Some i
+
+let set_fault_injector t i =
+  t.pristine <- false;
+  t.injector <- Some i
+
 let clear_fault_injector t = t.injector <- None
+
+(* Sticky: once any fault machinery has been armed, copies may be
+   duplicated or retained (injector [Duplicate], retransmit buffers),
+   so message records must not be recycled on first delivery. Clearing
+   an injector does not restore the guarantee for copies already in
+   flight, hence no way back to [true]. *)
+let exactly_once t = t.pristine
 let set_msg_label t f = t.msg_label <- f
 let layout t = t.layout
 let engine t = t.engine
@@ -250,6 +282,7 @@ let outage_downtime t o =
   !acc
 
 let enable_outages t rng =
+  t.pristine <- false;
   let n = t.layout.Layout.ncmp * t.layout.Layout.ncmp in
   let o =
     {
@@ -407,19 +440,70 @@ let consult t ~src ~dst ~cls msg =
 
 (* ------------------------------------------------------------------ *)
 
+(* Fire one pooled delivery. The cell is snapshotted and released
+   {e before} the handler runs, so sends the handler performs can reuse
+   it immediately; the engine pops strictly one event at a time, so a
+   cell is never read after release. *)
+let deliver_cell t c =
+  let src = c.c_src and dst = c.c_dst and cls = c.c_cls and msg = c.c_msg in
+  (* Unit stand-in (same dead-slot discipline as {!Sim.Heap}): a free
+     cell must not pin the last message it carried. *)
+  c.c_msg <- Obj.magic ();
+  c.c_next <- t.free_cell;
+  t.free_cell <- c.c_idx;
+  t.delivered <- t.delivered + 1;
+  if Sim.Engine.tracing t.engine then
+    Sim.Engine.emit t.engine
+      (Obs.Event.Msg_deliver
+         { src; dst; cls = Msg_class.to_string cls; label = t.msg_label msg });
+  t.handler ~dst msg
+
+let acquire_cell t ~src ~dst ~cls msg =
+  if t.free_cell >= 0 then begin
+    let c = t.cells.(t.free_cell) in
+    t.free_cell <- c.c_next;
+    c.c_src <- src;
+    c.c_dst <- dst;
+    c.c_cls <- cls;
+    c.c_msg <- msg;
+    c
+  end
+  else begin
+    (* Pool growth: geometric doubling at a new in-flight high-water
+       mark, so steady state never lands here and a burst of B pending
+       copies costs O(B) total growth work. Spare cells start with a
+       unit stand-in for [c_msg] (overwritten before first use). *)
+    let old = Array.length t.cells in
+    let cap = max 64 (2 * old) in
+    let cells =
+      Array.init cap (fun i ->
+          if i < old then t.cells.(i)
+          else
+            let rec c =
+              { c_idx = i; c_src = src; c_dst = dst; c_cls = cls;
+                c_msg = Obj.magic (); c_next = -1;
+                c_thunk = (fun () -> deliver_cell t c) }
+            in
+            c)
+    in
+    t.cells <- cells;
+    for i = cap - 1 downto old + 1 do
+      cells.(i).c_next <- t.free_cell;
+      t.free_cell <- i
+    done;
+    let c = cells.(old) in
+    c.c_msg <- msg;
+    c
+  end
+
 let schedule_delivery t ~src ~cls time dst msg =
   (match t.adaptive with
   | Some a ->
     let i = link_index t ~src_site:t.cmp_arr.(src) ~dst_site:t.cmp_arr.(dst) in
     Rtt.observe a.a_est.(i) (max 0 (time - Sim.Engine.now t.engine))
   | None -> ());
-  Sim.Engine.schedule_at t.engine time (fun () ->
-      t.delivered <- t.delivered + 1;
-      if Sim.Engine.tracing t.engine then
-        Sim.Engine.emit t.engine
-          (Obs.Event.Msg_deliver
-             { src; dst; cls = Msg_class.to_string cls; label = t.msg_label msg });
-      t.handler ~dst msg)
+  let c = acquire_cell t ~src ~dst ~cls msg in
+  Sim.Engine.schedule_at t.engine time c.c_thunk
 
 (* Reliable delivery: each copy becomes a sequenced frame the sender
    keeps until it is known delivered. A [Drop] verdict is survived by
@@ -529,6 +613,7 @@ let deliver_at t ~src ~cls ~bytes ~queue time dst msg =
         schedule_delivery t ~src ~cls (time + extra) dst msg))
 
 let enable_reliability ?(params = default_reliability) t rng =
+  t.pristine <- false;
   let rel =
     {
       rp = params;
@@ -593,8 +678,7 @@ let max_rto t =
   | None -> invalid_arg "Fabric.max_rto: adaptive timeouts not enabled"
   | Some a -> Array.fold_left (fun acc e -> max acc (Rtt.rto e)) 0 a.a_est
 
-(* Reference list-based multicast: kept both as the fallback for
-   configurations too large for bitmasks and as the oracle the destset
+(* Reference list-based multicast: kept as the oracle the destset
    equivalence tests compare [send_set] against. *)
 let send_list t ~src ~dsts ~cls ~bytes msg =
   let p = t.params in
@@ -602,7 +686,11 @@ let send_list t ~src ~dsts ~cls ~bytes msg =
   let now = Sim.Engine.now t.engine in
   let src_site = Layout.cmp_of lay src in
   let src_onchip = Layout.is_cache lay src in
-  let dsts = List.sort_uniq compare (List.filter (fun d -> d <> src) dsts) in
+  let dsts =
+    List.sort_uniq
+      (fun (a : int) b -> Stdlib.compare a b)
+      (List.filter (fun d -> d <> src) dsts)
+  in
   let local, remote = List.partition (fun d -> Layout.cmp_of lay d = src_site) dsts in
   (* Local deliveries: one on-chip (or off-chip memory) hop each; a
      broadcast is charged per copy, reflecting the per-cache lookup
@@ -677,83 +765,107 @@ let send_list t ~src ~dsts ~cls ~bytes msg =
 
 let send = send_list
 
-(* Bitmask multicast: same per-copy charging, port/link claims and rng
+(* Bitset multicast: same per-copy charging, port/link claims and rng
    draws as [send_list], in the same order, but dedup / self-exclusion /
-   local-remote splitting are bit operations and the layout lookups hit
-   the precomputed arrays — no list, pair or hashtable allocation. *)
+   local-remote splitting are bit operations over the destset's words
+   against the precomputed per-site word masks — no list, pair or
+   hashtable allocation at any node count. *)
 let send_set t ~src ~dsts ~cls ~bytes msg =
-  match dsts with
-  | Destset.Wide l -> send_list t ~src ~dsts:l ~cls ~bytes msg
-  | Destset.Mask m0 ->
-    if not t.use_masks then send_list t ~src ~dsts:(Destset.to_list dsts) ~cls ~bytes msg
-    else begin
-      let p = t.params in
-      let now = Sim.Engine.now t.engine in
-      let src_site = t.cmp_arr.(src) in
-      let src_onchip = t.is_cache_arr.(src) in
-      let m = m0 land lnot (1 lsl src) in
-      let local = m land t.site_masks.(src_site) in
-      let remote = m land lnot t.site_masks.(src_site) in
-      (* Local copies in ascending id order — the order the legacy
-         path's sorted list imposes, which the jitter rng draws see. *)
-      let lm = ref local in
-      while !lm <> 0 do
-        let b = Destset.lsb !lm in
-        lm := !lm lxor b;
-        let d = Destset.bit_index b in
-        let d_onchip = t.is_cache_arr.(d) in
-        if src_onchip && d_onchip then begin
-          Traffic.add_intra t.traffic cls bytes;
-          let dep = claim_port t src (serialization p.intra_bytes_per_ns bytes) in
-          deliver_at t ~src ~cls ~bytes ~queue:t.last_port_wait
-            (dep + p.intra_latency + jitter t) d msg
-        end
-        else if d_onchip then begin
-          Traffic.add_intra t.traffic cls bytes;
-          deliver_at t ~src ~cls ~bytes ~queue:Sim.Time.zero
-            (now + p.mem_link_latency + jitter t) d msg
-        end
-        else begin
-          Traffic.add_inter t.traffic cls bytes;
-          let dep, queue =
-            if src_onchip then
-              let dep = claim_port t src (serialization p.inter_bytes_per_ns bytes) in
-              (dep, t.last_port_wait)
-            else (now, Sim.Time.zero)
-          in
-          deliver_at t ~src ~cls ~bytes ~queue (dep + p.mem_link_latency + jitter t) d msg
-        end
-      done;
-      if remote <> 0 then begin
-        let exit_ready =
-          if src_onchip then begin
-            Traffic.add_intra t.traffic cls bytes;
-            claim_port t src (serialization p.intra_bytes_per_ns bytes) + p.intra_latency
-          end
-          else now + p.mem_link_latency
+  let p = t.params in
+  let now = Sim.Engine.now t.engine in
+  let src_site = t.cmp_arr.(src) in
+  let src_onchip = t.is_cache_arr.(src) in
+  let wb = Destset.word_bits in
+  let mwords = Destset.unsafe_words dsts in
+  (* The destset may span fewer words than the layout (trailing zeros
+     are trimmed); ids beyond the layout are not valid destinations. *)
+  let top = min (Array.length mwords) t.nwords - 1 in
+  let sbase = src_site * t.nwords in
+  let src_w = src / wb and src_b = 1 lsl (src mod wb) in
+  (* Local copies in ascending id order — the order the legacy path's
+     sorted list imposes, which the jitter rng draws see. *)
+  for w = 0 to top do
+    let lm0 = Array.unsafe_get mwords w land Array.unsafe_get t.site_words (sbase + w) in
+    let lm = ref (if w = src_w then lm0 land lnot src_b else lm0) in
+    let base = w * wb in
+    while !lm <> 0 do
+      let b = Destset.lsb !lm in
+      lm := !lm lxor b;
+      let d = base + Destset.bit_index b in
+      let d_onchip = t.is_cache_arr.(d) in
+      if src_onchip && d_onchip then begin
+        Traffic.add_intra t.traffic cls bytes;
+        let dep = claim_port t src (serialization p.intra_bytes_per_ns bytes) in
+        deliver_at t ~src ~cls ~bytes ~queue:t.last_port_wait
+          (dep + p.intra_latency + jitter t) d msg
+      end
+      else if d_onchip then begin
+        Traffic.add_intra t.traffic cls bytes;
+        deliver_at t ~src ~cls ~bytes ~queue:Sim.Time.zero
+          (now + p.mem_link_latency + jitter t) d msg
+      end
+      else begin
+        Traffic.add_inter t.traffic cls bytes;
+        let dep, queue =
+          if src_onchip then
+            let dep = claim_port t src (serialization p.inter_bytes_per_ns bytes) in
+            (dep, t.last_port_wait)
+          else (now, Sim.Time.zero)
         in
-        let exit_wait = if src_onchip then t.last_port_wait else Sim.Time.zero in
-        (* Destination sites in ascending index order. The legacy path
-           iterates a Hashtbl here — order unspecified — so this also
-           retires that latent determinism hazard for ncmp >= 3. *)
-        for site = 0 to t.layout.Layout.ncmp - 1 do
-          let sm = remote land t.site_masks.(site) in
-          if sm <> 0 then begin
-            Traffic.add_inter t.traffic cls bytes;
-            let ser = serialization p.inter_bytes_per_ns bytes in
-            let arrive =
-              claim_link t ~src_site ~dst_site:site ~cls ~bytes exit_ready ser
-              + p.inter_latency
+        deliver_at t ~src ~cls ~bytes ~queue (dep + p.mem_link_latency + jitter t) d msg
+      end
+    done
+  done;
+  (* Any remote destination at all? One word-skip pass. *)
+  let has_remote = ref false in
+  for w = 0 to top do
+    if
+      Array.unsafe_get mwords w land lnot (Array.unsafe_get t.site_words (sbase + w))
+      <> 0
+    then has_remote := true
+  done;
+  if !has_remote then begin
+    let exit_ready =
+      if src_onchip then begin
+        Traffic.add_intra t.traffic cls bytes;
+        claim_port t src (serialization p.intra_bytes_per_ns bytes) + p.intra_latency
+      end
+      else now + p.mem_link_latency
+    in
+    let exit_wait = if src_onchip then t.last_port_wait else Sim.Time.zero in
+    (* Destination sites in ascending index order. The legacy path
+       iterates a Hashtbl here — order unspecified — so this also
+       retires that latent determinism hazard for ncmp >= 3. *)
+    for site = 0 to t.layout.Layout.ncmp - 1 do
+      if site <> src_site then begin
+        let tbase = site * t.nwords in
+        let nonempty = ref false in
+        for w = 0 to top do
+          if Array.unsafe_get mwords w land Array.unsafe_get t.site_words (tbase + w) <> 0
+          then nonempty := true
+        done;
+        if !nonempty then begin
+          Traffic.add_inter t.traffic cls bytes;
+          let ser = serialization p.inter_bytes_per_ns bytes in
+          let arrive =
+            claim_link t ~src_site ~dst_site:site ~cls ~bytes exit_ready ser
+            + p.inter_latency
+          in
+          let queue = exit_wait + t.last_link_wait in
+          (* Within a site, descending: the legacy path conses each
+             site's destinations over an ascending scan, so it delivers
+             (and draws jitter) highest-id first. *)
+          for w = top downto 0 do
+            let rm =
+              ref
+                (Array.unsafe_get mwords w
+                land Array.unsafe_get t.site_words (tbase + w))
             in
-            let queue = exit_wait + t.last_link_wait in
-            (* Within a site, descending: the legacy path conses each
-               site's destinations over an ascending scan, so it
-               delivers (and draws jitter) highest-id first. *)
-            let rm = ref sm in
+            let base = w * wb in
             while !rm <> 0 do
               let b = Destset.msb !rm in
               rm := !rm lxor b;
-              let d = Destset.bit_index b in
+              let d = base + Destset.bit_index b in
               let entry =
                 if t.is_cache_arr.(d) then begin
                   Traffic.add_intra t.traffic cls bytes;
@@ -763,9 +875,10 @@ let send_set t ~src ~dsts ~cls ~bytes msg =
               in
               deliver_at t ~src ~cls ~bytes ~queue (arrive + entry + jitter t) d msg
             done
-          end
-        done
+          done
+        end
       end
-    end
+    done
+  end
 
 let send_one t ~src ~dst ~cls ~bytes msg = send t ~src ~dsts:[ dst ] ~cls ~bytes msg

@@ -65,6 +65,15 @@ val set_fault_injector : 'msg t -> 'msg injector -> unit
 
 val clear_fault_injector : 'msg t -> unit
 
+(** True while the fabric has {e never} had a fault injector, outage
+    model or reliable transport armed: every scheduled copy is then
+    delivered exactly once, which is the precondition the protocols'
+    message-record pooling relies on before recycling a record at
+    delivery. Sticky — arming any fault machinery clears it for the
+    rest of the run (copies already in flight could still be
+    duplicated or retained). *)
+val exactly_once : 'msg t -> bool
+
 (** Opt-in reliable-delivery mode: per ordered (src, dst) link sequence
     numbers with ack-timeout retransmission.
 
@@ -217,14 +226,14 @@ val engine : 'msg t -> Sim.Engine.t
 val send :
   'msg t -> src:int -> dsts:int list -> cls:Msg_class.t -> bytes:int -> 'msg -> unit
 
-(** [send_set] is [send] taking a precomputed {!Destset.t}: on a [Mask]
-    (and a layout small enough for masks) the whole destination walk is
-    bit operations over arrays precomputed at {!create} — no per-send
-    allocation. Timing, traffic charges and rng draws are identical to
-    [send] on the same destinations, except that destination {e sites}
-    are visited in ascending index order where [send] inherits an
-    unspecified [Hashtbl] order (configs with 3+ CMPs only; the
-    equivalence tests in test_interconnect pin the rest). *)
+(** [send_set] is [send] taking a precomputed {!Destset.t}: the whole
+    destination walk is bit operations over the destset's words against
+    per-site word masks precomputed at {!create} — no per-send
+    allocation, at any node count. Timing, traffic charges and rng
+    draws are identical to [send] on the same destinations, except that
+    destination {e sites} are visited in ascending index order where
+    [send] inherits an unspecified [Hashtbl] order (configs with 3+
+    CMPs only; the equivalence tests in test_destset pin the rest). *)
 val send_set :
   'msg t -> src:int -> dsts:Destset.t -> cls:Msg_class.t -> bytes:int -> 'msg -> unit
 

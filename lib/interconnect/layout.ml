@@ -62,6 +62,10 @@ let all_caches t =
 
 let all_mems t = List.init t.ncmp (fun cmp -> mem t ~cmp)
 
+(* Every node of one chip, memory controller included — the per-site
+   mask the fabric's local/remote split works in. *)
+let nodes_of_cmp t cmp = List.init (stride t) (fun i -> (cmp * stride t) + i)
+
 let all_nodes t = List.init (node_count t) (fun i -> i)
 
 (* Destset twins of the list accessors. Called at component-creation
@@ -71,6 +75,7 @@ let all_caches_set t = Destset.of_list (all_caches t)
 let all_mems_set t = Destset.of_list (all_mems t)
 let all_nodes_set t = Destset.of_list (all_nodes t)
 let caches_of_cmp_set t cmp = Destset.of_list (caches_of_cmp t cmp)
+let nodes_of_cmp_set t cmp = Destset.of_list (nodes_of_cmp t cmp)
 let l1s_of_cmp_set t cmp = Destset.of_list (l1s_of_cmp t cmp)
 let l2s_of_cmp_set t cmp = Destset.of_list (l2s_of_cmp t cmp)
 

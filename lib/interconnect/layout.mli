@@ -62,6 +62,10 @@ val l1s_of_cmp : t -> int -> int list
 val l2s_of_cmp : t -> int -> int list
 val all_caches : t -> int list
 val all_mems : t -> int list
+
+(** Every node of one CMP, memory controller included — a site mask. *)
+val nodes_of_cmp : t -> int -> int list
+
 val all_nodes : t -> int list
 
 (** {!Destset} twins of the list accessors above, for precomputing
@@ -71,6 +75,7 @@ val all_caches_set : t -> Destset.t
 val all_mems_set : t -> Destset.t
 val all_nodes_set : t -> Destset.t
 val caches_of_cmp_set : t -> int -> Destset.t
+val nodes_of_cmp_set : t -> int -> Destset.t
 val l1s_of_cmp_set : t -> int -> Destset.t
 val l2s_of_cmp_set : t -> int -> Destset.t
 val pp_node : t -> Format.formatter -> int -> unit

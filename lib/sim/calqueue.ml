@@ -1,97 +1,165 @@
-type 'a entry = { key : int; seq : int; value : 'a }
+type 'a entry = {
+  mutable key : int;
+  mutable seq : int;
+  mutable value : 'a;
+  mutable next : 'a entry;  (* intrusive bucket / free-list link *)
+}
 
-(* Buckets hold immutable entry lists, so removed entries become
-   unreachable as soon as they are unlinked — no dead-slot filler dance
-   like the array-backed {!Heap} needs. A "day" is [key asr wbits]; all
-   entries of one day share a bucket ([day land mask]), so the minimum
-   entry of the first non-empty day is the calendar-wide minimum. *)
+(* Buckets are intrusive singly-linked chains of pooled entries,
+   terminated by the queue's [nil] sentinel (a self-linked entry, the
+   same trick as {!Heap}'s filler: its value slot is never read).
+   Entries recycle through [free] — steady-state push/pop allocates
+   nothing: no cons cells, no fresh entry records, no option/tuple
+   boxing on the scan path. A popped entry is handed to the caller
+   as-is and only recycled on the {e next} pop ([just_popped]), so the
+   engine's run loop may read its fields after the pop returns.
+
+   A "day" is [key asr wbits]; all entries of one day share a bucket
+   ([day land mask]), so the minimum entry of the first non-empty day
+   is the calendar-wide minimum. *)
 type 'a t = {
-  mutable buckets : 'a entry list array;
+  nil : 'a entry;
+  mutable buckets : 'a entry array;
   mutable mask : int; (* Array.length buckets - 1; length is a power of two *)
   mutable wbits : int; (* bucket width = 1 lsl wbits *)
   mutable cur_day : int; (* first day the next pop scans *)
   mutable nsize : int; (* entries resident in the calendar buckets *)
   mutable size : int; (* total, including overflow *)
   overflow : 'a Heap.t; (* far-list: entries beyond the calendar window *)
+  mutable free : 'a entry; (* nil-terminated entry pool *)
+  mutable just_popped : 'a entry; (* recycled on the next pop *)
+  (* Scratch written by [scan], read back by [pop_entry] — avoids a
+     tuple allocation per pop. *)
+  mutable scan_day : int;
+  mutable scan_bucket : int;
 }
 
 let min_buckets = 64
 let max_buckets = 65536
 
+(* Stand-in for a value slot that is never read (nil sentinel, recycled
+   entries): same dead-slot discipline as {!Heap.filler}, and it keeps
+   popped closures collectable instead of pinned by the pool. *)
+let blank () : 'a = Obj.magic ()
+
 let create () =
+  let rec nil = { key = min_int; seq = 0; value = blank (); next = nil } in
   {
-    buckets = Array.make min_buckets [];
+    nil;
+    buckets = Array.make min_buckets nil;
     mask = min_buckets - 1;
     wbits = 4; (* first rebuild recalibrates from the observed key span *)
     cur_day = 0;
     nsize = 0;
     size = 0;
     overflow = Heap.create ();
+    free = nil;
+    just_popped = nil;
+    scan_day = 0;
+    scan_bucket = 0;
   }
 
 let length q = q.size
 let is_empty q = q.size = 0
 
+(* Entry pool. [alloc] reuses a recycled entry when one is available;
+   [release] blanks the value slot so the pool never retains dead
+   simulation state (the space-leak discipline test_heap pins for the
+   binary heap). *)
+let alloc q key seq value =
+  let e = q.free in
+  if e != q.nil then begin
+    q.free <- e.next;
+    e.key <- key;
+    e.seq <- seq;
+    e.value <- value;
+    e.next <- q.nil;
+    e
+  end
+  else { key; seq; value; next = q.nil }
+
+let release q e =
+  e.value <- blank ();
+  e.next <- q.free;
+  q.free <- e
+
 let insert_cal q e =
   let b = (e.key asr q.wbits) land q.mask in
-  q.buckets.(b) <- e :: q.buckets.(b);
+  e.next <- q.buckets.(b);
+  q.buckets.(b) <- e;
   q.nsize <- q.nsize + 1
 
 let rec log2_floor v = if v <= 1 then 0 else 1 + log2_floor (v lsr 1)
 let rec pow2_ge n acc = if acc >= n then acc else pow2_ge n (acc * 2)
 
-(* Gather every pending entry — calendar and overflow — and re-lay the
-   calendar with bucket count ~ population and width ~ average key gap,
-   anchored at the minimum key. Entries past the new window go back to
-   the overflow heap. O(size), amortised by the triggers in push/pop. *)
+(* Gather every pending entry — calendar and overflow — into one chain
+   and re-lay the calendar with bucket count ~ population and width ~
+   average key gap, anchored at the minimum key. Entries past the new
+   window go back to the overflow heap. O(size), amortised by the
+   triggers in push/pop. *)
 let rebuild q ~extra =
-  let acc = ref (match extra with Some e -> [ e ] | None -> []) in
-  let n = ref (match extra with Some _ -> 1 | None -> 0) in
+  let nil = q.nil in
+  let acc = ref nil and n = ref 0 in
+  let take e =
+    e.next <- !acc;
+    acc := e;
+    incr n
+  in
+  (match extra with Some e -> take e | None -> ());
   Array.iteri
-    (fun i lst ->
-      List.iter
-        (fun e ->
-          incr n;
-          acc := e :: !acc)
-        lst;
-      q.buckets.(i) <- [])
+    (fun i head ->
+      let e = ref head in
+      while !e != nil do
+        let nx = !e.next in
+        take !e;
+        e := nx
+      done;
+      q.buckets.(i) <- nil)
     q.buckets;
   while not (Heap.is_empty q.overflow) do
     let he = Heap.pop_entry q.overflow in
-    incr n;
-    acc := { key = he.Heap.key; seq = he.Heap.seq; value = he.Heap.value } :: !acc
+    take (alloc q he.Heap.key he.Heap.seq he.Heap.value)
   done;
   q.nsize <- 0;
   if !n > 0 then begin
-    let min_key = List.fold_left (fun m e -> min m e.key) max_int !acc in
-    let max_key = List.fold_left (fun m e -> max m e.key) min_int !acc in
-    let gap = (max_key - min_key) / !n in
+    let min_key = ref max_int and max_key = ref min_int in
+    let e = ref !acc in
+    while !e != nil do
+      if !e.key < !min_key then min_key := !e.key;
+      if !e.key > !max_key then max_key := !e.key;
+      e := !e.next
+    done;
+    let gap = (!max_key - !min_key) / !n in
     q.wbits <- (if gap <= 1 then 0 else log2_floor gap);
     let nb = max min_buckets (min max_buckets (pow2_ge !n 1)) in
-    if nb <> q.mask + 1 then q.buckets <- Array.make nb [];
+    if nb <> q.mask + 1 then q.buckets <- Array.make nb nil;
     q.mask <- nb - 1;
-    q.cur_day <- min_key asr q.wbits;
+    q.cur_day <- !min_key asr q.wbits;
     let limit = q.cur_day + nb in
-    List.iter
-      (fun e ->
-        if e.key asr q.wbits < limit then insert_cal q e
-        else Heap.push q.overflow ~key:e.key ~seq:e.seq e.value)
-      !acc
+    let e = ref !acc in
+    while !e != nil do
+      let nx = !e.next in
+      (if !e.key asr q.wbits < limit then insert_cal q !e
+       else begin
+         Heap.push q.overflow ~key:!e.key ~seq:!e.seq !e.value;
+         release q !e
+       end);
+      e := nx
+    done
   end
 
 let push q ~key ~seq value =
-  let e = { key; seq; value } in
   (if q.size = 0 then begin
      q.cur_day <- key asr q.wbits;
-     insert_cal q e
+     insert_cal q (alloc q key seq value)
    end
    else
      let d = key asr q.wbits in
      if d < q.cur_day then
        (* Below the calendar window — only possible for out-of-order
           standalone use (the engine schedules monotonically). *)
-       rebuild q ~extra:(Some e)
-     else if d - q.cur_day <= q.mask then insert_cal q e
+       rebuild q ~extra:(Some (alloc q key seq value))
+     else if d - q.cur_day <= q.mask then insert_cal q (alloc q key seq value)
      else Heap.push q.overflow ~key ~seq value);
   q.size <- q.size + 1;
   let nb = q.mask + 1 in
@@ -102,89 +170,116 @@ let push q ~key ~seq value =
        into a plain binary heap. *)
     rebuild q ~extra:None
 
-let bucket_min lst =
-  match lst with
-  | [] -> None
-  | e0 :: rest ->
-      let rec go best = function
-        | [] -> Some best
-        | e :: tl ->
-            let best =
-              if e.key < best.key || (e.key = best.key && e.seq < best.seq)
-              then e
-              else best
-            in
-            go best tl
-      in
-      go e0 rest
+(* Minimum of one bucket chain; [nil] when empty. *)
+let bucket_min nil head =
+  if head == nil then nil
+  else begin
+    let best = ref head and e = ref head.next in
+    while !e != nil do
+      if !e.key < !best.key || (!e.key = !best.key && !e.seq < !best.seq) then
+        best := !e;
+      e := !e.next
+    done;
+    !best
+  end
 
 (* Find the calendar minimum: the (key, seq)-least entry of the first
-   day >= cur_day with one. Requires nsize > 0. Does not commit the day
-   advance — [pop_entry] does, so a peek never moves [cur_day] and
-   monotonic engine pushes never hit the out-of-order rebuild. *)
+   day >= cur_day with one; writes the day/bucket into the scratch
+   fields. Requires nsize > 0. Does not commit the day advance —
+   [pop_entry] does, so a peek never moves [cur_day] and monotonic
+   engine pushes never hit the out-of-order rebuild. *)
 let scan q =
+  let nil = q.nil in
   let fuel = ref (q.mask + 1) in
   let rec go day =
     let b = day land q.mask in
-    match bucket_min q.buckets.(b) with
-    | Some e when e.key asr q.wbits = day -> (day, b, e)
-    | _ ->
-        decr fuel;
-        (* Every calendar entry has day in [cur_day, cur_day + nbuckets),
-           so a full lap without a hit means a broken invariant. *)
-        assert (!fuel >= 0);
-        go (day + 1)
+    let m = bucket_min nil q.buckets.(b) in
+    if m != nil && m.key asr q.wbits = day then begin
+      q.scan_day <- day;
+      q.scan_bucket <- b;
+      m
+    end
+    else begin
+      decr fuel;
+      (* Every calendar entry has day in [cur_day, cur_day + nbuckets),
+         so a full lap without a hit means a broken invariant. *)
+      assert (!fuel >= 0);
+      go (day + 1)
+    end
   in
   go q.cur_day
 
-let remove_entry e lst =
-  let rec go acc = function
-    | [] -> assert false
-    | x :: tl -> if x == e then List.rev_append acc tl else go (x :: acc) tl
-  in
-  go [] lst
+let unlink q b e =
+  if q.buckets.(b) == e then q.buckets.(b) <- e.next
+  else begin
+    let p = ref q.buckets.(b) in
+    while !p.next != e do
+      p := !p.next
+    done;
+    !p.next <- e.next
+  end
 
 (* Overflow wins key ties: a same-key pair split across calendar and
    overflow always has the overflow entry pushed first (the window only
    grows between rebuilds, and rebuilds keep equal keys — equal days —
-   together), hence the smaller seq. *)
-let overflow_first q cal_key =
-  match Heap.peek_key q.overflow with Some k -> k <= cal_key | None -> false
+   together), hence the smaller seq. Keys are simulated times, so
+   [max_int] (the empty-heap sentinel) never ties a real key. *)
+let overflow_first q cal_key = Heap.min_key q.overflow <= cal_key
 
 let pop_entry q =
   if q.size = 0 then invalid_arg "Sim.Calqueue.pop: queue is empty";
+  (* Deferred recycle: the entry handed out by the previous pop has
+     been consumed by now (the engine runs strictly one event at a
+     time), so it can rejoin the pool. *)
+  let jp = q.just_popped in
+  if jp != q.nil then begin
+    q.just_popped <- q.nil;
+    release q jp
+  end;
   if q.nsize = 0 then rebuild q ~extra:None;
-  let day, b, e = scan q in
-  q.cur_day <- day;
+  let e = scan q in
+  q.cur_day <- q.scan_day;
   q.size <- q.size - 1;
-  if overflow_first q e.key then begin
-    let he = Heap.pop_entry q.overflow in
-    { key = he.Heap.key; seq = he.Heap.seq; value = he.Heap.value }
-  end
-  else begin
-    q.buckets.(b) <- remove_entry e q.buckets.(b);
-    q.nsize <- q.nsize - 1;
-    let nb = q.mask + 1 in
-    if q.nsize < nb / 8 && nb > min_buckets then rebuild q ~extra:None;
-    e
-  end
+  let out =
+    if overflow_first q e.key then begin
+      let he = Heap.pop_entry q.overflow in
+      alloc q he.Heap.key he.Heap.seq he.Heap.value
+    end
+    else begin
+      unlink q q.scan_bucket e;
+      q.nsize <- q.nsize - 1;
+      let nb = q.mask + 1 in
+      if q.nsize < nb / 8 && nb > min_buckets then rebuild q ~extra:None;
+      e
+    end
+  in
+  q.just_popped <- out;
+  out
 
 let pop q =
   let e = pop_entry q in
   (e.key, e.seq, e.value)
 
-let peek_key q =
-  if q.size = 0 then None
+let min_key q =
+  if q.size = 0 then max_int
   else begin
     if q.nsize = 0 then rebuild q ~extra:None;
-    let _, _, e = scan q in
-    Some (if overflow_first q e.key then Option.get (Heap.peek_key q.overflow)
-          else e.key)
+    let e = scan q in
+    let hk = Heap.min_key q.overflow in
+    if hk <= e.key then hk else e.key
   end
 
+let peek_key q = if q.size = 0 then None else Some (min_key q)
+
 let clear q =
-  Array.fill q.buckets 0 (Array.length q.buckets) [];
+  Array.fill q.buckets 0 (Array.length q.buckets) q.nil;
   Heap.clear q.overflow;
   q.nsize <- 0;
   q.size <- 0;
-  q.cur_day <- 0
+  q.cur_day <- 0;
+  (* Dropped entries (and the pool) must not pin dead values. *)
+  q.free <- q.nil;
+  if q.just_popped != q.nil then begin
+    q.just_popped.value <- blank ();
+    q.just_popped <- q.nil
+  end

@@ -18,13 +18,24 @@
     key span. Keys may arrive below the current calendar position
     (never the case inside the engine, which asserts monotonic
     schedules); that triggers a full rebuild rather than an error, so
-    standalone use remains correct, merely slower. *)
+    standalone use remains correct, merely slower.
+
+    Entry records are pooled: a popped entry is recycled on the pop
+    after the next one, so steady-state push/pop traffic allocates
+    nothing. *)
 
 type 'a t
 
 (** Entries are exposed read-only so {!pop_entry} can hand back the
-    record allocated at push time without re-boxing it into a tuple. *)
-type 'a entry = private { key : int; seq : int; value : 'a }
+    record it was stored under without re-boxing it into a tuple.
+    Fields are mutable internally (pooling) but private here; [next] is
+    the intrusive bucket/free-list link. *)
+type 'a entry = private {
+  mutable key : int;
+  mutable seq : int;
+  mutable value : 'a;
+  mutable next : 'a entry;
+}
 
 val create : unit -> 'a t
 val length : 'a t -> int
@@ -38,12 +49,19 @@ val push : 'a t -> key:int -> seq:int -> 'a -> unit
     @raise Invalid_argument if the queue is empty. *)
 val pop : 'a t -> int * int * 'a
 
-(** [pop_entry q] removes and returns the minimum element as the entry
-    record it was stored under — no fresh allocation on the pop side.
+(** [pop_entry q] removes and returns the minimum element as a pooled
+    entry record — no fresh allocation on the pop side. The record is
+    only valid until the {e next} [pop_entry]/[pop] on [q]: it is then
+    recycled and its fields overwritten, so read out what you need
+    before popping again.
     @raise Invalid_argument if the queue is empty. *)
 val pop_entry : 'a t -> 'a entry
 
 (** [peek_key q] returns the minimum key without removing it. *)
 val peek_key : 'a t -> int option
+
+(** Non-allocating {!peek_key}: the minimum key, or [max_int] when the
+    queue is empty (keys are simulated times, far below [max_int]). *)
+val min_key : 'a t -> int
 
 val clear : 'a t -> unit

@@ -85,9 +85,10 @@ let run ?until ?(max_events = max_int) t =
   let bound = match until with None -> max_int | Some b -> b in
   match t.queue with
   | H h ->
+      (* [min_key] instead of [peek_key]: the bound check then boxes no
+         option on any of the millions of loop iterations. *)
       let continue () =
-        (not t.stopped)
-        && (match Heap.peek_key h with None -> false | Some key -> key <= bound)
+        (not t.stopped) && (not (Heap.is_empty h)) && Heap.min_key h <= bound
       in
       while continue () do
         let e = Heap.pop_entry h in
@@ -100,9 +101,8 @@ let run ?until ?(max_events = max_int) t =
   | C c ->
       let continue () =
         (not t.stopped)
-        && (match Calqueue.peek_key c with
-           | None -> false
-           | Some key -> key <= bound)
+        && (not (Calqueue.is_empty c))
+        && Calqueue.min_key c <= bound
       in
       while continue () do
         let e = Calqueue.pop_entry c in

@@ -75,6 +75,7 @@ let pop h =
   (e.key, e.seq, e.value)
 
 let peek_key h = if h.size = 0 then None else Some h.data.(0).key
+let min_key h = if h.size = 0 then max_int else h.data.(0).key
 
 let clear h =
   Array.fill h.data 0 h.size (filler ());

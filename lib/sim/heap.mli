@@ -32,4 +32,9 @@ val pop_entry : 'a t -> 'a entry
 (** [peek_key h] returns the minimum key without removing it. *)
 val peek_key : 'a t -> int option
 
+(** Non-allocating {!peek_key}: the minimum key, or [max_int] when the
+    heap is empty (keys are simulated times, far below [max_int]). The
+    engine's run loop polls this every event. *)
+val min_key : 'a t -> int
+
 val clear : 'a t -> unit

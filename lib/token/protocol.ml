@@ -126,6 +126,12 @@ type t = {
   l1_sets : DS.t array;  (* per cmp: its L1 nodes *)
   l1_minus_self : DS.t array;  (* per node: own chip's L1s minus itself *)
   caches_minus_self : DS.t array;  (* per node: all caches minus itself *)
+  (* Free list of recycled [Msg.Tokens] records — the hottest message
+     by volume. Filled at delivery (only while the fabric reports
+     {!F.exactly_once}, so a pooled record can never be reached by a
+     duplicate or a retransmit buffer), drained by [send_tokens]. *)
+  tok_pool : Msg.t array;
+  mutable tok_top : int;
   (* --- recovery state (all idle when [recovery = None]) --- *)
   recovery : Recovery.params option;
   mutable rec_timeout_src : (unit -> Sim.Time.t) option;
@@ -264,8 +270,26 @@ let send_tokens t ~src ~dst ~addr ~count ~owner ~data ~dirty ~writeback =
     else MC.Inv_fwd_ack_tokens
   in
   let bytes = if data then t.cfg.data_bytes else t.cfg.ctrl_bytes in
-  F.send_one t.fabric ~src ~dst ~cls ~bytes
-    (Msg.Tokens { addr; src; count; owner; data; dirty; writeback; epoch })
+  let m =
+    if t.tok_top > 0 then begin
+      t.tok_top <- t.tok_top - 1;
+      let m = t.tok_pool.(t.tok_top) in
+      (match m with
+      | Msg.Tokens r ->
+        r.addr <- addr;
+        r.src <- src;
+        r.count <- count;
+        r.owner <- owner;
+        r.data <- data;
+        r.dirty <- dirty;
+        r.writeback <- writeback;
+        r.epoch <- epoch
+      | _ -> assert false);
+      m
+    end
+    else Msg.Tokens { addr; src; count; owner; data; dirty; writeback; epoch }
+  in
+  F.send_one t.fabric ~src ~dst ~cls ~bytes m
 
 (* Take [count] tokens out of [line] for a message; sending the owner
    token requires sending data too. *)
@@ -1459,6 +1483,11 @@ let create ?recovery policy engine cfg traffic rng counters =
       l1_minus_self =
         Array.init nnodes (fun id -> DS.remove id l1_sets.(L.cmp_of layout id));
       caches_minus_self = Array.init nnodes (fun id -> DS.remove id all_caches_set);
+      (* The shared filler below index [tok_top] is never popped:
+         [tok_top] starts at 0 and release writes a slot before
+         exposing it. *)
+      tok_pool = Array.make 256 (Msg.Epoch_bump { addr = 0; epoch = 0 });
+      tok_top = 0;
       recovery;
       rec_timeout_src = None;
       cur_epoch = Hashtbl.create 64;
@@ -1470,7 +1499,18 @@ let create ?recovery policy engine cfg traffic rng counters =
       crashes = 0;
     }
   in
-  F.set_handler fabric (fun ~dst msg -> handle t ~dst msg);
+  F.set_handler fabric (fun ~dst msg ->
+      handle t ~dst msg;
+      (* [handle] fully destructures the message and never retains it,
+         so a [Tokens] record can rejoin the pool here — but only while
+         the fabric guarantees this was its one and only delivery. *)
+      match msg with
+      | Msg.Tokens _ when F.exactly_once fabric ->
+        if t.tok_top < Array.length t.tok_pool then begin
+          t.tok_pool.(t.tok_top) <- msg;
+          t.tok_top <- t.tok_top + 1
+        end
+      | _ -> ());
   (match Obs.Registry.of_engine engine with
   | Some reg ->
     (* Instantaneous gauges for the profiler's time-series tracks. *)

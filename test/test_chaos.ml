@@ -170,8 +170,9 @@ let test_exhaustion_then_heal_no_resurrection () =
   Alcotest.(check (list int)) "frame 1 stays dead; post-heal frame 2 delivers" [ 2 ]
     !deliveries
 
-(* ---- reliable transport over the Wide (>63-node) destination path
-   (satellite: Mask and Wide fallback behave identically) ---- *)
+(* ---- reliable transport over multi-word destination sets
+   (satellite: word-at-a-time broadcast survives the same storm at any
+   node count) ---- *)
 
 let reliable_broadcast lay =
   let engine, l, fabric = make_fabric ~lay () in
@@ -203,12 +204,11 @@ let reliable_broadcast lay =
     (F.absorbed_duplicates fabric)
 
 let test_reliability_wide_destsets () =
-  (* 8 CMPs x (2*4 L1 + 4 L2 + mem) = 104 nodes: above Destset.max_direct,
-     so the broadcast takes the Wide fallback. The 52-node layout pins
-     the Mask path under the identical storm. *)
-  let wide = L.create ~ncmp:8 ~procs_per_cmp:4 ~banks_per_cmp:4 in
-  Alcotest.(check bool) "layout exceeds the mask range" true
-    (L.node_count wide > Interconnect.Destset.max_direct);
+  (* 16 CMPs x (2*6 L1 + 4 L2 + mem) = 272 nodes: a destset five words
+     deep, past the 256-cache scale point. The 52-node layout pins the
+     single-word path under the identical storm. *)
+  let wide = L.create ~ncmp:16 ~procs_per_cmp:6 ~banks_per_cmp:4 in
+  Alcotest.(check bool) "layout exceeds 256 nodes" true (L.node_count wide > 256);
   reliable_broadcast (layout ());
   reliable_broadcast wide
 

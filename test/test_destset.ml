@@ -9,18 +9,22 @@ let test_of_list_dedup () =
   Alcotest.(check bool) "mem" true (DS.mem 2 s);
   Alcotest.(check bool) "not mem" false (DS.mem 4 s)
 
-let test_mask_wide_boundary () =
-  (match DS.of_list [ 62 ] with
-  | DS.Mask _ -> ()
-  | DS.Wide _ -> Alcotest.fail "62 should fit in a mask");
-  (match DS.of_list [ 63 ] with
-  | DS.Wide _ -> ()
-  | DS.Mask _ -> Alcotest.fail "63 must fall back to wide");
-  (* mixed: one oversized id forces the whole set wide, content kept *)
-  let s = DS.of_list [ 70; 2; 70; 5 ] in
-  Alcotest.(check (list int)) "wide content" [ 2; 5; 70 ] (to_l s);
-  Alcotest.(check bool) "wide equals mask-range twin" true
-    (DS.equal (DS.of_list [ 2; 5 ]) (DS.remove 70 s))
+let test_word_boundaries () =
+  (* Ids straddling the 63-bit word seams must behave like any other:
+     the multi-word representation has no boundary at 63 anymore. *)
+  let seam = [ 62; 63; 125; 126; 188; 189 ] in
+  let s = DS.of_list seam in
+  Alcotest.(check (list int)) "seam content" seam (to_l s);
+  Alcotest.(check int) "seam words" 4 (DS.nwords s);
+  List.iter (fun i -> Alcotest.(check bool) "seam mem" true (DS.mem i s)) seam;
+  Alcotest.(check bool) "seam holes" false (DS.mem 64 s);
+  (* removing the sole top-word bit must shrink the canonical form so
+     [equal] sees structurally equal arrays *)
+  let t = DS.remove 189 (DS.remove 188 s) in
+  Alcotest.(check int) "trimmed words" 3 (DS.nwords t);
+  Alcotest.(check bool) "trim equals rebuild" true
+    (DS.equal t (DS.of_list [ 62; 63; 125; 126 ]));
+  Alcotest.(check bool) "mixed sizes equal" false (DS.equal t s)
 
 let test_add_remove_union () =
   let s = DS.add 4 (DS.singleton 9) in
@@ -28,15 +32,21 @@ let test_add_remove_union () =
   Alcotest.(check (list int)) "remove" [ 9 ] (to_l (DS.remove 4 s));
   Alcotest.(check (list int)) "remove absent" [ 4; 9 ] (to_l (DS.remove 7 s));
   Alcotest.(check (list int)) "union" [ 1; 4; 9 ] (to_l (DS.union s (DS.singleton 1)));
-  Alcotest.(check bool) "empty" true (DS.is_empty DS.empty)
+  Alcotest.(check bool) "empty" true (DS.is_empty DS.empty);
+  (* remove of an absent id returns the set physically unchanged — the
+     protocols lean on this to keep hot-path removes allocation-free *)
+  Alcotest.(check bool) "remove absent is phys-eq" true (DS.remove 7 s == s);
+  Alcotest.(check bool) "remove beyond words is phys-eq" true (DS.remove 200 s == s)
 
 let test_of_bitfield () =
   Alcotest.(check (list int)) "shifted bits" [ 10; 12 ]
     (to_l (DS.of_bitfield ~bits:0b101 ~base:10));
   Alcotest.(check bool) "empty bits" true (DS.is_empty (DS.of_bitfield ~bits:0 ~base:10));
-  (* bits landing past the mask range go wide, same content *)
+  (* bits straddling the first word seam splice into two words *)
   let s = DS.of_bitfield ~bits:0b11 ~base:62 in
-  Alcotest.(check (list int)) "wide bits" [ 62; 63 ] (to_l s)
+  Alcotest.(check (list int)) "seam bits" [ 62; 63 ] (to_l s);
+  Alcotest.(check (list int)) "high seam bits" [ 125; 126; 127 ]
+    (to_l (DS.of_bitfield ~bits:0b111 ~base:125))
 
 let test_bit_iteration () =
   let asc = ref [] and desc = ref [] in
@@ -47,6 +57,78 @@ let test_bit_iteration () =
   Alcotest.(check int) "lsb" 0b10 (DS.lsb 0b101010);
   Alcotest.(check int) "msb" 0b100000 (DS.msb 0b101010);
   Alcotest.(check int) "bit_index" 5 (DS.bit_index 0b100000)
+
+(* ---- Differential model suite: Destset vs sorted-unique int lists ----
+
+   The reference model is the representation the pre-multi-word Destset
+   used for its Wide fallback: a sorted list of unique ids. Every op is
+   checked against the list semantics across ids 0..260, so all word
+   counts from 1 to 5 (and the seams between them) get exercised. *)
+
+module Model = struct
+  let of_list l = List.sort_uniq compare l
+  let mem i m = List.mem i m
+  let add i m = of_list (i :: m)
+  let remove i m = List.filter (fun j -> j <> i) m
+  let union a b = of_list (a @ b)
+  let cardinal = List.length
+end
+
+let gen_ids = QCheck.(list_of_size (Gen.int_range 0 40) (int_range 0 260))
+
+let prop_model_of_list =
+  QCheck.Test.make ~name:"of_list/to_list/cardinal match model (ids 0-260)"
+    ~count:300 gen_ids (fun ids ->
+      let s = DS.of_list ids and m = Model.of_list ids in
+      to_l s = m
+      && DS.cardinal s = Model.cardinal m
+      && List.for_all (fun i -> DS.mem i s = Model.mem i m) (List.init 261 Fun.id))
+
+let prop_model_add_remove =
+  QCheck.Test.make ~name:"add/remove match model (ids 0-260)" ~count:300
+    QCheck.(pair gen_ids (small_list (int_range 0 260)))
+    (fun (ids, ops) ->
+      let s = ref (DS.of_list ids) and m = ref (Model.of_list ids) in
+      List.iteri
+        (fun k i ->
+          if k land 1 = 0 then begin
+            s := DS.add i !s;
+            m := Model.add i !m
+          end
+          else begin
+            s := DS.remove i !s;
+            m := Model.remove i !m
+          end)
+        ops;
+      to_l !s = !m && DS.equal !s (DS.of_list !m))
+
+let prop_model_union =
+  QCheck.Test.make ~name:"union matches model (ids 0-260)" ~count:300
+    QCheck.(pair gen_ids gen_ids)
+    (fun (a, b) ->
+      to_l (DS.union (DS.of_list a) (DS.of_list b))
+      = Model.union (Model.of_list a) (Model.of_list b))
+
+let prop_model_iteration =
+  QCheck.Test.make ~name:"iter ascending, iter_desc descending (ids 0-260)"
+    ~count:300 gen_ids (fun ids ->
+      let s = DS.of_list ids and m = Model.of_list ids in
+      let asc = ref [] in
+      DS.iter (fun i -> asc := i :: !asc) s;
+      let desc = ref [] in
+      DS.iter_desc (fun i -> desc := i :: !desc) s;
+      List.rev !asc = m && !desc = m)
+
+let prop_model_bitfield =
+  QCheck.Test.make ~name:"of_bitfield matches shifted model (any base)"
+    ~count:300
+    QCheck.(pair (int_range 0 200) (int_range 0 0xFFFF))
+    (fun (base, bits) ->
+      let expect = ref [] in
+      for b = 16 downto 0 do
+        if bits land (1 lsl b) <> 0 then expect := (base + b) :: !expect
+      done;
+      to_l (DS.of_bitfield ~bits ~base) = !expect)
 
 (* ---- Fabric send_set behavior ---- *)
 
@@ -59,8 +141,11 @@ let make_fabric ?(jitter = 0) ?(seed = 1) layout =
 
 let layout4 () = Interconnect.Layout.create ~ncmp:4 ~procs_per_cmp:4 ~banks_per_cmp:4
 
-(* 8 CMPs x (8 L1 + 4 L2 + mem) = 104 nodes: beyond bitmask range. *)
+(* 8 CMPs x (8 L1 + 4 L2 + mem) = 104 nodes: spans two destset words. *)
 let layout_big () = Interconnect.Layout.create ~ncmp:8 ~procs_per_cmp:4 ~banks_per_cmp:4
+
+(* 16 CMPs x 16 procs: 592 nodes over 10 words — server scale. *)
+let layout_huge () = Interconnect.Layout.create ~ncmp:16 ~procs_per_cmp:16 ~banks_per_cmp:4
 
 let test_send_set_excludes_src () =
   let l = layout4 () in
@@ -123,21 +208,33 @@ let run_twin ?(jitter = 0) layout sends =
   in
   (by_list, by_set)
 
-let test_wide_fallback () =
-  (* On a 104-node layout every destset routes through the list path;
-     results must match the legacy send exactly. *)
+let test_multiword_layout () =
+  (* On a 104-node layout destsets span two words; timing and traffic
+     must still match the legacy list path exactly. *)
   let l = layout_big () in
-  let n = Interconnect.Layout.node_count l in
-  Alcotest.(check bool) "layout exceeds mask range" true (n > DS.max_direct);
+  Alcotest.(check bool) "layout exceeds one word" true
+    (Interconnect.Layout.node_count l > DS.word_bits);
   let sends =
     [ (0, [ 1; 2; 70; 103; 70 ]); (99, [ 0; 5; 99; 101 ]); (64, List.init 20 (fun i -> i * 5)) ]
   in
   let by_list, by_set = run_twin l sends in
-  Alcotest.(check bool) "big-layout fallback matches legacy send" true (by_list = by_set)
+  Alcotest.(check bool) "two-word layout matches legacy send" true (by_list = by_set)
+
+let test_huge_layout () =
+  (* 592 nodes (16 CMPs x 16 cores): destsets run 10 words deep, and a
+     full broadcast exercises every site loop. *)
+  let l = layout_huge () in
+  let n = Interconnect.Layout.node_count l in
+  Alcotest.(check int) "node count" 592 n;
+  let sends =
+    [ (0, List.init n Fun.id); (591, List.init 60 (fun i -> i * 9)); (300, [ 1; 64; 127; 128; 500 ]) ]
+  in
+  let by_list, by_set = run_twin l sends in
+  Alcotest.(check bool) "592-node broadcast matches legacy send" true (by_list = by_set)
 
 let prop_send_set_equiv =
   (* jitter = 0: per-copy times depend only on the destination set, not
-     on iteration order, so list and mask paths must agree exactly on
+     on iteration order, so list and set paths must agree exactly on
      every (msg, dst, time) triple and every byte counter. *)
   QCheck.Test.make
     ~name:"send_set = send on random destination sets (jitter 0)" ~count:100
@@ -150,7 +247,7 @@ let prop_send_set_equiv =
 
 let prop_send_set_equiv_jitter =
   (* With jitter on, rng draw order matters; on a 2-CMP layout (at most
-     one remote site per send) the mask path's iteration order matches
+     one remote site per send) the set path's iteration order matches
      the legacy path draw for draw, so even jittered times are
      identical. *)
   QCheck.Test.make
@@ -163,16 +260,36 @@ let prop_send_set_equiv_jitter =
       let by_list, by_set = run_twin ~jitter:(Sim.Time.ps 500) layout2 sends in
       by_list = by_set)
 
+let prop_send_set_equiv_jitter_multiword =
+  (* Same draw-for-draw pin on a 2-CMP layout whose 74 nodes straddle a
+     word seam: multi-word iteration must not reorder the rng draws. *)
+  QCheck.Test.make
+    ~name:"send_set = send draw-for-draw across the word seam" ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 1 10)
+        (pair (int_range 0 73) (list_of_size (Gen.int_range 0 12) (int_range 0 73))))
+    (fun sends ->
+      let layout2 = Interconnect.Layout.create ~ncmp:2 ~procs_per_cmp:16 ~banks_per_cmp:4 in
+      let by_list, by_set = run_twin ~jitter:(Sim.Time.ps 500) layout2 sends in
+      by_list = by_set)
+
 let tests =
   [
     Alcotest.test_case "of_list dedups and sorts" `Quick test_of_list_dedup;
-    Alcotest.test_case "mask/wide boundary at 63" `Quick test_mask_wide_boundary;
+    Alcotest.test_case "word-seam ids and canonical trim" `Quick test_word_boundaries;
     Alcotest.test_case "add/remove/union" `Quick test_add_remove_union;
     Alcotest.test_case "of_bitfield" `Quick test_of_bitfield;
     Alcotest.test_case "bit iteration helpers" `Quick test_bit_iteration;
+    QCheck_alcotest.to_alcotest prop_model_of_list;
+    QCheck_alcotest.to_alcotest prop_model_add_remove;
+    QCheck_alcotest.to_alcotest prop_model_union;
+    QCheck_alcotest.to_alcotest prop_model_iteration;
+    QCheck_alcotest.to_alcotest prop_model_bitfield;
     Alcotest.test_case "send_set excludes source" `Quick test_send_set_excludes_src;
     Alcotest.test_case "send_set local/remote split" `Quick test_send_set_local_remote_split;
-    Alcotest.test_case "wide fallback on >63-node layout" `Quick test_wide_fallback;
+    Alcotest.test_case "two-word layout matches send" `Quick test_multiword_layout;
+    Alcotest.test_case "592-node layout matches send" `Quick test_huge_layout;
     QCheck_alcotest.to_alcotest prop_send_set_equiv;
     QCheck_alcotest.to_alcotest prop_send_set_equiv_jitter;
+    QCheck_alcotest.to_alcotest prop_send_set_equiv_jitter_multiword;
   ]
